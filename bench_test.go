@@ -1,0 +1,241 @@
+// Benchmarks mirroring the paper's evaluation (Fan et al., ICDE 2013,
+// Figure 8): one benchmark per subfigure, exercising exactly the code the
+// corresponding experiment measures, on reduced-scale datasets so the suite
+// completes in minutes. Full-scale reproductions run via cmd/crfigures; the
+// measured series live in EXPERIMENTS.md.
+//
+// Run with: go test -bench=. -benchmem
+package conflictres
+
+import (
+	"sync"
+	"testing"
+
+	"conflictres/internal/bench"
+	"conflictres/internal/core"
+	"conflictres/internal/datagen"
+	"conflictres/internal/encode"
+)
+
+var (
+	benchOnce   sync.Once
+	benchNBA    *datagen.Dataset
+	benchCareer *datagen.Dataset
+	benchPerson *datagen.Dataset
+	benchBigNBA *datagen.Entity // a largest-bucket NBA entity
+	benchBigPer *datagen.Entity // a large Person entity
+)
+
+func benchSetup() {
+	benchOnce.Do(func() {
+		benchNBA = datagen.NBA(datagen.NBAConfig{Players: 15, Seed: 42})
+		benchCareer = datagen.Career(datagen.CareerConfig{Persons: 8, MaxPapers: 50, Seed: 42})
+		benchPerson = datagen.Person(datagen.PersonConfig{Entities: 8, MinTuples: 2, MaxTuples: 50, Seed: 42})
+		for _, e := range benchNBA.Entities {
+			if benchBigNBA == nil || e.Spec.TI.Inst.Len() > benchBigNBA.Spec.TI.Inst.Len() {
+				benchBigNBA = e
+			}
+		}
+		big := datagen.Person(datagen.PersonConfig{Entities: 1, MinTuples: 1000, MaxTuples: 1000, Seed: 42})
+		benchBigPer = big.Entities[0]
+	})
+}
+
+// BenchmarkFig8aValidityNBA measures IsValid on the largest NBA entity
+// (paper: 220 ms at 109-135 tuples).
+func BenchmarkFig8aValidityNBA(b *testing.B) {
+	benchSetup()
+	enc := encode.Build(benchBigNBA.Spec, encode.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.IsValid(enc)
+	}
+}
+
+// BenchmarkFig8aValidityPerson measures IsValid on a 1000-tuple Person
+// entity (paper: seconds at 8k-10k tuples).
+func BenchmarkFig8aValidityPerson(b *testing.B) {
+	benchSetup()
+	enc := encode.Build(benchBigPer.Spec, encode.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.IsValid(enc)
+	}
+}
+
+// BenchmarkFig8aEncodeNBA isolates the Ω/Φ construction cost included in the
+// paper's validity numbers.
+func BenchmarkFig8aEncodeNBA(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		encode.Build(benchBigNBA.Spec, encode.Options{})
+	}
+}
+
+// BenchmarkFig8bDeduceOrderNBA measures the unit-propagation deduction
+// (paper: 51 ms on the largest NBA bucket).
+func BenchmarkFig8bDeduceOrderNBA(b *testing.B) {
+	benchSetup()
+	enc := encode.Build(benchBigNBA.Spec, encode.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DeduceOrder(enc)
+	}
+}
+
+// BenchmarkFig8bNaiveDeduceNBA measures the per-variable SAT baseline
+// (paper: 13585 ms on the largest NBA bucket — the Figure 8(b) gap).
+func BenchmarkFig8bNaiveDeduceNBA(b *testing.B) {
+	benchSetup()
+	enc := encode.Build(benchBigNBA.Spec, encode.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.NaiveDeduce(enc)
+	}
+}
+
+// BenchmarkFig8bDeduceOrderPerson measures deduction on the large Person
+// entity (paper: 914 ms at 8k-10k tuples; NaiveDeduce exceeds 20 minutes and
+// is omitted exactly as in the paper).
+func BenchmarkFig8bDeduceOrderPerson(b *testing.B) {
+	benchSetup()
+	enc := encode.Build(benchBigPer.Spec, encode.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.DeduceOrder(enc)
+	}
+}
+
+// BenchmarkFig8cOverallNBA measures one full framework round-trip including
+// suggestion generation (paper: ~380 ms per round).
+func BenchmarkFig8cOverallNBA(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		e := benchNBA.Entities[i%len(benchNBA.Entities)]
+		if _, err := core.Resolve(e.Spec, &core.SimulatedUser{Truth: e.Truth, MaxPerRound: 2},
+			core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8dOverallPerson measures the full framework on Person
+// entities (paper: ~7 s at 8k-10k tuples).
+func BenchmarkFig8dOverallPerson(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		e := benchPerson.Entities[i%len(benchPerson.Entities)]
+		if _, err := core.Resolve(e.Spec, &core.SimulatedUser{Truth: e.Truth, MaxPerRound: 2},
+			core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The accuracy figures measure F-measure rather than time; their benchmarks
+// run the corresponding harness end to end so `go test -bench` exercises
+// every figure's code path and reports its cost.
+
+func BenchmarkFig8eInteractionsNBA(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.InteractionCurve(benchNBA, 2, "8(e)", bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+func BenchmarkFig8fAccuracyNBABoth(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchNBA, bench.ModeBoth, 2, "8(f)", 1, bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+func BenchmarkFig8gAccuracyNBASigma(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchNBA, bench.ModeSigma, 2, "8(g)", 1, bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+func BenchmarkFig8hAccuracyNBAGamma(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchNBA, bench.ModeGamma, 2, "8(h)", 1, bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+func BenchmarkFig8iInteractionsCareer(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.InteractionCurve(benchCareer, 2, "8(i)", bench.UserConfig{MaxPerRound: 1})
+	}
+}
+
+func BenchmarkFig8jAccuracyCareerBoth(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchCareer, bench.ModeBoth, 2, "8(j)", 1, bench.UserConfig{MaxPerRound: 1})
+	}
+}
+
+func BenchmarkFig8kAccuracyCareerSigma(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchCareer, bench.ModeSigma, 2, "8(k)", 1, bench.UserConfig{MaxPerRound: 1})
+	}
+}
+
+func BenchmarkFig8lAccuracyCareerGamma(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchCareer, bench.ModeGamma, 2, "8(l)", 1, bench.UserConfig{MaxPerRound: 1})
+	}
+}
+
+func BenchmarkFig8mInteractionsPerson(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.InteractionCurve(benchPerson, 3, "8(m)", bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+func BenchmarkFig8nAccuracyPersonBoth(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchPerson, bench.ModeBoth, 3, "8(n)", 1, bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+func BenchmarkFig8oAccuracyPersonSigma(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchPerson, bench.ModeSigma, 3, "8(o)", 1, bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+func BenchmarkFig8pAccuracyPersonGamma(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		bench.AccuracyVsConstraints(benchPerson, bench.ModeGamma, 3, "8(p)", 1, bench.UserConfig{MaxPerRound: 2})
+	}
+}
+
+// Component benchmarks: the substrates the figures stand on.
+
+func BenchmarkSuggestNBA(b *testing.B) {
+	benchSetup()
+	enc := encode.Build(benchBigNBA.Spec, encode.Options{})
+	od, _ := core.DeduceOrder(enc)
+	resolved := core.TrueValues(enc, od)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Suggest(enc, od, resolved)
+	}
+}
+
+func BenchmarkEncodePerson(b *testing.B) {
+	benchSetup()
+	for i := 0; i < b.N; i++ {
+		encode.Build(benchBigPer.Spec, encode.Options{})
+	}
+}

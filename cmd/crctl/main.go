@@ -1,0 +1,23 @@
+// Command crctl resolves conflicts in entity specifications from the
+// command line.
+//
+// Usage:
+//
+//	crctl validate spec.txt          check whether the specification is valid
+//	crctl deduce   spec.txt          print the true values derivable now
+//	crctl suggest  spec.txt          print the attributes needing user input
+//	crctl resolve  spec.txt          resolve interactively on the terminal
+//	crctl resolve -answers k=v,...   resolve with scripted answers
+//
+// Specification files use the textio format; see internal/textio.
+package main
+
+import (
+	"os"
+
+	"conflictres/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,192 @@
+// Command crfigures regenerates every table and figure of the paper's
+// experimental study (Fan et al., ICDE 2013, Figure 8(a)–(p) plus the
+// dataset statistics and headline aggregates).
+//
+// Usage:
+//
+//	crfigures                 # all figures at the default (laptop) scale
+//	crfigures -scale paper    # the paper's dataset sizes (slow)
+//	crfigures -only 8e,8f     # a subset of figures
+//
+// Absolute milliseconds differ from the paper's 2013 testbed; the shapes —
+// who wins, by what factor, how curves move — are the reproduction target.
+// See EXPERIMENTS.md for the side-by-side record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"conflictres/internal/bench"
+	"conflictres/internal/datagen"
+)
+
+type scaleCfg struct {
+	nbaPlayers      int
+	careerPersons   int
+	personAccuracyN int // entities for accuracy figures
+	personAccuracyS int // max tuples for accuracy figures
+	personTimingPer int // entities per timing bucket
+	personTimingMax int // largest timing entity
+	interactionsNBA int
+	interactionsCar int
+	interactionsPer int
+}
+
+var scales = map[string]scaleCfg{
+	// Laptop scale: minutes, preserves all shapes.
+	"default": {
+		nbaPlayers: 60, careerPersons: 20,
+		personAccuracyN: 30, personAccuracyS: 50,
+		personTimingPer: 3, personTimingMax: 2000,
+		interactionsNBA: 2, interactionsCar: 2, interactionsPer: 3,
+	},
+	// Paper scale: the sizes reported in Section VI (expect a long run).
+	"paper": {
+		nbaPlayers: 760, careerPersons: 65,
+		personAccuracyN: 100, personAccuracyS: 100,
+		personTimingPer: 5, personTimingMax: 10000,
+		interactionsNBA: 2, interactionsCar: 2, interactionsPer: 3,
+	},
+	// Smoke scale for CI.
+	"smoke": {
+		nbaPlayers: 25, careerPersons: 10,
+		personAccuracyN: 10, personAccuracyS: 30,
+		personTimingPer: 2, personTimingMax: 400,
+		interactionsNBA: 2, interactionsCar: 2, interactionsPer: 3,
+	},
+}
+
+func main() {
+	var (
+		scale = flag.String("scale", "default", "default | paper | smoke")
+		only  = flag.String("only", "", "comma-separated figure ids (e.g. 8a,8e,8n); empty = all")
+		seed  = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	cfg, ok := scales[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "crfigures: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToLower(id)] = true
+		}
+	}
+	sel := func(id string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		return want[strings.ToLower(strings.NewReplacer("(", "", ")", "").Replace(id))]
+	}
+	w := os.Stdout
+
+	fmt.Fprintf(w, "conflictres experiment harness — scale %q\n\n", *scale)
+
+	// Datasets. Timing figures use size-bucketed Person samples; accuracy
+	// figures use a moderate-size Person population.
+	nba := datagen.NBA(datagen.NBAConfig{Players: cfg.nbaPlayers, Seed: *seed})
+	career := datagen.Career(datagen.CareerConfig{Persons: cfg.careerPersons, Seed: *seed})
+	personAcc := datagen.Person(datagen.PersonConfig{
+		Entities: cfg.personAccuracyN, MinTuples: 2, MaxTuples: cfg.personAccuracyS, Seed: *seed})
+
+	personBuckets := bench.PersonBuckets(cfg.personTimingMax)
+	var personTimingEntities []*datagen.Entity
+	personTiming := &datagen.Dataset{Name: "Person", Schema: personAcc.Schema,
+		Sigma: personAcc.Sigma, Gamma: personAcc.Gamma}
+	for bi, b := range personBuckets {
+		sub := datagen.Person(datagen.PersonConfig{
+			Entities: cfg.personTimingPer, MinTuples: b[0], MaxTuples: b[1],
+			Seed: *seed + int64(bi)})
+		personTimingEntities = append(personTimingEntities, sub.Entities...)
+	}
+	personTiming.Entities = personTimingEntities
+
+	bench.DatasetsTable(w, nba, career, personAcc)
+
+	// Simulated users answer a bounded number of suggested attributes per
+	// round, spreading resolution over the paper's 2-3 rounds.
+	userNBA := bench.UserConfig{MaxPerRound: 2}
+	userCar := bench.UserConfig{MaxPerRound: 1}
+	userPer := bench.UserConfig{MaxPerRound: 2}
+
+	if sel("8a") {
+		fig := bench.ValidityTiming(nba, bench.NBABuckets)
+		fig.Fprint(w)
+		figP := bench.ValidityTiming(personTiming, personBuckets)
+		figP.Fprint(w)
+	}
+	if sel("8b") {
+		fig := bench.DeduceTiming(nba, bench.NBABuckets, true)
+		fig.Fprint(w)
+		figP := bench.DeduceTiming(personTiming, personBuckets, false)
+		figP.Fprint(w)
+	}
+	if sel("8c") {
+		fig := bench.OverallTiming(nba, bench.NBABuckets, "8(c)")
+		fig.Fprint(w)
+	}
+	if sel("8d") {
+		fig := bench.OverallTiming(personTiming, personBuckets, "8(d)")
+		fig.Fprint(w)
+	}
+	if sel("8e") {
+		fig := bench.InteractionCurve(nba, cfg.interactionsNBA, "8(e)", userNBA)
+		fig.Fprint(w)
+	}
+	if sel("8i") {
+		fig := bench.InteractionCurve(career, cfg.interactionsCar, "8(i)", userCar)
+		fig.Fprint(w)
+	}
+	if sel("8m") {
+		fig := bench.InteractionCurve(personAcc, cfg.interactionsPer, "8(m)", userPer)
+		fig.Fprint(w)
+	}
+
+	type accuracySpec struct {
+		id   string
+		ds   *datagen.Dataset
+		mode bench.Mode
+		k    int
+		user bench.UserConfig
+	}
+	accFigs := []accuracySpec{
+		{"8f", nba, bench.ModeBoth, cfg.interactionsNBA, userNBA},
+		{"8g", nba, bench.ModeSigma, cfg.interactionsNBA, userNBA},
+		{"8h", nba, bench.ModeGamma, cfg.interactionsNBA, userNBA},
+		{"8j", career, bench.ModeBoth, cfg.interactionsCar, userCar},
+		{"8k", career, bench.ModeSigma, cfg.interactionsCar, userCar},
+		{"8l", career, bench.ModeGamma, cfg.interactionsCar, userCar},
+		{"8n", personAcc, bench.ModeBoth, cfg.interactionsPer, userPer},
+		{"8o", personAcc, bench.ModeSigma, cfg.interactionsPer, userPer},
+		{"8p", personAcc, bench.ModeGamma, cfg.interactionsPer, userPer},
+	}
+	results := map[string]bench.Figure{}
+	for _, af := range accFigs {
+		if !sel(af.id) {
+			continue
+		}
+		fig := bench.AccuracyVsConstraints(af.ds, af.mode, af.k, "8("+af.id[1:]+")", *seed, af.user)
+		results[af.id] = fig
+		fig.Fprint(w)
+	}
+
+	// Headlines per dataset when all three modes were computed.
+	for _, h := range []struct{ name, b, s, g string }{
+		{"NBA", "8f", "8g", "8h"},
+		{"CAREER", "8j", "8k", "8l"},
+		{"Person", "8n", "8o", "8p"},
+	} {
+		if fb, ok := results[h.b]; ok {
+			if fs, ok2 := results[h.s]; ok2 {
+				if fg, ok3 := results[h.g]; ok3 {
+					bench.Headline(w, h.name, fb, fs, fg)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package conflictres
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func edithSpecPublic(t *testing.T) *Spec {
+	t.Helper()
+	sch := MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
+	in := NewInstance(sch)
+	in.MustAdd(Tuple{String("Edith Shain"), String("working"), String("nurse"), Int(0),
+		String("NY"), String("212"), String("10036"), String("Manhattan")})
+	in.MustAdd(Tuple{String("Edith Shain"), String("retired"), String("n/a"), Int(3),
+		String("SFC"), String("415"), String("94924"), String("Dogtown")})
+	in.MustAdd(Tuple{String("Edith Shain"), String("deceased"), String("n/a"), Null,
+		String("LA"), String("213"), String("90058"), String("Vermont")})
+	spec, err := NewSpec(in, []string{
+		`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+		`t1[status] = "retired" & t2[status] = "deceased" -> t1 <[status] t2`,
+		`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+		`t1 <[status] t2 -> t1 <[job] t2`,
+		`t1 <[status] t2 -> t1 <[AC] t2`,
+		`t1 <[status] t2 -> t1 <[zip] t2`,
+		`t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`,
+	}, []string{
+		`AC = "213" => city = "LA"`,
+		`AC = "212" => city = "NY"`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestPublicResolveEdith(t *testing.T) {
+	spec := edithSpecPublic(t)
+	if !Validate(spec) {
+		t.Fatal("Edith must be valid")
+	}
+	res, err := Resolve(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() {
+		t.Fatalf("resolved %d attributes", len(res.Resolved))
+	}
+	for attr, want := range map[string]string{
+		"status": "deceased", "city": "LA", "AC": "213", "kids": "3", "county": "Vermont",
+	} {
+		if got := res.Value(attr); got != want {
+			t.Errorf("%s = %q, want %q", attr, got, want)
+		}
+	}
+	if res.Value("bogus") != "" {
+		t.Error("unknown attribute must yield empty string")
+	}
+}
+
+func TestPublicDeduceAndSuggest(t *testing.T) {
+	spec := edithSpecPublic(t)
+	vals, err := Deduce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals["status"].String() != "deceased" {
+		t.Fatalf("Deduce status = %v", vals["status"])
+	}
+	sug, err := SuggestOnce(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sug.Attrs) != 0 {
+		t.Fatalf("Edith needs no suggestions, got %v", sug.Attrs)
+	}
+}
+
+func TestPublicConstraintErrors(t *testing.T) {
+	sch := MustSchema("a")
+	in := NewInstance(sch)
+	in.MustAdd(Tuple{String("x")})
+	if _, err := NewSpec(in, []string{"garbage"}, nil); err == nil {
+		t.Fatal("bad currency constraint must fail")
+	}
+	if _, err := NewSpec(in, nil, []string{"garbage"}); err == nil {
+		t.Fatal("bad CFD must fail")
+	}
+}
+
+func TestPublicAddOrder(t *testing.T) {
+	spec := edithSpecPublic(t)
+	if err := spec.AddOrder("bogus", 0, 1); err == nil {
+		t.Fatal("unknown attribute must fail")
+	}
+	if err := spec.AddOrder("city", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddOrder("city", 0, 99); err == nil {
+		t.Fatal("out-of-range tuple must fail")
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	spec := edithSpecPublic(t)
+	var buf bytes.Buffer
+	if err := spec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpec(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resolve(got, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("county") != "Vermont" {
+		t.Fatalf("round-tripped spec resolves county = %q", res.Value("county"))
+	}
+}
+
+func TestPublicOracleFlow(t *testing.T) {
+	sch := MustSchema("status", "grade")
+	in := NewInstance(sch)
+	in.MustAdd(Tuple{String("junior"), String("G1")})
+	in.MustAdd(Tuple{String("senior"), String("G2")})
+	spec, err := NewSpec(in, []string{
+		`t1 <[status] t2 -> t1 <[grade] t2`,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asked := 0
+	oracle := OracleFunc(func(s Suggestion) map[Attr]Value {
+		asked++
+		out := map[Attr]Value{}
+		for _, a := range s.Attrs {
+			if sch.Name(a) == "status" {
+				out[a] = String("senior")
+			}
+		}
+		return out
+	})
+	res, err := Resolve(spec, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asked == 0 {
+		t.Fatal("oracle should have been consulted")
+	}
+	if res.Value("status") != "senior" || res.Value("grade") != "G2" {
+		t.Fatalf("resolved %q/%q", res.Value("status"), res.Value("grade"))
+	}
+	if res.Interactions != 1 {
+		t.Fatalf("interactions = %d", res.Interactions)
+	}
+}
+
+func TestPublicExplain(t *testing.T) {
+	spec := edithSpecPublic(t)
+	if _, ok := Explain(spec); ok {
+		t.Fatal("valid spec must not produce an explanation")
+	}
+	if err := spec.AddOrder("status", 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	text, ok := Explain(spec)
+	if !ok || !strings.Contains(text, "status") {
+		t.Fatalf("explanation missing: ok=%v text=%q", ok, text)
+	}
+}
+
+func TestPublicResolveWithNaiveDeduce(t *testing.T) {
+	spec := edithSpecPublic(t)
+	res, err := Resolve(spec, nil, Options{UseNaiveDeduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete() || res.Value("county") != "Vermont" {
+		t.Fatalf("NaiveDeduce path must match: %v", res.Resolved)
+	}
+}
+
+func TestPublicInvalidSpec(t *testing.T) {
+	sch := MustSchema("s")
+	in := NewInstance(sch)
+	in.MustAdd(Tuple{String("a")})
+	in.MustAdd(Tuple{String("b")})
+	spec, err := NewSpec(in, []string{
+		`t1[s] = "a" & t2[s] = "b" -> t1 <[s] t2`,
+		`t1[s] = "b" & t2[s] = "a" -> t1 <[s] t2`,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Validate(spec) {
+		t.Fatal("mutually contradictory constraints must be invalid")
+	}
+	if _, err := Deduce(spec); err == nil {
+		t.Fatal("Deduce must reject invalid specs")
+	}
+	if _, err := SuggestOnce(spec); err == nil {
+		t.Fatal("SuggestOnce must reject invalid specs")
+	}
+	res, err := Resolve(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid {
+		t.Fatal("Resolve must report invalidity")
+	}
+}

@@ -1,0 +1,75 @@
+package conflictres
+
+import (
+	"conflictres/internal/constraint"
+	"conflictres/internal/discover"
+	"conflictres/internal/model"
+)
+
+// DiscoverOptions tunes constraint mining; zero values take sensible
+// defaults (support ≥ 2 entities, CFD confidence ≥ 0.95).
+type DiscoverOptions struct {
+	MinSupport       int
+	MaxViolationRate float64
+	MinCFDSupport    int
+	MinCFDConfidence float64
+}
+
+// OrderedHistory is one entity's change history for constraint mining: rows
+// ordered oldest to newest (e.g. an audit-log export). Discovery treats each
+// consecutive pair as currency evidence on every attribute.
+type OrderedHistory struct {
+	Rows []Tuple
+}
+
+// DiscoverConstraints mines currency constraints and constant CFDs from
+// ordered histories — the extension the paper sketches in Section III
+// Remark (2) ("automated methods can be developed for discovering currency
+// constraints from (possibly dirty) data"). The returned constraint texts
+// can be passed straight to NewSpec.
+func DiscoverConstraints(sch *Schema, histories []OrderedHistory, opts DiscoverOptions) (currency []string, cfds []string, err error) {
+	var tis []*model.TemporalInstance
+	for _, h := range histories {
+		in := NewInstance(sch)
+		for _, r := range h.Rows {
+			if _, err := in.Add(r); err != nil {
+				return nil, nil, err
+			}
+		}
+		ti := model.NewTemporal(in)
+		for a := 0; a < sch.Len(); a++ {
+			for i := 0; i+1 < in.Len(); i++ {
+				if err := ti.AddOrder(Attr(a), TupleID(i), TupleID(i+1)); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		tis = append(tis, ti)
+	}
+	sigma, gamma, err := discover.FromDataset(sch, tis, discover.Options{
+		MinSupport:       opts.MinSupport,
+		MaxViolationRate: opts.MaxViolationRate,
+		MinCFDSupport:    opts.MinCFDSupport,
+		MinCFDConfidence: opts.MinCFDConfidence,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return formatCurrency(sch, sigma), formatCFDs(sch, gamma), nil
+}
+
+func formatCurrency(sch *Schema, cs []constraint.Currency) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Format(sch)
+	}
+	return out
+}
+
+func formatCFDs(sch *Schema, cs []constraint.CFD) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Format(sch)
+	}
+	return out
+}

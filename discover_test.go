@@ -1,0 +1,69 @@
+package conflictres
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiscoverConstraintsEndToEnd(t *testing.T) {
+	sch := MustSchema("status", "kids", "AC", "city")
+	mk := func(status string, kids int64, ac, city string) Tuple {
+		return Tuple{String(status), Int(kids), String(ac), String(city)}
+	}
+	// Several customers' audit histories: status ladders up, kids grows,
+	// AC determines city. The histories vary enough that spurious
+	// correlations (e.g. status ⇒ AC) fall below the confidence threshold
+	// — uniform training data would mine them and they would contradict
+	// unseen entities.
+	histories := []OrderedHistory{
+		{Rows: []Tuple{mk("working", 0, "212", "NY"), mk("retired", 1, "212", "NY"), mk("deceased", 1, "213", "LA")}},
+		{Rows: []Tuple{mk("working", 0, "212", "NY"), mk("retired", 1, "213", "LA"), mk("deceased", 2, "213", "LA")}},
+		{Rows: []Tuple{mk("working", 1, "213", "LA"), mk("retired", 2, "213", "LA"), mk("deceased", 2, "415", "SFC")}},
+		{Rows: []Tuple{mk("working", 0, "213", "LA"), mk("retired", 2, "415", "SFC"), mk("deceased", 3, "415", "SFC")}},
+	}
+	currency, cfds, err := DiscoverConstraints(sch, histories, DiscoverOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	haveC := strings.Join(currency, "\n")
+	for _, want := range []string{
+		`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+		`t1[status] = "retired" & t2[status] = "deceased" -> t1 <[status] t2`,
+		`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+	} {
+		if !strings.Contains(haveC, want) {
+			t.Fatalf("missing mined constraint %s\nmined:\n%s", want, haveC)
+		}
+	}
+	haveF := strings.Join(cfds, "\n")
+	if !strings.Contains(haveF, `AC = "212" => city = "NY"`) {
+		t.Fatalf("missing mined CFD, got:\n%s", haveF)
+	}
+
+	// The mined rules must drive resolution of a fresh conflicting entity.
+	in := NewInstance(sch)
+	in.MustAdd(mk("working", 0, "212", "NY"))
+	in.MustAdd(mk("retired", 2, "213", "LA"))
+	spec, err := NewSpec(in, currency, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resolve(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value("status") != "retired" || res.Value("kids") != "2" || res.Value("city") != "LA" {
+		t.Fatalf("mined rules resolve to %q/%q/%q",
+			res.Value("status"), res.Value("kids"), res.Value("city"))
+	}
+}
+
+func TestDiscoverConstraintsArityError(t *testing.T) {
+	sch := MustSchema("a", "b")
+	_, _, err := DiscoverConstraints(sch, []OrderedHistory{
+		{Rows: []Tuple{{String("x")}}}, // wrong arity
+	}, DiscoverOptions{})
+	if err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+}

@@ -1,0 +1,42 @@
+// Package conflictres resolves conflicts in entity instances by jointly
+// inferring data currency and data consistency, implementing Fan, Geerts,
+// Tang, Yu: "Inferring Data Currency and Consistency for Conflict
+// Resolution" (ICDE 2013).
+//
+// Given a set of tuples all describing one real-world entity — typically the
+// output of record linkage — the library derives a single tuple whose every
+// attribute carries the entity's most current and consistent value, without
+// assuming timestamps. Temporal knowledge comes from three sources:
+//
+//   - partial currency orders: explicit "tuple t1 is no more current than t2
+//     in attribute A" edges;
+//   - currency constraints: rules such as "status only changes from working
+//     to retired" or "whoever has more kids is more recent";
+//   - constant conditional functional dependencies (CFDs): rules such as
+//     "area code 212 implies city NY", interpreted on the current tuple.
+//
+// The two inference directions feed each other: deduced currency orders let
+// CFDs fire, and fired CFDs order more values. When the available knowledge
+// underdetermines some attributes, the resolver computes a minimal
+// suggestion — the attribute set a user must confirm for everything else to
+// follow — and iterates.
+//
+// # Quick start
+//
+//	sch := conflictres.MustSchema("status", "city", "AC")
+//	in := conflictres.NewInstance(sch)
+//	in.MustAdd(conflictres.Tuple{conflictres.String("working"), conflictres.String("NY"), conflictres.String("212")})
+//	in.MustAdd(conflictres.Tuple{conflictres.String("retired"), conflictres.String("LA"), conflictres.String("213")})
+//
+//	spec, err := conflictres.NewSpec(in,
+//		[]string{`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+//			`t1 <[status] t2 -> t1 <[AC] t2`},
+//		[]string{`AC = "213" => city = "LA"`})
+//	...
+//	res, err := conflictres.Resolve(spec, nil)
+//	// res.Value("city") == "LA"
+//
+// The full model and algorithms live in internal packages; this package is
+// the stable public surface. See README.md for the architecture and
+// DESIGN.md for the paper-to-code map.
+package conflictres

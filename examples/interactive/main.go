@@ -1,0 +1,113 @@
+// Interactive resolution on the terminal: load a specification (George
+// Mendonça by default, or any textio file given as an argument), let the
+// framework deduce what it can, and prompt for the suggested attributes
+// until the entity's true tuple is found — the workflow of the paper's
+// Figure 4 with a human in the loop.
+//
+// Run it and answer the prompt (for George, try "retired"):
+//
+//	go run ./examples/interactive
+//	go run ./examples/interactive my-entity.spec
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"conflictres"
+	"conflictres/internal/relation"
+)
+
+func main() {
+	var spec *conflictres.Spec
+	var err error
+	if len(os.Args) > 1 {
+		spec, err = conflictres.LoadSpecFile(os.Args[1])
+	} else {
+		spec, err = georgeSpec()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	sch := spec.Schema()
+
+	fmt.Printf("entity instance with %d tuples over %s\n", spec.Instance().Len(), sch)
+	if !conflictres.Validate(spec) {
+		log.Fatal("the specification is invalid: its orders and constraints contradict each other")
+	}
+
+	reader := bufio.NewReader(os.Stdin)
+	oracle := conflictres.OracleFunc(func(s conflictres.Suggestion) map[conflictres.Attr]conflictres.Value {
+		fmt.Println("\nthe framework needs your input:")
+		out := map[conflictres.Attr]conflictres.Value{}
+		for _, a := range s.Attrs {
+			var cands []string
+			for _, v := range s.Candidates[a] {
+				cands = append(cands, v.String())
+			}
+			fmt.Printf("  %s (candidates: %s) = ? ", sch.Name(a), strings.Join(cands, ", "))
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				return out
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			v, err := relation.ParseValue(line)
+			if err != nil {
+				fmt.Println("  cannot parse:", err)
+				continue
+			}
+			out[a] = v
+		}
+		return out
+	})
+
+	res, err := conflictres.Resolve(spec, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Valid {
+		fmt.Println("\nyour input contradicts the constraints; nothing resolved")
+		os.Exit(1)
+	}
+	fmt.Printf("\nresolved after %d round(s):\n", res.Rounds)
+	for _, a := range sch.Attrs() {
+		if v, ok := res.Resolved[a]; ok {
+			fmt.Printf("  %-8s %s\n", sch.Name(a), v)
+		} else {
+			fmt.Printf("  %-8s (undetermined)\n", sch.Name(a))
+		}
+	}
+}
+
+func georgeSpec() (*conflictres.Spec, error) {
+	sch := conflictres.MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
+	str := conflictres.String
+	in := conflictres.NewInstance(sch)
+	in.MustAdd(conflictres.Tuple{str("George Mendonca"), str("working"), str("sailor"),
+		conflictres.Int(0), str("Newport"), str("401"), str("02840"), str("Rhode Island")})
+	in.MustAdd(conflictres.Tuple{str("George Mendonca"), str("retired"), str("veteran"),
+		conflictres.Int(2), str("NY"), str("212"), str("12404"), str("Accord")})
+	in.MustAdd(conflictres.Tuple{str("George Mendonca"), str("unemployed"), str("n/a"),
+		conflictres.Int(2), str("Chicago"), str("312"), str("60653"), str("Bronzeville")})
+	return conflictres.NewSpec(in,
+		[]string{
+			`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+			`t1[status] = "retired" & t2[status] = "deceased" -> t1 <[status] t2`,
+			`t1[job] = "sailor" & t2[job] = "veteran" -> t1 <[job] t2`,
+			`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+			`t1 <[status] t2 -> t1 <[job] t2`,
+			`t1 <[status] t2 -> t1 <[AC] t2`,
+			`t1 <[status] t2 -> t1 <[zip] t2`,
+			`t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`,
+		},
+		[]string{
+			`AC = "213" => city = "LA"`,
+			`AC = "212" => city = "NY"`,
+		})
+}

@@ -1,0 +1,128 @@
+// Quickstart: the running example of the paper (Fan et al., ICDE 2013,
+// Figures 1–3) on the public API. Two entity instances from the "V-J Day in
+// Times Square" photograph — nurse Edith Shain and sailor George Mendonça —
+// are resolved into single true tuples without any timestamps.
+//
+// Edith resolves fully automatically (Example 2); George needs one round of
+// user input for his status (Examples 6, 9, 12), after which everything else
+// follows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"conflictres"
+)
+
+func main() {
+	sch := conflictres.MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
+	str := conflictres.String
+
+	currency := []string{
+		// Status only moves working → retired → deceased (ϕ1, ϕ2).
+		`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+		`t1[status] = "retired" & t2[status] = "deceased" -> t1 <[status] t2`,
+		// Job moves sailor → veteran (ϕ3).
+		`t1[job] = "sailor" & t2[job] = "veteran" -> t1 <[job] t2`,
+		// The number of kids grows monotonically (ϕ4).
+		`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+		// A more current status implies more current job, AC and zip (ϕ5–ϕ7).
+		`t1 <[status] t2 -> t1 <[job] t2`,
+		`t1 <[status] t2 -> t1 <[AC] t2`,
+		`t1 <[status] t2 -> t1 <[zip] t2`,
+		// More current city and zip imply a more current county (ϕ8).
+		`t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`,
+	}
+	cfds := []string{
+		`AC = "213" => city = "LA"`, // ψ1
+		`AC = "212" => city = "NY"`, // ψ2
+	}
+
+	// ---- Edith Shain (E1 of Figure 2) -----------------------------------
+	edith := conflictres.NewInstance(sch)
+	edith.MustAdd(conflictres.Tuple{str("Edith Shain"), str("working"), str("nurse"),
+		conflictres.Int(0), str("NY"), str("212"), str("10036"), str("Manhattan")})
+	edith.MustAdd(conflictres.Tuple{str("Edith Shain"), str("retired"), str("n/a"),
+		conflictres.Int(3), str("SFC"), str("415"), str("94924"), str("Dogtown")})
+	edith.MustAdd(conflictres.Tuple{str("Edith Shain"), str("deceased"), str("n/a"),
+		conflictres.Null, str("LA"), str("213"), str("90058"), str("Vermont")})
+
+	spec, err := conflictres.NewSpec(edith, currency, cfds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := conflictres.Resolve(spec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Edith Shain — resolved automatically (paper Example 2):")
+	printResult(sch, res)
+
+	// ---- George Mendonça (E2 of Figure 2) --------------------------------
+	george := conflictres.NewInstance(sch)
+	george.MustAdd(conflictres.Tuple{str("George Mendonca"), str("working"), str("sailor"),
+		conflictres.Int(0), str("Newport"), str("401"), str("02840"), str("Rhode Island")})
+	george.MustAdd(conflictres.Tuple{str("George Mendonca"), str("retired"), str("veteran"),
+		conflictres.Int(2), str("NY"), str("212"), str("12404"), str("Accord")})
+	george.MustAdd(conflictres.Tuple{str("George Mendonca"), str("unemployed"), str("n/a"),
+		conflictres.Int(2), str("Chicago"), str("312"), str("60653"), str("Bronzeville")})
+
+	gspec, err := conflictres.NewSpec(george, currency, cfds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First, see what is derivable without help (paper Example 3).
+	auto, err := conflictres.Deduce(gspec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGeorge Mendonca — derivable without interaction: %d attributes\n", len(auto))
+	for n, v := range auto {
+		fmt.Printf("  %-8s %s\n", n, v)
+	}
+
+	// The suggestion engine identifies status as the one attribute to ask
+	// about (paper Example 12).
+	sug, err := conflictres.SuggestOnce(gspec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSuggestion — please confirm:")
+	for _, a := range sug.Attrs {
+		fmt.Printf("  %s %v\n", sch.Name(a), sug.Candidates[a])
+	}
+
+	// A user who knows George retired answers; the rest follows (Example 6).
+	oracle := conflictres.OracleFunc(func(s conflictres.Suggestion) map[conflictres.Attr]conflictres.Value {
+		out := map[conflictres.Attr]conflictres.Value{}
+		for _, a := range s.Attrs {
+			if sch.Name(a) == "status" {
+				out[a] = str("retired")
+			}
+		}
+		return out
+	})
+	gres, err := conflictres.Resolve(gspec, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGeorge Mendonca — resolved after %d interaction(s):\n", gres.Interactions)
+	printResult(sch, gres)
+}
+
+func printResult(sch *conflictres.Schema, res *conflictres.Result) {
+	if !res.Valid {
+		fmt.Println("  specification is INVALID")
+		return
+	}
+	for _, a := range sch.Attrs() {
+		v, ok := res.Resolved[a]
+		if !ok {
+			fmt.Printf("  %-8s (unresolved)\n", sch.Name(a))
+			continue
+		}
+		fmt.Printf("  %-8s %s\n", sch.Name(a), v)
+	}
+}

@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"conflictres/internal/datagen"
+)
+
+func tinyNBA() *datagen.Dataset {
+	return datagen.NBA(datagen.NBAConfig{Players: 8, MaxSeasons: 5, MaxRows: 3, Seed: 5})
+}
+
+func tinyPerson() *datagen.Dataset {
+	return datagen.Person(datagen.PersonConfig{Entities: 8, MinTuples: 2, MaxTuples: 25, Seed: 5})
+}
+
+func tinyCareer() *datagen.Dataset {
+	return datagen.Career(datagen.CareerConfig{Persons: 5, MaxPapers: 25, Seed: 5})
+}
+
+func TestValidityTiming(t *testing.T) {
+	fig := ValidityTiming(tinyNBA(), NBABuckets)
+	if len(fig.Series) != 1 || len(fig.Series[0].Points) != len(NBABuckets) {
+		t.Fatalf("figure shape wrong: %+v", fig)
+	}
+	for _, p := range fig.Series[0].Points {
+		if p.Y < 0 {
+			t.Fatal("negative timing")
+		}
+	}
+}
+
+func TestDeduceTimingWithNaive(t *testing.T) {
+	fig := DeduceTiming(tinyNBA(), NBABuckets, true)
+	if len(fig.Series) != 2 {
+		t.Fatalf("want DeduceOrder and NaiveDeduce series, got %d", len(fig.Series))
+	}
+	// NaiveDeduce must be slower in aggregate (the paper's headline for
+	// Figure 8(b)).
+	var fast, slow float64
+	for i := range fig.Series[0].Points {
+		fast += fig.Series[0].Points[i].Y
+		slow += fig.Series[1].Points[i].Y
+	}
+	if slow < fast {
+		t.Fatalf("NaiveDeduce (%f ms) should not be faster than DeduceOrder (%f ms)", slow, fast)
+	}
+}
+
+func TestOverallTiming(t *testing.T) {
+	fig := OverallTiming(tinyNBA(), NBABuckets, "8(c)")
+	if len(fig.Series) != 3 {
+		t.Fatalf("want 3 phase series, got %d", len(fig.Series))
+	}
+}
+
+func TestInteractionCurveMonotone(t *testing.T) {
+	fig := InteractionCurve(tinyNBA(), 3, "8(e)", UserConfig{MaxPerRound: 2})
+	pts := fig.Series[0].Points
+	if len(pts) != 4 {
+		t.Fatalf("want 4 points, got %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y-1e-9 {
+			t.Fatalf("interaction curve must be nondecreasing: %+v", pts)
+		}
+	}
+	if pts[len(pts)-1].Y < 0.5 {
+		t.Fatalf("final recall %f suspiciously low", pts[len(pts)-1].Y)
+	}
+}
+
+func TestAccuracyVsConstraintsShapes(t *testing.T) {
+	ds := tinyCareer()
+	both := AccuracyVsConstraints(ds, ModeBoth, 2, "8(j)", 1, UserConfig{MaxPerRound: 1})
+	sigma := AccuracyVsConstraints(ds, ModeSigma, 2, "8(k)", 1, UserConfig{MaxPerRound: 1})
+	gamma := AccuracyVsConstraints(ds, ModeGamma, 2, "8(l)", 1, UserConfig{MaxPerRound: 1})
+
+	if len(both.Series) != 4 { // 3 interaction curves + Pick
+		t.Fatalf("ModeBoth series = %d, want 4", len(both.Series))
+	}
+	if len(sigma.Series) != 3 || len(gamma.Series) != 3 {
+		t.Fatal("single-mode figures must have one curve per interaction count")
+	}
+
+	last := func(f Figure, label string) float64 {
+		for _, s := range f.Series {
+			if s.Label == label {
+				return s.Points[len(s.Points)-1].Y
+			}
+		}
+		t.Fatalf("series %s missing", label)
+		return 0
+	}
+	fBoth := last(both, "2-interaction")
+	fPick := last(both, "Pick")
+	if fBoth <= fPick {
+		t.Fatalf("Sigma+Gamma (%.3f) must beat Pick (%.3f)", fBoth, fPick)
+	}
+	// The paper's ordering: combining both constraint classes is at least as
+	// good as either alone (full fractions, max interactions).
+	if fBoth+1e-9 < last(sigma, "2-interaction") {
+		t.Fatalf("Both (%.3f) must not lose to Sigma-only (%.3f)", fBoth, last(sigma, "2-interaction"))
+	}
+}
+
+func TestHeadlinePrints(t *testing.T) {
+	ds := tinyCareer()
+	both := AccuracyVsConstraints(ds, ModeBoth, 1, "8(j)", 1, UserConfig{MaxPerRound: 1})
+	sig := AccuracyVsConstraints(ds, ModeSigma, 1, "8(k)", 1, UserConfig{MaxPerRound: 1})
+	gam := AccuracyVsConstraints(ds, ModeGamma, 1, "8(l)", 1, UserConfig{MaxPerRound: 1})
+	var buf bytes.Buffer
+	Headline(&buf, "CAREER", both, sig, gam)
+	if !strings.Contains(buf.String(), "vs Pick") {
+		t.Fatalf("headline output missing comparisons:\n%s", buf.String())
+	}
+}
+
+func TestFigureFprint(t *testing.T) {
+	fig := ValidityTiming(tinyPerson(), PersonBuckets(30))
+	var buf bytes.Buffer
+	fig.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Figure 8(a)") {
+		t.Fatalf("missing header:\n%s", buf.String())
+	}
+}
+
+func TestPersonBuckets(t *testing.T) {
+	b := PersonBuckets(10000)
+	if len(b) != 5 || b[0][0] != 1 || b[4][1] != 10000 {
+		t.Fatalf("buckets = %v", b)
+	}
+	if b[1][0] != b[0][1]+1 {
+		t.Fatal("buckets must be contiguous")
+	}
+}
+
+func TestDatasetsTable(t *testing.T) {
+	var buf bytes.Buffer
+	DatasetsTable(&buf, tinyNBA(), tinyPerson())
+	out := buf.String()
+	if !strings.Contains(out, "NBA") || !strings.Contains(out, "Person") {
+		t.Fatalf("table missing datasets:\n%s", out)
+	}
+}
+
+func TestFigureByID(t *testing.T) {
+	figs := []Figure{{ID: "8(a)"}, {ID: "8(b)"}}
+	if FigureByID(figs, "8(b)") == nil || FigureByID(figs, "zzz") != nil {
+		t.Fatal("FigureByID broken")
+	}
+}

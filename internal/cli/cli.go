@@ -1,0 +1,227 @@
+// Package cli implements the crctl command logic against io interfaces so
+// it can be tested without spawning processes.
+package cli
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"conflictres"
+	"conflictres/internal/core"
+	"conflictres/internal/encode"
+	"conflictres/internal/relation"
+)
+
+// Run executes one crctl invocation: args are the raw command-line arguments
+// (without the program name). It returns the process exit code.
+func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	cmd := args[0]
+	switch cmd {
+	case "validate", "deduce", "suggest", "resolve":
+	default:
+		usage(stderr)
+		return 2
+	}
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	answers := fs.String("answers", "", "comma-separated attr=value answers instead of prompting")
+	maxRounds := fs.Int("max-rounds", 8, "maximum interaction rounds")
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		usage(stderr)
+		return 2
+	}
+	spec, err := conflictres.LoadSpecFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "crctl:", err)
+		return 1
+	}
+
+	switch cmd {
+	case "validate":
+		return runValidate(spec, stdout)
+	case "deduce":
+		return runDeduce(spec, stdout, stderr)
+	case "suggest":
+		return runSuggest(spec, stdout, stderr)
+	case "resolve":
+		return runResolve(spec, *answers, *maxRounds, stdin, stdout, stderr)
+	default:
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: crctl {validate|deduce|suggest|resolve} [flags] spec.txt")
+}
+
+func runValidate(spec *conflictres.Spec, stdout io.Writer) int {
+	if conflictres.Validate(spec) {
+		fmt.Fprintln(stdout, "valid")
+		return 0
+	}
+	fmt.Fprintln(stdout, "INVALID: the currency orders, currency constraints and CFDs conflict")
+	enc := encode.Build(spec.Model(), encode.Options{})
+	if conf, ok := core.Diagnose(enc); ok {
+		fmt.Fprint(stdout, conf.Format(enc))
+	}
+	return 1
+}
+
+func runDeduce(spec *conflictres.Spec, stdout, stderr io.Writer) int {
+	vals, err := conflictres.Deduce(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "crctl:", err)
+		return 1
+	}
+	names := make([]string, 0, len(vals))
+	for n := range vals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "%d of %d attributes determined:\n", len(vals), spec.Schema().Len())
+	for _, n := range names {
+		fmt.Fprintf(stdout, "  %-16s %s\n", n, vals[n])
+	}
+	return 0
+}
+
+func runSuggest(spec *conflictres.Spec, stdout, stderr io.Writer) int {
+	sug, err := conflictres.SuggestOnce(spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "crctl:", err)
+		return 1
+	}
+	printSuggestion(stdout, spec, sug)
+	return 0
+}
+
+func printSuggestion(w io.Writer, spec *conflictres.Spec, sug conflictres.Suggestion) {
+	sch := spec.Schema()
+	if len(sug.Attrs) == 0 {
+		fmt.Fprintln(w, "nothing to suggest: all attributes are determined")
+		return
+	}
+	fmt.Fprintln(w, "please provide true values for:")
+	for _, a := range sug.Attrs {
+		var cands []string
+		for _, v := range sug.Candidates[a] {
+			cands = append(cands, v.String())
+		}
+		fmt.Fprintf(w, "  %-16s candidates: %s\n", sch.Name(a), strings.Join(cands, ", "))
+	}
+	if len(sug.Derivable) > 0 {
+		var ds []string
+		for _, a := range sug.Derivable {
+			ds = append(ds, sch.Name(a))
+		}
+		fmt.Fprintf(w, "then derivable automatically: %s\n", strings.Join(ds, ", "))
+	}
+}
+
+func runResolve(spec *conflictres.Spec, answers string, maxRounds int,
+	stdin io.Reader, stdout, stderr io.Writer) int {
+
+	var oracle conflictres.Oracle
+	var err error
+	if answers != "" {
+		oracle, err = ScriptedOracle(spec, answers)
+		if err != nil {
+			fmt.Fprintln(stderr, "crctl:", err)
+			return 1
+		}
+	} else {
+		oracle = PromptOracle(spec, stdin, stdout)
+	}
+	res, err := conflictres.Resolve(spec, oracle, conflictres.Options{MaxRounds: maxRounds})
+	if err != nil {
+		fmt.Fprintln(stderr, "crctl:", err)
+		return 1
+	}
+	if !res.Valid {
+		fmt.Fprintln(stdout, "INVALID: the specification has no valid completion")
+		return 1
+	}
+	fmt.Fprintf(stdout, "resolved after %d round(s), %d interaction(s):\n", res.Rounds, res.Interactions)
+	sch := spec.Schema()
+	for _, a := range sch.Attrs() {
+		if v, ok := res.Resolved[a]; ok {
+			fmt.Fprintf(stdout, "  %-16s %s\n", sch.Name(a), v)
+		} else {
+			fmt.Fprintf(stdout, "  %-16s ?\n", sch.Name(a))
+		}
+	}
+	return 0
+}
+
+// ScriptedOracle parses "attr=value,attr=value" and answers each suggestion
+// from that pool, consuming each answer once.
+func ScriptedOracle(spec *conflictres.Spec, script string) (conflictres.Oracle, error) {
+	sch := spec.Schema()
+	pool := make(map[conflictres.Attr]conflictres.Value)
+	for _, part := range strings.Split(script, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad answer %q; want attr=value", part)
+		}
+		a, found := sch.Attr(strings.TrimSpace(k))
+		if !found {
+			return nil, fmt.Errorf("unknown attribute %q", k)
+		}
+		val, err := relation.ParseValue(strings.TrimSpace(v))
+		if err != nil {
+			return nil, err
+		}
+		pool[a] = val
+	}
+	return conflictres.OracleFunc(func(s conflictres.Suggestion) map[conflictres.Attr]conflictres.Value {
+		out := make(map[conflictres.Attr]conflictres.Value)
+		for _, a := range s.Attrs {
+			if v, ok := pool[a]; ok {
+				out[a] = v
+				delete(pool, a)
+			}
+		}
+		return out
+	}), nil
+}
+
+// PromptOracle reads answers interactively: one line per suggested
+// attribute, empty line to skip.
+func PromptOracle(spec *conflictres.Spec, stdin io.Reader, stdout io.Writer) conflictres.Oracle {
+	sch := spec.Schema()
+	reader := bufio.NewReader(stdin)
+	return conflictres.OracleFunc(func(s conflictres.Suggestion) map[conflictres.Attr]conflictres.Value {
+		printSuggestion(stdout, spec, s)
+		out := make(map[conflictres.Attr]conflictres.Value)
+		for _, a := range s.Attrs {
+			fmt.Fprintf(stdout, "%s = ? (enter to skip): ", sch.Name(a))
+			line, err := reader.ReadString('\n')
+			if err != nil {
+				return out
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			v, err := relation.ParseValue(line)
+			if err != nil {
+				fmt.Fprintln(stdout, "  cannot parse:", err)
+				continue
+			}
+			out[a] = v
+		}
+		return out
+	})
+}

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"conflictres/internal/fixtures"
+	"conflictres/internal/textio"
+)
+
+// writeSpecs saves the Edith and George fixtures as files.
+func writeSpecs(t *testing.T) (edith, george string) {
+	t.Helper()
+	dir := t.TempDir()
+	edith = filepath.Join(dir, "edith.spec")
+	george = filepath.Join(dir, "george.spec")
+	if err := textio.SaveSpecFile(edith, fixtures.EdithSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if err := textio.SaveSpecFile(george, fixtures.GeorgeSpec()); err != nil {
+		t.Fatal(err)
+	}
+	return edith, george
+}
+
+func run(t *testing.T, args []string, stdin string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := Run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestValidate(t *testing.T) {
+	edith, _ := writeSpecs(t)
+	code, out, _ := run(t, []string{"validate", edith}, "")
+	if code != 0 || !strings.Contains(out, "valid") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+}
+
+func TestDeduceEdith(t *testing.T) {
+	edith, _ := writeSpecs(t)
+	code, out, _ := run(t, []string{"deduce", edith}, "")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	for _, want := range []string{"8 of 8 attributes", "deceased", "Vermont"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuggestGeorge(t *testing.T) {
+	_, george := writeSpecs(t)
+	code, out, _ := run(t, []string{"suggest", george}, "")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "status") || !strings.Contains(out, "retired") {
+		t.Fatalf("suggestion output missing status candidates:\n%s", out)
+	}
+	if !strings.Contains(out, "derivable automatically") {
+		t.Fatalf("suggestion output missing derivable list:\n%s", out)
+	}
+}
+
+func TestSuggestEdithNothingNeeded(t *testing.T) {
+	edith, _ := writeSpecs(t)
+	_, out, _ := run(t, []string{"suggest", edith}, "")
+	if !strings.Contains(out, "nothing to suggest") {
+		t.Fatalf("Edith needs nothing:\n%s", out)
+	}
+}
+
+func TestResolveWithScriptedAnswers(t *testing.T) {
+	_, george := writeSpecs(t)
+	code, out, _ := run(t, []string{"resolve", "-answers", `status="retired"`, george}, "")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+	for _, want := range []string{"1 interaction", "veteran", "Accord", "12404"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestResolveInteractivePrompt(t *testing.T) {
+	_, george := writeSpecs(t)
+	code, out, _ := run(t, []string{"resolve", george}, "retired\n")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+	if !strings.Contains(out, "veteran") {
+		t.Fatalf("interactive resolve failed:\n%s", out)
+	}
+}
+
+func TestResolveSkippedAnswerStops(t *testing.T) {
+	_, george := writeSpecs(t)
+	code, out, _ := run(t, []string{"resolve", george}, "\n")
+	if code != 0 {
+		t.Fatalf("code=%d", code)
+	}
+	if !strings.Contains(out, "?") {
+		t.Fatalf("unanswered attributes must print as '?':\n%s", out)
+	}
+}
+
+func TestInvalidSpecFails(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.spec")
+	spec := fixtures.EdithSpec()
+	spec.TI.MustOrder(spec.Schema().MustAttr("status"), 2, 0) // contradiction
+	if err := textio.SaveSpecFile(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := run(t, []string{"validate", path}, "")
+	if code != 1 || !strings.Contains(out, "INVALID") {
+		t.Fatalf("code=%d out=%q", code, out)
+	}
+	if !strings.Contains(out, "conflicting instance constraints") {
+		t.Fatalf("validate must print the diagnosed conflict core:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus", "x"},
+		{"validate"},
+		{"validate", "a", "b"},
+	}
+	for _, args := range cases {
+		if code, _, _ := run(t, args, ""); code != 2 {
+			t.Fatalf("args %v: code should be 2", args)
+		}
+	}
+	if code, _, errOut := run(t, []string{"validate", "/nonexistent/file"}, ""); code != 1 || errOut == "" {
+		t.Fatal("missing file must fail with a message")
+	}
+}
+
+func TestScriptedOracleErrors(t *testing.T) {
+	edith, _ := writeSpecs(t)
+	if code, _, _ := run(t, []string{"resolve", "-answers", "nonsense", edith}, ""); code != 1 {
+		t.Fatal("malformed answers must fail")
+	}
+	if code, _, _ := run(t, []string{"resolve", "-answers", "bogus=1", edith}, ""); code != 1 {
+		t.Fatal("unknown attribute must fail")
+	}
+}

@@ -1,0 +1,152 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if got := NewGraph(0).MaxClique(); len(got) != 0 {
+		t.Fatalf("empty graph: %v", got)
+	}
+	if got := NewGraph(3).MaxClique(); len(got) != 1 {
+		t.Fatalf("edgeless graph should yield one vertex: %v", got)
+	}
+}
+
+func TestTriangle(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	got := g.MaxClique()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("MaxClique = %v, want [0 1 2]", got)
+	}
+	if !g.IsClique(got) {
+		t.Fatal("result must be a clique")
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	const n = 8
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if got := g.MaxClique(); len(got) != n {
+		t.Fatalf("K%d clique size %d", n, len(got))
+	}
+}
+
+func TestBipartite(t *testing.T) {
+	// Bipartite graphs have max clique 2 (if any edge exists).
+	g := NewGraph(6)
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	if got := g.MaxClique(); len(got) != 2 {
+		t.Fatalf("bipartite max clique = %v", got)
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0)
+	if g.HasEdge(0, 0) {
+		t.Fatal("self loop must be ignored")
+	}
+	g.AddEdge(5, 1) // out of range
+	if g.HasEdge(5, 1) {
+		t.Fatal("out-of-range edge must be ignored")
+	}
+}
+
+// bruteMaxClique enumerates all subsets; for n ≤ 20.
+func bruteMaxClique(g *Graph) int {
+	n := g.Len()
+	best := 0
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var vs []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				vs = append(vs, i)
+			}
+		}
+		if len(vs) > best && g.IsClique(vs) {
+			best = len(vs)
+		}
+	}
+	return best
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for iter := 0; iter < 150; iter++ {
+		n := 1 + rng.Intn(12)
+		g := NewGraph(n)
+		p := rng.Float64()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < p {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		want := bruteMaxClique(g)
+		got := g.MaxClique()
+		if len(got) != want {
+			t.Fatalf("iter %d: got %d, want %d", iter, len(got), want)
+		}
+		if !g.IsClique(got) {
+			t.Fatalf("iter %d: result not a clique", iter)
+		}
+	}
+}
+
+func TestGreedyIsClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.Intn(20)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(2) == 0 {
+					g.AddEdge(i, j)
+				}
+			}
+		}
+		got := g.GreedyClique()
+		if len(got) == 0 || !g.IsClique(got) {
+			t.Fatalf("greedy result invalid: %v", got)
+		}
+	}
+}
+
+func TestBudgetDegradesGracefully(t *testing.T) {
+	// A tiny budget must still return a valid clique (the greedy seed).
+	g := NewGraph(10)
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	got := g.MaxCliqueBudget(1)
+	if !g.IsClique(got) || len(got) == 0 {
+		t.Fatalf("budgeted result invalid: %v", got)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	if g.Degree(0) != 2 || g.Degree(1) != 1 {
+		t.Fatal("degree wrong")
+	}
+}

@@ -1,0 +1,252 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"conflictres/internal/relation"
+)
+
+func personSchema() *relation.Schema {
+	return relation.MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
+}
+
+func TestParseCurrencyPaperPhi1(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCurrency(sch, `t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Body) != 2 {
+		t.Fatalf("body size = %d", len(c.Body))
+	}
+	if sch.Name(c.Target) != "status" {
+		t.Fatalf("target = %s", sch.Name(c.Target))
+	}
+	if !c.ComparisonOnly() {
+		t.Fatal("phi1 is comparison-only")
+	}
+	// Evaluate body against (r1, r2).
+	r1 := relation.Tuple{relation.String("Edith"), relation.String("working"), relation.Null,
+		relation.Int(0), relation.String("NY"), relation.String("212"), relation.String("10036"), relation.String("Manhattan")}
+	r2 := relation.Tuple{relation.String("Edith"), relation.String("retired"), relation.Null,
+		relation.Int(3), relation.String("SFC"), relation.String("415"), relation.String("94924"), relation.String("Dogtown")}
+	for _, p := range c.Body {
+		if !p.EvalCompare(r1, r2) {
+			t.Fatalf("predicate %s should hold on (r1, r2)", p.format(sch))
+		}
+	}
+	if c.Body[0].EvalCompare(r2, r1) {
+		t.Fatal("predicate must fail on swapped pair")
+	}
+}
+
+func TestParseCurrencyOrderPredicate(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCurrency(sch, `t1 <[status] t2 -> t1 <[job] t2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Body) != 1 || c.Body[0].Kind != PredCurrency {
+		t.Fatalf("body = %+v", c.Body)
+	}
+	if sch.Name(c.Body[0].Attr) != "status" || sch.Name(c.Target) != "job" {
+		t.Fatal("attrs wrong")
+	}
+	if c.ComparisonOnly() {
+		t.Fatal("phi5 contains a currency predicate")
+	}
+}
+
+func TestParseCurrencyKidsComparison(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCurrency(sch, `t1[kids] < t2[kids] -> t1 <[kids] t2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Body[0]
+	if p.Kind != PredCompare || p.Op != OpLt {
+		t.Fatalf("pred = %+v", p)
+	}
+	// null < 0 must hold (paper Example 2(b)).
+	a := relation.Tuple{relation.Null, relation.Null, relation.Null, relation.Null,
+		relation.Null, relation.Null, relation.Null, relation.Null}
+	b := a.Clone()
+	b[3] = relation.Int(0)
+	if !p.EvalCompare(a, b) {
+		t.Fatal("null < 0 must hold in comparisons")
+	}
+	if p.EvalCompare(b, a) {
+		t.Fatal("0 < null must not hold")
+	}
+}
+
+func TestParseCurrencyTrueBody(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCurrency(sch, `true -> t1 <[name] t2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Body) != 0 {
+		t.Fatalf("true body should be empty, got %v", c.Body)
+	}
+}
+
+func TestParseCurrencyMultiOrderBody(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCurrency(sch, `t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Body) != 2 {
+		t.Fatalf("body size %d", len(c.Body))
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	sch := personSchema()
+	inputs := []string{
+		`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+		`t1 <[status] t2 -> t1 <[AC] t2`,
+		`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+		`t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`,
+		`true -> t1 <[name] t2`,
+	}
+	for _, in := range inputs {
+		c1, err := ParseCurrency(sch, in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		c2, err := ParseCurrency(sch, c1.Format(sch))
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", c1.Format(sch), err)
+		}
+		if c1.Format(sch) != c2.Format(sch) {
+			t.Fatalf("format not stable: %q vs %q", c1.Format(sch), c2.Format(sch))
+		}
+	}
+}
+
+func TestParseCFD(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCFD(sch, `AC = "213" => city = "LA"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.X) != 1 || sch.Name(c.X[0]) != "AC" || sch.Name(c.B) != "city" {
+		t.Fatalf("cfd = %+v", c)
+	}
+	if c.PX[0].Str() != "213" || c.VB.Str() != "LA" {
+		t.Fatal("pattern constants wrong")
+	}
+	// Round trip.
+	c2, err := ParseCFD(sch, c.Format(sch))
+	if err != nil || c2.Format(sch) != c.Format(sch) {
+		t.Fatalf("round trip failed: %v %q", err, c.Format(sch))
+	}
+}
+
+func TestParseCFDMultiAttr(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCFD(sch, `city = "NY" & zip = "12404" => county = "Accord"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.X) != 2 {
+		t.Fatalf("|X| = %d", len(c.X))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	sch := personSchema()
+	bad := []string{
+		``,
+		`t1[status] = "x"`,                     // no arrow
+		`t1[bogus] = "x" -> t1 <[status] t2`,   // unknown attr
+		`t1[status] = "x" -> t2 <[status] t1`,  // wrong head direction
+		`t1[status] = "x" -> t1[status] = "y"`, // head not a currency pred
+		`t1 <[status t2 -> t1 <[job] t2`,       // unterminated
+		`t1[status] ~ "x" -> t1 <[status] t2`,  // bad operator
+		`x -> y -> t1 <[status] t2`,            // double arrow
+	}
+	for _, s := range bad {
+		if _, err := ParseCurrency(sch, s); err == nil {
+			t.Errorf("ParseCurrency(%q) should fail", s)
+		}
+	}
+	badCFD := []string{
+		`AC = "213"`,
+		`bogus = "1" => city = "LA"`,
+		`AC = "213" => bogus = "LA"`,
+		`=> city = "LA"`,
+		`city = "NY" & city = "LA" => county = "x"`, // duplicate LHS attr
+		`AC = "213" => AC = "212"`,                  // RHS on LHS
+	}
+	for _, s := range badCFD {
+		if _, err := ParseCFD(sch, s); err == nil {
+			t.Errorf("ParseCFD(%q) should fail", s)
+		}
+	}
+}
+
+func TestQuotedValuesWithOperators(t *testing.T) {
+	sch := personSchema()
+	c, err := ParseCurrency(sch, `t1[city] = "A -> B & C" -> t1 <[city] t2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Body[0].R.Literal.Str(); got != "A -> B & C" {
+		t.Fatalf("quoted literal = %q", got)
+	}
+}
+
+func TestOpEval(t *testing.T) {
+	one, two := relation.Int(1), relation.Int(2)
+	cases := []struct {
+		op   Op
+		a, b relation.Value
+		want bool
+	}{
+		{OpEq, one, one, true}, {OpEq, one, two, false},
+		{OpNe, one, two, true}, {OpNe, one, one, false},
+		{OpLt, one, two, true}, {OpLt, two, one, false},
+		{OpLe, one, one, true}, {OpLe, two, one, false},
+		{OpGt, two, one, true}, {OpGt, one, one, false},
+		{OpGe, one, one, true}, {OpGe, one, two, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Eval(c.a, c.b); got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	want := []string{"=", "!=", "<", "<=", ">", ">="}
+	for i, o := range ops {
+		if o.String() != want[i] {
+			t.Errorf("op %d renders %q", i, o.String())
+		}
+	}
+}
+
+func TestCFDFormatContainsArrow(t *testing.T) {
+	sch := personSchema()
+	c := MustCFD(sch, `AC = "212" => city = "NY"`)
+	if !strings.Contains(c.Format(sch), "=>") {
+		t.Fatal("CFD format must use =>")
+	}
+}
+
+func TestEvalCompareOnCurrencyPanics(t *testing.T) {
+	sch := personSchema()
+	c := MustCurrency(sch, `t1 <[status] t2 -> t1 <[job] t2`)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EvalCompare on currency predicate must panic")
+		}
+	}()
+	tup := make(relation.Tuple, sch.Len())
+	c.Body[0].EvalCompare(tup, tup)
+}

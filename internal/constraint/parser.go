@@ -1,0 +1,242 @@
+package constraint
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"conflictres/internal/relation"
+)
+
+// ParseCurrency parses a currency constraint in the package syntax, e.g.
+//
+//	t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2
+//	t1 <[status] t2 -> t1 <[AC] t2
+//	true -> t1 <[name] t2
+func ParseCurrency(sch *relation.Schema, s string) (Currency, error) {
+	body, head, err := splitArrow(s, "->")
+	if err != nil {
+		return Currency{}, err
+	}
+	var c Currency
+	if strings.TrimSpace(body) != "true" {
+		for _, part := range splitConj(body) {
+			p, err := parsePred(sch, part)
+			if err != nil {
+				return Currency{}, err
+			}
+			c.Body = append(c.Body, p)
+		}
+	}
+	hp, err := parsePred(sch, head)
+	if err != nil {
+		return Currency{}, fmt.Errorf("constraint: bad head %q: %w", head, err)
+	}
+	if hp.Kind != PredCurrency {
+		return Currency{}, fmt.Errorf("constraint: head of a currency constraint must be t1 <[A] t2, got %q", head)
+	}
+	c.Target = hp.Attr
+	if err := c.Validate(sch); err != nil {
+		return Currency{}, err
+	}
+	return c, nil
+}
+
+// ParseCFD parses a constant CFD in the package syntax, e.g.
+//
+//	AC = "213" => city = "LA"
+//	city = "NY" & zip = "12404" => county = "Accord"
+func ParseCFD(sch *relation.Schema, s string) (CFD, error) {
+	lhs, rhs, err := splitArrow(s, "=>")
+	if err != nil {
+		return CFD{}, err
+	}
+	var c CFD
+	for _, part := range splitConj(lhs) {
+		a, v, err := parseAttrEq(sch, part)
+		if err != nil {
+			return CFD{}, err
+		}
+		c.X = append(c.X, a)
+		c.PX = append(c.PX, v)
+	}
+	b, vb, err := parseAttrEq(sch, rhs)
+	if err != nil {
+		return CFD{}, err
+	}
+	c.B, c.VB = b, vb
+	if err := c.Validate(sch); err != nil {
+		return CFD{}, err
+	}
+	return c, nil
+}
+
+// MustCurrency is ParseCurrency that panics; for tests and literals.
+func MustCurrency(sch *relation.Schema, s string) Currency {
+	c, err := ParseCurrency(sch, s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustCFD is ParseCFD that panics; for tests and literals.
+func MustCFD(sch *relation.Schema, s string) CFD {
+	c, err := ParseCFD(sch, s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// splitArrow splits on the unique top-level arrow token.
+func splitArrow(s, arrow string) (string, string, error) {
+	idx := indexOutsideQuotes(s, arrow)
+	if idx < 0 {
+		return "", "", fmt.Errorf("constraint: missing %q in %q", arrow, s)
+	}
+	rest := s[idx+len(arrow):]
+	if indexOutsideQuotes(rest, arrow) >= 0 {
+		return "", "", fmt.Errorf("constraint: multiple %q in %q", arrow, s)
+	}
+	return s[:idx], rest, nil
+}
+
+// splitConj splits a conjunction on '&' outside quotes.
+func splitConj(s string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if depth && i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			depth = !depth
+		case '&':
+			if !depth {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func indexOutsideQuotes(s, sub string) int {
+	inQ := false
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i] == '"' && (i == 0 || s[i-1] != '\\') {
+			inQ = !inQ
+		}
+		if !inQ && strings.HasPrefix(s[i:], sub) {
+			// Avoid matching "->" inside "<=" style tokens is unnecessary:
+			// tokens are disjoint. But don't match "=>" inside ">=": check
+			// previous byte is not part of an operator.
+			if sub == "=>" && i > 0 && (s[i-1] == '<' || s[i-1] == '>' || s[i-1] == '!') {
+				continue
+			}
+			if sub == "->" && i > 0 && s[i-1] == '-' {
+				continue
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+// parseAttrEq parses `attr = literal` (CFD component).
+func parseAttrEq(sch *relation.Schema, s string) (relation.Attr, relation.Value, error) {
+	eq := indexOutsideQuotes(s, "=")
+	if eq < 0 {
+		return 0, relation.Null, fmt.Errorf("constraint: expected attr = value in %q", s)
+	}
+	name := strings.TrimSpace(s[:eq])
+	a, ok := sch.Attr(name)
+	if !ok {
+		return 0, relation.Null, fmt.Errorf("constraint: unknown attribute %q in %q", name, s)
+	}
+	v, err := relation.ParseValue(s[eq+1:])
+	if err != nil {
+		return 0, relation.Null, err
+	}
+	return a, v, nil
+}
+
+// parsePred parses one body predicate: either `t1 <[A] t2` or `operand op
+// operand`.
+func parsePred(sch *relation.Schema, s string) (Pred, error) {
+	t := strings.TrimSpace(s)
+	if i := strings.Index(t, "<["); i >= 0 {
+		// Currency predicate: t1 <[A] t2.
+		left := strings.TrimSpace(t[:i])
+		rest := t[i+2:]
+		j := strings.Index(rest, "]")
+		if j < 0 {
+			return Pred{}, fmt.Errorf("constraint: unterminated <[ in %q", s)
+		}
+		attrName := strings.TrimSpace(rest[:j])
+		right := strings.TrimSpace(rest[j+1:])
+		if left != "t1" || right != "t2" {
+			return Pred{}, fmt.Errorf("constraint: currency predicate must be t1 <[A] t2, got %q", s)
+		}
+		a, ok := sch.Attr(attrName)
+		if !ok {
+			return Pred{}, fmt.Errorf("constraint: unknown attribute %q in %q", attrName, s)
+		}
+		return CurrencyPred(a), nil
+	}
+	// Comparison: find operator outside quotes. Longest first.
+	for _, cand := range []struct {
+		tok string
+		op  Op
+	}{{"!=", OpNe}, {"<=", OpLe}, {">=", OpGe}, {"=", OpEq}, {"<", OpLt}, {">", OpGt}} {
+		if idx := indexOutsideQuotes(t, cand.tok); idx >= 0 {
+			l, err := parseOperand(sch, t[:idx])
+			if err != nil {
+				return Pred{}, err
+			}
+			r, err := parseOperand(sch, t[idx+len(cand.tok):])
+			if err != nil {
+				return Pred{}, err
+			}
+			return ComparePred(l, cand.op, r), nil
+		}
+	}
+	return Pred{}, fmt.Errorf("constraint: cannot parse predicate %q", s)
+}
+
+// parseOperand parses `t1[attr]`, `t2[attr]`, or a literal.
+func parseOperand(sch *relation.Schema, s string) (Operand, error) {
+	t := strings.TrimSpace(s)
+	if strings.HasPrefix(t, "t1[") || strings.HasPrefix(t, "t2[") {
+		ref := T1
+		if t[1] == '2' {
+			ref = T2
+		}
+		if !strings.HasSuffix(t, "]") {
+			return Operand{}, fmt.Errorf("constraint: unterminated operand %q", s)
+		}
+		name := strings.TrimSpace(t[3 : len(t)-1])
+		a, ok := sch.Attr(name)
+		if !ok {
+			return Operand{}, fmt.Errorf("constraint: unknown attribute %q in %q", name, s)
+		}
+		return AttrOperand(ref, a), nil
+	}
+	v, err := relation.ParseValue(t)
+	if err != nil {
+		return Operand{}, err
+	}
+	return ConstOperand(v), nil
+}
+
+// isIdentRune reports whether r can appear in an attribute identifier; kept
+// for the textio spec reader.
+func isIdentRune(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+var _ = isIdentRune

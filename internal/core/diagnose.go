@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"conflictres/internal/encode"
+	"conflictres/internal/sat"
+)
+
+// Conflict explains why a specification is invalid: a (subset-minimal) set
+// of instance constraints that is already unsatisfiable together with the
+// order axioms. Sources point back to the currency constraints, CFDs or
+// explicit order edges involved.
+type Conflict struct {
+	Instances []encode.Instance
+}
+
+// Format renders the conflict with one line per involved instance.
+func (c Conflict) Format(enc *encode.Encoding) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d conflicting instance constraints:\n", len(c.Instances))
+	for _, inst := range c.Instances {
+		b.WriteString("  ")
+		if len(inst.Body) > 0 {
+			parts := make([]string, len(inst.Body))
+			for i, l := range inst.Body {
+				parts[i] = enc.FormatLit(l)
+			}
+			b.WriteString(strings.Join(parts, " & "))
+			b.WriteString(" -> ")
+		}
+		b.WriteString(enc.FormatLit(inst.Head))
+		switch inst.Src.Kind {
+		case encode.SrcOrder:
+			b.WriteString("   [explicit currency order]")
+		case encode.SrcCurrency:
+			fmt.Fprintf(&b, "   [currency constraint #%d]", inst.Src.Index)
+		case encode.SrcCFD:
+			fmt.Fprintf(&b, "   [CFD #%d]", inst.Src.Index)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Diagnose computes a subset-minimal conflicting core of Ω(Se) for an
+// invalid specification, by deletion-based minimization: order axioms
+// (transitivity, asymmetry) are kept hard, and instances are dropped one at
+// a time while the remainder stays unsatisfiable. It returns ok=false when
+// the specification is actually valid.
+//
+// Each minimization step is one SAT call, so the cost is |Ω| solver runs —
+// fine for the entity-instance sizes this library targets.
+func Diagnose(enc *encode.Encoding) (Conflict, bool) {
+	// Split Φ's clauses: the first len(Omega) clauses correspond 1:1 to the
+	// instances (the encoder emits instances before axioms); everything
+	// after is axioms. Rebuild formulas accordingly.
+	axioms, instClauses := splitClauses(enc)
+
+	nVars := enc.CNF().NVars
+	unsat := func(keep []bool) bool {
+		s := sat.New()
+		for s.NumVars() < nVars {
+			s.NewVar()
+		}
+		load := func(cl []sat.Lit) bool { return s.AddClause(cl...) }
+		okAll := true
+		for _, cl := range axioms {
+			if !load(cl) {
+				okAll = false
+			}
+		}
+		for i, cl := range instClauses {
+			if keep[i] && !load(cl) {
+				okAll = false
+			}
+		}
+		if !okAll {
+			return true
+		}
+		return s.Solve() == sat.StatusUnsat
+	}
+
+	keep := make([]bool, len(instClauses))
+	for i := range keep {
+		keep[i] = true
+	}
+	if !unsat(keep) {
+		return Conflict{}, false
+	}
+	for i := range keep {
+		keep[i] = false
+		if !unsat(keep) {
+			keep[i] = true // needed for the conflict
+		}
+	}
+	var out Conflict
+	for i, k := range keep {
+		if k {
+			out.Instances = append(out.Instances, enc.Omega[i])
+		}
+	}
+	return out, true
+}
+
+// splitClauses separates Φ's clauses into the per-instance prefix and the
+// axiom suffix, relying on the encoder's emission order (one clause per
+// instance, in Omega order, followed by axioms).
+func splitClauses(enc *encode.Encoding) (axioms, instances [][]sat.Lit) {
+	all := enc.CNF().Clauses
+	n := len(enc.Omega)
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[n:], all[:n]
+}

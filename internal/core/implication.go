@@ -1,0 +1,63 @@
+package core
+
+import (
+	"conflictres/internal/encode"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+	"conflictres/internal/sat"
+)
+
+// Implies decides the implication problem of Section IV for one value-level
+// atom: whether every valid completion of the specification orders
+// dom[A1] ≺v_A dom[A2]. Operationally (Lemma 6): Φ(Se) → x is a tautology,
+// i.e. Φ(Se) ∧ ¬x is unsatisfiable. The result is exact relative to the
+// paper's encoding.
+//
+// The solver is rebuilt per call; batch users should prefer NaiveDeduce,
+// which shares one incremental solver across all atoms.
+func Implies(enc *encode.Encoding, l encode.OrderLit) bool {
+	s := sat.New()
+	if !enc.CNF().LoadInto(s) {
+		return true // inconsistent Φ implies everything
+	}
+	lit, ok := enc.LitFor(l)
+	if !ok {
+		// The atom's variable never occurs in Φ: nothing constrains it, so
+		// some valid completion orders it the other way (both orders of an
+		// unconstrained pair extend any satisfying assignment).
+		return false
+	}
+	return s.Solve(lit.Not()) == sat.StatusUnsat
+}
+
+// ImpliesEdge is Implies for a tuple-level order edge t1 ≼_A t2: it holds
+// trivially when the two tuples agree on A, and otherwise reduces to the
+// value-level atom. Unknown values are never implied upward (null-lowest).
+func ImpliesEdge(enc *encode.Encoding, edge model.OrderEdge) bool {
+	in := enc.Spec.TI.Inst
+	v1 := in.Value(edge.T1, edge.Attr)
+	v2 := in.Value(edge.T2, edge.Attr)
+	if relation.Equal(v1, v2) {
+		return true // t1 ≼ t2 holds with equal values in every completion
+	}
+	if v1.IsNull() {
+		return true // null ranks lowest
+	}
+	if v2.IsNull() {
+		return false
+	}
+	i1, ok1 := enc.ValueIndex(edge.Attr, v1)
+	i2, ok2 := enc.ValueIndex(edge.Attr, v2)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return Implies(enc, encode.OrderLit{Attr: edge.Attr, A1: i1, A2: i2})
+}
+
+// ImpliedOrder computes the full set of implied value-level atoms — the
+// maximum Od with Se |= Od — by running NaiveDeduce. It is exposed under
+// this name for symmetry with the paper's implication analysis; DeduceOrder
+// is the fast under-approximation the framework actually uses.
+func ImpliedOrder(enc *encode.Encoding) (*OrderSet, bool) {
+	return NaiveDeduce(enc)
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/encode"
+	"conflictres/internal/exact"
+	"conflictres/internal/fixtures"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+func TestImpliesOnGeorge(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := encode.Build(spec, encode.Options{})
+	job := sch.MustAttr("job")
+	sailor, _ := enc.ValueIndex(job, relation.String("sailor"))
+	veteran, _ := enc.ValueIndex(job, relation.String("veteran"))
+	na, _ := enc.ValueIndex(job, relation.String("n/a"))
+
+	if !Implies(enc, encode.OrderLit{Attr: job, A1: sailor, A2: veteran}) {
+		t.Fatal("sailor ≺ veteran is implied by ϕ3")
+	}
+	if Implies(enc, encode.OrderLit{Attr: job, A1: na, A2: veteran}) {
+		t.Fatal("n/a ≺ veteran is open for George")
+	}
+	if Implies(enc, encode.OrderLit{Attr: job, A1: veteran, A2: sailor}) {
+		t.Fatal("the reverse of an implied atom cannot be implied")
+	}
+}
+
+func TestImpliesEdgeSemantics(t *testing.T) {
+	spec := fixtures.EdithSpec()
+	sch := spec.Schema()
+	enc := encode.Build(spec, encode.Options{})
+	kids := sch.MustAttr("kids")
+	status := sch.MustAttr("status")
+
+	// r3 has kids = null: r3 ≼kids r1 trivially (null-lowest).
+	if !ImpliesEdge(enc, model.OrderEdge{Attr: kids, T1: 2, T2: 0}) {
+		t.Fatal("null-kids tuple ranks below everything")
+	}
+	// r1 ≼kids r3 would rank a real value below null.
+	if ImpliesEdge(enc, model.OrderEdge{Attr: kids, T1: 0, T2: 2}) {
+		t.Fatal("a real value is never implied below null")
+	}
+	// working → retired: r1 ≼status r2 is implied by ϕ1.
+	if !ImpliesEdge(enc, model.OrderEdge{Attr: status, T1: 0, T2: 1}) {
+		t.Fatal("r1 ≼status r2 implied by ϕ1")
+	}
+	// Same-value edges hold trivially: r2, r3 share job n/a.
+	job := sch.MustAttr("job")
+	if !ImpliesEdge(enc, model.OrderEdge{Attr: job, T1: 1, T2: 2}) {
+		t.Fatal("equal values make the tuple edge trivial")
+	}
+}
+
+// TestImpliesAgainstExact cross-validates the SAT implication test against
+// enumeration on random small specs: SAT-implied ⇒ completion-implied.
+func TestImpliesAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2013))
+	checked := 0
+	for iter := 0; iter < 120; iter++ {
+		spec := randomSpec(rng)
+		chk, err := exact.New(spec)
+		if err != nil || !chk.Valid() {
+			continue
+		}
+		enc := encode.Build(spec, encode.Options{})
+		if ok, _ := IsValid(enc); !ok {
+			continue
+		}
+		for a := 0; a < spec.Schema().Len(); a++ {
+			attr := relation.Attr(a)
+			dom := enc.Dom(attr)
+			for i := 0; i < enc.ADomSize(attr); i++ {
+				for j := 0; j < enc.ADomSize(attr); j++ {
+					if i == j {
+						continue
+					}
+					if Implies(enc, encode.OrderLit{Attr: attr, A1: i, A2: j}) {
+						if !chk.Implies(attr, dom[i], dom[j]) {
+							t.Fatalf("iter %d: SAT implies %v≺%v on %s but a completion disagrees",
+								iter, dom[i], dom[j], spec.Schema().Name(attr))
+						}
+						checked++
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no implications found; generator too weak")
+	}
+	t.Logf("cross-validated %d implied atoms", checked)
+}
+
+// TestMinCoverageGeorge solves the minimum-coverage problem exactly on a
+// trimmed George instance: one edge (the status order) suffices, matching
+// Example 6.
+func TestMinCoverageGeorge(t *testing.T) {
+	// The full George spec has too many completions for the enumerator once
+	// extended, so use the three key attributes only.
+	sch := relation.MustSchema("status", "job", "AC")
+	s := relation.String
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{s("working"), s("sailor"), s("401")})
+	in.MustAdd(relation.Tuple{s("retired"), s("veteran"), s("212")})
+	in.MustAdd(relation.Tuple{s("unemployed"), s("n/a"), s("312")})
+	sigma := []constraint.Currency{
+		constraint.MustCurrency(sch, `t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`),
+		constraint.MustCurrency(sch, `t1[job] = "sailor" & t2[job] = "veteran" -> t1 <[job] t2`),
+		constraint.MustCurrency(sch, `t1 <[status] t2 -> t1 <[job] t2`),
+		constraint.MustCurrency(sch, `t1 <[status] t2 -> t1 <[AC] t2`),
+	}
+	spec := model.NewSpec(model.NewTemporal(in), sigma, nil)
+
+	chk, err := exact.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv, ok := chk.TrueValues(); ok && len(tv) == sch.Len() {
+		t.Fatal("sanity: the trimmed spec must need coverage")
+	}
+	edges, ok := chk.MinCoverage(2)
+	if !ok {
+		t.Fatal("a covering order of size ≤ 2 exists (fix status)")
+	}
+	if len(edges) != 1 {
+		t.Fatalf("minimum coverage size = %d, want 1 (status edge)", len(edges))
+	}
+	if sch.Name(edges[0].Attr) != "status" {
+		t.Fatalf("coverage edge on %s, want status", sch.Name(edges[0].Attr))
+	}
+}

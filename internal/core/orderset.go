@@ -1,0 +1,95 @@
+// Package core implements the conflict-resolution algorithms of Fan et al.
+// (ICDE 2013, Sections III and V) on top of the encode/sat/maxsat/clique
+// substrates: validity checking (IsValid), true-value deduction
+// (DeduceOrder, NaiveDeduce, TrueValues), suggestion generation
+// (derivation rules, compatibility graph, Suggest) and the interactive
+// resolution framework (Resolve) with pluggable user oracles.
+package core
+
+import (
+	"sort"
+
+	"conflictres/internal/encode"
+	"conflictres/internal/relation"
+)
+
+// OrderSet is a derived value-level currency order Od: a set of atoms
+// a1 ≺v_A a2 indexed by the encoding's domain indices.
+type OrderSet struct {
+	set map[encode.OrderLit]bool
+}
+
+// NewOrderSet returns an empty derived order.
+func NewOrderSet() *OrderSet {
+	return &OrderSet{set: make(map[encode.OrderLit]bool)}
+}
+
+// Add inserts a1 ≺v_A a2.
+func (o *OrderSet) Add(l encode.OrderLit) { o.set[l] = true }
+
+// Has reports whether a1 ≺v_A a2 was derived.
+func (o *OrderSet) Has(l encode.OrderLit) bool { return o.set[l] }
+
+// Len returns the number of derived atoms.
+func (o *OrderSet) Len() int { return len(o.set) }
+
+// Lits returns the derived atoms in a deterministic order.
+func (o *OrderSet) Lits() []encode.OrderLit {
+	out := make([]encode.OrderLit, 0, len(o.set))
+	for l := range o.set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Attr != out[j].Attr {
+			return out[i].Attr < out[j].Attr
+		}
+		if out[i].A1 != out[j].A1 {
+			return out[i].A1 < out[j].A1
+		}
+		return out[i].A2 < out[j].A2
+	})
+	return out
+}
+
+// Contains reports whether every atom of other is in o.
+func (o *OrderSet) Contains(other *OrderSet) bool {
+	for l := range other.set {
+		if !o.set[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// dominatedInAdom reports whether domain value index i of attribute a is
+// dominated by some active-domain value (i ≺ j ∈ Od for j in adom, j ≠ i).
+func (o *OrderSet) dominatedInAdom(enc *encode.Encoding, a relation.Attr, i int) bool {
+	for j := 0; j < enc.ADomSize(a); j++ {
+		if j != i && o.set[encode.OrderLit{Attr: a, A1: i, A2: j}] {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatedInDom is dominatedInAdom over the full domain (including CFD
+// constants).
+func (o *OrderSet) dominatedInDom(enc *encode.Encoding, a relation.Attr, i int) bool {
+	for j := range enc.Dom(a) {
+		if j != i && o.set[encode.OrderLit{Attr: a, A1: i, A2: j}] {
+			return true
+		}
+	}
+	return false
+}
+
+// coversAdom reports whether value index i sits above every other
+// active-domain value of attribute a in Od.
+func (o *OrderSet) coversAdom(enc *encode.Encoding, a relation.Attr, i int) bool {
+	for j := 0; j < enc.ADomSize(a); j++ {
+		if j != i && !o.set[encode.OrderLit{Attr: a, A1: j, A2: i}] {
+			return false
+		}
+	}
+	return true
+}

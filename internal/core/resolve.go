@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"conflictres/internal/encode"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// Oracle supplies user input during resolution. Answer receives a
+// suggestion and returns validated true values for any subset of the
+// suggested attributes (possibly values outside the active domain).
+// Returning an empty map ends the interaction.
+type Oracle interface {
+	Answer(s Suggestion) map[relation.Attr]relation.Value
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(s Suggestion) map[relation.Attr]relation.Value
+
+// Answer implements Oracle.
+func (f OracleFunc) Answer(s Suggestion) map[relation.Attr]relation.Value { return f(s) }
+
+// Options tunes Resolve.
+type Options struct {
+	// Encode configures the CNF encoder.
+	Encode encode.Options
+	// MaxRounds bounds user-interaction rounds; 0 means the default (8).
+	MaxRounds int
+	// UseNaiveDeduce switches true-value deduction to the NaiveDeduce
+	// baseline (one SAT call per variable); for benchmarking.
+	UseNaiveDeduce bool
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 8
+	}
+	return o.MaxRounds
+}
+
+// Timing breaks the elapsed time down by framework phase, aggregated over
+// all rounds (Figures 8(c)/8(d) report exactly these three buckets).
+type Timing struct {
+	Validity time.Duration
+	Deduce   time.Duration
+	Suggest  time.Duration
+}
+
+// Total returns the summed phase time.
+func (t Timing) Total() time.Duration { return t.Validity + t.Deduce + t.Suggest }
+
+// Outcome is the result of running the resolution framework on one entity.
+type Outcome struct {
+	// Valid is false when the initial specification was found invalid; the
+	// remaining fields are then empty.
+	Valid bool
+	// InvalidInput is true when a round of user input contradicted the
+	// specification; the input was rolled back and resolution stopped at the
+	// last consistent state (the framework's "revise" branch, Fig. 4).
+	InvalidInput bool
+	// Resolved maps each attribute with a determined true value to it.
+	Resolved map[relation.Attr]relation.Value
+	// Tuple is the resolved current tuple, null where undetermined.
+	Tuple relation.Tuple
+	// Rounds is the number of framework iterations executed (≥ 1).
+	Rounds int
+	// Interactions is the number of rounds in which the oracle supplied at
+	// least one value.
+	Interactions int
+	// ResolvedByRound records how many attributes were resolved after each
+	// round, starting with round 0 (no interaction yet).
+	ResolvedByRound []int
+	// ResolvedPerRound records the full resolved map after each round; the
+	// benchmark harness scores accuracy at every interaction count from a
+	// single run.
+	ResolvedPerRound []map[relation.Attr]relation.Value
+	// AnsweredPerRound records, per round, the cumulative set of attributes
+	// whose values were supplied directly by the oracle up to (and before)
+	// that round. The paper's precision/recall count *deduced* values only,
+	// so scoring needs to subtract these.
+	AnsweredPerRound []map[relation.Attr]bool
+	// Suggestions records the suggestion issued in each interactive round.
+	Suggestions []Suggestion
+	// Timing aggregates per-phase elapsed time.
+	Timing Timing
+}
+
+// Complete reports whether every attribute has a determined true value.
+func (o *Outcome) Complete(sch *relation.Schema) bool {
+	return len(o.Resolved) == sch.Len()
+}
+
+// Resolve runs the conflict-resolution framework of Fig. 4 on a
+// specification: validate, deduce true values, and while attributes remain
+// unresolved, generate a suggestion, apply the oracle's answers as new
+// currency information (Se ⊕ Ot), and repeat. A nil oracle disables
+// interaction (a single automatic round).
+func Resolve(spec *model.Spec, oracle Oracle, opts Options) (*Outcome, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid specification: %w", err)
+	}
+	out := &Outcome{Valid: true}
+	cur := spec
+	sch := spec.Schema()
+	answered := make(map[relation.Attr]bool)
+
+	for round := 0; ; round++ {
+		enc := encode.Build(cur, opts.Encode)
+
+		// Step (1): validity checking.
+		start := time.Now()
+		valid, _ := IsValid(enc)
+		out.Timing.Validity += time.Since(start)
+		if !valid {
+			if round == 0 {
+				out.Valid = false
+				out.Rounds = 1
+				return out, nil
+			}
+			// User input contradicted the specification: take the 'No'
+			// branch of Fig. 4 — roll the input back and stop with the last
+			// consistent state.
+			out.InvalidInput = true
+			break
+		}
+
+		// Step (2): true-value deduction.
+		start = time.Now()
+		var od *OrderSet
+		if opts.UseNaiveDeduce {
+			od, _ = NaiveDeduce(enc)
+		} else {
+			od, _ = DeduceOrder(enc)
+		}
+		resolved := TrueValues(enc, od)
+		out.Timing.Deduce += time.Since(start)
+
+		out.Resolved = resolved
+		out.Rounds = round + 1
+		out.ResolvedByRound = append(out.ResolvedByRound, len(resolved))
+		snapshot := make(map[relation.Attr]relation.Value, len(resolved))
+		for a, v := range resolved {
+			snapshot[a] = v
+		}
+		out.ResolvedPerRound = append(out.ResolvedPerRound, snapshot)
+		answeredSnap := make(map[relation.Attr]bool, len(answered))
+		for a := range answered {
+			answeredSnap[a] = true
+		}
+		out.AnsweredPerRound = append(out.AnsweredPerRound, answeredSnap)
+
+		// Step (3): done when every attribute has a true value.
+		if len(resolved) == sch.Len() || oracle == nil || round >= opts.maxRounds() {
+			break
+		}
+
+		// Step (4): generate a suggestion and consult the oracle.
+		start = time.Now()
+		sug := Suggest(enc, od, resolved)
+		out.Timing.Suggest += time.Since(start)
+		out.Suggestions = append(out.Suggestions, sug)
+
+		answers := oracle.Answer(sug)
+		// Drop answers that merely repeat already-resolved knowledge.
+		for a, v := range answers {
+			if rv, ok := resolved[a]; ok && relation.Equal(rv, v) {
+				delete(answers, a)
+			}
+		}
+		if len(answers) == 0 {
+			break
+		}
+		out.Interactions++
+		for a := range answers {
+			answered[a] = true
+		}
+		cur = cur.Extend(answers)
+	}
+
+	out.Tuple = relation.NewTuple(sch)
+	for a, v := range out.Resolved {
+		out.Tuple[a] = v
+	}
+	return out, nil
+}
+
+// SimulatedUser is the oracle used throughout the paper's experiments
+// (Section VI): it knows the entity's ground-truth tuple and answers
+// suggestions with the true values of the requested attributes — including
+// values outside the active domain, mimicking "some with new values".
+type SimulatedUser struct {
+	Truth relation.Tuple
+	// MaxPerRound bounds how many attributes are answered per round;
+	// 0 means all requested.
+	MaxPerRound int
+	// Mute silences specific attributes (the user "does not know" them).
+	Mute map[relation.Attr]bool
+}
+
+// Answer implements Oracle.
+func (u *SimulatedUser) Answer(s Suggestion) map[relation.Attr]relation.Value {
+	out := make(map[relation.Attr]relation.Value)
+	for _, a := range s.Attrs {
+		if u.Mute[a] {
+			continue
+		}
+		if int(a) >= len(u.Truth) {
+			continue
+		}
+		v := u.Truth[a]
+		if v.IsNull() {
+			continue
+		}
+		out[a] = v
+		if u.MaxPerRound > 0 && len(out) >= u.MaxPerRound {
+			break
+		}
+	}
+	return out
+}

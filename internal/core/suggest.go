@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+
+	"conflictres/internal/encode"
+	"conflictres/internal/maxsat"
+	"conflictres/internal/relation"
+	"conflictres/internal/sat"
+)
+
+// Suggestion is the framework's request for user input: if true values for
+// Attrs are supplied, the remaining unresolved attributes become derivable.
+// Candidates lists the active-domain values not ruled out for each attribute
+// (users may still supply values outside of it).
+type Suggestion struct {
+	Attrs      []relation.Attr
+	Candidates map[relation.Attr][]relation.Value
+
+	// Derivable are the unresolved attributes whose true values the chosen
+	// rule set will derive once Attrs are validated.
+	Derivable []relation.Attr
+	// Rules is the conflict-free clique of derivation rules backing the
+	// suggestion, for explanation.
+	Rules []Rule
+}
+
+// Suggest implements Algorithm Suggest (Fig. 7): derive candidate values,
+// compute derivation rules, build their compatibility graph, take a maximum
+// clique, repair it against Φ(Se) with MaxSAT, and return the attribute set
+// that still requires user input together with its candidate values.
+func Suggest(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]relation.Value) Suggestion {
+	cand := Candidates(enc, od, resolved)
+	rules := TrueDer(enc, od, resolved, cand)
+	g := CompGraph(rules)
+	cliqueIdx := g.MaxClique()
+
+	// Repair the clique against the specification: hard clauses Φ(Se), one
+	// soft group of unit facts per rule node (Example 13's conflict check).
+	var kept []Rule
+	if len(cliqueIdx) > 0 {
+		problem := &maxsat.Problem{Hard: enc.CNF(), Groups: nil}
+		for _, idx := range cliqueIdx {
+			problem.Groups = append(problem.Groups, ruleFacts(enc, rules[idx]))
+		}
+		keptIdx, hardOK := maxsat.Solve(problem, maxsat.Options{})
+		if hardOK {
+			for _, k := range keptIdx {
+				kept = append(kept, rules[cliqueIdx[k]])
+			}
+		}
+	}
+
+	// Fixpoint: a rule only fires once all its premises are known — either
+	// user-validated (they end up in A), already resolved, or derived by an
+	// earlier rule. Rules that never fire forfeit their conclusions, growing
+	// A until stable.
+	unresolved := make(map[relation.Attr]bool)
+	for _, a := range enc.Schema.Attrs() {
+		if _, ok := resolved[a]; !ok {
+			unresolved[a] = true
+		}
+	}
+	derivable := fireFixpoint(enc, kept, resolved, unresolved)
+
+	var attrs []relation.Attr
+	for a := range unresolved {
+		if !derivable[a] {
+			attrs = append(attrs, a)
+		}
+	}
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i] < attrs[j] })
+
+	sug := Suggestion{
+		Attrs:      attrs,
+		Candidates: make(map[relation.Attr][]relation.Value, len(attrs)),
+		Rules:      kept,
+	}
+	for _, a := range attrs {
+		sug.Candidates[a] = cand[a]
+	}
+	for a := range derivable {
+		sug.Derivable = append(sug.Derivable, a)
+	}
+	sort.Slice(sug.Derivable, func(i, j int) bool { return sug.Derivable[i] < sug.Derivable[j] })
+	return sug
+}
+
+// fireFixpoint simulates rule application: premises from resolved attributes
+// and from attributes the user will validate (everything unresolved and not
+// yet derivable counts as user-suppliable) — then iteratively marks rule
+// conclusions as derivable, shrinking the user set.
+func fireFixpoint(enc *encode.Encoding, rules []Rule,
+	resolved map[relation.Attr]relation.Value, unresolved map[relation.Attr]bool) map[relation.Attr]bool {
+
+	derivable := make(map[relation.Attr]bool)
+	// Known = resolved ∪ A ∪ derivable. A = unresolved \ derivable, so
+	// "known" is: resolved, or unresolved (user supplies or rule derives).
+	// The subtlety is ordering: a rule's conclusion is only derivable if its
+	// premises do not depend on that very conclusion through a cycle. Treat
+	// premises as known when they are resolved, in A (not derivable by any
+	// rule), or already marked derivable.
+	concludedBy := make(map[relation.Attr]bool)
+	for _, r := range rules {
+		concludedBy[r.B] = true
+	}
+	known := func(a relation.Attr) bool {
+		if _, ok := resolved[a]; ok {
+			return true
+		}
+		if derivable[a] {
+			return true
+		}
+		// In A: unresolved and no rule concludes it (user must supply it).
+		return unresolved[a] && !concludedBy[a]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rules {
+			if derivable[r.B] {
+				continue
+			}
+			ok := true
+			for _, a := range r.X {
+				if !known(a) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				derivable[r.B] = true
+				changed = true
+			}
+		}
+	}
+	return derivable
+}
+
+// ruleFacts encodes the value assignments a rule asserts as unit literals:
+// for every asserted (A, v), each other active-domain value of A sits below
+// v. Variables for unseen pairs are allocated on demand (with asymmetry).
+func ruleFacts(enc *encode.Encoding, r Rule) []sat.Lit {
+	var out []sat.Lit
+	for a, v := range r.assignments() {
+		vi, ok := enc.ValueIndex(a, v)
+		if !ok {
+			continue // value outside the known domain: unconstrained
+		}
+		for i := 0; i < enc.ADomSize(a); i++ {
+			if i == vi {
+				continue
+			}
+			out = append(out, enc.EnsureLit(encode.OrderLit{Attr: a, A1: i, A2: vi}))
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+func sortInts(xs []int) { sort.Ints(xs) }
+
+// CareerConfig parameterizes the CAREER simulator. Defaults reproduce the
+// paper's dataset shape: 65 persons with 2–175 publication tuples each
+// (about 32 on average), 503 currency constraints (citation-derived
+// affiliation pairs plus the affiliation→city/country couplings) and an
+// affiliation→(city, country) CFD with 347 constant patterns.
+type CareerConfig struct {
+	Persons int
+	Seed    int64
+
+	Affiliations int     // global affiliation pool; default 174
+	MaxMoves     int     // affiliation changes per person; default 5
+	MaxPapers    int     // papers per person; default 175
+	CiteProb     float64 // probability a cross-affiliation move is cited; default 0.75
+}
+
+// reservedStart is the pool index from which affiliations are reserved for
+// padding constraints; entity histories only use indices below it.
+func (c CareerConfig) reservedStart() int {
+	r := c.Affiliations - c.Affiliations/4
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+func (c CareerConfig) withDefaults() CareerConfig {
+	if c.Persons == 0 {
+		c.Persons = 65
+	}
+	if c.Affiliations == 0 {
+		c.Affiliations = 174
+	}
+	if c.MaxMoves == 0 {
+		c.MaxMoves = 5
+	}
+	if c.MaxPapers == 0 {
+		c.MaxPapers = 175
+	}
+	if c.CiteProb == 0 {
+		// High default: most affiliation transitions are cited, which drives
+		// the paper's 78% zero-interaction level for CAREER.
+		c.CiteProb = 0.93
+	}
+	return c
+}
+
+// careerCurrencyTarget is the paper's |Σ| for CAREER.
+const careerCurrencyTarget = 503
+
+// careerCFDTarget is the paper's pattern count for the affiliation →
+// (city, country) CFD; each pattern splits into an affiliation→city and an
+// affiliation→country constant CFD in our single-RHS representation, and
+// the total is trimmed to the target.
+const careerCFDTarget = 347
+
+// Career generates the simulated CAREER dataset with schema (first_name,
+// last_name, affiliation, city, country): one tuple per publication carrying
+// the author's affiliation and address at publication time. Citations
+// between a person's own papers across an affiliation change yield the
+// paper's citation-derived currency constraints ("the affiliation and
+// address used in the citing paper are more current").
+func Career(cfg CareerConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sch := relation.MustSchema("first_name", "last_name", "affiliation", "city", "country")
+
+	// Affiliation pool with fixed city/country.
+	affs := make([]string, cfg.Affiliations)
+	cities := make([]string, cfg.Affiliations)
+	countries := make([]string, cfg.Affiliations)
+	for i := range affs {
+		affs[i] = fmt.Sprintf("University %03d", i)
+		cities[i] = fmt.Sprintf("UCity %03d", i)
+		// Country is monotone in the pool index. Histories are increasing
+		// index sequences, so a person's country never "moves back" — a
+		// repeat after an intervening different country would make the
+		// affiliation→country coupling cyclic and the spec invalid.
+		countries[i] = fmt.Sprintf("Country %02d", i/5)
+	}
+
+	// Generate persons first: citation constraints depend on the generated
+	// affiliation histories.
+	type personData struct {
+		ent   *Entity
+		moves [][2]int // cited affiliation transitions (from, to) as pool indices
+	}
+	var persons []personData
+	for p := 0; p < cfg.Persons; p++ {
+		ent, moves := genAuthor(cfg, rng, sch, affs, cities, countries, p)
+		persons = append(persons, personData{ent, moves})
+	}
+
+	// Σ: citation-derived affiliation pairs (dedup across persons), then the
+	// address couplings, trimmed to the paper's total.
+	var sigma []constraint.Currency
+	affAttr := sch.MustAttr("affiliation")
+	seen := map[[2]int]bool{}
+	for _, pd := range persons {
+		for _, mv := range pd.moves {
+			if seen[mv] {
+				continue
+			}
+			seen[mv] = true
+			sigma = append(sigma, constraint.Currency{
+				Body: []constraint.Pred{
+					constraint.ComparePred(constraint.AttrOperand(constraint.T1, affAttr),
+						constraint.OpEq, constraint.ConstOperand(relation.String(affs[mv[0]]))),
+					constraint.ComparePred(constraint.AttrOperand(constraint.T2, affAttr),
+						constraint.OpEq, constraint.ConstOperand(relation.String(affs[mv[1]]))),
+				},
+				Target: affAttr,
+			})
+		}
+	}
+	couplings := []constraint.Currency{
+		coupling(sch, "affiliation", "city"),
+		coupling(sch, "affiliation", "country"),
+	}
+	want := careerCurrencyTarget - len(couplings)
+	if len(sigma) > want {
+		sigma = sigma[:want]
+	}
+	// Pad with affiliation pairs drawn from the reserved tail of the pool —
+	// values no entity history ever uses — so |Σ| matches the paper's 503
+	// exactly without risking constraint cycles. Unfired constraints still
+	// contribute encoding load, which is what the figures measure.
+	reserved := cfg.reservedStart()
+	for a := reserved; a < len(affs) && len(sigma) < want; a++ {
+		for b := reserved; b < len(affs) && len(sigma) < want; b++ {
+			if a == b {
+				continue
+			}
+			sigma = append(sigma, constraint.Currency{
+				Body: []constraint.Pred{
+					constraint.ComparePred(constraint.AttrOperand(constraint.T1, affAttr),
+						constraint.OpEq, constraint.ConstOperand(relation.String(affs[a]))),
+					constraint.ComparePred(constraint.AttrOperand(constraint.T2, affAttr),
+						constraint.OpEq, constraint.ConstOperand(relation.String(affs[b]))),
+				},
+				Target: affAttr,
+			})
+		}
+	}
+	sigma = append(sigma, couplings...)
+
+	// Γ: affiliation→city and affiliation→country patterns.
+	var gamma []constraint.CFD
+	for i := range affs {
+		if len(gamma) < careerCFDTarget {
+			gamma = append(gamma, cfd(sch, []string{"affiliation"}, []string{affs[i]}, "city", cities[i]))
+		}
+		if len(gamma) < careerCFDTarget {
+			gamma = append(gamma, cfd(sch, []string{"affiliation"}, []string{affs[i]}, "country", countries[i]))
+		}
+	}
+
+	ds := &Dataset{Name: "CAREER", Schema: sch, Sigma: sigma, Gamma: gamma}
+	for _, pd := range persons {
+		pd.ent.Spec = model.NewSpec(pd.ent.Spec.TI, sigma, gamma)
+		ds.Entities = append(ds.Entities, pd.ent)
+	}
+	return ds
+}
+
+// genAuthor builds one author's publication history and returns the entity
+// plus the affiliation transitions that got cited (and hence yield currency
+// constraints).
+func genAuthor(cfg CareerConfig, rng *rand.Rand, sch *relation.Schema,
+	affs, cities, countries []string, id int) (*Entity, [][2]int) {
+
+	first := fmt.Sprintf("First%03d", id)
+	last := fmt.Sprintf("Last%03d", id)
+
+	// Affiliation history: an increasing sequence of pool indices from the
+	// non-reserved prefix (the tail is set aside for padding constraints).
+	// Monotonicity matters because citation constraints are shared across
+	// persons: if one person moved U1→U2 and another U2→U1, the two derived
+	// constraints would form a cycle for any entity containing both values.
+	nMoves := 1 + rng.Intn(cfg.MaxMoves)
+	pool := cfg.reservedStart()
+	if nMoves+1 > pool {
+		nMoves = pool - 1
+	}
+	perm := rng.Perm(pool)
+	history := append([]int(nil), perm[:nMoves+1]...)
+	sortInts(history)
+
+	nPapers := 2 + rng.Intn(cfg.MaxPapers-1)
+	if nPapers < len(history) {
+		history = history[:nPapers] // every affiliation must carry a paper
+	}
+	in := relation.NewInstance(sch)
+	// Distribute papers over affiliations; every affiliation gets ≥1 paper.
+	for i := 0; i < nPapers; i++ {
+		var hi int
+		if i < len(history) {
+			hi = i
+		} else {
+			hi = rng.Intn(len(history))
+		}
+		ai := history[hi]
+		in.MustAdd(relation.Tuple{
+			relation.String(first), relation.String(last),
+			relation.String(affs[ai]), relation.String(cities[ai]), relation.String(countries[ai]),
+		})
+	}
+
+	// Citations: each consecutive affiliation transition is cited with
+	// probability CiteProb (a paper from the new affiliation cites one from
+	// the previous one). Uncited transitions leave a currency gap that only
+	// user interaction can close.
+	var cited [][2]int
+	for i := 0; i+1 < len(history); i++ {
+		if rng.Float64() < cfg.CiteProb {
+			cited = append(cited, [2]int{history[i], history[i+1]})
+		}
+	}
+
+	lastAff := history[len(history)-1]
+	truth := relation.Tuple{
+		relation.String(first), relation.String(last),
+		relation.String(affs[lastAff]), relation.String(cities[lastAff]), relation.String(countries[lastAff]),
+	}
+	return &Entity{
+		ID:    first + " " + last,
+		Spec:  model.NewSpec(model.NewTemporal(in), nil, nil),
+		Truth: truth,
+	}, cited
+}

@@ -1,0 +1,222 @@
+// Package datagen synthesizes the three experimental datasets of Fan et al.
+// (ICDE 2013, Section VI): NBA player statistics, CAREER publication
+// records, and the synthetic Person data. The original NBA and CAREER
+// sources are no longer retrievable, so this package simulates them — same
+// schemas, same constraint families and counts, same entity-size spectra,
+// and generated histories that exercise the same inference patterns
+// (currency chains, monotone counters, CFD repairs). Every entity carries
+// its ground-truth tuple so experiments can score precision/recall/F-measure
+// exactly as the paper does. See DESIGN.md §3 for the substitution argument.
+//
+// All generators are deterministic for a fixed seed.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// Entity is one generated entity: its specification and its ground truth.
+type Entity struct {
+	ID    string
+	Spec  *model.Spec
+	Truth relation.Tuple
+}
+
+// Dataset is a generated collection of entities sharing one constraint set.
+type Dataset struct {
+	Name     string
+	Schema   *relation.Schema
+	Sigma    []constraint.Currency
+	Gamma    []constraint.CFD
+	Entities []*Entity
+}
+
+// Stats summarizes a dataset the way the paper reports its experimental
+// data (Section VI, "Experimental data").
+type Stats struct {
+	Name        string
+	NumEntities int
+	TotalTuples int
+	MinSize     int
+	MaxSize     int
+	AvgSize     float64
+	NumSigma    int
+	NumGamma    int
+}
+
+// Stats computes dataset statistics.
+func (d *Dataset) Stats() Stats {
+	s := Stats{Name: d.Name, NumEntities: len(d.Entities),
+		NumSigma: len(d.Sigma), NumGamma: len(d.Gamma), MinSize: 1 << 30}
+	for _, e := range d.Entities {
+		n := e.Spec.TI.Inst.Len()
+		s.TotalTuples += n
+		if n < s.MinSize {
+			s.MinSize = n
+		}
+		if n > s.MaxSize {
+			s.MaxSize = n
+		}
+	}
+	if s.NumEntities > 0 {
+		s.AvgSize = float64(s.TotalTuples) / float64(s.NumEntities)
+	} else {
+		s.MinSize = 0
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d entities, %d tuples (size %d-%d, avg %.1f), |Sigma|=%d, |Gamma|=%d",
+		s.Name, s.NumEntities, s.TotalTuples, s.MinSize, s.MaxSize, s.AvgSize, s.NumSigma, s.NumGamma)
+}
+
+// WithConstraintFraction returns a copy of the dataset keeping the given
+// fractions of Σ and Γ (deterministically subsampled with seed). This is the
+// knob behind Figures 8(f)–8(h)/(j)–(l)/(n)–(p), which vary |Σ| and |Γ|.
+func (d *Dataset) WithConstraintFraction(fracSigma, fracGamma float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	sigma := subsampleCurrency(rng, d.Sigma, fracSigma)
+	gamma := subsampleCFD(rng, d.Gamma, fracGamma)
+	out := &Dataset{Name: d.Name, Schema: d.Schema, Sigma: sigma, Gamma: gamma}
+	for _, e := range d.Entities {
+		out.Entities = append(out.Entities, &Entity{
+			ID:    e.ID,
+			Spec:  model.NewSpec(e.Spec.TI, sigma, gamma),
+			Truth: e.Truth,
+		})
+	}
+	return out
+}
+
+func subsampleCurrency(rng *rand.Rand, in []constraint.Currency, frac float64) []constraint.Currency {
+	if frac >= 1 {
+		return in
+	}
+	if frac <= 0 {
+		return nil
+	}
+	perm := rng.Perm(len(in))
+	k := int(float64(len(in))*frac + 0.5)
+	out := make([]constraint.Currency, 0, k)
+	for _, i := range perm[:k] {
+		out = append(out, in[i])
+	}
+	return out
+}
+
+func subsampleCFD(rng *rand.Rand, in []constraint.CFD, frac float64) []constraint.CFD {
+	if frac >= 1 {
+		return in
+	}
+	if frac <= 0 {
+		return nil
+	}
+	perm := rng.Perm(len(in))
+	k := int(float64(len(in))*frac + 0.5)
+	out := make([]constraint.CFD, 0, k)
+	for _, i := range perm[:k] {
+		out = append(out, in[i])
+	}
+	return out
+}
+
+// SizeBuckets partitions entities by instance size into the given ranges
+// ([lo, hi] inclusive), mirroring the x-axes of Figures 8(a)–8(d).
+func (d *Dataset) SizeBuckets(bounds [][2]int) [][]*Entity {
+	out := make([][]*Entity, len(bounds))
+	for _, e := range d.Entities {
+		n := e.Spec.TI.Inst.Len()
+		for i, b := range bounds {
+			if n >= b[0] && n <= b[1] {
+				out[i] = append(out[i], e)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// chainPairs emits adjacent-pair currency constraints for a value chain on
+// one attribute: v[i] was the value before v[i+1], à la the paper's ϕ1/ϕ2
+// (status) and NBA team-name/arena chains.
+func chainPairs(sch *relation.Schema, attr string, chain []string) []constraint.Currency {
+	out := make([]constraint.Currency, 0, len(chain)-1)
+	a := sch.MustAttr(attr)
+	for i := 0; i+1 < len(chain); i++ {
+		out = append(out, constraint.Currency{
+			Body: []constraint.Pred{
+				constraint.ComparePred(constraint.AttrOperand(constraint.T1, a), constraint.OpEq,
+					constraint.ConstOperand(relation.String(chain[i]))),
+				constraint.ComparePred(constraint.AttrOperand(constraint.T2, a), constraint.OpEq,
+					constraint.ConstOperand(relation.String(chain[i+1]))),
+			},
+			Target: a,
+		})
+	}
+	return out
+}
+
+// coupling emits "t1 <[src] t2 -> t1 <[dst] t2" (ϕ5–ϕ7 style).
+func coupling(sch *relation.Schema, src, dst string) constraint.Currency {
+	return constraint.Currency{
+		Body:   []constraint.Pred{constraint.CurrencyPred(sch.MustAttr(src))},
+		Target: sch.MustAttr(dst),
+	}
+}
+
+// monotoneCounter emits "t1[attr] < t2[attr] -> t1 <[attr] t2" (ϕ4 style).
+func monotoneCounter(sch *relation.Schema, attr string) constraint.Currency {
+	a := sch.MustAttr(attr)
+	return constraint.Currency{
+		Body: []constraint.Pred{constraint.ComparePred(
+			constraint.AttrOperand(constraint.T1, a), constraint.OpLt,
+			constraint.AttrOperand(constraint.T2, a))},
+		Target: a,
+	}
+}
+
+// counterDriven emits "t1[counter] < t2[counter] & t1[b] != t2[b] ->
+// t1 <[b] t2" (the NBA ϕ3 family: whoever has the larger career total is
+// the more recent record, so its season stats are more current).
+func counterDriven(sch *relation.Schema, counter, b string) constraint.Currency {
+	c, ba := sch.MustAttr(counter), sch.MustAttr(b)
+	return constraint.Currency{
+		Body: []constraint.Pred{
+			constraint.ComparePred(constraint.AttrOperand(constraint.T1, c), constraint.OpLt,
+				constraint.AttrOperand(constraint.T2, c)),
+			constraint.ComparePred(constraint.AttrOperand(constraint.T1, ba), constraint.OpNe,
+				constraint.AttrOperand(constraint.T2, ba)),
+		},
+		Target: ba,
+	}
+}
+
+// orderDriven emits "t1 <[src] t2 & t1[b] != t2[b] -> t1 <[b] t2" (the NBA
+// ϕ4 family: a more current arena implies more current arena metadata).
+func orderDriven(sch *relation.Schema, src, b string) constraint.Currency {
+	ba := sch.MustAttr(b)
+	return constraint.Currency{
+		Body: []constraint.Pred{
+			constraint.CurrencyPred(sch.MustAttr(src)),
+			constraint.ComparePred(constraint.AttrOperand(constraint.T1, ba), constraint.OpNe,
+				constraint.AttrOperand(constraint.T2, ba)),
+		},
+		Target: ba,
+	}
+}
+
+// cfd builds a constant CFD from string constants.
+func cfd(sch *relation.Schema, x []string, px []string, b string, vb string) constraint.CFD {
+	out := constraint.CFD{B: sch.MustAttr(b), VB: relation.String(vb)}
+	for i, name := range x {
+		out.X = append(out.X, sch.MustAttr(name))
+		out.PX = append(out.PX, relation.String(px[i]))
+	}
+	return out
+}

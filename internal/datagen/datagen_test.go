@@ -1,0 +1,252 @@
+package datagen
+
+import (
+	"testing"
+
+	"conflictres/internal/core"
+	"conflictres/internal/encode"
+	"conflictres/internal/relation"
+)
+
+func smallPerson(t *testing.T) *Dataset {
+	t.Helper()
+	return Person(PersonConfig{Entities: 20, MinTuples: 2, MaxTuples: 40, Seed: 7})
+}
+
+func smallNBA(t *testing.T) *Dataset {
+	t.Helper()
+	return NBA(NBAConfig{Players: 25, Seed: 7})
+}
+
+func smallCareer(t *testing.T) *Dataset {
+	t.Helper()
+	return Career(CareerConfig{Persons: 12, MaxPapers: 35, Seed: 7})
+}
+
+func TestPersonConstraintCounts(t *testing.T) {
+	ds := smallPerson(t)
+	if got := len(ds.Sigma); got != 983 {
+		t.Fatalf("|Sigma| = %d, want 983 (paper Section VI(3))", got)
+	}
+	if got := len(ds.Gamma); got != 1000 {
+		t.Fatalf("|Gamma| = %d, want 1000", got)
+	}
+}
+
+func TestNBAConstraintCounts(t *testing.T) {
+	ds := smallNBA(t)
+	if got := len(ds.Sigma); got != 54 {
+		t.Fatalf("|Sigma| = %d, want 54 (15+32+4+3)", got)
+	}
+	if got := len(ds.Gamma); got != 58 {
+		t.Fatalf("|Gamma| = %d, want 58 (32 arena→city + 26 tname→team)", got)
+	}
+}
+
+func TestCareerConstraintCounts(t *testing.T) {
+	ds := smallCareer(t)
+	if got := len(ds.Sigma); got != 503 {
+		t.Fatalf("|Sigma| = %d, want 503", got)
+	}
+	if got := len(ds.Gamma); got != 347 {
+		t.Fatalf("|Gamma| = %d, want 347", got)
+	}
+}
+
+func TestNBASizeSpectrum(t *testing.T) {
+	ds := NBA(NBAConfig{Players: 100, Seed: 3})
+	st := ds.Stats()
+	if st.MinSize < 2 || st.MaxSize > 136 {
+		t.Fatalf("sizes out of the paper's 2-136 range: %+v", st)
+	}
+	if st.AvgSize < 10 || st.AvgSize > 60 {
+		t.Fatalf("average size %.1f implausibly far from the paper's ~27", st.AvgSize)
+	}
+}
+
+func TestCareerSizeSpectrum(t *testing.T) {
+	ds := Career(CareerConfig{Persons: 65, Seed: 3})
+	st := ds.Stats()
+	if st.MinSize < 2 || st.MaxSize > 175 {
+		t.Fatalf("sizes out of the paper's 2-175 range: %+v", st)
+	}
+}
+
+// TestGeneratedSpecsAreValid is the key generator invariant: entities carry
+// conflicts but never violate the constraints (paper: "tuples that have
+// conflicts but do not violate the currency constraints").
+func TestGeneratedSpecsAreValid(t *testing.T) {
+	for _, ds := range []*Dataset{smallPerson(t), smallNBA(t), smallCareer(t)} {
+		for _, e := range ds.Entities {
+			enc := encode.Build(e.Spec, encode.Options{})
+			valid, _ := core.IsValid(enc)
+			if !valid {
+				t.Fatalf("%s entity %s: generated specification is invalid", ds.Name, e.ID)
+			}
+		}
+	}
+}
+
+// TestTruthConsistentWithDeduction: every value the pipeline deduces without
+// interaction must equal the generator's ground truth, except where the
+// truth value does not occur in the data at all (the generator excludes the
+// final version from the instance, so the most current *recorded* value is
+// the soundly deducible one — exactly the paper's "true values relative to
+// It").
+func TestTruthConsistentWithDeduction(t *testing.T) {
+	for _, ds := range []*Dataset{smallPerson(t), smallNBA(t), smallCareer(t)} {
+		for _, e := range ds.Entities {
+			enc := encode.Build(e.Spec, encode.Options{})
+			od, ok := core.DeduceOrder(enc)
+			if !ok {
+				t.Fatalf("%s entity %s: deduction failed", ds.Name, e.ID)
+			}
+			for a, v := range core.TrueValues(enc, od) {
+				if relation.Equal(v, e.Truth[a]) {
+					continue
+				}
+				if truthInAdom(e, a) {
+					t.Fatalf("%s entity %s: deduced %s=%v but truth %v is in the data",
+						ds.Name, e.ID, ds.Schema.Name(a), v, e.Truth[a])
+				}
+			}
+		}
+	}
+}
+
+func truthInAdom(e *Entity, a relation.Attr) bool {
+	for _, v := range e.Spec.TI.Inst.ActiveDomain(a) {
+		if relation.Equal(v, e.Truth[a]) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestInteractiveResolutionReachesTruth runs the full framework with the
+// simulated user on a sample of entities from each dataset.
+func TestInteractiveResolutionReachesTruth(t *testing.T) {
+	for _, ds := range []*Dataset{smallPerson(t), smallNBA(t), smallCareer(t)} {
+		for i, e := range ds.Entities {
+			if i >= 8 {
+				break
+			}
+			oracle := &core.SimulatedUser{Truth: e.Truth}
+			out, err := core.Resolve(e.Spec, oracle, core.Options{})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", ds.Name, e.ID, err)
+			}
+			if !out.Valid {
+				t.Fatalf("%s/%s: spec became invalid during interaction", ds.Name, e.ID)
+			}
+			for a, v := range out.Resolved {
+				if relation.Equal(v, e.Truth[a]) {
+					continue
+				}
+				// A resolved value may differ from the truth only when the
+				// truth never occurs in the data (hidden final record) — the
+				// paper's precision losses come from exactly these.
+				if truthInAdom(e, a) {
+					t.Errorf("%s/%s: resolved %s=%v, truth %v (present in data)",
+						ds.Name, e.ID, ds.Schema.Name(a), v, e.Truth[a])
+				}
+			}
+			if out.Interactions > 4 {
+				t.Errorf("%s/%s: %d interactions (paper: 2-3 max)", ds.Name, e.ID, out.Interactions)
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Person(PersonConfig{Entities: 5, MinTuples: 2, MaxTuples: 20, Seed: 11})
+	b := Person(PersonConfig{Entities: 5, MinTuples: 2, MaxTuples: 20, Seed: 11})
+	for i := range a.Entities {
+		ia, ib := a.Entities[i].Spec.TI.Inst, b.Entities[i].Spec.TI.Inst
+		if ia.Len() != ib.Len() {
+			t.Fatalf("entity %d sizes differ: %d vs %d", i, ia.Len(), ib.Len())
+		}
+		for _, id := range ia.TupleIDs() {
+			if !ia.Tuple(id).Equal(ib.Tuple(id)) {
+				t.Fatalf("entity %d tuple %d differs", i, id)
+			}
+		}
+		if !a.Entities[i].Truth.Equal(b.Entities[i].Truth) {
+			t.Fatalf("entity %d truth differs", i)
+		}
+	}
+}
+
+func TestWithConstraintFraction(t *testing.T) {
+	ds := smallPerson(t)
+	half := ds.WithConstraintFraction(0.5, 0.5, 1)
+	if got, want := len(half.Sigma), (983+1)/2; got < want-1 || got > want+1 {
+		t.Fatalf("|Sigma| after 0.5 = %d, want about %d", got, want)
+	}
+	if got := len(half.Gamma); got != 500 {
+		t.Fatalf("|Gamma| after 0.5 = %d, want 500", got)
+	}
+	none := ds.WithConstraintFraction(0, 1, 1)
+	if len(none.Sigma) != 0 || len(none.Gamma) != 1000 {
+		t.Fatalf("zero-sigma subset wrong: %d/%d", len(none.Sigma), len(none.Gamma))
+	}
+	// Entities keep their data and truth.
+	if half.Entities[0].Spec.TI != ds.Entities[0].Spec.TI {
+		t.Fatal("subset must share temporal instances")
+	}
+	// Subsampled specs must still be valid (removing constraints cannot
+	// invalidate).
+	enc := encode.Build(half.Entities[0].Spec, encode.Options{})
+	if valid, _ := core.IsValid(enc); !valid {
+		t.Fatal("subsampled spec must stay valid")
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	ds := smallNBA(t)
+	bounds := [][2]int{{1, 27}, {28, 54}, {55, 81}, {82, 108}, {109, 135}}
+	buckets := ds.SizeBuckets(bounds)
+	total := 0
+	for i, b := range buckets {
+		for _, e := range b {
+			n := e.Spec.TI.Inst.Len()
+			if n < bounds[i][0] || n > bounds[i][1] {
+				t.Fatalf("entity of size %d in bucket %v", n, bounds[i])
+			}
+		}
+		total += len(b)
+	}
+	if total == 0 {
+		t.Fatal("no entities bucketed")
+	}
+}
+
+func TestPersonTruthMostlyReachable(t *testing.T) {
+	// The final version is excluded from the instance, so a few truth values
+	// may be outside the active domain (users supply "new values"), but most
+	// should be present.
+	ds := smallPerson(t)
+	inAdom, total := 0, 0
+	for _, e := range ds.Entities {
+		in := e.Spec.TI.Inst
+		for _, a := range ds.Schema.Attrs() {
+			total++
+			for _, v := range in.ActiveDomain(a) {
+				if relation.Equal(v, e.Truth[a]) {
+					inAdom++
+					break
+				}
+			}
+		}
+	}
+	if frac := float64(inAdom) / float64(total); frac < 0.5 {
+		t.Fatalf("only %.0f%% of truth values are in the active domains", 100*frac)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := smallNBA(t).Stats()
+	if st.NumEntities != 25 || st.String() == "" {
+		t.Fatalf("stats broken: %+v", st)
+	}
+}

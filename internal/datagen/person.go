@@ -1,0 +1,308 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// PersonConfig parameterizes the Person generator of Section VI(3): n
+// entities whose instance sizes are drawn uniformly from [MinTuples,
+// MaxTuples]. The default constraint pools reproduce the paper's counts:
+// 983 currency constraints (status/job chain pairs with distinct constants,
+// the monotone kids rule, and the ϕ5–ϕ8 couplings) and a single CFD
+// AC → city with 1000 patterns.
+type PersonConfig struct {
+	Entities  int
+	MinTuples int
+	MaxTuples int
+	Seed      int64
+
+	// Constraint-pool shape; zero values take the paper-matching defaults.
+	StatusChains   int // default 25, chain length 21 → 500 pair constraints
+	StatusChainLen int
+	JobChains      int // default 24, chain length 21 → 480, trimmed to 478
+	JobChainLen    int
+	ACPool         int // default 1000 (CFD patterns AC → city)
+
+	// Behavioural knobs controlling how much is auto-derivable.
+	SkipProb float64 // probability a status/job advance skips a chain step
+	MovesFor func(size int) int
+}
+
+func (c PersonConfig) withDefaults() PersonConfig {
+	if c.Entities == 0 {
+		c.Entities = 100
+	}
+	if c.MinTuples == 0 {
+		c.MinTuples = 1
+	}
+	if c.MaxTuples == 0 {
+		c.MaxTuples = 100
+	}
+	if c.StatusChains == 0 {
+		c.StatusChains = 25
+	}
+	if c.StatusChainLen == 0 {
+		c.StatusChainLen = 21
+	}
+	if c.JobChains == 0 {
+		c.JobChains = 24
+	}
+	if c.JobChainLen == 0 {
+		c.JobChainLen = 21
+	}
+	if c.ACPool == 0 {
+		c.ACPool = 1000
+	}
+	if c.SkipProb == 0 {
+		c.SkipProb = 0.45
+	}
+	if c.MovesFor == nil {
+		c.MovesFor = func(size int) int { return 3 + size/400 }
+	}
+	return c
+}
+
+// personCurrencyTarget is the paper's |Σ| for Person.
+const personCurrencyTarget = 983
+
+// Person generates the synthetic Person dataset: schema (name, status, job,
+// kids, city, AC, zip, county). Each entity gets a ground-truth tuple tc and
+// a history of conflicting-but-consistent versions; the instance is the
+// version set minus tc itself ("we treated E \ {tc} as the entity
+// instance"), padded with duplicate stale records up to the requested size.
+func Person(cfg PersonConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sch := relation.MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
+
+	// Value pools.
+	statusChains := make([][]string, cfg.StatusChains)
+	for c := range statusChains {
+		chain := make([]string, cfg.StatusChainLen)
+		for i := range chain {
+			chain[i] = fmt.Sprintf("status_c%d_%02d", c, i)
+		}
+		statusChains[c] = chain
+	}
+	jobChains := make([][]string, cfg.JobChains)
+	for c := range jobChains {
+		chain := make([]string, cfg.JobChainLen)
+		for i := range chain {
+			chain[i] = fmt.Sprintf("job_c%d_%02d", c, i)
+		}
+		jobChains[c] = chain
+	}
+	acs := make([]string, cfg.ACPool)
+	cities := make([]string, cfg.ACPool)
+	for i := range acs {
+		acs[i] = fmt.Sprintf("AC%04d", i)
+		cities[i] = fmt.Sprintf("City_%04d", i)
+	}
+
+	// Σ: chain pairs + kids + couplings, trimmed to the target count.
+	var sigma []constraint.Currency
+	for _, chain := range statusChains {
+		sigma = append(sigma, chainPairs(sch, "status", chain)...)
+	}
+	for _, chain := range jobChains {
+		sigma = append(sigma, chainPairs(sch, "job", chain)...)
+	}
+	head := []constraint.Currency{
+		monotoneCounter(sch, "kids"),   // ϕ4
+		coupling(sch, "status", "job"), // ϕ5
+		coupling(sch, "status", "AC"),  // ϕ6
+		coupling(sch, "status", "zip"), // ϕ7
+		{ // ϕ8: city & zip → county
+			Body: []constraint.Pred{
+				constraint.CurrencyPred(sch.MustAttr("city")),
+				constraint.CurrencyPred(sch.MustAttr("zip")),
+			},
+			Target: sch.MustAttr("county"),
+		},
+	}
+	if want := personCurrencyTarget - len(head); len(sigma) > want {
+		sigma = sigma[:want]
+	}
+	sigma = append(sigma, head...)
+
+	// Γ: AC → city, one pattern per pool entry.
+	gamma := make([]constraint.CFD, 0, cfg.ACPool)
+	for i := range acs {
+		gamma = append(gamma, cfd(sch, []string{"AC"}, []string{acs[i]}, "city", cities[i]))
+	}
+
+	ds := &Dataset{Name: "Person", Schema: sch, Sigma: sigma, Gamma: gamma}
+	for e := 0; e < cfg.Entities; e++ {
+		size := cfg.MinTuples + rng.Intn(cfg.MaxTuples-cfg.MinTuples+1)
+		ent := genPerson(cfg, rng, sch, statusChains, jobChains, acs, cities, e, size)
+		ent.Spec = model.NewSpec(ent.Spec.TI, sigma, gamma)
+		ds.Entities = append(ds.Entities, ent)
+	}
+	return ds
+}
+
+// personState is one consistent snapshot of an entity's history.
+type personState struct {
+	statusIdx, jobIdx int // positions in the entity's chains
+	kids              int
+	move              int // index into the entity's move history
+}
+
+func genPerson(cfg PersonConfig, rng *rand.Rand, sch *relation.Schema,
+	statusChains, jobChains [][]string, acs, cities []string, id, size int) *Entity {
+
+	name := fmt.Sprintf("person_%05d", id)
+	sChain := statusChains[rng.Intn(len(statusChains))]
+	jChain := jobChains[rng.Intn(len(jobChains))]
+
+	// Move history: distinct (AC, city, zip, county) stops. ACs are sampled
+	// without replacement within an entity and zips/counties are fresh per
+	// move, so the location history is acyclic under ϕ6–ϕ8.
+	nMoves := cfg.MovesFor(size)
+	if nMoves >= len(acs) {
+		nMoves = len(acs) - 1
+	}
+	acPerm := rng.Perm(len(acs))
+	type stop struct{ ac, city, zip, county string }
+	stops := make([]stop, nMoves+1)
+	for m := range stops {
+		ai := acPerm[m]
+		stops[m] = stop{
+			ac:     acs[ai],
+			city:   cities[ai],
+			zip:    fmt.Sprintf("Z%05d_%03d", id, m),
+			county: fmt.Sprintf("CT%05d_%03d", id, m),
+		}
+	}
+
+	// Walk: start at the chain heads; each step advances something.
+	cur := personState{}
+	history := []personState{cur}
+	maxSteps := len(sChain) - 1 + len(jChain) - 1 + 6 + nMoves
+	for len(history) <= maxSteps {
+		next := cur
+		switch rng.Intn(4) {
+		case 0:
+			if next.statusIdx+1 < len(sChain) {
+				step := 1
+				if rng.Float64() < cfg.SkipProb && next.statusIdx+2 < len(sChain) {
+					step = 2 // skipped chain element: not auto-derivable
+				}
+				next.statusIdx += step
+			}
+		case 1:
+			if next.jobIdx+1 < len(jChain) {
+				step := 1
+				if rng.Float64() < cfg.SkipProb && next.jobIdx+2 < len(jChain) {
+					step = 2
+				}
+				next.jobIdx += step
+			}
+		case 2:
+			if next.kids < 6 {
+				next.kids++
+			}
+		case 3:
+			if next.move+1 < len(stops) {
+				next.move++
+			}
+		}
+		if next == cur {
+			// Attribute saturated; force a move if possible, else stop.
+			if cur.move+1 < len(stops) {
+				next.move++
+			} else {
+				break
+			}
+		}
+		history = append(history, next)
+		cur = next
+	}
+
+	mkTuple := func(st personState, kidsNull bool) relation.Tuple {
+		kids := relation.Value(relation.Int(int64(st.kids)))
+		if kidsNull {
+			kids = relation.Null
+		}
+		sp := stops[st.move]
+		return relation.Tuple{
+			relation.String(name),
+			relation.String(sChain[st.statusIdx]),
+			relation.String(jChain[st.jobIdx]),
+			kids,
+			relation.String(sp.city),
+			relation.String(sp.ac),
+			relation.String(sp.zip),
+			relation.String(sp.county),
+		}
+	}
+
+	final := history[len(history)-1]
+	truth := mkTuple(final, false)
+
+	// Instance assembly follows the paper's E1 shape: the most recent record
+	// is present but partially degraded (attributes that did not change in
+	// the final step may be nulled, the way Edith's r3 has kids = null), so
+	// the true tuple must be assembled across rows. With probability
+	// hideProb the final record is dropped entirely (E \ {tc}), leaving
+	// truth values only a user can supply.
+	const hideProb = 0.1
+	in := relation.NewInstance(sch)
+	stale := history[:len(history)-1]
+	if len(stale) == 0 {
+		stale = history
+	}
+	hidden := rng.Float64() < hideProb && len(history) > 1
+	budget := size
+	if !hidden {
+		finalRow := truth.Clone()
+		prev := history[len(history)-2]
+		prevRow := mkTuple(prev, false)
+		// Independent attributes may be nulled one by one; the location
+		// bundle (city, AC, zip, county) only atomically — a row keeping the
+		// newest city but missing its AC would let a stale AC's CFD pattern
+		// "repair" the city backwards.
+		for _, aName := range []string{"status", "job", "kids"} {
+			a := sch.MustAttr(aName)
+			if relation.Equal(finalRow[a], prevRow[a]) && rng.Float64() < 0.3 {
+				finalRow[a] = relation.Null // recoverable from earlier rows
+			}
+		}
+		locUnchanged := true
+		var locAttrs []relation.Attr
+		for _, aName := range []string{"city", "AC", "zip", "county"} {
+			a := sch.MustAttr(aName)
+			locAttrs = append(locAttrs, a)
+			if !relation.Equal(finalRow[a], prevRow[a]) {
+				locUnchanged = false
+			}
+		}
+		if locUnchanged && rng.Float64() < 0.3 {
+			for _, a := range locAttrs {
+				finalRow[a] = relation.Null
+			}
+		}
+		in.MustAdd(finalRow)
+		budget--
+	}
+	for i := 0; i < budget; i++ {
+		var st personState
+		if i < len(stale) {
+			st = stale[i]
+		} else {
+			st = stale[rng.Intn(len(stale))]
+		}
+		in.MustAdd(mkTuple(st, rng.Float64() < 0.05))
+	}
+
+	return &Entity{
+		ID:    name,
+		Spec:  model.NewSpec(model.NewTemporal(in), nil, nil),
+		Truth: truth,
+	}
+}

@@ -1,0 +1,260 @@
+// Package discover mines currency constraints and constant CFDs from
+// (possibly dirty) data, the extension sketched in the paper's Section III
+// Remark (2) and Section VII: "automated methods can be developed for
+// discovering currency constraints from (possibly dirty) data. With certain
+// quality metric in place, the constraints discovered can be as accurate as
+// those manually designed."
+//
+// Three constraint families are mined:
+//
+//   - value-transition constraints (the ϕ1/ϕ2 shape): across entities, if
+//     value a of attribute A is repeatedly observed strictly before value b
+//     — evidenced by explicit currency-order edges or by a designated
+//     monotone reference attribute — and (essentially) never the other way,
+//     emit "t1[A]=a & t2[A]=b → t1 ≺_A t2";
+//   - monotone counters (the ϕ4 shape): numeric attributes whose order
+//     agrees with the evidence wherever both are defined;
+//   - constant CFDs (the ψ shape): X→B value patterns that hold with enough
+//     support and confidence across all tuples, mined per attribute pair.
+//
+// Discovery never requires clean data: support/confidence thresholds play
+// the quality-metric role the paper refers to.
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// Evidence is one observed "older tuple, newer tuple" pair within an entity.
+type Evidence struct {
+	Entity   *model.TemporalInstance
+	Old, New relation.TupleID
+}
+
+// Options tunes the miner.
+type Options struct {
+	// MinSupport is the minimum number of entities in which a transition
+	// must be observed (default 2).
+	MinSupport int
+	// MaxViolationRate is the fraction of counter-evidence tolerated before
+	// a candidate is dropped (default 0 — strict).
+	MaxViolationRate float64
+	// MinCFDSupport is the minimum number of tuples matching a CFD pattern
+	// (default 3); MinCFDConfidence the required fraction of matching
+	// tuples agreeing on the consequent (default 0.95).
+	MinCFDSupport    int
+	MinCFDConfidence float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 2
+	}
+	if o.MinCFDSupport <= 0 {
+		o.MinCFDSupport = 3
+	}
+	if o.MinCFDConfidence <= 0 {
+		o.MinCFDConfidence = 0.95
+	}
+	return o
+}
+
+// Transitions mines ϕ1-style constant-pair currency constraints for one
+// attribute from order evidence collected across entities.
+func Transitions(sch *relation.Schema, attr relation.Attr, ev []Evidence, opts Options) []constraint.Currency {
+	opts = opts.withDefaults()
+	type pair struct{ a, b string }
+	forward := map[pair]int{}
+	for _, e := range ev {
+		v1 := e.Entity.Inst.Value(e.Old, attr)
+		v2 := e.Entity.Inst.Value(e.New, attr)
+		if v1.IsNull() || v2.IsNull() || relation.Equal(v1, v2) {
+			continue
+		}
+		forward[pair{v1.String(), v2.String()}]++
+	}
+	var out []constraint.Currency
+	var keys []pair
+	for p := range forward {
+		keys = append(keys, p)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, p := range keys {
+		supp := forward[p]
+		if supp < opts.MinSupport {
+			continue
+		}
+		counter := forward[pair{p.b, p.a}]
+		if float64(counter) > opts.MaxViolationRate*float64(supp) {
+			continue // seen both directions: not a transition rule
+		}
+		out = append(out, constraint.Currency{
+			Body: []constraint.Pred{
+				constraint.ComparePred(constraint.AttrOperand(constraint.T1, attr),
+					constraint.OpEq, mustParseOperand(p.a)),
+				constraint.ComparePred(constraint.AttrOperand(constraint.T2, attr),
+					constraint.OpEq, mustParseOperand(p.b)),
+			},
+			Target: attr,
+		})
+	}
+	return out
+}
+
+func mustParseOperand(s string) constraint.Operand {
+	v, err := relation.ParseValue(s)
+	if err != nil {
+		v = relation.String(s)
+	}
+	return constraint.ConstOperand(v)
+}
+
+// MonotoneCounters mines ϕ4-style constraints: numeric attributes whose
+// values strictly increase along every piece of order evidence.
+func MonotoneCounters(sch *relation.Schema, ev []Evidence, opts Options) []constraint.Currency {
+	opts = opts.withDefaults()
+	n := sch.Len()
+	agree := make([]int, n)
+	violate := make([]int, n)
+	numeric := make([]bool, n)
+	for i := range numeric {
+		numeric[i] = true
+	}
+	for _, e := range ev {
+		for a := 0; a < n; a++ {
+			v1 := e.Entity.Inst.Value(e.Old, relation.Attr(a))
+			v2 := e.Entity.Inst.Value(e.New, relation.Attr(a))
+			if v1.IsNull() || v2.IsNull() {
+				continue
+			}
+			if v1.Kind() == relation.KindString || v2.Kind() == relation.KindString {
+				numeric[a] = false
+				continue
+			}
+			switch relation.Compare(v1, v2) {
+			case -1:
+				agree[a]++
+			case 1:
+				violate[a]++
+			}
+		}
+	}
+	var out []constraint.Currency
+	for a := 0; a < n; a++ {
+		if !numeric[a] || agree[a] < opts.MinSupport {
+			continue
+		}
+		if float64(violate[a]) > opts.MaxViolationRate*float64(agree[a]) {
+			continue
+		}
+		attr := relation.Attr(a)
+		out = append(out, constraint.Currency{
+			Body: []constraint.Pred{constraint.ComparePred(
+				constraint.AttrOperand(constraint.T1, attr), constraint.OpLt,
+				constraint.AttrOperand(constraint.T2, attr))},
+			Target: attr,
+		})
+	}
+	return out
+}
+
+// CFDs mines single-attribute constant CFDs X→B across a tuple collection:
+// for each attribute pair (X, B) and each X-value with enough support, if at
+// least MinCFDConfidence of the matching tuples agree on one B-value, the
+// pattern is emitted.
+func CFDs(sch *relation.Schema, tuples []relation.Tuple, opts Options) []constraint.CFD {
+	opts = opts.withDefaults()
+	n := sch.Len()
+	var out []constraint.CFD
+	for x := 0; x < n; x++ {
+		for b := 0; b < n; b++ {
+			if x == b {
+				continue
+			}
+			// histogram: X-value → (B-value → count)
+			hist := map[string]map[string]int{}
+			values := map[string]relation.Value{}
+			for _, t := range tuples {
+				vx, vb := t[x], t[b]
+				if vx.IsNull() || vb.IsNull() {
+					continue
+				}
+				kx, kb := vx.Quote(), vb.Quote()
+				if hist[kx] == nil {
+					hist[kx] = map[string]int{}
+				}
+				hist[kx][kb]++
+				values[kx] = vx
+				values[kb] = vb
+			}
+			var keys []string
+			for k := range hist {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, kx := range keys {
+				counts := hist[kx]
+				total, bestK, bestC := 0, "", 0
+				for kb, c := range counts {
+					total += c
+					if c > bestC || (c == bestC && kb < bestK) {
+						bestK, bestC = kb, c
+					}
+				}
+				if total < opts.MinCFDSupport {
+					continue
+				}
+				if float64(bestC) < opts.MinCFDConfidence*float64(total) {
+					continue
+				}
+				out = append(out, constraint.CFD{
+					X:  []relation.Attr{relation.Attr(x)},
+					PX: []relation.Value{values[kx]},
+					B:  relation.Attr(b),
+					VB: values[bestK],
+				})
+			}
+		}
+	}
+	return out
+}
+
+// FromDataset runs the full miner over a set of temporal instances: order
+// evidence is taken from their explicit edges, and CFDs from the pooled
+// tuples. It returns discovered currency constraints and CFDs ready to drop
+// into a specification.
+func FromDataset(sch *relation.Schema, tis []*model.TemporalInstance, opts Options) ([]constraint.Currency, []constraint.CFD, error) {
+	if len(tis) == 0 {
+		return nil, nil, fmt.Errorf("discover: no instances")
+	}
+	var ev []Evidence
+	var pool []relation.Tuple
+	for _, ti := range tis {
+		if ti.Inst.Schema().Len() != sch.Len() {
+			return nil, nil, fmt.Errorf("discover: schema mismatch")
+		}
+		for _, e := range ti.Edges {
+			ev = append(ev, Evidence{Entity: ti, Old: e.T1, New: e.T2})
+		}
+		for _, id := range ti.Inst.TupleIDs() {
+			pool = append(pool, ti.Inst.Tuple(id))
+		}
+	}
+	var sigma []constraint.Currency
+	for a := 0; a < sch.Len(); a++ {
+		sigma = append(sigma, Transitions(sch, relation.Attr(a), ev, opts)...)
+	}
+	sigma = append(sigma, MonotoneCounters(sch, ev, opts)...)
+	gamma := CFDs(sch, pool, opts)
+	return sigma, gamma, nil
+}

@@ -1,0 +1,204 @@
+package discover
+
+import (
+	"testing"
+
+	"conflictres/internal/core"
+	"conflictres/internal/encode"
+	"conflictres/internal/fixtures"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// historyInstance builds a temporal instance whose tuples are ordered by
+// explicit edges (tuple i ≼ tuple i+1 on every attribute), the shape a
+// change-log export would have.
+func historyInstance(sch *relation.Schema, rows []relation.Tuple) *model.TemporalInstance {
+	in := relation.NewInstance(sch)
+	for _, r := range rows {
+		in.MustAdd(r)
+	}
+	ti := model.NewTemporal(in)
+	for a := 0; a < sch.Len(); a++ {
+		for i := 0; i+1 < in.Len(); i++ {
+			ti.MustOrder(relation.Attr(a), relation.TupleID(i), relation.TupleID(i+1))
+		}
+	}
+	return ti
+}
+
+func TestTransitionsMined(t *testing.T) {
+	sch := relation.MustSchema("status", "kids")
+	s := relation.String
+	mk := func(status string, kids int64) relation.Tuple {
+		return relation.Tuple{s(status), relation.Int(kids)}
+	}
+	tis := []*model.TemporalInstance{
+		historyInstance(sch, []relation.Tuple{mk("working", 0), mk("retired", 1)}),
+		historyInstance(sch, []relation.Tuple{mk("working", 2), mk("retired", 3)}),
+		historyInstance(sch, []relation.Tuple{mk("retired", 1), mk("deceased", 1)}),
+		historyInstance(sch, []relation.Tuple{mk("retired", 0), mk("deceased", 0)}),
+	}
+	sigma, _, err := FromDataset(sch, tis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, c := range sigma {
+		texts = append(texts, c.Format(sch))
+	}
+	want := []string{
+		`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+		`t1[status] = "retired" & t2[status] = "deceased" -> t1 <[status] t2`,
+		`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range texts {
+			if g == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("missing %s\nmined: %v", w, texts)
+		}
+	}
+}
+
+func TestTransitionsRejectBidirectional(t *testing.T) {
+	sch := relation.MustSchema("city")
+	s := relation.String
+	tis := []*model.TemporalInstance{
+		historyInstance(sch, []relation.Tuple{{s("NY")}, {s("LA")}}),
+		historyInstance(sch, []relation.Tuple{{s("LA")}, {s("NY")}}),
+		historyInstance(sch, []relation.Tuple{{s("NY")}, {s("LA")}}),
+	}
+	sigma, _, err := FromDataset(sch, tis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) != 0 {
+		var texts []string
+		for _, c := range sigma {
+			texts = append(texts, c.Format(sch))
+		}
+		t.Fatalf("people move both ways; no transition rule should survive: %v", texts)
+	}
+}
+
+func TestMonotoneRejectsDecreasing(t *testing.T) {
+	sch := relation.MustSchema("balance")
+	mk := func(v int64) relation.Tuple { return relation.Tuple{relation.Int(v)} }
+	tis := []*model.TemporalInstance{
+		historyInstance(sch, []relation.Tuple{mk(10), mk(20)}),
+		historyInstance(sch, []relation.Tuple{mk(30), mk(5)}), // balances drop too
+	}
+	sigma, _, err := FromDataset(sch, tis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigma) != 0 {
+		t.Fatalf("non-monotone attribute must not yield a counter rule: %d", len(sigma))
+	}
+}
+
+func TestCFDsMined(t *testing.T) {
+	sch := relation.MustSchema("AC", "city")
+	s := relation.String
+	var tuples []relation.Tuple
+	for i := 0; i < 5; i++ {
+		tuples = append(tuples, relation.Tuple{s("212"), s("NY")})
+		tuples = append(tuples, relation.Tuple{s("213"), s("LA")})
+	}
+	// One dirty tuple below the confidence threshold.
+	tuples = append(tuples, relation.Tuple{s("212"), s("Boston")})
+	got := CFDs(sch, tuples, Options{MinCFDSupport: 3, MinCFDConfidence: 0.8})
+	var texts []string
+	for _, c := range got {
+		texts = append(texts, c.Format(sch))
+	}
+	wantNY := `AC = "212" => city = "NY"`
+	found := false
+	for _, g := range texts {
+		if g == wantNY {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing %s in %v", wantNY, texts)
+	}
+	// The dirty direction city→AC for Boston must not appear (support 1).
+	for _, g := range texts {
+		if g == `city = "Boston" => AC = "212"` {
+			t.Fatalf("low-support pattern mined: %v", texts)
+		}
+	}
+}
+
+func TestDiscoveredConstraintsDriveResolution(t *testing.T) {
+	// Mine constraints from synthetic ordered histories, then resolve the
+	// paper's Edith instance with them: the pipeline must reach the same
+	// status/kids conclusions as the hand-written rules.
+	sch := fixtures.PersonSchema()
+	s := relation.String
+	mk := func(status string, kids int64) relation.Tuple {
+		t := relation.NewTuple(sch)
+		t[sch.MustAttr("name")] = s("h")
+		t[sch.MustAttr("status")] = s(status)
+		t[sch.MustAttr("kids")] = relation.Int(kids)
+		return t
+	}
+	var tis []*model.TemporalInstance
+	for i := 0; i < 3; i++ {
+		tis = append(tis, historyInstance(sch, []relation.Tuple{
+			mk("working", 0), mk("retired", 1), mk("deceased", 2),
+		}))
+	}
+	sigma, _, err := FromDataset(sch, tis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := model.NewSpec(model.NewTemporal(fixtures.EdithInstance()), sigma, nil)
+	enc := encode.Build(spec, encode.Options{})
+	od, ok := core.DeduceOrder(enc)
+	if !ok {
+		t.Fatal("inconsistent")
+	}
+	tv := core.TrueValues(enc, od)
+	if v := tv[sch.MustAttr("status")]; v.String() != "deceased" {
+		t.Fatalf("status via mined rules = %v", v)
+	}
+	if v := tv[sch.MustAttr("kids")]; v.String() != "3" {
+		t.Fatalf("kids via mined rules = %v", v)
+	}
+}
+
+func TestFromDatasetErrors(t *testing.T) {
+	sch := relation.MustSchema("a")
+	if _, _, err := FromDataset(sch, nil, Options{}); err == nil {
+		t.Fatal("no instances must fail")
+	}
+	other := relation.MustSchema("x", "y")
+	in := relation.NewInstance(other)
+	in.MustAdd(relation.Tuple{relation.String("1"), relation.String("2")})
+	if _, _, err := FromDataset(sch, []*model.TemporalInstance{model.NewTemporal(in)}, Options{}); err == nil {
+		t.Fatal("schema mismatch must fail")
+	}
+}
+
+func TestMinSupportHonoured(t *testing.T) {
+	sch := relation.MustSchema("status")
+	s := relation.String
+	tis := []*model.TemporalInstance{
+		historyInstance(sch, []relation.Tuple{{s("a")}, {s("b")}}),
+	}
+	sigma, _, _ := FromDataset(sch, tis, Options{MinSupport: 2})
+	if len(sigma) != 0 {
+		t.Fatal("single observation must not clear MinSupport=2")
+	}
+	sigma, _, _ = FromDataset(sch, tis, Options{MinSupport: 1})
+	if len(sigma) != 1 {
+		t.Fatalf("MinSupport=1 should mine the transition, got %d", len(sigma))
+	}
+}

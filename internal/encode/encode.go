@@ -1,0 +1,669 @@
+// Package encode compiles a specification Se = (It, Σ, Γ) into the instance
+// constraints Ω(Se) and the CNF Φ(Se) of Fan et al. (ICDE 2013, Section V-A).
+//
+// A Boolean variable x^A_{a1 a2} stands for the value-level currency fact
+// a1 ≺v_A a2 ("a2 is more current than a1 in attribute A"). The encoding
+// comprises:
+//
+//  1. currency-order facts from the explicit edges of It, plus the implicit
+//     "null ranks lowest" edges;
+//  2. transitivity and asymmetry axioms making each ≺v_A a strict partial
+//     order;
+//  3. one instance constraint per currency constraint and tuple pair whose
+//     statically evaluable body conjuncts hold;
+//  4. for each constant CFD tp[X] → tp[B] and each b ∈ adom(B)\{tp[B]}, the
+//     clause ωX → b ≺v tp[B], where ωX asserts every active-domain X-value
+//     sits below the pattern.
+//
+// Two deviations from a literal reading of the paper, both documented in
+// DESIGN.md: (a) tuple pairs are grouped by their projection onto the
+// attributes a constraint actually references, which yields the same set of
+// instance constraints with far less work on large entity instances; and
+// (b) transitivity axioms are emitted in full only for attributes whose
+// active value set is small (TransitivityCap); larger attributes get a
+// sound sparse encoding (closed unit facts plus bridge clauses), which can
+// only under-constrain — the same direction of incompleteness the paper
+// accepts for its SAT reduction.
+package encode
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+	"conflictres/internal/sat"
+)
+
+// SourceKind tags where an instance constraint came from.
+type SourceKind uint8
+
+const (
+	// SrcOrder marks facts from explicit or implicit currency-order edges.
+	SrcOrder SourceKind = iota
+	// SrcCurrency marks instances of a currency constraint in Σ.
+	SrcCurrency
+	// SrcCFD marks instances of a constant CFD in Γ.
+	SrcCFD
+)
+
+// Source identifies the origin of an instance constraint.
+type Source struct {
+	Kind  SourceKind
+	Index int // index into Sigma (SrcCurrency) or Gamma (SrcCFD); -1 otherwise
+}
+
+// OrderLit is the atom dom[Attr][A1] ≺v_Attr dom[Attr][A2].
+type OrderLit struct {
+	Attr   relation.Attr
+	A1, A2 int // indices into the attribute's value domain
+}
+
+// Instance is one instance constraint of Ω(Se): Body → Head. Facts have an
+// empty body.
+type Instance struct {
+	Body []OrderLit
+	Head OrderLit
+	Src  Source
+}
+
+// Options tunes the encoder.
+type Options struct {
+	// TransitivityCap is the per-attribute active-value count up to which
+	// the full cubic transitivity axioms are emitted; above it the sparse
+	// encoding is used. Zero means the default (50).
+	TransitivityCap int
+	// NoProjectionDedup disables grouping tuples by constraint projection
+	// and instantiates over raw tuple pairs, the literal O(|Σ||It|²)
+	// reading of the paper. Identical output (instances are deduplicated
+	// either way); exists for the ablation benchmarks.
+	NoProjectionDedup bool
+}
+
+func (o Options) cap() int {
+	if o.TransitivityCap <= 0 {
+		return 50
+	}
+	return o.TransitivityCap
+}
+
+type pairKey struct {
+	attr relation.Attr
+	a1   int
+	a2   int
+}
+
+// Encoding is the compiled form of a specification. It owns the variable
+// mapping and can be extended with fresh variables after construction (the
+// Suggest algorithm asserts facts over pairs the original CNF never
+// mentioned; EnsureLit allocates them consistently, including asymmetry).
+type Encoding struct {
+	Spec   *model.Spec
+	Schema *relation.Schema
+
+	doms   [][]relation.Value // per attribute: active domain ∪ CFD constants
+	adomSz []int              // per attribute: |adom| (prefix of doms)
+	domIdx []map[string]int   // value key -> index in doms
+
+	varOf  map[pairKey]sat.Var
+	pairs  []pairKey // var -> pair
+	cnf    *sat.CNF
+	Omega  []Instance // facts + currency instances + CFD instances (no axioms)
+	Sparse bool       // true if any attribute used the sparse transitivity path
+}
+
+// valueKey canonicalizes a value for domain dedup: numerically equal
+// int/float collapse; strings and null are tagged.
+func valueKey(v relation.Value) string {
+	switch v.Kind() {
+	case relation.KindNull:
+		return "n"
+	case relation.KindString:
+		return "s:" + v.Str()
+	default:
+		return "f:" + relation.Float(asFloat(v)).String()
+	}
+}
+
+func asFloat(v relation.Value) float64 {
+	if v.Kind() == relation.KindInt {
+		return float64(v.Int64())
+	}
+	return v.Float64()
+}
+
+// Build compiles the specification. It never fails structurally (call
+// Spec.Validate first); contradictory order information simply yields an
+// unsatisfiable Φ(Se), which is precisely what IsValid detects.
+func Build(spec *model.Spec, opts Options) *Encoding {
+	e := &Encoding{
+		Spec:   spec,
+		Schema: spec.Schema(),
+		varOf:  make(map[pairKey]sat.Var),
+		cnf:    sat.NewCNF(0),
+	}
+	e.buildDomains()
+	e.emitOrderFacts()
+	if opts.NoProjectionDedup {
+		e.emitCurrencyInstancesNaive()
+	} else {
+		e.emitCurrencyInstances()
+	}
+	e.emitCFDInstances()
+	e.emitAxioms(opts.cap())
+	return e
+}
+
+// emitCurrencyInstancesNaive instantiates over all ordered tuple pairs — the
+// paper's literal algorithm; kept for ablation benchmarking.
+func (e *Encoding) emitCurrencyInstancesNaive() {
+	seen := make(map[string]bool)
+	in := e.Spec.TI.Inst
+	ids := in.TupleIDs()
+	for ci, c := range e.Spec.Sigma {
+		for _, id1 := range ids {
+			for _, id2 := range ids {
+				if id1 == id2 {
+					continue
+				}
+				e.instantiatePair(ci, c, in.Tuple(id1), in.Tuple(id2), seen)
+			}
+		}
+	}
+}
+
+// CNF returns Φ(Se). The encoding retains ownership; callers who mutate the
+// formula should Clone it first (EnsureLit may append asymmetry clauses).
+func (e *Encoding) CNF() *sat.CNF { return e.cnf }
+
+// Dom returns the value domain of attribute a: the active domain first (see
+// ADomSize), then CFD constants not occurring in the data.
+func (e *Encoding) Dom(a relation.Attr) []relation.Value { return e.doms[a] }
+
+// ADomSize returns |adom(Ie.a)|; Dom(a)[:ADomSize(a)] is the active domain.
+func (e *Encoding) ADomSize(a relation.Attr) int { return e.adomSz[a] }
+
+// ValueIndex resolves a value to its domain index for attribute a; ok is
+// false if the value is not in the domain.
+func (e *Encoding) ValueIndex(a relation.Attr, v relation.Value) (int, bool) {
+	i, ok := e.domIdx[a][valueKey(v)]
+	return i, ok
+}
+
+// NumVars returns the number of allocated order variables.
+func (e *Encoding) NumVars() int { return len(e.pairs) }
+
+// Pair maps a variable back to its order atom.
+func (e *Encoding) Pair(v sat.Var) OrderLit {
+	p := e.pairs[v]
+	return OrderLit{Attr: p.attr, A1: p.a1, A2: p.a2}
+}
+
+// LitFor returns the positive literal for the atom, if it was allocated.
+func (e *Encoding) LitFor(l OrderLit) (sat.Lit, bool) {
+	v, ok := e.varOf[pairKey{l.Attr, l.A1, l.A2}]
+	if !ok {
+		return 0, false
+	}
+	return sat.PosLit(v), true
+}
+
+// EnsureLit returns the positive literal for the atom, allocating the
+// variable (and the reverse-direction variable plus their asymmetry clause)
+// if needed. Appending to the CNF after Build is sound: new clauses only
+// constrain new variables.
+func (e *Encoding) EnsureLit(l OrderLit) sat.Lit {
+	k := pairKey{l.Attr, l.A1, l.A2}
+	if v, ok := e.varOf[k]; ok {
+		return sat.PosLit(v)
+	}
+	rk := pairKey{l.Attr, l.A2, l.A1}
+	v := e.newVar(k)
+	if rv, ok := e.varOf[rk]; ok {
+		e.cnf.Add(sat.NegLit(v), sat.NegLit(rv))
+	} else {
+		rv = e.newVar(rk)
+		e.cnf.Add(sat.NegLit(v), sat.NegLit(rv))
+	}
+	return sat.PosLit(v)
+}
+
+func (e *Encoding) newVar(k pairKey) sat.Var {
+	v := sat.Var(len(e.pairs))
+	e.varOf[k] = v
+	e.pairs = append(e.pairs, k)
+	if e.cnf.NVars < len(e.pairs) {
+		e.cnf.NVars = len(e.pairs)
+	}
+	return v
+}
+
+// litRaw allocates without asymmetry bookkeeping; used during Build, which
+// emits asymmetry axioms in one sweep afterwards.
+func (e *Encoding) litRaw(attr relation.Attr, a1, a2 int) sat.Lit {
+	k := pairKey{attr, a1, a2}
+	v, ok := e.varOf[k]
+	if !ok {
+		v = e.newVar(k)
+	}
+	return sat.PosLit(v)
+}
+
+func (e *Encoding) buildDomains() {
+	sch := e.Schema
+	n := sch.Len()
+	e.doms = make([][]relation.Value, n)
+	e.adomSz = make([]int, n)
+	e.domIdx = make([]map[string]int, n)
+	for a := 0; a < n; a++ {
+		e.domIdx[a] = make(map[string]int)
+	}
+	add := func(a relation.Attr, v relation.Value) int {
+		k := valueKey(v)
+		if i, ok := e.domIdx[a][k]; ok {
+			return i
+		}
+		i := len(e.doms[a])
+		e.doms[a] = append(e.doms[a], v)
+		e.domIdx[a][k] = i
+		return i
+	}
+	in := e.Spec.TI.Inst
+	for _, id := range in.TupleIDs() {
+		t := in.Tuple(id)
+		for a := 0; a < n; a++ {
+			add(relation.Attr(a), t[a])
+		}
+	}
+	for a := 0; a < n; a++ {
+		e.adomSz[a] = len(e.doms[a])
+	}
+	// CFD constants extend the domains past the active-domain prefix.
+	for _, cfd := range e.Spec.Gamma {
+		for i, a := range cfd.X {
+			add(a, cfd.PX[i])
+		}
+		add(cfd.B, cfd.VB)
+	}
+}
+
+// instKey canonicalizes an instance constraint for dedup.
+func instKey(inst Instance) string {
+	var b strings.Builder
+	lits := append([]OrderLit(nil), inst.Body...)
+	sort.Slice(lits, func(i, j int) bool {
+		if lits[i].Attr != lits[j].Attr {
+			return lits[i].Attr < lits[j].Attr
+		}
+		if lits[i].A1 != lits[j].A1 {
+			return lits[i].A1 < lits[j].A1
+		}
+		return lits[i].A2 < lits[j].A2
+	})
+	for _, l := range lits {
+		fmt.Fprintf(&b, "%d:%d<%d,", l.Attr, l.A1, l.A2)
+	}
+	fmt.Fprintf(&b, "=>%d:%d<%d", inst.Head.Attr, inst.Head.A1, inst.Head.A2)
+	return b.String()
+}
+
+// addInstance records the instance in Ω and emits its clause, deduplicating.
+func (e *Encoding) addInstance(inst Instance, seen map[string]bool) {
+	k := instKey(inst)
+	if seen[k] {
+		return
+	}
+	seen[k] = true
+	e.Omega = append(e.Omega, inst)
+	cl := make([]sat.Lit, 0, len(inst.Body)+1)
+	for _, l := range inst.Body {
+		cl = append(cl, e.litRaw(l.Attr, l.A1, l.A2).Not())
+	}
+	cl = append(cl, e.litRaw(inst.Head.Attr, inst.Head.A1, inst.Head.A2))
+	e.cnf.Add(cl...)
+}
+
+// emitOrderFacts encodes the currency orders of It (Section V-A (1)(a)):
+// explicit edges plus the implicit null-lowest edges.
+func (e *Encoding) emitOrderFacts() {
+	seen := make(map[string]bool)
+	in := e.Spec.TI.Inst
+	for _, edge := range e.Spec.TI.Edges {
+		v1 := in.Value(edge.T1, edge.Attr)
+		v2 := in.Value(edge.T2, edge.Attr)
+		if relation.Equal(v1, v2) {
+			continue // t1 ≼ t2 with equal values carries no value-level info
+		}
+		i1, _ := e.ValueIndex(edge.Attr, v1)
+		i2, _ := e.ValueIndex(edge.Attr, v2)
+		e.addInstance(Instance{Head: OrderLit{edge.Attr, i1, i2}, Src: Source{SrcOrder, -1}}, seen)
+	}
+	// Null ranks lowest: null ≺v a for every non-null active-domain value.
+	for a := 0; a < e.Schema.Len(); a++ {
+		attr := relation.Attr(a)
+		ni, ok := e.domIdx[a][valueKey(relation.Null)]
+		if !ok || ni >= e.adomSz[a] {
+			continue // no null among the data values
+		}
+		for i := 0; i < e.adomSz[a]; i++ {
+			if i == ni {
+				continue
+			}
+			e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, seen)
+		}
+	}
+}
+
+// refAttrs returns the attributes a currency constraint reads or writes.
+func refAttrs(c constraint.Currency) []relation.Attr {
+	set := map[relation.Attr]bool{c.Target: true}
+	for _, p := range c.Body {
+		switch p.Kind {
+		case constraint.PredCurrency:
+			set[p.Attr] = true
+		case constraint.PredCompare:
+			if !p.L.Const {
+				set[p.L.Attr] = true
+			}
+			if !p.R.Const {
+				set[p.R.Attr] = true
+			}
+		}
+	}
+	out := make([]relation.Attr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// emitCurrencyInstances instantiates each currency constraint over all tuple
+// pairs (Section V-A (2)), grouping tuples by their projection onto the
+// referenced attributes: two tuples with equal projections induce identical
+// instance constraints, so one representative per projection suffices.
+func (e *Encoding) emitCurrencyInstances() {
+	seen := make(map[string]bool)
+	in := e.Spec.TI.Inst
+	ids := in.TupleIDs()
+	for ci, c := range e.Spec.Sigma {
+		attrs := refAttrs(c)
+		// Distinct projections with multiplicities.
+		type proj struct {
+			rep   relation.Tuple
+			count int
+		}
+		var projs []proj
+		index := make(map[string]int)
+		var kb strings.Builder
+		for _, id := range ids {
+			t := in.Tuple(id)
+			kb.Reset()
+			for _, a := range attrs {
+				kb.WriteString(valueKey(t[a]))
+				kb.WriteByte('|')
+			}
+			k := kb.String()
+			if pi, ok := index[k]; ok {
+				projs[pi].count++
+			} else {
+				index[k] = len(projs)
+				projs = append(projs, proj{rep: t, count: 1})
+			}
+		}
+		for i := range projs {
+			for j := range projs {
+				if i == j && projs[i].count < 2 {
+					continue // needs two distinct tuples sharing the projection
+				}
+				e.instantiatePair(ci, c, projs[i].rep, projs[j].rep, seen)
+			}
+		}
+	}
+}
+
+// instantiatePair emits ins(ω, s1, s2) → s1[Ar] ≺v s2[Ar] if the instance is
+// non-vacuous. Currency-predicate atoms never involve null: a missing value
+// carries no order information through ≺-predicates (it ranks lowest by
+// convention, but that knowledge lives in the null-lowest facts, not in
+// constraint firing). Only comparison predicates treat null < k. Without
+// this rule, the framework's user-input tuple — null in every unanswered
+// attribute — would fire constraint bodies via null-lowest facts and rank
+// its own validated values below stale data (see DESIGN.md §5).
+func (e *Encoding) instantiatePair(ci int, c constraint.Currency, s1, s2 relation.Tuple, seen map[string]bool) {
+	h1, h2 := s1[c.Target], s2[c.Target]
+	if relation.Equal(h1, h2) {
+		return // consequent trivially satisfiable at the tuple level
+	}
+	if h1.IsNull() || h2.IsNull() {
+		return // null never appears in a currency atom
+	}
+	var body []OrderLit
+	for _, p := range c.Body {
+		switch p.Kind {
+		case constraint.PredCompare:
+			if p.L.Resolve(s1, s2).IsNull() || p.R.Resolve(s1, s2).IsNull() {
+				return // missing values never fire constraints
+			}
+			if !p.EvalCompare(s1, s2) {
+				return // statically false conjunct: instance vacuous
+			}
+		case constraint.PredCurrency:
+			v1, v2 := s1[p.Attr], s2[p.Attr]
+			if relation.Equal(v1, v2) {
+				return // strict order between equal values is impossible
+			}
+			if v1.IsNull() || v2.IsNull() {
+				return // null never appears in a currency atom
+			}
+			i1, _ := e.ValueIndex(p.Attr, v1)
+			i2, _ := e.ValueIndex(p.Attr, v2)
+			body = append(body, OrderLit{p.Attr, i1, i2})
+		}
+	}
+	i1, _ := e.ValueIndex(c.Target, h1)
+	i2, _ := e.ValueIndex(c.Target, h2)
+	e.addInstance(Instance{Body: body, Head: OrderLit{c.Target, i1, i2}, Src: Source{SrcCurrency, ci}}, seen)
+}
+
+// emitCFDInstances encodes each constant CFD (Section V-A (3)).
+func (e *Encoding) emitCFDInstances() {
+	seen := make(map[string]bool)
+	for gi, cfd := range e.Spec.Gamma {
+		// ωX: every other active-domain X-value sits below the pattern.
+		var omegaX []OrderLit
+		for xi, a := range cfd.X {
+			pi, _ := e.ValueIndex(a, cfd.PX[xi])
+			for i := 0; i < e.adomSz[a]; i++ {
+				if i == pi {
+					continue
+				}
+				omegaX = append(omegaX, OrderLit{a, i, pi})
+			}
+		}
+		bi, _ := e.ValueIndex(cfd.B, cfd.VB)
+		for i := 0; i < e.adomSz[cfd.B]; i++ {
+			if i == bi {
+				continue
+			}
+			e.addInstance(Instance{
+				Body: append([]OrderLit(nil), omegaX...),
+				Head: OrderLit{cfd.B, i, bi},
+				Src:  Source{SrcCFD, gi},
+			}, seen)
+		}
+	}
+}
+
+// emitAxioms adds asymmetry and transitivity (Section V-A (1)(b)(c)) over
+// each attribute's active values — the values actually mentioned by some
+// fact or instance constraint. Unmentioned values are unconstrained and can
+// be inserted anywhere in a completion, so axioms about them change nothing.
+func (e *Encoding) emitAxioms(transCap int) {
+	n := e.Schema.Len()
+	// Collect active value indices and fact edges per attribute.
+	active := make([]map[int]bool, n)
+	for a := range active {
+		active[a] = make(map[int]bool)
+	}
+	factEdges := make([]map[[2]int]bool, n)
+	condVals := make([]map[int]bool, n) // values in non-unit clauses
+	for a := range factEdges {
+		factEdges[a] = make(map[[2]int]bool)
+		condVals[a] = make(map[int]bool)
+	}
+	mark := func(l OrderLit, unit bool) {
+		active[l.Attr][l.A1] = true
+		active[l.Attr][l.A2] = true
+		if !unit {
+			condVals[l.Attr][l.A1] = true
+			condVals[l.Attr][l.A2] = true
+		}
+	}
+	for _, inst := range e.Omega {
+		unit := len(inst.Body) == 0
+		mark(inst.Head, unit)
+		if unit {
+			factEdges[inst.Head.Attr][[2]int{inst.Head.A1, inst.Head.A2}] = true
+		}
+		for _, l := range inst.Body {
+			mark(l, false)
+		}
+	}
+
+	for a := 0; a < n; a++ {
+		attr := relation.Attr(a)
+		vals := sortedKeys(active[a])
+		if len(vals) <= transCap {
+			e.emitFullAxioms(attr, vals)
+			continue
+		}
+		e.Sparse = true
+		e.emitSparseAxioms(attr, vals, factEdges[a], sortedKeys(condVals[a]), transCap)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// emitFullAxioms adds pairwise asymmetry and all-triples transitivity over
+// the given value indices.
+func (e *Encoding) emitFullAxioms(attr relation.Attr, vals []int) {
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			x := e.litRaw(attr, vals[i], vals[j])
+			y := e.litRaw(attr, vals[j], vals[i])
+			e.cnf.Add(x.Not(), y.Not())
+		}
+	}
+	for _, a1 := range vals {
+		for _, a2 := range vals {
+			if a1 == a2 {
+				continue
+			}
+			for _, a3 := range vals {
+				if a3 == a1 || a3 == a2 {
+					continue
+				}
+				e.cnf.Add(
+					e.litRaw(attr, a1, a2).Not(),
+					e.litRaw(attr, a2, a3).Not(),
+					e.litRaw(attr, a1, a3))
+			}
+		}
+	}
+}
+
+// emitSparseAxioms handles attributes with large active-value sets: the
+// transitive closure of the unit facts is materialized as additional unit
+// clauses (with a direct contradiction emitted on a fact cycle), full
+// axioms are restricted to the values occurring in conditional clauses, and
+// binary bridge clauses connect closed facts to those conditional values.
+func (e *Encoding) emitSparseAxioms(attr relation.Attr, vals []int, facts map[[2]int]bool, cond []int, transCap int) {
+	// Compact closure over the fact-touched values.
+	touched := map[int]int{}
+	var order []int
+	idx := func(v int) int {
+		if i, ok := touched[v]; ok {
+			return i
+		}
+		i := len(order)
+		touched[v] = i
+		order = append(order, v)
+		return i
+	}
+	type edge struct{ a, b int }
+	var edges []edge
+	for f := range facts {
+		edges = append(edges, edge{idx(f[0]), idx(f[1])})
+	}
+	m := len(order)
+	reach := make([]bool, m*m)
+	for _, ed := range edges {
+		reach[ed.a*m+ed.b] = true
+	}
+	for k := 0; k < m; k++ {
+		for i := 0; i < m; i++ {
+			if !reach[i*m+k] {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if reach[k*m+j] {
+					reach[i*m+j] = true
+				}
+			}
+		}
+	}
+	// Emit closed facts; a cycle yields an immediate contradiction.
+	for i := 0; i < m; i++ {
+		if reach[i*m+i] {
+			x := e.litRaw(attr, order[i], order[(i+1)%m])
+			e.cnf.Add(x)
+			e.cnf.Add(x.Not())
+			return
+		}
+		for j := 0; j < m; j++ {
+			if i != j && reach[i*m+j] {
+				e.cnf.Add(e.litRaw(attr, order[i], order[j]))
+				// Asymmetry with the reverse direction.
+				e.cnf.Add(e.litRaw(attr, order[j], order[i]).Not())
+			}
+		}
+	}
+	// Full axioms over conditional values (cap as a final safety net).
+	if len(cond) > transCap {
+		cond = cond[:transCap]
+	}
+	e.emitFullAxioms(attr, cond)
+	// Bridges: for each closed fact a≺b and conditional value c:
+	// b≺c ⇒ a≺c and c≺a ⇒ c≺b.
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j || !reach[i*m+j] {
+				continue
+			}
+			a, b := order[i], order[j]
+			for _, c := range cond {
+				if c == a || c == b {
+					continue
+				}
+				e.cnf.Add(e.litRaw(attr, b, c).Not(), e.litRaw(attr, a, c))
+				e.cnf.Add(e.litRaw(attr, c, a).Not(), e.litRaw(attr, c, b))
+			}
+		}
+	}
+}
+
+// FormatLit renders an order atom for diagnostics: "a1 <[attr] a2".
+func (e *Encoding) FormatLit(l OrderLit) string {
+	return fmt.Sprintf("%s <[%s] %s",
+		e.doms[l.Attr][l.A1], e.Schema.Name(l.Attr), e.doms[l.Attr][l.A2])
+}

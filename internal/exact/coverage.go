@@ -1,0 +1,81 @@
+package exact
+
+import (
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// MinCoverage solves the minimum coverage problem of Section IV exactly, by
+// exhaustive search: the smallest partial temporal order Ot (a set of
+// tuple-level edges) such that T(Se ⊕ Ot) exists, up to the given size
+// bound. It returns the edge set and true on success, or nil and false when
+// no Ot within the bound works (including when Se itself is invalid).
+//
+// The search space is the Σp2-complete problem's native one — all edge
+// subsets, each verified by completion enumeration — so this is strictly a
+// small-instance oracle for testing the heuristic pipeline (the Suggest
+// algorithm is the paper's practical answer).
+func (c *Checker) MinCoverage(maxSize int) ([]model.OrderEdge, bool) {
+	if !c.Valid() {
+		return nil, false
+	}
+	if c.hasTrueValue() {
+		return []model.OrderEdge{}, true
+	}
+	// Candidate edges: ordered tuple pairs per attribute whose values
+	// differ (equal-value edges carry no information).
+	var cands []model.OrderEdge
+	in := c.spec.TI.Inst
+	ids := in.TupleIDs()
+	for a := 0; a < c.sch.Len(); a++ {
+		attr := relation.Attr(a)
+		for _, t1 := range ids {
+			for _, t2 := range ids {
+				if t1 == t2 {
+					continue
+				}
+				v1, v2 := in.Value(t1, attr), in.Value(t2, attr)
+				if relation.Equal(v1, v2) || v1.IsNull() || v2.IsNull() {
+					continue
+				}
+				cands = append(cands, model.OrderEdge{Attr: attr, T1: t1, T2: t2})
+			}
+		}
+	}
+	for size := 1; size <= maxSize; size++ {
+		if edges, ok := c.searchCoverage(cands, nil, 0, size); ok {
+			return edges, true
+		}
+	}
+	return nil, false
+}
+
+func (c *Checker) searchCoverage(cands, chosen []model.OrderEdge, from, left int) ([]model.OrderEdge, bool) {
+	if left == 0 {
+		ext := c.spec.ExtendWithEdges(chosen)
+		chk, err := New(ext)
+		if err != nil {
+			return nil, false // cyclic base order: not a usable Ot
+		}
+		if !chk.Valid() {
+			return nil, false
+		}
+		if chk.hasTrueValue() {
+			return append([]model.OrderEdge(nil), chosen...), true
+		}
+		return nil, false
+	}
+	for i := from; i < len(cands); i++ {
+		if edges, ok := c.searchCoverage(cands, append(chosen, cands[i]), i+1, left-1); ok {
+			return edges, true
+		}
+	}
+	return nil, false
+}
+
+// hasTrueValue reports whether all valid completions agree on every
+// attribute's most current value.
+func (c *Checker) hasTrueValue() bool {
+	tv, ok := c.TrueValues()
+	return ok && len(tv) == c.sch.Len()
+}

@@ -1,0 +1,318 @@
+// Package exact implements the completion semantics of Fan et al.
+// (ICDE 2013, Section II) by brute force: it enumerates every completion
+// (one strict total order over each attribute's values) of a small
+// specification and checks validity, implication and true values directly
+// against the definitions.
+//
+// It is deliberately independent of the encode/sat pipeline — constraints
+// are re-evaluated from the AST for every completion — so tests can use it
+// as an oracle. Limitations (checked by New): every CFD constant must occur
+// in the active domain, and the product of linear-extension counts must stay
+// under a budget.
+//
+// Null semantics mirror the encoder: null ranks below every value, a
+// currency atom whose more-current side is null is unsatisfiable, and a
+// constraint instance requiring one is vacuous (see DESIGN.md).
+package exact
+
+import (
+	"fmt"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/porder"
+	"conflictres/internal/relation"
+)
+
+// MaxCompletions bounds the enumeration (product over attributes of
+// linear-extension counts).
+const MaxCompletions = 2_000_000
+
+// Checker enumerates completions of one specification.
+type Checker struct {
+	spec *model.Spec
+	sch  *relation.Schema
+
+	doms [][]relation.Value // per attribute: active domain
+	base []*porder.Order    // per attribute: facts (edges + null-lowest)
+
+	// enumeration state
+	orders []([]int) // per attribute: current total order (positions)
+	pos    [][]int   // pos[a][valueIdx] = rank in current order
+}
+
+// New builds a checker. It fails when a CFD constant is outside the active
+// domain or when the completion space exceeds MaxCompletions.
+func New(spec *model.Spec) (*Checker, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Checker{spec: spec, sch: spec.Schema()}
+	in := spec.TI.Inst
+	n := c.sch.Len()
+	c.doms = make([][]relation.Value, n)
+	for a := 0; a < n; a++ {
+		c.doms[a] = in.ActiveDomain(relation.Attr(a))
+	}
+	// Base orders: explicit edges plus null-lowest.
+	c.base = make([]*porder.Order, n)
+	total := 1
+	for a := 0; a < n; a++ {
+		c.base[a] = porder.New(len(c.doms[a]))
+	}
+	for _, e := range spec.TI.Edges {
+		v1 := in.Value(e.T1, e.Attr)
+		v2 := in.Value(e.T2, e.Attr)
+		if relation.Equal(v1, v2) {
+			continue
+		}
+		i1, i2 := c.valueIndex(e.Attr, v1), c.valueIndex(e.Attr, v2)
+		if err := c.base[e.Attr].Add(i1, i2); err != nil {
+			// A directly cyclic base order has no completion at all; record
+			// via an impossible marker: base stays, Valid() will see zero
+			// completions because LinearExtensions of a poset never
+			// contradicts — so instead mark explicitly.
+			return nil, fmt.Errorf("exact: base currency order is cyclic on %s: %w", c.sch.Name(e.Attr), err)
+		}
+	}
+	for a := 0; a < n; a++ {
+		ni := c.nullIndex(relation.Attr(a))
+		if ni < 0 {
+			continue
+		}
+		for i := range c.doms[a] {
+			if i != ni {
+				c.base[a].MustAdd(ni, i)
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		cnt, capped := c.base[a].CountLinearExtensions(MaxCompletions)
+		if capped {
+			return nil, fmt.Errorf("exact: attribute %s alone has too many completions", c.sch.Name(relation.Attr(a)))
+		}
+		if total > MaxCompletions/max(cnt, 1) {
+			return nil, fmt.Errorf("exact: completion space exceeds %d", MaxCompletions)
+		}
+		total *= max(cnt, 1)
+	}
+	return c, nil
+}
+
+func (c *Checker) valueIndex(a relation.Attr, v relation.Value) int {
+	for i, d := range c.doms[a] {
+		if relation.Equal(d, v) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Checker) nullIndex(a relation.Attr) int {
+	return c.valueIndex(a, relation.Null)
+}
+
+// enumerate calls fn for every completion; fn returns false to stop early.
+// It reports whether enumeration ran to completion.
+func (c *Checker) enumerate(fn func() bool) bool {
+	n := c.sch.Len()
+	c.orders = make([][]int, n)
+	c.pos = make([][]int, n)
+	var rec func(a int) bool
+	rec = func(a int) bool {
+		if a == n {
+			return fn()
+		}
+		return c.base[a].LinearExtensions(func(perm []int) bool {
+			c.orders[a] = perm
+			p := make([]int, len(perm))
+			for rank, v := range perm {
+				p[v] = rank
+			}
+			c.pos[a] = p
+			return rec(a + 1)
+		})
+	}
+	return rec(0)
+}
+
+// less reports v1 ≺ v2 under the current completion for currency-predicate
+// purposes: equal values are never strictly ordered and null never appears
+// in a currency atom (matching the encoder; see DESIGN.md §5).
+func (c *Checker) less(a relation.Attr, v1, v2 relation.Value) bool {
+	if relation.Equal(v1, v2) || v1.IsNull() || v2.IsNull() {
+		return false
+	}
+	i1, i2 := c.valueIndex(a, v1), c.valueIndex(a, v2)
+	return c.pos[a][i1] < c.pos[a][i2]
+}
+
+// satisfied checks all constraints under the current completion.
+func (c *Checker) satisfied() bool {
+	in := c.spec.TI.Inst
+	ids := in.TupleIDs()
+	for _, cc := range c.spec.Sigma {
+		for _, id1 := range ids {
+			for _, id2 := range ids {
+				if id1 == id2 {
+					continue
+				}
+				s1, s2 := in.Tuple(id1), in.Tuple(id2)
+				if !c.currencyHolds(cc, s1, s2) {
+					return false
+				}
+			}
+		}
+	}
+	for _, cfd := range c.spec.Gamma {
+		if !c.cfdHolds(cfd) {
+			return false
+		}
+	}
+	return true
+}
+
+// currencyHolds evaluates one currency constraint on one ordered tuple pair
+// under the current completion.
+func (c *Checker) currencyHolds(cc constraint.Currency, s1, s2 relation.Tuple) bool {
+	for _, p := range cc.Body {
+		switch p.Kind {
+		case constraint.PredCompare:
+			if p.L.Resolve(s1, s2).IsNull() || p.R.Resolve(s1, s2).IsNull() {
+				return true // missing values never fire constraints
+			}
+			if !p.EvalCompare(s1, s2) {
+				return true // body false: vacuously satisfied
+			}
+		case constraint.PredCurrency:
+			if !c.less(p.Attr, s1[p.Attr], s2[p.Attr]) {
+				return true
+			}
+		}
+	}
+	h1, h2 := s1[cc.Target], s2[cc.Target]
+	if relation.Equal(h1, h2) || h1.IsNull() || h2.IsNull() {
+		return true // head vacuous (see package doc)
+	}
+	return c.less(cc.Target, h1, h2)
+}
+
+// cfdHolds checks one constant CFD: if every pattern value tops its
+// attribute (outranks all other active-domain values), the consequent value
+// must top its attribute. Pattern constants outside the active domain can
+// never be current, making the CFD vacuous; a consequent constant outside
+// the active domain makes every firing completion invalid (the data offers
+// no tuple carrying the repaired value).
+func (c *Checker) cfdHolds(cfd constraint.CFD) bool {
+	for i, a := range cfd.X {
+		if !c.tops(a, cfd.PX[i]) {
+			return true // pattern not current: vacuous
+		}
+	}
+	return c.tops(cfd.B, cfd.VB)
+}
+
+// tops reports whether v outranks every other active-domain value of a
+// under the current completion; values outside the active domain never top.
+func (c *Checker) tops(a relation.Attr, v relation.Value) bool {
+	vi := c.valueIndex(a, v)
+	if vi < 0 {
+		return false
+	}
+	for i := range c.doms[a] {
+		if i != vi && c.pos[a][i] >= c.pos[a][vi] {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether at least one completion satisfies Σ and Γ.
+func (c *Checker) Valid() bool {
+	found := false
+	c.enumerate(func() bool {
+		if c.satisfied() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CountValid counts the valid completions.
+func (c *Checker) CountValid() int {
+	count := 0
+	c.enumerate(func() bool {
+		if c.satisfied() {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// TrueValues returns, for each attribute on which every valid completion
+// agrees, the agreed most-current value. The second result is false when
+// the specification is invalid (no valid completion).
+func (c *Checker) TrueValues() (map[relation.Attr]relation.Value, bool) {
+	first := true
+	agreed := make(map[relation.Attr]relation.Value)
+	disagreed := make(map[relation.Attr]bool)
+	any := false
+	c.enumerate(func() bool {
+		if !c.satisfied() {
+			return true
+		}
+		any = true
+		for a := 0; a < c.sch.Len(); a++ {
+			attr := relation.Attr(a)
+			top := c.doms[a][c.orders[a][len(c.orders[a])-1]]
+			if first {
+				agreed[attr] = top
+				continue
+			}
+			if v, ok := agreed[attr]; ok && !relation.Equal(v, top) {
+				delete(agreed, attr)
+				disagreed[attr] = true
+			}
+		}
+		first = false
+		return true
+	})
+	if !any {
+		return nil, false
+	}
+	return agreed, true
+}
+
+// Implies reports whether every valid completion places v1 strictly before
+// v2 in attribute a (the implication problem, Section IV). It returns false
+// for invalid specifications.
+func (c *Checker) Implies(a relation.Attr, v1, v2 relation.Value) bool {
+	i1, i2 := c.valueIndex(a, v1), c.valueIndex(a, v2)
+	if i1 < 0 || i2 < 0 || i1 == i2 {
+		return false
+	}
+	holds := true
+	any := false
+	c.enumerate(func() bool {
+		if !c.satisfied() {
+			return true
+		}
+		any = true
+		if c.pos[a][i1] >= c.pos[a][i2] {
+			holds = false
+			return false
+		}
+		return true
+	})
+	return any && holds
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package exact
+
+import (
+	"testing"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/fixtures"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+func TestEdithValidAndTrueValues(t *testing.T) {
+	c, err := New(fixtures.EdithSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() {
+		t.Fatal("Edith's specification is valid by enumeration")
+	}
+	tv, ok := c.TrueValues()
+	if !ok {
+		t.Fatal("no valid completion")
+	}
+	sch := fixtures.PersonSchema()
+	truth := fixtures.EdithTruth()
+	for _, a := range sch.Attrs() {
+		v, got := tv[a]
+		if !got {
+			t.Fatalf("attribute %s has no agreed true value", sch.Name(a))
+		}
+		if !relation.Equal(v, truth[a]) {
+			t.Fatalf("attribute %s = %v, want %v", sch.Name(a), v, truth[a])
+		}
+	}
+}
+
+func TestGeorgePartialTrueValues(t *testing.T) {
+	c, err := New(fixtures.GeorgeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, ok := c.TrueValues()
+	if !ok {
+		t.Fatal("George's specification is valid")
+	}
+	sch := fixtures.PersonSchema()
+	name, kids := sch.MustAttr("name"), sch.MustAttr("kids")
+	if _, got := tv[name]; !got {
+		t.Fatal("name must be agreed")
+	}
+	if v := tv[kids]; !relation.Equal(v, relation.Int(2)) {
+		t.Fatalf("kids = %v, want 2", v)
+	}
+	if _, got := tv[sch.MustAttr("status")]; got {
+		t.Fatal("status must be ambiguous for George (Example 3)")
+	}
+	if _, got := tv[sch.MustAttr("city")]; got {
+		t.Fatal("city must be ambiguous for George")
+	}
+}
+
+func TestGeorgeImplication(t *testing.T) {
+	c, err := New(fixtures.GeorgeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := fixtures.PersonSchema()
+	job := sch.MustAttr("job")
+	// phi3 forces sailor ≺ veteran in every valid completion.
+	if !c.Implies(job, relation.String("sailor"), relation.String("veteran")) {
+		t.Fatal("sailor ≺ veteran must be implied")
+	}
+	// n/a vs veteran is open until status is known.
+	if c.Implies(job, relation.String("n/a"), relation.String("veteran")) {
+		t.Fatal("n/a ≺ veteran must not be implied")
+	}
+	if c.Implies(job, relation.String("veteran"), relation.String("sailor")) {
+		t.Fatal("reverse implication must fail")
+	}
+}
+
+func TestInvalidByExplicitOrder(t *testing.T) {
+	spec := fixtures.EdithSpec()
+	status := spec.Schema().MustAttr("status")
+	// r3 (deceased) claimed less current than r1 (working): contradiction
+	// with the phi1/phi2 chain.
+	if err := spec.TI.AddOrder(status, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Fatal("contradictory explicit order must be invalid")
+	}
+	if _, ok := c.TrueValues(); ok {
+		t.Fatal("TrueValues must report invalidity")
+	}
+}
+
+func TestCountValid(t *testing.T) {
+	// Two tuples, one attribute, no constraints: the two orders of the two
+	// values are both valid.
+	sch := relation.MustSchema("a")
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{relation.String("x")})
+	in.MustAdd(relation.Tuple{relation.String("y")})
+	spec := model.NewSpec(model.NewTemporal(in), nil, nil)
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CountValid(); got != 2 {
+		t.Fatalf("CountValid = %d, want 2", got)
+	}
+}
+
+func TestCFDOutsideAdom(t *testing.T) {
+	sch := relation.MustSchema("a", "b")
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{relation.String("x"), relation.String("u")})
+	in.MustAdd(relation.Tuple{relation.String("y"), relation.String("w")})
+
+	// Pattern constant outside adom: the CFD can never fire; spec is valid.
+	gamma := []constraint.CFD{constraint.MustCFD(sch, `a = "zz" => b = "u"`)}
+	spec := model.NewSpec(model.NewTemporal(in), nil, gamma)
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Valid() {
+		t.Fatal("unfireable CFD must leave the spec valid")
+	}
+
+	// Consequent outside adom with a fireable pattern: completions where the
+	// pattern tops are invalid, others remain valid.
+	gamma2 := []constraint.CFD{constraint.MustCFD(sch, `a = "x" => b = "zz"`)}
+	spec2 := model.NewSpec(model.NewTemporal(in.Clone()), nil, gamma2)
+	c2, err := New(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 values per attribute: 4 completions, the two with x on top of a are
+	// invalid.
+	if got := c2.CountValid(); got != 2 {
+		t.Fatalf("CountValid = %d, want 2", got)
+	}
+}
+
+func TestCyclicBaseOrderRejected(t *testing.T) {
+	sch := relation.MustSchema("a")
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{relation.String("x")})
+	in.MustAdd(relation.Tuple{relation.String("y")})
+	ti := model.NewTemporal(in)
+	ti.AddOrder(0, 0, 1)
+	ti.AddOrder(0, 1, 0)
+	if _, err := New(model.NewSpec(ti, nil, nil)); err == nil {
+		t.Fatal("cyclic base order must be rejected")
+	}
+}
+
+// TestLemma5Gap checks that the exact checker rejects the gap instance.
+func TestLemma5Gap(t *testing.T) {
+	c, err := New(GapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Valid() {
+		t.Fatal("gap instance must be invalid under completion semantics")
+	}
+}

@@ -1,0 +1,30 @@
+package exact
+
+import (
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// GapSpec is the adversarial instance documented in DESIGN.md exhibiting the
+// one-sided gap in the paper's Lemma 5 reduction. The single constraint
+// "t1 <[p] t2 -> t1 <[q] t2" instantiates on (t0,t1) as e≺f ⇒ g≺h and on
+// (t2,t3) as f≺e ⇒ g≺h, while the explicit currency order pins h ≺ g. Every
+// completion orders e and f one way or the other, so one of the two bodies
+// always fires and g≺h clashes with the base fact: the specification is
+// invalid. Φ(Se), however, is satisfiable with both bodies false.
+func GapSpec() *model.Spec {
+	sch := relation.MustSchema("p", "q")
+	s := relation.String
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{s("e"), s("g")}) // t0
+	in.MustAdd(relation.Tuple{s("f"), s("h")}) // t1
+	in.MustAdd(relation.Tuple{s("f"), s("g")}) // t2
+	in.MustAdd(relation.Tuple{s("e"), s("h")}) // t3
+	ti := model.NewTemporal(in)
+	ti.MustOrder(sch.MustAttr("q"), 1, 0) // base fact h ≺ g
+	sigma := []constraint.Currency{
+		constraint.MustCurrency(sch, `t1 <[p] t2 -> t1 <[q] t2`),
+	}
+	return model.NewSpec(ti, sigma, nil)
+}

@@ -1,0 +1,102 @@
+// Package fixtures provides the running example of Fan et al. (ICDE 2013):
+// the schema of Figure 2, the entity instances E1 (Edith Shain) and E2
+// (George Mendonça), and the currency constraints ϕ1–ϕ8 and constant CFDs
+// ψ1–ψ2 of Figure 3. Tests, examples and documentation all build on it.
+package fixtures
+
+import (
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// PersonSchema is the schema of Figure 2:
+// (name, status, job, kids, city, AC, zip, county).
+func PersonSchema() *relation.Schema {
+	return relation.MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
+}
+
+// EdithTruth is the true tuple the paper derives for Edith in Example 2.
+func EdithTruth() relation.Tuple {
+	return relation.Tuple{
+		relation.String("Edith Shain"), relation.String("deceased"), relation.String("n/a"),
+		relation.Int(3), relation.String("LA"), relation.String("213"),
+		relation.String("90058"), relation.String("Vermont"),
+	}
+}
+
+// GeorgeTruth is the true tuple of Example 6.
+func GeorgeTruth() relation.Tuple {
+	return relation.Tuple{
+		relation.String("George Mendonca"), relation.String("retired"), relation.String("veteran"),
+		relation.Int(2), relation.String("NY"), relation.String("212"),
+		relation.String("12404"), relation.String("Accord"),
+	}
+}
+
+// EdithInstance is E1 of Figure 2.
+func EdithInstance() *relation.Instance {
+	sch := PersonSchema()
+	in := relation.NewInstance(sch)
+	s := relation.String
+	in.MustAdd(relation.Tuple{s("Edith Shain"), s("working"), s("nurse"), relation.Int(0),
+		s("NY"), s("212"), s("10036"), s("Manhattan")})
+	in.MustAdd(relation.Tuple{s("Edith Shain"), s("retired"), s("n/a"), relation.Int(3),
+		s("SFC"), s("415"), s("94924"), s("Dogtown")})
+	in.MustAdd(relation.Tuple{s("Edith Shain"), s("deceased"), s("n/a"), relation.Null,
+		s("LA"), s("213"), s("90058"), s("Vermont")})
+	return in
+}
+
+// GeorgeInstance is E2 of Figure 2.
+func GeorgeInstance() *relation.Instance {
+	sch := PersonSchema()
+	in := relation.NewInstance(sch)
+	s := relation.String
+	in.MustAdd(relation.Tuple{s("George Mendonca"), s("working"), s("sailor"), relation.Int(0),
+		s("Newport"), s("401"), s("02840"), s("Rhode Island")})
+	in.MustAdd(relation.Tuple{s("George Mendonca"), s("retired"), s("veteran"), relation.Int(2),
+		s("NY"), s("212"), s("12404"), s("Accord")})
+	in.MustAdd(relation.Tuple{s("George Mendonca"), s("unemployed"), s("n/a"), relation.Int(2),
+		s("Chicago"), s("312"), s("60653"), s("Bronzeville")})
+	return in
+}
+
+// Sigma is ϕ1–ϕ8 of Figure 3.
+func Sigma() []constraint.Currency {
+	sch := PersonSchema()
+	lines := []string{
+		`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,  // ϕ1
+		`t1[status] = "retired" & t2[status] = "deceased" -> t1 <[status] t2`, // ϕ2
+		`t1[job] = "sailor" & t2[job] = "veteran" -> t1 <[job] t2`,            // ϕ3
+		`t1[kids] < t2[kids] -> t1 <[kids] t2`,                                // ϕ4
+		`t1 <[status] t2 -> t1 <[job] t2`,                                     // ϕ5
+		`t1 <[status] t2 -> t1 <[AC] t2`,                                      // ϕ6
+		`t1 <[status] t2 -> t1 <[zip] t2`,                                     // ϕ7
+		`t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`,                     // ϕ8
+	}
+	out := make([]constraint.Currency, len(lines))
+	for i, l := range lines {
+		out[i] = constraint.MustCurrency(sch, l)
+	}
+	return out
+}
+
+// Gamma is ψ1–ψ2 of Figure 3.
+func Gamma() []constraint.CFD {
+	sch := PersonSchema()
+	return []constraint.CFD{
+		constraint.MustCFD(sch, `AC = "213" => city = "LA"`), // ψ1
+		constraint.MustCFD(sch, `AC = "212" => city = "NY"`), // ψ2
+	}
+}
+
+// EdithSpec bundles E1 with Σ and Γ.
+func EdithSpec() *model.Spec {
+	return model.NewSpec(model.NewTemporal(EdithInstance()), Sigma(), Gamma())
+}
+
+// GeorgeSpec bundles E2 with Σ and Γ.
+func GeorgeSpec() *model.Spec {
+	return model.NewSpec(model.NewTemporal(GeorgeInstance()), Sigma(), Gamma())
+}

@@ -1,0 +1,103 @@
+// Package metrics implements the accuracy measures of the paper's
+// experimental study (Section VI): precision is the ratio of correctly
+// deduced values to all deduced values, recall the ratio of correctly
+// deduced values to all attributes with conflicts or stale values, and
+// F-measure their harmonic mean.
+package metrics
+
+import (
+	"fmt"
+
+	"conflictres/internal/relation"
+)
+
+// Counts accumulates raw tallies across entities (micro-averaging).
+type Counts struct {
+	// Deduced is the number of attribute values the method produced for
+	// attributes that needed resolution.
+	Deduced int
+	// Correct is how many of those equal the ground truth.
+	Correct int
+	// Need is the number of attributes with conflicts or stale values.
+	Need int
+}
+
+// Add accumulates another tally.
+func (c *Counts) Add(o Counts) {
+	c.Deduced += o.Deduced
+	c.Correct += o.Correct
+	c.Need += o.Need
+}
+
+// Precision returns Correct/Deduced (1 when nothing was deduced).
+func (c Counts) Precision() float64 {
+	if c.Deduced == 0 {
+		return 1
+	}
+	return float64(c.Correct) / float64(c.Deduced)
+}
+
+// Recall returns Correct/Need (1 when nothing needed resolution).
+func (c Counts) Recall() float64 {
+	if c.Need == 0 {
+		return 1
+	}
+	return float64(c.Correct) / float64(c.Need)
+}
+
+// F returns the F-measure 2PR/(P+R).
+func (c Counts) F() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (c Counts) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F=%.3f (deduced %d, correct %d, need %d)",
+		c.Precision(), c.Recall(), c.F(), c.Deduced, c.Correct, c.Need)
+}
+
+// NeedsResolution reports whether attribute a of the instance requires
+// conflict resolution against the given truth: it carries more than one
+// distinct value, or its single value is stale (differs from the truth).
+func NeedsResolution(in *relation.Instance, a relation.Attr, truth relation.Tuple) bool {
+	dom := in.ActiveDomain(a)
+	if len(dom) > 1 {
+		return true
+	}
+	return len(dom) == 1 && !relation.Equal(dom[0], truth[a])
+}
+
+// Evaluate scores a resolved (possibly partial) tuple against the ground
+// truth. Only attributes needing resolution count; resolved[a] present
+// means the method committed to a value for a.
+func Evaluate(in *relation.Instance, resolved map[relation.Attr]relation.Value, truth relation.Tuple) Counts {
+	var c Counts
+	for _, a := range in.Schema().Attrs() {
+		if !NeedsResolution(in, a, truth) {
+			continue
+		}
+		c.Need++
+		v, ok := resolved[a]
+		if !ok {
+			continue
+		}
+		c.Deduced++
+		if relation.Equal(v, truth[a]) {
+			c.Correct++
+		}
+	}
+	return c
+}
+
+// EvaluateTuple scores a fully materialized tuple (e.g. a Pick baseline
+// result) where every attribute is committed.
+func EvaluateTuple(in *relation.Instance, got, truth relation.Tuple) Counts {
+	resolved := make(map[relation.Attr]relation.Value, len(got))
+	for a := range got {
+		resolved[relation.Attr(a)] = got[a]
+	}
+	return Evaluate(in, resolved, truth)
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"conflictres/internal/relation"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestCountsMath(t *testing.T) {
+	c := Counts{Deduced: 4, Correct: 3, Need: 6}
+	if !almost(c.Precision(), 0.75) {
+		t.Fatalf("P = %v", c.Precision())
+	}
+	if !almost(c.Recall(), 0.5) {
+		t.Fatalf("R = %v", c.Recall())
+	}
+	want := 2 * 0.75 * 0.5 / (0.75 + 0.5)
+	if !almost(c.F(), want) {
+		t.Fatalf("F = %v, want %v", c.F(), want)
+	}
+}
+
+func TestCountsEdgeCases(t *testing.T) {
+	zero := Counts{}
+	if zero.Precision() != 1 || zero.Recall() != 1 {
+		t.Fatal("empty counts define P = R = 1")
+	}
+	bad := Counts{Deduced: 3, Correct: 0, Need: 3}
+	if bad.F() != 0 {
+		t.Fatalf("all-wrong F = %v", bad.F())
+	}
+}
+
+func TestCountsAdd(t *testing.T) {
+	a := Counts{Deduced: 1, Correct: 1, Need: 2}
+	a.Add(Counts{Deduced: 2, Correct: 1, Need: 3})
+	if a.Deduced != 3 || a.Correct != 2 || a.Need != 5 {
+		t.Fatalf("Add broken: %+v", a)
+	}
+}
+
+func buildInstance(t *testing.T) (*relation.Instance, relation.Tuple) {
+	t.Helper()
+	sch := relation.MustSchema("a", "b", "c", "d")
+	in := relation.NewInstance(sch)
+	// a: conflicting; b: single and correct; c: single but stale; d: single
+	// and correct.
+	in.MustAdd(relation.Tuple{relation.String("x"), relation.Int(1), relation.String("old"), relation.String("k")})
+	in.MustAdd(relation.Tuple{relation.String("y"), relation.Int(1), relation.String("old"), relation.String("k")})
+	truth := relation.Tuple{relation.String("y"), relation.Int(1), relation.String("new"), relation.String("k")}
+	return in, truth
+}
+
+func TestNeedsResolution(t *testing.T) {
+	in, truth := buildInstance(t)
+	sch := in.Schema()
+	cases := map[string]bool{"a": true, "b": false, "c": true, "d": false}
+	for name, want := range cases {
+		if got := NeedsResolution(in, sch.MustAttr(name), truth); got != want {
+			t.Errorf("NeedsResolution(%s) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	in, truth := buildInstance(t)
+	sch := in.Schema()
+	resolved := map[relation.Attr]relation.Value{
+		sch.MustAttr("a"): relation.String("y"),   // correct
+		sch.MustAttr("b"): relation.Int(1),        // not counted: no conflict
+		sch.MustAttr("c"): relation.String("old"), // wrong (stale)
+	}
+	c := Evaluate(in, resolved, truth)
+	if c.Need != 2 || c.Deduced != 2 || c.Correct != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	in, truth := buildInstance(t)
+	sch := in.Schema()
+	resolved := map[relation.Attr]relation.Value{
+		sch.MustAttr("a"): relation.String("y"),
+	}
+	c := Evaluate(in, resolved, truth)
+	if c.Need != 2 || c.Deduced != 1 || c.Correct != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if !almost(c.Precision(), 1) || !almost(c.Recall(), 0.5) {
+		t.Fatalf("P=%v R=%v", c.Precision(), c.Recall())
+	}
+}
+
+func TestEvaluateTuple(t *testing.T) {
+	in, truth := buildInstance(t)
+	got := relation.Tuple{relation.String("x"), relation.Int(1), relation.String("new"), relation.String("k")}
+	c := EvaluateTuple(in, got, truth)
+	// a wrong, c correct.
+	if c.Need != 2 || c.Deduced != 2 || c.Correct != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+func TestString(t *testing.T) {
+	if (Counts{}).String() == "" {
+		t.Fatal("String must render")
+	}
+}

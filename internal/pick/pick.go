@@ -1,0 +1,183 @@
+// Package pick implements the traditional conflict-resolution baselines the
+// paper compares against (Section VI and the data-fusion survey it cites):
+// strategies that select one value per attribute without currency/
+// consistency reasoning. The paper's favoured variant ("Pick") restricts
+// random choice to values that are not less current than any other value
+// under the comparison-only currency constraints.
+package pick
+
+import (
+	"math/rand"
+	"sort"
+
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// Strategy selects one value from an attribute's candidates.
+type Strategy int
+
+const (
+	// Any picks uniformly at random among the attribute's values.
+	Any Strategy = iota
+	// First picks the first value in tuple order.
+	First
+	// Max picks the largest value under relation.Compare.
+	Max
+	// Min picks the smallest non-null value (null only if alone).
+	Min
+	// Vote picks the most frequent value (ties broken by first occurrence).
+	Vote
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Any:
+		return "any"
+	case First:
+		return "first"
+	case Max:
+		return "max"
+	case Min:
+		return "min"
+	case Vote:
+		return "vote"
+	default:
+		return "unknown"
+	}
+}
+
+// Fuse resolves an entity instance with a traditional strategy, one
+// attribute at a time.
+func Fuse(in *relation.Instance, strat Strategy, seed int64) relation.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	sch := in.Schema()
+	out := relation.NewTuple(sch)
+	for _, a := range sch.Attrs() {
+		out[a] = fuseAttr(in, a, strat, rng)
+	}
+	return out
+}
+
+func fuseAttr(in *relation.Instance, a relation.Attr, strat Strategy, rng *rand.Rand) relation.Value {
+	dom := in.ActiveDomain(a)
+	if len(dom) == 0 {
+		return relation.Null
+	}
+	switch strat {
+	case Any:
+		return dom[rng.Intn(len(dom))]
+	case First:
+		return in.Value(0, a)
+	case Max:
+		best := dom[0]
+		for _, v := range dom[1:] {
+			if relation.Compare(v, best) > 0 {
+				best = v
+			}
+		}
+		return best
+	case Min:
+		var best relation.Value
+		haveNonNull := false
+		for _, v := range dom {
+			if v.IsNull() {
+				continue
+			}
+			if !haveNonNull || relation.Compare(v, best) < 0 {
+				best = v
+				haveNonNull = true
+			}
+		}
+		if !haveNonNull {
+			return relation.Null
+		}
+		return best
+	case Vote:
+		counts := make(map[int]int, len(dom))
+		for _, id := range in.TupleIDs() {
+			v := in.Value(id, a)
+			for i, d := range dom {
+				if relation.Equal(v, d) {
+					counts[i]++
+					break
+				}
+			}
+		}
+		bestI := 0
+		for i := range dom {
+			if counts[i] > counts[bestI] {
+				bestI = i
+			}
+		}
+		return dom[bestI]
+	default:
+		return dom[0]
+	}
+}
+
+// Pick is the paper's favoured baseline: for each attribute it computes the
+// dominance facts derivable from comparison-only currency constraints
+// (bodies with no ≺-predicates) and picks uniformly at random among the
+// values not dominated by any other value. Attributes without applicable
+// constraints degrade to a uniform random pick.
+func Pick(spec *model.Spec, seed int64) relation.Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	sch := spec.Schema()
+	in := spec.TI.Inst
+	out := relation.NewTuple(sch)
+
+	// dominated[attr] holds value keys dominated under comparison-only
+	// constraints.
+	dominated := make([]map[string]bool, sch.Len())
+	for i := range dominated {
+		dominated[i] = make(map[string]bool)
+	}
+	ids := in.TupleIDs()
+	for _, c := range spec.Sigma {
+		if !c.ComparisonOnly() {
+			continue
+		}
+		for _, id1 := range ids {
+			for _, id2 := range ids {
+				if id1 == id2 {
+					continue
+				}
+				s1, s2 := in.Tuple(id1), in.Tuple(id2)
+				v1, v2 := s1[c.Target], s2[c.Target]
+				if relation.Equal(v1, v2) || v1.IsNull() || v2.IsNull() {
+					continue
+				}
+				fires := true
+				for _, p := range c.Body {
+					if p.L.Resolve(s1, s2).IsNull() || p.R.Resolve(s1, s2).IsNull() ||
+						!p.EvalCompare(s1, s2) {
+						fires = false
+						break
+					}
+				}
+				if fires {
+					dominated[c.Target][v1.Quote()] = true
+				}
+			}
+		}
+	}
+
+	for _, a := range sch.Attrs() {
+		dom := in.ActiveDomain(a)
+		var cands []relation.Value
+		for _, v := range dom {
+			if !dominated[a][v.Quote()] && !v.IsNull() {
+				cands = append(cands, v)
+			}
+		}
+		if len(cands) == 0 {
+			cands = dom
+		}
+		// Deterministic order before the random pick so results depend only
+		// on the seed.
+		sort.Slice(cands, func(i, j int) bool { return relation.Compare(cands[i], cands[j]) < 0 })
+		out[a] = cands[rng.Intn(len(cands))]
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package pick
+
+import (
+	"testing"
+
+	"conflictres/internal/fixtures"
+	"conflictres/internal/relation"
+)
+
+func TestFuseStrategies(t *testing.T) {
+	in := fixtures.EdithInstance()
+	sch := in.Schema()
+	kids := sch.MustAttr("kids")
+	status := sch.MustAttr("status")
+
+	first := Fuse(in, First, 1)
+	if first[status].String() != "working" {
+		t.Fatalf("First status = %v", first[status])
+	}
+	max := Fuse(in, Max, 1)
+	if max[kids].Int64() != 3 {
+		t.Fatalf("Max kids = %v", max[kids])
+	}
+	min := Fuse(in, Min, 1)
+	if min[kids].Int64() != 0 {
+		t.Fatalf("Min kids = %v (null must not win)", min[kids])
+	}
+	vote := Fuse(in, Vote, 1)
+	if vote[sch.MustAttr("job")].String() != "n/a" {
+		t.Fatalf("Vote job = %v, n/a appears twice", vote[sch.MustAttr("job")])
+	}
+	any := Fuse(in, Any, 42)
+	if any[kids].IsNull() && any[status].IsNull() {
+		t.Fatal("Any picked nothing")
+	}
+}
+
+func TestFuseDeterministicPerSeed(t *testing.T) {
+	in := fixtures.GeorgeInstance()
+	a := Fuse(in, Any, 7)
+	b := Fuse(in, Any, 7)
+	if !a.Equal(b) {
+		t.Fatal("same seed must give same result")
+	}
+}
+
+func TestPickRespectsComparisonConstraints(t *testing.T) {
+	// ϕ4 (kids <) is comparison-only, so Pick must never choose a dominated
+	// kids value; ϕ1/ϕ2 (status constants) are comparison-only too, so
+	// "working" and "retired" are dominated for Edith.
+	spec := fixtures.EdithSpec()
+	sch := spec.Schema()
+	kids := sch.MustAttr("kids")
+	status := sch.MustAttr("status")
+	for seed := int64(0); seed < 20; seed++ {
+		got := Pick(spec, seed)
+		if got[kids].Int64() != 3 {
+			t.Fatalf("seed %d: Pick kids = %v, only 3 is undominated", seed, got[kids])
+		}
+		if s := got[status].String(); s != "deceased" {
+			t.Fatalf("seed %d: Pick status = %q, only deceased is undominated", seed, s)
+		}
+	}
+}
+
+func TestPickRandomOnUnconstrainedAttrs(t *testing.T) {
+	// George's city has no comparison-only constraints: across seeds, Pick
+	// must produce more than one distinct city.
+	spec := fixtures.GeorgeSpec()
+	city := spec.Schema().MustAttr("city")
+	seen := map[string]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		seen[Pick(spec, seed)[city].String()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("Pick city across seeds = %v; expected randomness", seen)
+	}
+}
+
+func TestPickNeverPicksNull(t *testing.T) {
+	spec := fixtures.EdithSpec()
+	kids := spec.Schema().MustAttr("kids")
+	for seed := int64(0); seed < 20; seed++ {
+		if Pick(spec, seed)[kids].IsNull() {
+			t.Fatal("Pick must not choose null when real values exist")
+		}
+	}
+}
+
+func TestFuseEmptyDomain(t *testing.T) {
+	sch := relation.MustSchema("a")
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{relation.Null})
+	got := Fuse(in, Min, 1)
+	if !got[0].IsNull() {
+		t.Fatal("all-null attribute must fuse to null")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{Any, First, Max, Min, Vote} {
+		if s.String() == "unknown" {
+			t.Fatalf("strategy %d has no name", s)
+		}
+	}
+}

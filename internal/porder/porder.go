@@ -1,0 +1,271 @@
+// Package porder implements strict partial orders over small integer-indexed
+// universes: edge insertion with cycle detection, transitive closure,
+// topological sorting, and linear-extension enumeration.
+//
+// It is the shared substrate behind currency orders (Fan et al., ICDE 2013,
+// Section II-A): a currency order per attribute is a strict partial order
+// over the values of that attribute, and a "completion" is a linear extension
+// of it.
+package porder
+
+import (
+	"fmt"
+)
+
+// Order is a strict partial order over the universe {0, ..., n-1}, stored as
+// its transitive closure. The zero value is unusable; use New.
+type Order struct {
+	n    int
+	less []bool // less[i*n+j] == true iff i < j
+}
+
+// New creates an empty strict partial order over n elements.
+func New(n int) *Order {
+	if n < 0 {
+		panic("porder: negative universe size")
+	}
+	return &Order{n: n, less: make([]bool, n*n)}
+}
+
+// Len returns the universe size.
+func (o *Order) Len() int { return o.n }
+
+// Less reports whether i < j in the order.
+func (o *Order) Less(i, j int) bool { return o.less[i*o.n+j] }
+
+// Comparable reports whether i and j are ordered either way.
+func (o *Order) Comparable(i, j int) bool { return o.Less(i, j) || o.Less(j, i) }
+
+// Add inserts i < j and re-closes transitively. It returns an error if the
+// edge would create a cycle (j < i already holds) or i == j; the order is
+// unchanged on error.
+func (o *Order) Add(i, j int) error {
+	if i < 0 || j < 0 || i >= o.n || j >= o.n {
+		return fmt.Errorf("porder: element out of range: %d, %d (n=%d)", i, j, o.n)
+	}
+	if i == j {
+		return fmt.Errorf("porder: reflexive edge %d < %d", i, j)
+	}
+	if o.Less(j, i) {
+		return fmt.Errorf("porder: adding %d < %d creates a cycle", i, j)
+	}
+	if o.Less(i, j) {
+		return nil
+	}
+	// Close: everything ≤ i is below everything ≥ j.
+	var belows, aboves []int
+	belows = append(belows, i)
+	aboves = append(aboves, j)
+	for k := 0; k < o.n; k++ {
+		if o.Less(k, i) {
+			belows = append(belows, k)
+		}
+		if o.Less(j, k) {
+			aboves = append(aboves, k)
+		}
+	}
+	for _, b := range belows {
+		for _, a := range aboves {
+			o.less[b*o.n+a] = true
+		}
+	}
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (o *Order) MustAdd(i, j int) {
+	if err := o.Add(i, j); err != nil {
+		panic(err)
+	}
+}
+
+// CanAdd reports whether i < j can be inserted without creating a cycle.
+func (o *Order) CanAdd(i, j int) bool {
+	return i != j && i >= 0 && j >= 0 && i < o.n && j < o.n && !o.Less(j, i)
+}
+
+// Clone returns a deep copy.
+func (o *Order) Clone() *Order {
+	cp := &Order{n: o.n, less: make([]bool, len(o.less))}
+	copy(cp.less, o.less)
+	return cp
+}
+
+// Pairs returns all ordered pairs (i, j) with i < j, in row-major order.
+func (o *Order) Pairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < o.n; i++ {
+		for j := 0; j < o.n; j++ {
+			if o.less[i*o.n+j] {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Size returns the number of ordered pairs in the transitive closure.
+func (o *Order) Size() int {
+	c := 0
+	for _, b := range o.less {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+// IsTotal reports whether every pair of distinct elements is comparable.
+func (o *Order) IsTotal() bool {
+	for i := 0; i < o.n; i++ {
+		for j := i + 1; j < o.n; j++ {
+			if !o.Comparable(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Maximal returns the elements with nothing above them.
+func (o *Order) Maximal() []int {
+	var out []int
+	for i := 0; i < o.n; i++ {
+		top := true
+		for j := 0; j < o.n; j++ {
+			if o.Less(i, j) {
+				top = false
+				break
+			}
+		}
+		if top {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Max returns the unique maximum element, or -1 if none exists.
+func (o *Order) Max() int {
+	m := o.Maximal()
+	if len(m) == 1 {
+		return m[0]
+	}
+	return -1
+}
+
+// Contains reports whether every pair of other also holds in o.
+func (o *Order) Contains(other *Order) bool {
+	if other.n != o.n {
+		return false
+	}
+	for idx, b := range other.less {
+		if b && !o.less[idx] {
+			return false
+		}
+	}
+	return true
+}
+
+// TopoSort returns one linear extension as a permutation of {0..n-1}, from
+// least to greatest. It is deterministic: among candidates it always picks
+// the smallest index first.
+func (o *Order) TopoSort() []int {
+	indeg := make([]int, o.n)
+	for i := 0; i < o.n; i++ {
+		for j := 0; j < o.n; j++ {
+			if o.less[i*o.n+j] {
+				indeg[j]++
+			}
+		}
+	}
+	// Note: closure in-degrees still yield a valid Kahn ordering.
+	out := make([]int, 0, o.n)
+	used := make([]bool, o.n)
+	for len(out) < o.n {
+		picked := -1
+		for i := 0; i < o.n; i++ {
+			if !used[i] && indeg[i] == 0 {
+				picked = i
+				break
+			}
+		}
+		if picked == -1 {
+			panic("porder: cycle in closed order (corrupted state)")
+		}
+		used[picked] = true
+		out = append(out, picked)
+		for j := 0; j < o.n; j++ {
+			if o.less[picked*o.n+j] {
+				indeg[j]--
+			}
+		}
+	}
+	return out
+}
+
+// LinearExtensions calls fn for each linear extension (least → greatest) of
+// the order, stopping early if fn returns false. It reports whether the
+// enumeration ran to completion. The slice passed to fn is reused; callers
+// must copy it if they retain it.
+//
+// The number of extensions is factorial in the antichain width; callers are
+// expected to keep n small (the exact reference checker uses this on entity
+// instances of a handful of distinct values).
+func (o *Order) LinearExtensions(fn func(perm []int) bool) bool {
+	perm := make([]int, 0, o.n)
+	used := make([]bool, o.n)
+	var rec func() bool
+	rec = func() bool {
+		if len(perm) == o.n {
+			return fn(perm)
+		}
+		for i := 0; i < o.n; i++ {
+			if used[i] {
+				continue
+			}
+			// i can come next iff everything below i is already placed.
+			ok := true
+			for j := 0; j < o.n; j++ {
+				if o.less[j*o.n+i] && !used[j] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			used[i] = true
+			perm = append(perm, i)
+			if !rec() {
+				return false
+			}
+			perm = perm[:len(perm)-1]
+			used[i] = false
+		}
+		return true
+	}
+	return rec()
+}
+
+// CountLinearExtensions counts linear extensions, up to the given cap
+// (0 means no cap). It returns the count and whether the cap was hit.
+func (o *Order) CountLinearExtensions(cap int) (int, bool) {
+	count := 0
+	complete := o.LinearExtensions(func([]int) bool {
+		count++
+		return cap == 0 || count < cap
+	})
+	return count, !complete
+}
+
+// FromTotal builds a total order from a permutation (least → greatest).
+func FromTotal(perm []int) *Order {
+	o := New(len(perm))
+	for i := 0; i < len(perm); i++ {
+		for j := i + 1; j < len(perm); j++ {
+			o.less[perm[i]*o.n+perm[j]] = true
+		}
+	}
+	return o
+}

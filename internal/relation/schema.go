@@ -1,0 +1,236 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attr identifies an attribute by its position in the schema.
+type Attr int
+
+// Schema is an ordered list of attribute names, R = (A1, ..., An).
+type Schema struct {
+	names []string
+	index map[string]Attr
+}
+
+// NewSchema builds a schema from attribute names. Names must be non-empty
+// and unique.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("relation: schema needs at least one attribute")
+	}
+	s := &Schema{names: append([]string(nil), names...), index: make(map[string]Attr, len(names))}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("relation: attribute %d has an empty name", i)
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("relation: duplicate attribute %q", n)
+		}
+		s.index[n] = Attr(i)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and literals.
+func MustSchema(names ...string) *Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int { return len(s.names) }
+
+// Name returns the name of attribute a.
+func (s *Schema) Name(a Attr) string { return s.names[a] }
+
+// Names returns a copy of all attribute names in schema order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Attr resolves an attribute name; ok is false if the name is unknown.
+func (s *Schema) Attr(name string) (Attr, bool) {
+	a, ok := s.index[name]
+	return a, ok
+}
+
+// MustAttr resolves a name and panics if it is unknown.
+func (s *Schema) MustAttr(name string) Attr {
+	a, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("relation: unknown attribute %q", name))
+	}
+	return a
+}
+
+// Attrs returns all attributes in schema order.
+func (s *Schema) Attrs() []Attr {
+	out := make([]Attr, s.Len())
+	for i := range out {
+		out[i] = Attr(i)
+	}
+	return out
+}
+
+// String renders the schema as R(A1, ..., An).
+func (s *Schema) String() string {
+	return "R(" + strings.Join(s.names, ", ") + ")"
+}
+
+// Tuple is a row over a schema. Its length always equals the schema length.
+type Tuple []Value
+
+// NewTuple builds an all-null tuple for schema s.
+func NewTuple(s *Schema) Tuple { return make(Tuple, s.Len()) }
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports component-wise equality of two tuples.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !Equal(t[i], u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Instance is an entity instance Ie: tuples of one schema, all pertaining to
+// the same real-world entity. Tuple identity is positional (TupleID = index).
+type Instance struct {
+	schema *Schema
+	tuples []Tuple
+}
+
+// TupleID identifies a tuple inside an Instance.
+type TupleID int
+
+// NewInstance creates an empty entity instance over schema s.
+func NewInstance(s *Schema) *Instance {
+	return &Instance{schema: s}
+}
+
+// Schema returns the instance's schema.
+func (in *Instance) Schema() *Schema { return in.schema }
+
+// Len returns the number of tuples.
+func (in *Instance) Len() int { return len(in.tuples) }
+
+// Add appends a tuple and returns its id. The tuple is copied; it must have
+// exactly schema-many values.
+func (in *Instance) Add(t Tuple) (TupleID, error) {
+	if len(t) != in.schema.Len() {
+		return -1, fmt.Errorf("relation: tuple has %d values, schema %s has %d attributes",
+			len(t), in.schema, in.schema.Len())
+	}
+	in.tuples = append(in.tuples, t.Clone())
+	return TupleID(len(in.tuples) - 1), nil
+}
+
+// MustAdd is Add that panics on arity mismatch.
+func (in *Instance) MustAdd(t Tuple) TupleID {
+	id, err := in.Add(t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Tuple returns the tuple with the given id. The returned slice aliases the
+// stored tuple; callers must not mutate it.
+func (in *Instance) Tuple(id TupleID) Tuple { return in.tuples[id] }
+
+// Value returns tuple id's value for attribute a.
+func (in *Instance) Value(id TupleID, a Attr) Value { return in.tuples[id][a] }
+
+// TupleIDs returns all tuple ids in insertion order.
+func (in *Instance) TupleIDs() []TupleID {
+	out := make([]TupleID, len(in.tuples))
+	for i := range out {
+		out[i] = TupleID(i)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	cp := NewInstance(in.schema)
+	for _, t := range in.tuples {
+		cp.tuples = append(cp.tuples, t.Clone())
+	}
+	return cp
+}
+
+// ActiveDomain returns adom(Ie.a): the distinct values occurring in
+// attribute a across all tuples, in a deterministic order (first occurrence).
+func (in *Instance) ActiveDomain(a Attr) []Value {
+	var out []Value
+	seen := make(map[Value]bool)
+	for _, t := range in.tuples {
+		v := t[a]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ActiveDomainSize returns |adom(Ie.a)|.
+func (in *Instance) ActiveDomainSize(a Attr) int {
+	seen := make(map[Value]bool)
+	for _, t := range in.tuples {
+		seen[t[a]] = true
+	}
+	return len(seen)
+}
+
+// HasConflict reports whether attribute a carries more than one distinct
+// value across the instance (i.e. the attribute needs resolution).
+func (in *Instance) HasConflict(a Attr) bool { return in.ActiveDomainSize(a) > 1 }
+
+// ConflictingAttrs returns the attributes with more than one distinct value.
+func (in *Instance) ConflictingAttrs() []Attr {
+	var out []Attr
+	for _, a := range in.schema.Attrs() {
+		if in.HasConflict(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the instance, one tuple per line, in a stable order.
+func (in *Instance) String() string {
+	var b strings.Builder
+	b.WriteString(in.schema.String())
+	b.WriteString(" {\n")
+	for i, t := range in.tuples {
+		fmt.Fprintf(&b, "  r%d: %s\n", i+1, t)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// SortValues sorts a slice of values with Compare; it is a convenience for
+// deterministic test output.
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return Compare(vs[i], vs[j]) < 0 })
+}

@@ -1,0 +1,122 @@
+package sat
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CNF is a plain clause-set container, decoupled from any solver instance so
+// it can be copied, filtered and re-solved cheaply. The encode package
+// produces CNF values; core algorithms load them into Solvers.
+type CNF struct {
+	NVars   int
+	Clauses [][]Lit
+}
+
+// NewCNF creates an empty formula over n variables.
+func NewCNF(n int) *CNF { return &CNF{NVars: n} }
+
+// Add appends a clause (copied).
+func (c *CNF) Add(lits ...Lit) {
+	for _, l := range lits {
+		if int(l.Var()) >= c.NVars {
+			c.NVars = int(l.Var()) + 1
+		}
+	}
+	c.Clauses = append(c.Clauses, append([]Lit(nil), lits...))
+}
+
+// Clone deep-copies the formula.
+func (c *CNF) Clone() *CNF {
+	cp := &CNF{NVars: c.NVars, Clauses: make([][]Lit, len(c.Clauses))}
+	for i, cl := range c.Clauses {
+		cp.Clauses[i] = append([]Lit(nil), cl...)
+	}
+	return cp
+}
+
+// LoadInto feeds all clauses to a solver, allocating variables as needed.
+// It returns false if the solver became unsatisfiable while loading.
+func (c *CNF) LoadInto(s *Solver) bool {
+	for s.NumVars() < c.NVars {
+		s.NewVar()
+	}
+	ok := true
+	for _, cl := range c.Clauses {
+		if !s.AddClause(cl...) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Solver builds a fresh solver loaded with the formula.
+func (c *CNF) Solver() *Solver {
+	s := New()
+	c.LoadInto(s)
+	return s
+}
+
+// NumLiterals returns the total literal count across clauses.
+func (c *CNF) NumLiterals() int {
+	n := 0
+	for _, cl := range c.Clauses {
+		n += len(cl)
+	}
+	return n
+}
+
+// Eval reports whether the assignment (indexed by variable) satisfies every
+// clause.
+func (c *CNF) Eval(assign []bool) bool {
+	for _, cl := range c.Clauses {
+		sat := false
+		for _, l := range cl {
+			if assign[l.Var()] != l.Neg() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula in a compact DIMACS-like form; for debugging.
+func (c *CNF) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n", c.NVars, len(c.Clauses))
+	for _, cl := range c.Clauses {
+		for i, l := range cl {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(l.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SolveBrute decides satisfiability by exhaustive enumeration; it is the
+// reference oracle for property tests and only usable for small NVars
+// (it panics above 25 variables). It returns the status and, when
+// satisfiable, a witness assignment.
+func (c *CNF) SolveBrute() (Status, []bool) {
+	if c.NVars > 25 {
+		panic("sat: SolveBrute limited to 25 variables")
+	}
+	n := c.NVars
+	assign := make([]bool, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for i := 0; i < n; i++ {
+			assign[i] = mask&(1<<uint(i)) != 0
+		}
+		if c.Eval(assign) {
+			return StatusSat, append([]bool(nil), assign...)
+		}
+	}
+	return StatusUnsat, nil
+}

@@ -1,0 +1,84 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 50; iter++ {
+		c := randomCNF(rng, 3+rng.Intn(10), 1+rng.Intn(30))
+		var buf bytes.Buffer
+		if err := c.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NVars != c.NVars || len(got.Clauses) != len(c.Clauses) {
+			t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+				got.NVars, len(got.Clauses), c.NVars, len(c.Clauses))
+		}
+		// Satisfiability must agree.
+		w1, _ := c.SolveBrute()
+		w2, _ := got.SolveBrute()
+		if w1 != w2 {
+			t.Fatalf("round trip changed satisfiability: %v vs %v", w1, w2)
+		}
+	}
+}
+
+func TestReadDIMACSFormats(t *testing.T) {
+	src := `c a comment
+p cnf 3 2
+1 -2 0
+c mid comment
+2 3
+0
+`
+	c, err := ReadDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NVars != 3 || len(c.Clauses) != 2 {
+		t.Fatalf("parsed %d vars %d clauses", c.NVars, len(c.Clauses))
+	}
+	if c.Clauses[0][1] != NegLit(1) {
+		t.Fatalf("clause 0 = %v", c.Clauses[0])
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                     // no problem line
+		"p cnf x 2\n1 0\n",     // bad var count
+		"p dnf 2 1\n1 0\n",     // wrong format tag
+		"p cnf 2 1\n1 bogus\n", // bad literal
+		"p cnf 2 1\n1 2\n",     // unterminated clause
+	}
+	for _, src := range cases {
+		if _, err := ReadDIMACS(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadDIMACS(%q) should fail", src)
+		}
+	}
+}
+
+func TestWriteDIMACSEmptyClause(t *testing.T) {
+	c := NewCNF(1)
+	c.Add() // empty clause: unsatisfiable
+	var buf bytes.Buffer
+	if err := c.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := got.SolveBrute(); st != StatusUnsat {
+		t.Fatal("empty clause must survive the round trip")
+	}
+}

@@ -1,0 +1,96 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by activity, with position
+// tracking so activities can be bumped in place.
+type varHeap struct {
+	heap []Var
+	pos  []int // pos[v] = index in heap, or -1
+	act  *[]float64
+}
+
+func newVarHeap(act *[]float64) *varHeap {
+	return &varHeap{act: act}
+}
+
+func (h *varHeap) grow(n int) {
+	for len(h.pos) < n {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+func (h *varHeap) inHeap(v Var) bool {
+	return int(v) < len(h.pos) && h.pos[v] >= 0
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.act)[a] > (*h.act)[b]
+}
+
+func (h *varHeap) percolateUp(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) percolateDown(i int) {
+	v := h.heap[i]
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.heap) {
+			break
+		}
+		c := l
+		if r < len(h.heap) && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) insert(v Var) {
+	h.grow(int(v) + 1)
+	if h.inHeap(v) {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.percolateUp(len(h.heap) - 1)
+}
+
+func (h *varHeap) removeMax() Var {
+	v := h.heap[0]
+	last := h.heap[len(h.heap)-1]
+	h.heap = h.heap[:len(h.heap)-1]
+	h.pos[v] = -1
+	if len(h.heap) > 0 {
+		h.heap[0] = last
+		h.pos[last] = 0
+		h.percolateDown(0)
+	}
+	return v
+}
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+// decreased must be called after bumping v's activity upward.
+func (h *varHeap) decreased(v Var) {
+	if h.inHeap(v) {
+		h.percolateUp(h.pos[v])
+	}
+}

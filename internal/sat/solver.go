@@ -1,0 +1,532 @@
+package sat
+
+import (
+	"sort"
+)
+
+// clause is a disjunction of literals. lits[0] and lits[1] are the watched
+// positions (for clauses of length ≥ 2).
+type clause struct {
+	lits   []Lit
+	learnt bool
+	act    float64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+// A Solver is not safe for concurrent use.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]*clause // indexed by Lit; clauses in which Lit is watched
+
+	assigns  []lbool // per var
+	polarity []bool  // saved phase: true = last assigned false
+	activity []float64
+	varInc   float64
+	claInc   float64
+	order    *varHeap
+
+	trail    []Lit
+	trailLim []int
+	reason   []*clause
+	level    []int
+	qhead    int
+
+	seen     []bool
+	ok       bool // false once a top-level contradiction is derived
+	model    []bool
+	haveModl bool
+
+	// Stats counts solver work; useful for benchmarks and tuning.
+	Stats Stats
+
+	// MaxConflicts bounds the total conflicts per Solve call; 0 means
+	// unbounded. When exceeded, Solve returns StatusUnknown.
+	MaxConflicts int64
+}
+
+// Stats aggregates solver counters across a Solver's lifetime.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+	Learnt       int64
+}
+
+// New creates an empty solver.
+func New() *Solver {
+	s := &Solver{varInc: 1, claInc: 1, ok: true}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.polarity = append(s.polarity, true)
+	s.activity = append(s.activity, 0)
+	s.reason = append(s.reason, nil)
+	s.level = append(s.level, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently stored.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assigns[l.Var()]
+	if l.Neg() {
+		return -v
+	}
+	return v
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// AddClause adds a clause. It returns false if the solver is already in an
+// unsatisfiable state (including becoming unsatisfiable because of this
+// clause). Duplicate literals are removed; tautologies are dropped; literals
+// already false at level 0 are stripped.
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Sort/dedup; detect tautology and strip level-0-false literals.
+	ls := append([]Lit(nil), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	var prev Lit = -1
+	for _, l := range ls {
+		if l == prev {
+			continue
+		}
+		if prev >= 0 && l == prev.Not() {
+			return true // tautology: x ∨ ¬x
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			prev = l
+			continue // drop falsified literal
+		}
+		out = append(out, l)
+		prev = l
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: append([]Lit(nil), out...)}
+	s.attach(c)
+	s.clauses = append(s.clauses, c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.reason[v] = from
+	s.level[v] = s.decisionLevel()
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting clause or
+// nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true
+		s.qhead++
+		s.Stats.Propagations++
+		falseLit := p.Not()
+		ws := s.watches[falseLit]
+		kept := ws[:0]
+	clauses:
+		for ci := 0; ci < len(ws); ci++ {
+			c := ws[ci]
+			// Normalize: watched falseLit at position 1.
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If first watch is true, clause is satisfied.
+			if s.value(c.lits[0]) == lTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					continue clauses
+				}
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, c)
+			if s.value(c.lits[0]) == lFalse {
+				// Conflict: keep remaining watchers and bail.
+				kept = append(kept, ws[ci+1:]...)
+				s.watches[falseLit] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(c.lits[0], c)
+		}
+		s.watches[falseLit] = kept
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		// Bump and mark literals of the current reason clause.
+		start := 0
+		if p != -1 {
+			start = 1 // skip the asserting literal position in reasons
+		}
+		if confl.learnt {
+			s.bumpClause(confl)
+		}
+		for i := start; i < len(confl.lits); i++ {
+			q := confl.lits[i]
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal to expand from the trail.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			learnt[0] = p.Not()
+			break
+		}
+		confl = s.reason[v]
+	}
+
+	// Simple clause minimization: drop literals whose reason is subsumed.
+	preMin := append([]Lit(nil), learnt...)
+	learnt = s.minimize(learnt)
+
+	// Compute backtrack level: max level among learnt[1:].
+	bt := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = s.level[learnt[1].Var()]
+	}
+	for _, l := range preMin {
+		s.seen[l.Var()] = false
+	}
+	return learnt, bt
+}
+
+// minimize removes learnt-clause literals that are implied by the remaining
+// ones via their reason clauses (local minimization, non-recursive).
+func (s *Solver) minimize(learnt []Lit) []Lit {
+	for _, l := range learnt {
+		s.seen[l.Var()] = true
+	}
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		r := s.reason[l.Var()]
+		if r == nil {
+			out = append(out, l)
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits {
+			if q.Var() == l.Var() {
+				continue
+			}
+			if !s.seen[q.Var()] && s.level[q.Var()] != 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	for i := len(s.trail) - 1; i >= s.trailLim[lvl]; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assigns[v] = lUndef
+		s.polarity[v] = l.Neg()
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:s.trailLim[lvl]]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.decreased(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.claInc /= 0.999
+}
+
+func (s *Solver) pickBranchVar() Var {
+	for !s.order.empty() {
+		v := s.order.removeMax()
+		if s.assigns[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// reduceDB halves the learnt-clause database, keeping the most active.
+func (s *Solver) reduceDB() {
+	sort.Slice(s.learnts, func(i, j int) bool { return s.learnts[i].act > s.learnts[j].act })
+	keep := s.learnts[:0]
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assigns[v] != lUndef && s.reason[v] == c
+	}
+	for i, c := range s.learnts {
+		if i < len(s.learnts)/2 || len(c.lits) == 2 || locked(c) {
+			keep = append(keep, c)
+		} else {
+			s.detach(c)
+		}
+	}
+	s.learnts = keep
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, w := range []Lit{c.lits[0], c.lits[1]} {
+		ws := s.watches[w]
+		for i, x := range ws {
+			if x == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+// With no assumptions it decides the formula itself. After StatusSat,
+// Model reports the satisfying assignment.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.haveModl = false
+	if !s.ok {
+		return StatusUnsat
+	}
+	defer s.cancelUntil(0)
+
+	var restart int64 = 1
+	var totalConflicts int64
+	maxLearnts := int64(len(s.clauses))/3 + 100
+
+	for {
+		budget := 100 * luby(restart)
+		restart++
+		st, confl := s.search(assumptions, budget, &totalConflicts, &maxLearnts)
+		switch st {
+		case StatusSat:
+			s.model = make([]bool, len(s.assigns))
+			for i, a := range s.assigns {
+				s.model[i] = a == lTrue
+			}
+			s.haveModl = true
+			return StatusSat
+		case StatusUnsat:
+			if confl {
+				s.ok = false // contradiction independent of assumptions
+			}
+			return StatusUnsat
+		}
+		if s.MaxConflicts > 0 && totalConflicts >= s.MaxConflicts {
+			return StatusUnknown
+		}
+		s.Stats.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+// search runs CDCL until a result, restart budget exhaustion, or the global
+// conflict bound. The bool result reports whether UNSAT was derived at level
+// 0 (i.e. independent of assumptions).
+func (s *Solver) search(assumptions []Lit, budget int64, total *int64, maxLearnts *int64) (Status, bool) {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Stats.Conflicts++
+			conflicts++
+			*total++
+			if s.decisionLevel() == 0 {
+				return StatusUnsat, true
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+				s.attach(c)
+				s.learnts = append(s.learnts, c)
+				s.bumpClause(c)
+				s.Stats.Learnt++
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.decayActivities()
+			if int64(len(s.learnts)) > *maxLearnts {
+				*maxLearnts = *maxLearnts * 11 / 10
+				s.reduceDB()
+			}
+			continue
+		}
+		if conflicts >= budget || (s.MaxConflicts > 0 && *total >= s.MaxConflicts) {
+			return StatusUnknown, false
+		}
+		// Decision: assumptions first, then VSIDS.
+		var next Lit = -1
+		for s.decisionLevel() < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, len(s.trail)) // dummy level
+				continue
+			case lFalse:
+				return StatusUnsat, false // conflicts with assumptions
+			default:
+				next = p
+			}
+			break
+		}
+		if next == -1 {
+			v := s.pickBranchVar()
+			if v == -1 {
+				return StatusSat, false
+			}
+			s.Stats.Decisions++
+			next = MkLit(v, s.polarity[v])
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve; index i is the value of variable i. It returns nil if the last
+// Solve did not succeed.
+func (s *Solver) Model() []bool {
+	if !s.haveModl {
+		return nil
+	}
+	return append([]bool(nil), s.model...)
+}
+
+// Okay reports whether the solver is still consistent at the top level
+// (false after a contradiction was added or derived).
+func (s *Solver) Okay() bool { return s.ok }
+
+// Assigned returns the literals currently assigned at decision level 0 —
+// the unit-propagation fixpoint of the clauses added so far. This is the
+// engine behind the paper's DeduceOrder: loading Φ(Se) into a solver
+// propagates exactly the one-literal clauses the algorithm of Fig. 5
+// collects and reduces by.
+func (s *Solver) Assigned() []Lit {
+	if s.decisionLevel() != 0 {
+		panic("sat: Assigned above decision level 0")
+	}
+	return append([]Lit(nil), s.trail...)
+}
+
+// Value reports the top-level (decision level 0) forced value of v after a
+// Solve call: +1 true, -1 false, 0 unassigned at the top level.
+func (s *Solver) Value(v Var) int { return int(s.assigns[v]) }

@@ -1,0 +1,298 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitEncoding(t *testing.T) {
+	for v := Var(0); v < 10; v++ {
+		p, n := PosLit(v), NegLit(v)
+		if p.Var() != v || n.Var() != v {
+			t.Fatalf("Var round-trip failed for %d", v)
+		}
+		if p.Neg() || !n.Neg() {
+			t.Fatalf("sign wrong for %d", v)
+		}
+		if p.Not() != n || n.Not() != p {
+			t.Fatalf("Not() wrong for %d", v)
+		}
+		if MkLit(v, false) != p || MkLit(v, true) != n {
+			t.Fatalf("MkLit wrong for %d", v)
+		}
+	}
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != StatusSat {
+		t.Fatalf("empty formula: got %v, want SAT", got)
+	}
+}
+
+func TestSingleUnit(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	if !s.AddClause(PosLit(v)) {
+		t.Fatal("AddClause failed")
+	}
+	if got := s.Solve(); got != StatusSat {
+		t.Fatalf("got %v, want SAT", got)
+	}
+	if m := s.Model(); !m[v] {
+		t.Fatalf("model should set x%d true", v)
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	if s.AddClause(NegLit(v)) {
+		t.Fatal("adding ~x after x should report inconsistency")
+	}
+	if got := s.Solve(); got != StatusUnsat {
+		t.Fatalf("got %v, want UNSAT", got)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// x0, x0->x1, x1->x2, ..., x(n-1) -> ~x0 gives UNSAT.
+	s := New()
+	const n = 20
+	vs := make([]Var, n)
+	for i := range vs {
+		vs[i] = s.NewVar()
+	}
+	s.AddClause(PosLit(vs[0]))
+	for i := 0; i+1 < n; i++ {
+		s.AddClause(NegLit(vs[i]), PosLit(vs[i+1]))
+	}
+	s.AddClause(NegLit(vs[n-1]), NegLit(vs[0]))
+	if got := s.Solve(); got != StatusUnsat {
+		t.Fatalf("got %v, want UNSAT", got)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes — classically UNSAT and forces
+	// real conflict analysis.
+	const holes = 5
+	const pigeons = holes + 1
+	s := New()
+	vars := make([][]Var, pigeons)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != StatusUnsat {
+		t.Fatalf("pigeonhole: got %v, want UNSAT", got)
+	}
+}
+
+func TestPigeonholeSatVariant(t *testing.T) {
+	// n pigeons in n holes is SAT.
+	const holes = 5
+	s := New()
+	vars := make([][]Var, holes)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		for h := range vars[p] {
+			vars[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < holes; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = PosLit(vars[p][h])
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < holes; p1++ {
+			for p2 := p1 + 1; p2 < holes; p2++ {
+				s.AddClause(NegLit(vars[p1][h]), NegLit(vars[p2][h]))
+			}
+		}
+	}
+	if got := s.Solve(); got != StatusSat {
+		t.Fatalf("got %v, want SAT", got)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(NegLit(a), PosLit(b)) // a -> b
+	if got := s.Solve(PosLit(a), NegLit(b)); got != StatusUnsat {
+		t.Fatalf("a & ~b under a->b: got %v, want UNSAT", got)
+	}
+	// The solver must remain usable and consistent afterwards.
+	if got := s.Solve(PosLit(a)); got != StatusSat {
+		t.Fatalf("a under a->b: got %v, want SAT", got)
+	}
+	if m := s.Model(); !m[a] || !m[b] {
+		t.Fatalf("model %v should set both a and b", m)
+	}
+	if got := s.Solve(NegLit(b), PosLit(a)); got != StatusUnsat {
+		t.Fatalf("~b & a: got %v, want UNSAT", got)
+	}
+	if got := s.Solve(NegLit(b)); got != StatusSat {
+		t.Fatalf("~b alone: got %v, want SAT", got)
+	}
+	if m := s.Model(); m[a] || m[b] {
+		t.Fatalf("model %v should falsify a and b", m)
+	}
+}
+
+func TestTautologyAndDuplicates(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	if !s.AddClause(PosLit(a), NegLit(a)) {
+		t.Fatal("tautology must be accepted (dropped)")
+	}
+	if !s.AddClause(PosLit(b), PosLit(b), PosLit(b)) {
+		t.Fatal("duplicate literals must collapse")
+	}
+	if got := s.Solve(); got != StatusSat {
+		t.Fatalf("got %v, want SAT", got)
+	}
+	if m := s.Model(); !m[b] {
+		t.Fatal("collapsed unit should force b")
+	}
+}
+
+// randomCNF builds a random 3-ish-SAT instance.
+func randomCNF(rng *rand.Rand, nVars, nClauses int) *CNF {
+	c := NewCNF(nVars)
+	for i := 0; i < nClauses; i++ {
+		width := 1 + rng.Intn(3)
+		cl := make([]Lit, 0, width)
+		for j := 0; j < width; j++ {
+			v := Var(rng.Intn(nVars))
+			cl = append(cl, MkLit(v, rng.Intn(2) == 0))
+		}
+		c.Add(cl...)
+	}
+	return c
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(10)
+		nClauses := 1 + rng.Intn(40)
+		c := randomCNF(rng, nVars, nClauses)
+		wantSt, _ := c.SolveBrute()
+		s := c.Solver()
+		got := s.Solve()
+		if got != wantSt {
+			t.Fatalf("iter %d: CDCL=%v brute=%v\n%s", iter, got, wantSt, c)
+		}
+		if got == StatusSat {
+			m := s.Model()
+			if !c.Eval(m) {
+				t.Fatalf("iter %d: model does not satisfy formula\n%s", iter, c)
+			}
+		}
+	}
+}
+
+func TestAssumptionsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 3 + rng.Intn(8)
+		c := randomCNF(rng, nVars, 1+rng.Intn(25))
+		// Random assumption set over distinct vars.
+		perm := rng.Perm(nVars)
+		na := rng.Intn(3)
+		var assume []Lit
+		for i := 0; i < na && i < len(perm); i++ {
+			assume = append(assume, MkLit(Var(perm[i]), rng.Intn(2) == 0))
+		}
+		// Brute force with assumptions as units.
+		cb := c.Clone()
+		for _, l := range assume {
+			cb.Add(l)
+		}
+		wantSt, _ := cb.SolveBrute()
+		s := c.Solver()
+		got := s.Solve(assume...)
+		if got != wantSt {
+			t.Fatalf("iter %d: CDCL=%v brute=%v assume=%v\n%s", iter, got, wantSt, assume, c)
+		}
+	}
+}
+
+func TestSolverReuseAfterUnsatAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 100; iter++ {
+		nVars := 4 + rng.Intn(6)
+		c := randomCNF(rng, nVars, 1+rng.Intn(20))
+		s := c.Solver()
+		for round := 0; round < 4; round++ {
+			v := Var(rng.Intn(nVars))
+			assume := []Lit{MkLit(v, rng.Intn(2) == 0)}
+			cb := c.Clone()
+			cb.Add(assume[0])
+			wantSt, _ := cb.SolveBrute()
+			if got := s.Solve(assume...); got != wantSt {
+				t.Fatalf("iter %d round %d: got %v want %v", iter, round, got, wantSt)
+			}
+		}
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestCNFEval(t *testing.T) {
+	c := NewCNF(2)
+	c.Add(PosLit(0), PosLit(1))
+	c.Add(NegLit(0))
+	if c.Eval([]bool{true, true}) {
+		t.Fatal("assignment violating ~x0 accepted")
+	}
+	if !c.Eval([]bool{false, true}) {
+		t.Fatal("satisfying assignment rejected")
+	}
+}
+
+func TestQuickModelAlwaysSatisfies(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCNF(rng, 4+rng.Intn(12), 1+rng.Intn(50))
+		s := c.Solver()
+		if s.Solve() == StatusSat {
+			return c.Eval(s.Model())
+		}
+		return true
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package textio reads and writes specifications as a plain-text format so
+// the command-line tools can operate on files:
+//
+//	# comment
+//	schema: name, status, kids
+//
+//	data:
+//	Edith,working,0
+//	Edith,retired,3
+//	Edith,deceased,null
+//
+//	orders:
+//	kids: 2 0
+//	kids: 2 1
+//
+//	sigma:
+//	t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2
+//
+//	gamma:
+//	AC = "213" => city = "LA"
+//
+// Data rows are CSV; the literal "null" denotes a missing value, and numeric
+// cells parse as numbers (quote them to force strings). An orders line
+// "A: i j" records tuple i ≼_A tuple j with zero-based tuple indices.
+package textio
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// WriteSpec serializes a specification.
+func WriteSpec(w io.Writer, spec *model.Spec) error {
+	sch := spec.Schema()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "schema: %s\n\n", strings.Join(sch.Names(), ", "))
+
+	fmt.Fprintln(bw, "data:")
+	cw := csv.NewWriter(bw)
+	for _, id := range spec.TI.Inst.TupleIDs() {
+		t := spec.TI.Inst.Tuple(id)
+		rec := make([]string, len(t))
+		for i, v := range t {
+			if v.Kind() == relation.KindString && strings.ContainsAny(v.Str(), "\n\r") {
+				return fmt.Errorf("textio: tuple %d: the line-oriented format cannot hold values with newlines", id)
+			}
+			rec[i] = encodeCell(v)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("textio: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("textio: %w", err)
+	}
+
+	if len(spec.TI.Edges) > 0 {
+		fmt.Fprintln(bw, "\norders:")
+		for _, e := range spec.TI.Edges {
+			fmt.Fprintf(bw, "%s: %d %d\n", sch.Name(e.Attr), e.T1, e.T2)
+		}
+	}
+	if len(spec.Sigma) > 0 {
+		fmt.Fprintln(bw, "\nsigma:")
+		for _, c := range spec.Sigma {
+			fmt.Fprintln(bw, c.Format(sch))
+		}
+	}
+	if len(spec.Gamma) > 0 {
+		fmt.Fprintln(bw, "\ngamma:")
+		for _, c := range spec.Gamma {
+			fmt.Fprintln(bw, c.Format(sch))
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeCell(v relation.Value) string {
+	switch v.Kind() {
+	case relation.KindNull:
+		return "null"
+	case relation.KindString:
+		s := v.Str()
+		// Guard against cells that would parse back as something else or
+		// disappear entirely: the keyword null, numeric-looking text, the
+		// empty string (a lone empty cell would render as a blank line) and
+		// surrounding whitespace (the reader trims unquoted cells).
+		if s == "" || s == "null" || looksNumeric(s) || s != strings.TrimSpace(s) {
+			return strconv.Quote(s)
+		}
+		return s
+	case relation.KindFloat:
+		s := v.String()
+		// Keep the float kind through a round trip: "0" would re-parse as
+		// an int.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	default:
+		return v.String()
+	}
+}
+
+func looksNumeric(s string) bool {
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	return false
+}
+
+// ReadSpec parses the format produced by WriteSpec.
+func ReadSpec(r io.Reader) (*model.Spec, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+
+	var sch *relation.Schema
+	var inst *relation.Instance
+	var ti *model.TemporalInstance
+	var sigma []constraint.Currency
+	var gamma []constraint.CFD
+	section := ""
+	lineNo := 0
+
+	for scanner.Scan() {
+		lineNo++
+		raw := scanner.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "schema:"):
+			names := strings.Split(strings.TrimPrefix(line, "schema:"), ",")
+			for i := range names {
+				names[i] = strings.TrimSpace(names[i])
+			}
+			var err error
+			sch, err = relation.NewSchema(names...)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			inst = relation.NewInstance(sch)
+			ti = model.NewTemporal(inst)
+			continue
+		case line == "data:" || line == "orders:" || line == "sigma:" || line == "gamma:":
+			if sch == nil {
+				return nil, fmt.Errorf("textio: line %d: section %q before schema", lineNo, line)
+			}
+			section = strings.TrimSuffix(line, ":")
+			continue
+		}
+		switch section {
+		case "data":
+			// Parse the raw line: quoted cells may carry significant
+			// leading/trailing whitespace.
+			rec, err := csv.NewReader(strings.NewReader(raw)).Read()
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			if len(rec) != sch.Len() {
+				return nil, fmt.Errorf("textio: line %d: %d cells for %d attributes", lineNo, len(rec), sch.Len())
+			}
+			t := relation.NewTuple(sch)
+			for i, cell := range rec {
+				v, err := parseCell(cell)
+				if err != nil {
+					return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+				}
+				t[i] = v
+			}
+			if _, err := inst.Add(t); err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+		case "orders":
+			attrName, rest, ok := strings.Cut(line, ":")
+			if !ok {
+				return nil, fmt.Errorf("textio: line %d: want \"attr: i j\"", lineNo)
+			}
+			a, found := sch.Attr(strings.TrimSpace(attrName))
+			if !found {
+				return nil, fmt.Errorf("textio: line %d: unknown attribute %q", lineNo, attrName)
+			}
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("textio: line %d: want two tuple indices", lineNo)
+			}
+			t1, err1 := strconv.Atoi(fields[0])
+			t2, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("textio: line %d: bad tuple indices", lineNo)
+			}
+			if err := ti.AddOrder(a, relation.TupleID(t1), relation.TupleID(t2)); err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+		case "sigma":
+			c, err := constraint.ParseCurrency(sch, line)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			sigma = append(sigma, c)
+		case "gamma":
+			c, err := constraint.ParseCFD(sch, line)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			gamma = append(gamma, c)
+		default:
+			return nil, fmt.Errorf("textio: line %d: content outside any section", lineNo)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	if sch == nil {
+		return nil, fmt.Errorf("textio: missing schema")
+	}
+	spec := model.NewSpec(ti, sigma, gamma)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func parseCell(cell string) (relation.Value, error) {
+	cell = strings.TrimSpace(cell)
+	if cell == "null" {
+		return relation.Null, nil
+	}
+	if cell == "" {
+		return relation.String(""), nil
+	}
+	if strings.HasPrefix(cell, "\"") {
+		return relation.ParseValue(cell)
+	}
+	if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return relation.Int(i), nil
+	}
+	if f, err := strconv.ParseFloat(cell, 64); err == nil {
+		return relation.Float(f), nil
+	}
+	return relation.String(cell), nil
+}
+
+// SaveSpecFile writes the specification to a file.
+func SaveSpecFile(path string, spec *model.Spec) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("textio: %w", err)
+	}
+	defer f.Close()
+	if err := WriteSpec(f, spec); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSpecFile reads a specification from a file.
+func LoadSpecFile(path string) (*model.Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	defer f.Close()
+	return ReadSpec(f)
+}

@@ -1,0 +1,219 @@
+package textio
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"conflictres/internal/core"
+	"conflictres/internal/encode"
+	"conflictres/internal/fixtures"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+func TestRoundTripEdith(t *testing.T) {
+	spec := fixtures.EdithSpec()
+	spec.TI.MustOrder(spec.Schema().MustAttr("kids"), 2, 0) // exercise orders
+
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("%v\n---\n%s", err, buf.String())
+	}
+	if got.Schema().String() != spec.Schema().String() {
+		t.Fatal("schema mismatch")
+	}
+	if got.TI.Inst.Len() != spec.TI.Inst.Len() {
+		t.Fatal("tuple count mismatch")
+	}
+	for _, id := range spec.TI.Inst.TupleIDs() {
+		if !got.TI.Inst.Tuple(id).Equal(spec.TI.Inst.Tuple(id)) {
+			t.Fatalf("tuple %d mismatch: %v vs %v", id, got.TI.Inst.Tuple(id), spec.TI.Inst.Tuple(id))
+		}
+	}
+	if len(got.Sigma) != len(spec.Sigma) || len(got.Gamma) != len(spec.Gamma) {
+		t.Fatal("constraint counts mismatch")
+	}
+	if len(got.TI.Edges) != 1 {
+		t.Fatalf("edges = %v", got.TI.Edges)
+	}
+
+	// The round-tripped spec must behave identically.
+	enc := encode.Build(got, encode.Options{})
+	od, ok := core.DeduceOrder(enc)
+	if !ok {
+		t.Fatal("round-tripped spec inconsistent")
+	}
+	tv := core.TrueValues(enc, od)
+	sch := got.Schema()
+	if v := tv[sch.MustAttr("county")]; v.String() != "Vermont" {
+		t.Fatalf("county = %v after round trip", v)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "edith.spec")
+	if err := SaveSpecFile(path, fixtures.EdithSpec()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSpecFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TI.Inst.Len() != 3 {
+		t.Fatal("file round trip lost tuples")
+	}
+}
+
+func TestValueKindsSurvive(t *testing.T) {
+	sch := relation.MustSchema("s", "i", "f", "n", "tricky")
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{
+		relation.String("plain"), relation.Int(-3), relation.Float(2.5),
+		relation.Null, relation.String("null"), // a string that spells null
+	})
+	in.MustAdd(relation.Tuple{
+		relation.String("12"), relation.Int(0), relation.Float(0),
+		relation.Null, relation.String("x, y"), // comma inside
+	})
+	spec := modelSpec(in)
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	for _, id := range in.TupleIDs() {
+		w, g := in.Tuple(id), got.TI.Inst.Tuple(id)
+		for a := range w {
+			if !relation.Equal(w[a], g[a]) || w[a].Kind() != g[a].Kind() {
+				t.Fatalf("tuple %d attr %d: %v(%v) vs %v(%v)",
+					id, a, w[a], w[a].Kind(), g[a], g[a].Kind())
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                        // no schema
+		"data:\n1,2\n",            // section before schema
+		"schema: a\nbogus line\n", // content outside section
+		"schema: a\ndata:\n1,2\n", // arity
+		"schema: a\norders:\na: 0\n",
+		"schema: a\norders:\nb: 0 1\n",
+		"schema: a\norders:\na: x y\n",
+		"schema: a\nsigma:\nnot a constraint\n",
+		"schema: a\ngamma:\nnope\n",
+		"schema: a\ndata:\n1\norders:\na: 0 9\n", // tuple out of range
+		"schema: a, a\n",                         // duplicate attr
+	}
+	for _, src := range cases {
+		if _, err := ReadSpec(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadSpec(%q) should fail", src)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	src := `# a spec
+schema: a, b
+
+# the data
+data:
+x,1
+
+y,2
+`
+	got, err := ReadSpec(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TI.Inst.Len() != 2 {
+		t.Fatalf("len = %d", got.TI.Inst.Len())
+	}
+}
+
+func modelSpec(in *relation.Instance) *model.Spec {
+	return model.NewSpec(model.NewTemporal(in), nil, nil)
+}
+
+func TestQuickRoundTripRandomInstances(t *testing.T) {
+	// Serialization fuzz: random schemas and values, including hostile
+	// strings (commas, quotes, leading spaces, "null", numerics-as-text),
+	// must survive a write/read cycle bit-for-bit.
+	hostile := []string{
+		"plain", "with,comma", `with"quote`, " leading space", "null", "42",
+		"-3.5", "", "t1 <[a] t2", "a & b -> c",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nAttrs := 1 + rng.Intn(4)
+		names := make([]string, nAttrs)
+		for i := range names {
+			names[i] = fmt.Sprintf("attr%d", i)
+		}
+		sch := relation.MustSchema(names...)
+		in := relation.NewInstance(sch)
+		for r := 0; r < 1+rng.Intn(5); r++ {
+			tup := relation.NewTuple(sch)
+			for a := range tup {
+				switch rng.Intn(4) {
+				case 0:
+					tup[a] = relation.String(hostile[rng.Intn(len(hostile))])
+				case 1:
+					tup[a] = relation.Int(int64(rng.Intn(2000) - 1000))
+				case 2:
+					tup[a] = relation.Float(float64(rng.Intn(100)) / 4)
+				case 3:
+					tup[a] = relation.Null
+				}
+			}
+			in.MustAdd(tup)
+		}
+		spec := model.NewSpec(model.NewTemporal(in), nil, nil)
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, spec); err != nil {
+			return false
+		}
+		got, err := ReadSpec(&buf)
+		if err != nil {
+			return false
+		}
+		if got.TI.Inst.Len() != in.Len() {
+			return false
+		}
+		for _, id := range in.TupleIDs() {
+			w, g := in.Tuple(id), got.TI.Inst.Tuple(id)
+			for a := range w {
+				if !relation.Equal(w[a], g[a]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteSpecRejectsNewlines(t *testing.T) {
+	sch := relation.MustSchema("a")
+	in := relation.NewInstance(sch)
+	in.MustAdd(relation.Tuple{relation.String("line1\nline2")})
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, model.NewSpec(model.NewTemporal(in), nil, nil)); err == nil {
+		t.Fatal("embedded newlines must be rejected by the line-oriented format")
+	}
+}
