@@ -1,0 +1,218 @@
+package conflictres
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+)
+
+// RuleSet is a compiled constraint set (Σ, Γ) over one schema. Compiling
+// parses and validates every constraint text exactly once; the result is
+// immutable and safe to share across goroutines, so a server resolving a
+// stream of entities with one schema pays the parsing cost once, not per
+// entity.
+type RuleSet struct {
+	schema *Schema
+	sigma  []constraint.Currency
+	gamma  []constraint.CFD
+
+	// The original texts, kept for serialization and cache keys.
+	currencyTexts []string
+	cfdTexts      []string
+}
+
+// CompileRules parses the currency constraints and constant CFDs against the
+// schema and returns a reusable rule set. The text syntax is that of NewSpec.
+func CompileRules(schema *Schema, currency []string, cfds []string) (*RuleSet, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("conflictres: CompileRules needs a schema")
+	}
+	rs := &RuleSet{
+		schema:        schema,
+		currencyTexts: append([]string(nil), currency...),
+		cfdTexts:      append([]string(nil), cfds...),
+	}
+	for _, s := range currency {
+		c, err := constraint.ParseCurrency(schema, s)
+		if err != nil {
+			return nil, err
+		}
+		rs.sigma = append(rs.sigma, c)
+	}
+	for _, s := range cfds {
+		c, err := constraint.ParseCFD(schema, s)
+		if err != nil {
+			return nil, err
+		}
+		rs.gamma = append(rs.gamma, c)
+	}
+	return rs, nil
+}
+
+// Schema returns the schema the rules were compiled against.
+func (rs *RuleSet) Schema() *Schema { return rs.schema }
+
+// CurrencyTexts returns the currency-constraint texts the set was compiled
+// from, in input order.
+func (rs *RuleSet) CurrencyTexts() []string {
+	return append([]string(nil), rs.currencyTexts...)
+}
+
+// CFDTexts returns the CFD texts the set was compiled from, in input order.
+func (rs *RuleSet) CFDTexts() []string { return append([]string(nil), rs.cfdTexts...) }
+
+// compatible reports whether an instance's schema matches the compiled one.
+// Attributes are positional throughout the module, so the names must agree
+// in order, not just as a set.
+func (rs *RuleSet) compatible(sch *Schema) bool {
+	if sch == rs.schema {
+		return true
+	}
+	if sch.Len() != rs.schema.Len() {
+		return false
+	}
+	for _, a := range rs.schema.Attrs() {
+		if sch.Name(a) != rs.schema.Name(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewSpecFromRules binds an entity instance to a compiled rule set without
+// re-parsing any constraint text. The instance's schema must list the same
+// attribute names in the same order as the rule set's.
+func NewSpecFromRules(in *Instance, rules *RuleSet) (*Spec, error) {
+	if in == nil || rules == nil {
+		return nil, fmt.Errorf("conflictres: NewSpecFromRules needs an instance and a rule set")
+	}
+	if !rules.compatible(in.Schema()) {
+		return nil, fmt.Errorf("conflictres: instance schema %s does not match rule set schema %s",
+			in.Schema(), rules.schema)
+	}
+	// Constraints are immutable values; sharing the slices across specs is
+	// safe (model.Spec.Clone shares them the same way).
+	m := model.NewSpec(model.NewTemporal(in), rules.sigma, rules.gamma)
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Spec{m: m}, nil
+}
+
+// BatchOptions tunes ResolveBatch.
+type BatchOptions struct {
+	// Workers bounds the worker pool; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Options applies to every entity's Resolve call.
+	Options Options
+}
+
+func (o BatchOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// BatchResult aggregates a batch resolution. Results and Errs are parallel
+// to the input slice: exactly one of Results[i], Errs[i] is non-nil.
+type BatchResult struct {
+	Results []*Result
+	Errs    []error
+	// Resolved counts entities that produced a Result (Valid or not).
+	Resolved int
+	// Failed counts entities whose resolution returned an error.
+	Failed int
+	// Timing sums the per-phase time across all entities; with W workers it
+	// exceeds Wall by up to a factor of W.
+	Timing Timing
+	// Wall is the end-to-end elapsed time of the batch.
+	Wall time.Duration
+}
+
+// ResolveBatch resolves a batch of entity instances against one compiled
+// rule set, fanning the entities out over a bounded worker pool. Resolution
+// is non-interactive (nil oracle): the batch path is meant for unattended
+// bulk and server workloads.
+func ResolveBatch(rules *RuleSet, instances []*Instance, opts BatchOptions) (*BatchResult, error) {
+	if rules == nil {
+		return nil, fmt.Errorf("conflictres: ResolveBatch needs a rule set")
+	}
+	specs := make([]*Spec, len(instances))
+	errs := make([]error, len(instances))
+	for i, in := range instances {
+		s, err := NewSpecFromRules(in, rules)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		specs[i] = s
+	}
+	br := ResolveSpecs(specs, opts)
+	// Merge binding errors over the (nil) results of unbound slots.
+	for i, err := range errs {
+		if err != nil {
+			br.Errs[i] = err
+			br.Failed++
+		}
+	}
+	return br, nil
+}
+
+// ResolveSpecs resolves already-bound specifications over a bounded worker
+// pool; nil slots yield nil Result and nil error (callers account for them).
+// It is the engine under ResolveBatch. (The HTTP batch endpoint streams
+// results as they complete, so it runs its own pool over the same per-entity
+// path instead.)
+func ResolveSpecs(specs []*Spec, opts BatchOptions) *BatchResult {
+	start := time.Now()
+	br := &BatchResult{
+		Results: make([]*Result, len(specs)),
+		Errs:    make([]error, len(specs)),
+	}
+	workers := opts.workers()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var mu sync.Mutex // guards the aggregate counters
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := Resolve(specs[i], nil, opts.Options)
+				mu.Lock()
+				if err != nil {
+					br.Errs[i] = err
+					br.Failed++
+				} else {
+					br.Results[i] = res
+					br.Resolved++
+					br.Timing.Validity += res.Timing.Validity
+					br.Timing.Deduce += res.Timing.Deduce
+					br.Timing.Suggest += res.Timing.Suggest
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i, s := range specs {
+		if s != nil {
+			jobs <- i
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	br.Wall = time.Since(start)
+	return br
+}

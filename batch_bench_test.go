@@ -1,0 +1,60 @@
+package conflictres
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkResolveBatch measures batch throughput at several worker-pool
+// widths over one compiled rule set; the workers=1 case is the sequential
+// baseline the parallel cases must beat.
+func BenchmarkResolveBatch(b *testing.B) {
+	rs := batchRules(b)
+	instances := batchInstances(rs.Schema(), 64)
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if runtime.GOMAXPROCS(0) <= 2 {
+		widths = []int{1, 2}
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				br, err := ResolveBatch(rs, instances, BatchOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if br.Resolved != len(instances) {
+					b.Fatalf("Resolved = %d", br.Resolved)
+				}
+			}
+			b.ReportMetric(float64(len(instances)*b.N)/b.Elapsed().Seconds(), "entities/s")
+		})
+	}
+}
+
+// BenchmarkSpecConstruction contrasts per-entity constraint re-parsing
+// (NewSpec) with binding against a compiled rule set (NewSpecFromRules).
+func BenchmarkSpecConstruction(b *testing.B) {
+	currency, cfds := batchRuleTexts()
+	sch := batchSchema()
+	in := batchInstance(sch, 0)
+	b.Run("NewSpec/reparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NewSpec(in, currency, cfds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("NewSpecFromRules/compiled", func(b *testing.B) {
+		rs, err := CompileRules(sch, currency, cfds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := NewSpecFromRules(in, rs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

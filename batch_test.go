@@ -1,0 +1,242 @@
+package conflictres
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"conflictres/internal/constraint"
+)
+
+// batchSchema and batchRules are the Edith running example generalized to a
+// fleet of entities sharing one schema and one constraint set.
+func batchSchema() *Schema {
+	return MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
+}
+
+func batchRuleTexts() (currency, cfds []string) {
+	return []string{
+			`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+			`t1[status] = "retired" & t2[status] = "deceased" -> t1 <[status] t2`,
+			`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+			`t1 <[status] t2 -> t1 <[job] t2`,
+			`t1 <[status] t2 -> t1 <[AC] t2`,
+			`t1 <[status] t2 -> t1 <[zip] t2`,
+			`t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`,
+		}, []string{
+			`AC = "213" => city = "LA"`,
+			`AC = "212" => city = "NY"`,
+		}
+}
+
+func batchRules(t testing.TB) *RuleSet {
+	t.Helper()
+	currency, cfds := batchRuleTexts()
+	rs, err := CompileRules(batchSchema(), currency, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+// batchInstance builds entity #i over the batch schema; every instance is a
+// valid specification resolving to status=deceased, city=LA.
+func batchInstance(sch *Schema, i int) *Instance {
+	name := fmt.Sprintf("Edith %d", i)
+	kids := int64(i % 4)
+	in := NewInstance(sch)
+	in.MustAdd(Tuple{String(name), String("working"), String("nurse"), Int(kids),
+		String("NY"), String("212"), String("10036"), String("Manhattan")})
+	in.MustAdd(Tuple{String(name), String("retired"), String("n/a"), Int(kids + 3),
+		String("SFC"), String("415"), String("94924"), String("Dogtown")})
+	in.MustAdd(Tuple{String(name), String("deceased"), String("n/a"), Null,
+		String("LA"), String("213"), String("90058"), String("Vermont")})
+	return in
+}
+
+func batchInstances(sch *Schema, n int) []*Instance {
+	out := make([]*Instance, n)
+	for i := range out {
+		out[i] = batchInstance(sch, i)
+	}
+	return out
+}
+
+func TestCompileRulesParsesEachTextOnce(t *testing.T) {
+	currency, cfds := batchRuleTexts()
+	before := constraint.ParseCalls()
+	rs, err := CompileRules(batchSchema(), currency, cfds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := constraint.ParseCalls()-before, int64(len(currency)+len(cfds)); got != want {
+		t.Fatalf("CompileRules made %d parser calls, want %d", got, want)
+	}
+
+	// Binding and resolving any number of entities must not re-parse.
+	mark := constraint.ParseCalls()
+	br, err := ResolveBatch(rs, batchInstances(rs.Schema(), 16), BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Resolved != 16 {
+		t.Fatalf("Resolved = %d, want 16", br.Resolved)
+	}
+	if got := constraint.ParseCalls() - mark; got != 0 {
+		t.Fatalf("resolving 16 entities re-parsed constraints %d times, want 0", got)
+	}
+}
+
+func TestCompileRulesRejectsBadTexts(t *testing.T) {
+	sch := batchSchema()
+	if _, err := CompileRules(sch, []string{`t1[bogus] = "x" -> t1 <[status] t2`}, nil); err == nil {
+		t.Error("unknown attribute in currency constraint must fail")
+	}
+	if _, err := CompileRules(sch, nil, []string{`AC = "1" => nope = "2"`}); err == nil {
+		t.Error("unknown attribute in CFD must fail")
+	}
+	if _, err := CompileRules(nil, nil, nil); err == nil {
+		t.Error("nil schema must fail")
+	}
+}
+
+func TestNewSpecFromRulesSchemaMismatch(t *testing.T) {
+	rs := batchRules(t)
+	in := NewInstance(MustSchema("name", "status"))
+	in.MustAdd(Tuple{String("x"), String("working")})
+	if _, err := NewSpecFromRules(in, rs); err == nil {
+		t.Fatal("mismatched schema must fail")
+	}
+	// Same names, same order, different *Schema value: must bind.
+	in2 := NewInstance(MustSchema(rs.Schema().Names()...))
+	in2.MustAdd(Tuple{String("y"), String("working"), String("nurse"), Int(1),
+		String("NY"), String("212"), String("10036"), String("Manhattan")})
+	if _, err := NewSpecFromRules(in2, rs); err != nil {
+		t.Fatalf("structurally equal schema rejected: %v", err)
+	}
+}
+
+func TestResolveBatchMatchesSequential(t *testing.T) {
+	rs := batchRules(t)
+	instances := batchInstances(rs.Schema(), 12)
+	br, err := ResolveBatch(rs, instances, BatchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Resolved != len(instances) || br.Failed != 0 {
+		t.Fatalf("Resolved=%d Failed=%d, want %d/0", br.Resolved, br.Failed, len(instances))
+	}
+	for i, in := range instances {
+		spec, err := NewSpecFromRules(in, rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Resolve(spec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := br.Results[i]
+		if got == nil {
+			t.Fatalf("entity %d: nil result, err=%v", i, br.Errs[i])
+		}
+		if got.Valid != want.Valid || !got.Tuple.Equal(want.Tuple) {
+			t.Errorf("entity %d: batch %v %s, sequential %v %s",
+				i, got.Valid, got.Tuple, want.Valid, want.Tuple)
+		}
+		if got.Value("city") != "LA" || got.Value("status") != "deceased" {
+			t.Errorf("entity %d resolved to %s", i, got.Tuple)
+		}
+	}
+	if br.Timing.Total() <= 0 {
+		t.Error("batch timing must aggregate per-phase durations")
+	}
+	if br.Wall <= 0 {
+		t.Error("batch wall time must be positive")
+	}
+}
+
+func TestResolveBatchReportsPerEntityErrors(t *testing.T) {
+	rs := batchRules(t)
+	good := batchInstance(rs.Schema(), 0)
+	empty := NewInstance(rs.Schema()) // no tuples: binding fails validation
+	wrong := NewInstance(MustSchema("a", "b"))
+	wrong.MustAdd(Tuple{String("x"), String("y")})
+
+	br, err := ResolveBatch(rs, []*Instance{good, empty, wrong}, BatchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Resolved != 1 || br.Failed != 2 {
+		t.Fatalf("Resolved=%d Failed=%d, want 1/2", br.Resolved, br.Failed)
+	}
+	if br.Results[0] == nil || br.Errs[0] != nil {
+		t.Errorf("entity 0 must succeed: %v", br.Errs[0])
+	}
+	if br.Errs[1] == nil || br.Results[1] != nil {
+		t.Error("empty instance must fail")
+	}
+	if br.Errs[2] == nil || !strings.Contains(br.Errs[2].Error(), "schema") {
+		t.Errorf("schema mismatch error missing, got %v", br.Errs[2])
+	}
+}
+
+// TestResolveBatchParallelSpeedup checks that the worker pool beats the
+// sequential loop in wall time. It needs real cores; single-CPU machines
+// skip (BenchmarkResolveBatch reports the same comparison as entities/s).
+func TestResolveBatchParallelSpeedup(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skipf("GOMAXPROCS=%d: no parallelism available", procs)
+	}
+	if testing.Short() {
+		t.Skip("skipping timing-sensitive test in -short mode")
+	}
+	rs := batchRules(t)
+	instances := batchInstances(rs.Schema(), 96)
+	run := func(workers int) time.Duration {
+		best := time.Duration(1<<62 - 1)
+		for trial := 0; trial < 3; trial++ {
+			br, err := ResolveBatch(rs, instances, BatchOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if br.Wall < best {
+				best = br.Wall
+			}
+		}
+		return best
+	}
+	seq, par := run(1), run(procs)
+	t.Logf("sequential %v, %d workers %v (%.2fx)", seq, procs, par, float64(seq)/float64(par))
+	// Demand a conservative 1.3x so scheduler noise cannot flake the test.
+	if float64(seq) < 1.3*float64(par) {
+		t.Errorf("no parallel speedup: sequential %v vs %d workers %v", seq, procs, par)
+	}
+}
+
+// TestResolveBatchRace hammers one shared rule set from many goroutines so
+// `go test -race` can observe any unsynchronized state in the compiled rules
+// or the worker pool.
+func TestResolveBatchRace(t *testing.T) {
+	rs := batchRules(t)
+	instances := batchInstances(rs.Schema(), 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			br, err := ResolveBatch(rs, instances, BatchOptions{Workers: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if br.Resolved != len(instances) {
+				t.Errorf("Resolved = %d, want %d", br.Resolved, len(instances))
+			}
+		}()
+	}
+	wg.Wait()
+}

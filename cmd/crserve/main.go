@@ -1,0 +1,59 @@
+// Command crserve serves conflict resolution over HTTP.
+//
+// Usage:
+//
+//	crserve [-addr :8372] [-workers N] [-cache-size N] [-rule-cache-size N]
+//	        [-timeout 30s] [-max-body 8388608]
+//
+// Endpoints:
+//
+//	POST /v1/resolve        one entity, JSON in / JSON out
+//	POST /v1/resolve/batch  NDJSON streaming: header line with the shared
+//	                        rule set, then one entity per line; one result
+//	                        per line back
+//	POST /v1/validate       validity check (optionally with an explanation)
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus-style counters
+//
+// The server shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"conflictres/internal/server"
+)
+
+func main() {
+	var cfg server.Config
+	flag.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
+	flag.IntVar(&cfg.Workers, "workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.CacheSize, "cache-size", 0, "result cache entries (0 = default 4096, negative disables)")
+	flag.IntVar(&cfg.RuleCacheSize, "rule-cache-size", 0, "compiled rule-set cache entries (0 = default 128)")
+	flag.DurationVar(&cfg.Timeout, "timeout", 0, "per-entity solver deadline (0 = default 30s, negative disables)")
+	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "max request body / batch line bytes (0 = default 8 MiB)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "crserve: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(cfg)
+	log.Printf("crserve: listening on %s", cfg.Addr)
+	start := time.Now()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatalf("crserve: %v", err)
+	}
+	log.Printf("crserve: shut down cleanly after %s", time.Since(start).Round(time.Second))
+}

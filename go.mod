@@ -1,0 +1,3 @@
+module conflictres
+
+go 1.24

@@ -21,6 +21,7 @@ func tinyCareer() *datagen.Dataset {
 }
 
 func TestValidityTiming(t *testing.T) {
+	skipInShort(t)
 	fig := ValidityTiming(tinyNBA(), NBABuckets)
 	if len(fig.Series) != 1 || len(fig.Series[0].Points) != len(NBABuckets) {
 		t.Fatalf("figure shape wrong: %+v", fig)
@@ -33,6 +34,7 @@ func TestValidityTiming(t *testing.T) {
 }
 
 func TestDeduceTimingWithNaive(t *testing.T) {
+	skipInShort(t)
 	fig := DeduceTiming(tinyNBA(), NBABuckets, true)
 	if len(fig.Series) != 2 {
 		t.Fatalf("want DeduceOrder and NaiveDeduce series, got %d", len(fig.Series))
@@ -50,6 +52,7 @@ func TestDeduceTimingWithNaive(t *testing.T) {
 }
 
 func TestOverallTiming(t *testing.T) {
+	skipInShort(t)
 	fig := OverallTiming(tinyNBA(), NBABuckets, "8(c)")
 	if len(fig.Series) != 3 {
 		t.Fatalf("want 3 phase series, got %d", len(fig.Series))
@@ -57,6 +60,7 @@ func TestOverallTiming(t *testing.T) {
 }
 
 func TestInteractionCurveMonotone(t *testing.T) {
+	skipInShort(t)
 	fig := InteractionCurve(tinyNBA(), 3, "8(e)", UserConfig{MaxPerRound: 2})
 	pts := fig.Series[0].Points
 	if len(pts) != 4 {
@@ -73,6 +77,7 @@ func TestInteractionCurveMonotone(t *testing.T) {
 }
 
 func TestAccuracyVsConstraintsShapes(t *testing.T) {
+	skipInShort(t)
 	ds := tinyCareer()
 	both := AccuracyVsConstraints(ds, ModeBoth, 2, "8(j)", 1, UserConfig{MaxPerRound: 1})
 	sigma := AccuracyVsConstraints(ds, ModeSigma, 2, "8(k)", 1, UserConfig{MaxPerRound: 1})
@@ -107,6 +112,7 @@ func TestAccuracyVsConstraintsShapes(t *testing.T) {
 }
 
 func TestHeadlinePrints(t *testing.T) {
+	skipInShort(t)
 	ds := tinyCareer()
 	both := AccuracyVsConstraints(ds, ModeBoth, 1, "8(j)", 1, UserConfig{MaxPerRound: 1})
 	sig := AccuracyVsConstraints(ds, ModeSigma, 1, "8(k)", 1, UserConfig{MaxPerRound: 1})
@@ -119,6 +125,7 @@ func TestHeadlinePrints(t *testing.T) {
 }
 
 func TestFigureFprint(t *testing.T) {
+	skipInShort(t)
 	fig := ValidityTiming(tinyPerson(), PersonBuckets(30))
 	var buf bytes.Buffer
 	fig.Fprint(&buf)
@@ -150,5 +157,15 @@ func TestFigureByID(t *testing.T) {
 	figs := []Figure{{ID: "8(a)"}, {ID: "8(b)"}}
 	if FigureByID(figs, "8(b)") == nil || FigureByID(figs, "zzz") != nil {
 		t.Fatal("FigureByID broken")
+	}
+}
+
+// skipInShort guards the timing and accuracy sweeps under `go test -short`:
+// they drive full resolution runs that take tens of seconds in aggregate.
+// Shape-only tests (buckets, tables, figure lookup) stay unguarded.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping slow bench suite in -short mode")
 	}
 }

@@ -14,6 +14,7 @@ import (
 //	t1 <[status] t2 -> t1 <[AC] t2
 //	true -> t1 <[name] t2
 func ParseCurrency(sch *relation.Schema, s string) (Currency, error) {
+	parseCalls.Add(1)
 	body, head, err := splitArrow(s, "->")
 	if err != nil {
 		return Currency{}, err
@@ -47,6 +48,7 @@ func ParseCurrency(sch *relation.Schema, s string) (Currency, error) {
 //	AC = "213" => city = "LA"
 //	city = "NY" & zip = "12404" => county = "Accord"
 func ParseCFD(sch *relation.Schema, s string) (CFD, error) {
+	parseCalls.Add(1)
 	lhs, rhs, err := splitArrow(s, "=>")
 	if err != nil {
 		return CFD{}, err

@@ -1,0 +1,12 @@
+package constraint
+
+import "sync/atomic"
+
+// parseCalls counts every ParseCurrency / ParseCFD invocation. Compiled rule
+// sets (the public RuleSet type) promise to parse each constraint text exactly
+// once no matter how many entities they are applied to; their tests read this
+// counter to hold them to it.
+var parseCalls atomic.Int64
+
+// ParseCalls returns the number of constraint-parser invocations so far.
+func ParseCalls() int64 { return parseCalls.Load() }

@@ -76,6 +76,7 @@ func TestCareerSizeSpectrum(t *testing.T) {
 // conflicts but never violate the constraints (paper: "tuples that have
 // conflicts but do not violate the currency constraints").
 func TestGeneratedSpecsAreValid(t *testing.T) {
+	skipInShort(t)
 	for _, ds := range []*Dataset{smallPerson(t), smallNBA(t), smallCareer(t)} {
 		for _, e := range ds.Entities {
 			enc := encode.Build(e.Spec, encode.Options{})
@@ -94,6 +95,7 @@ func TestGeneratedSpecsAreValid(t *testing.T) {
 // the soundly deducible one — exactly the paper's "true values relative to
 // It").
 func TestTruthConsistentWithDeduction(t *testing.T) {
+	skipInShort(t)
 	for _, ds := range []*Dataset{smallPerson(t), smallNBA(t), smallCareer(t)} {
 		for _, e := range ds.Entities {
 			enc := encode.Build(e.Spec, encode.Options{})
@@ -126,6 +128,7 @@ func truthInAdom(e *Entity, a relation.Attr) bool {
 // TestInteractiveResolutionReachesTruth runs the full framework with the
 // simulated user on a sample of entities from each dataset.
 func TestInteractiveResolutionReachesTruth(t *testing.T) {
+	skipInShort(t)
 	for _, ds := range []*Dataset{smallPerson(t), smallNBA(t), smallCareer(t)} {
 		for i, e := range ds.Entities {
 			if i >= 8 {
@@ -248,5 +251,15 @@ func TestStatsString(t *testing.T) {
 	st := smallNBA(t).Stats()
 	if st.NumEntities != 25 || st.String() == "" {
 		t.Fatalf("stats broken: %+v", st)
+	}
+}
+
+// skipInShort guards the resolution-heavy tests under `go test -short`: each
+// resolves every entity of a generated dataset, seconds to tens of seconds
+// apiece. Generation-only tests run fast and stay unguarded.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping slow datagen suite in -short mode")
 	}
 }

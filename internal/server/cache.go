@@ -1,0 +1,171 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sync"
+
+	"conflictres"
+)
+
+// cacheKey identifies one resolution problem: a canonical hash of
+// (schema, Σ, Γ, instance, orders). Identical replicated entities — the
+// common case when the same record arrives from many sources — hit the same
+// key and skip all SAT work.
+type cacheKey [sha256.Size]byte
+
+// hashField writes one length-prefixed field so concatenations cannot
+// collide across field boundaries.
+func hashField(h hash.Hash, s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+// specKey hashes a rule set plus one wire entity into a cache key. The
+// entity's raw JSON cells are decoded before binding, so hashing uses the
+// canonical Quote form of each decoded value (not the raw bytes, which could
+// differ in float spelling for equal values only after decoding — rather than
+// risk that, we hash the bound spec's own tuples).
+func specKey(rules *conflictres.RuleSet, spec *conflictres.Spec, orders []orderJSON) cacheKey {
+	h := sha256.New()
+	for _, n := range rules.Schema().Names() {
+		hashField(h, n)
+	}
+	hashField(h, "#sigma")
+	for _, s := range rules.CurrencyTexts() {
+		hashField(h, s)
+	}
+	hashField(h, "#gamma")
+	for _, s := range rules.CFDTexts() {
+		hashField(h, s)
+	}
+	hashField(h, "#data")
+	in := spec.Instance()
+	for _, id := range in.TupleIDs() {
+		for _, v := range in.Tuple(id) {
+			hashField(h, v.Quote())
+		}
+		hashField(h, "#row")
+	}
+	hashField(h, "#orders")
+	for _, o := range orders {
+		hashField(h, o.Attr)
+		var n [16]byte
+		binary.LittleEndian.PutUint64(n[:8], uint64(o.T1))
+		binary.LittleEndian.PutUint64(n[8:], uint64(o.T2))
+		h.Write(n[:])
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// rulesKey hashes a wire rule set (schema names plus constraint texts); it
+// keys the compiled-rule-set cache so repeated requests with identical Σ/Γ
+// skip parsing.
+func rulesKey(rs *ruleSetJSON) cacheKey {
+	h := sha256.New()
+	for _, n := range rs.Schema {
+		hashField(h, n)
+	}
+	hashField(h, "#sigma")
+	for _, s := range rs.Currency {
+		hashField(h, s)
+	}
+	hashField(h, "#gamma")
+	for _, s := range rs.CFDs {
+		hashField(h, s)
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// cachedResult is the immutable payload stored per key. It intentionally
+// excludes Timing (a cached answer took no solver time) and the request's
+// id/index, which are stamped per response.
+type cachedResult struct {
+	Valid    bool
+	Resolved map[string]any
+	Tuple    []any
+	Rounds   int
+}
+
+func toCached(r *resultJSON) *cachedResult {
+	return &cachedResult{Valid: r.Valid, Resolved: r.Resolved, Tuple: r.Tuple, Rounds: r.Rounds}
+}
+
+func (c *cachedResult) toResult() *resultJSON {
+	return &resultJSON{Valid: c.Valid, Resolved: c.Resolved, Tuple: c.Tuple, Rounds: c.Rounds, Cached: true}
+}
+
+// lru is a fixed-capacity, mutex-guarded LRU map from cache keys to opaque
+// immutable values (resolution results, compiled rule sets). A zero or
+// negative capacity disables caching entirely.
+type lru struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List
+	m   map[cacheKey]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	key cacheKey
+	val any
+}
+
+func newLRU(max int) *lru {
+	return &lru{max: max, ll: list.New(), m: make(map[cacheKey]*list.Element)}
+}
+
+func (c *lru) enabled() bool { return c.max > 0 }
+
+// get returns the cached value for k, promoting it to most-recently-used.
+func (c *lru) get(k cacheKey) (any, bool) {
+	if !c.enabled() {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put stores v under k, evicting the least-recently-used entry when full.
+func (c *lru) put(k cacheKey, v any) {
+	if !c.enabled() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*lruEntry).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*lruEntry).key)
+	}
+}
+
+// stats returns (hits, misses, current size).
+func (c *lru) stats() (hits, misses int64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

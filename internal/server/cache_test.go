@@ -1,0 +1,102 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(i int) cacheKey {
+	var k cacheKey
+	k[0], k[1] = byte(i), byte(i>>8)
+	return k
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := newLRU(2)
+	c.put(key(1), "one")
+	c.put(key(2), "two")
+	if _, ok := c.get(key(1)); !ok { // promote 1; 2 becomes LRU
+		t.Fatal("1 missing")
+	}
+	c.put(key(3), "three") // evicts 2
+	if _, ok := c.get(key(2)); ok {
+		t.Error("2 should have been evicted")
+	}
+	for _, i := range []int{1, 3} {
+		if _, ok := c.get(key(i)); !ok {
+			t.Errorf("%d should be cached", i)
+		}
+	}
+	if _, _, size := c.stats(); size != 2 {
+		t.Errorf("size = %d, want 2", size)
+	}
+}
+
+func TestLRUUpdateExistingKey(t *testing.T) {
+	c := newLRU(2)
+	c.put(key(1), "a")
+	c.put(key(1), "b")
+	v, ok := c.get(key(1))
+	if !ok || v.(string) != "b" {
+		t.Fatalf("got %v, %v", v, ok)
+	}
+	if _, _, size := c.stats(); size != 1 {
+		t.Errorf("size = %d, want 1", size)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(0)
+	c.put(key(1), "x")
+	if _, ok := c.get(key(1)); ok {
+		t.Error("disabled cache must not store")
+	}
+}
+
+func TestLRUHitMissStats(t *testing.T) {
+	c := newLRU(4)
+	c.put(key(1), "x")
+	c.get(key(1))
+	c.get(key(2))
+	hits, misses, _ := c.stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+// TestLRUConcurrentAccessRace hammers one cache from many goroutines for the
+// race detector.
+func TestLRUConcurrentAccessRace(t *testing.T) {
+	c := newLRU(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key((g*7 + i) % 32)
+				if v, ok := c.get(k); ok {
+					_ = v.(string)
+				} else {
+					c.put(k, fmt.Sprintf("v%d", i))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRulesKeyDistinguishesFields(t *testing.T) {
+	a := ruleSetJSON{Schema: []string{"a", "b"}, Currency: []string{"x"}}
+	// Same strings distributed differently across fields must not collide.
+	b := ruleSetJSON{Schema: []string{"a", "b", "x"}}
+	c := ruleSetJSON{Schema: []string{"a"}, Currency: []string{"b", "x"}}
+	ka, kb, kc := rulesKey(&a), rulesKey(&b), rulesKey(&c)
+	if ka == kb || ka == kc || kb == kc {
+		t.Fatalf("key collision: %x %x %x", ka[:4], kb[:4], kc[:4])
+	}
+	if rulesKey(&a) != ka {
+		t.Error("rulesKey must be deterministic")
+	}
+}

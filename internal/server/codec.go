@@ -1,0 +1,182 @@
+// Package server implements the crserve HTTP resolution service: single and
+// streaming-batch conflict resolution over compiled rule sets, an LRU result
+// cache, and text-format metrics.
+//
+// Endpoints:
+//
+//	POST /v1/resolve        one entity, JSON in / JSON out
+//	POST /v1/resolve/batch  NDJSON: header line, then one entity per line in,
+//	                        one result per line out (constant memory)
+//	POST /v1/validate       validity check only
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus-style counters
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"conflictres"
+	"conflictres/internal/relation"
+)
+
+// ruleSetJSON names a schema and its constraint texts; it heads both the
+// single-resolve request body and the batch NDJSON stream.
+type ruleSetJSON struct {
+	Schema   []string `json:"schema"`
+	Currency []string `json:"currency,omitempty"`
+	CFDs     []string `json:"cfds,omitempty"`
+}
+
+// entityJSON is one entity instance on the wire. Tuples hold raw JSON values
+// per attribute: null, strings, and numbers (integral numbers decode as ints).
+type entityJSON struct {
+	ID     string              `json:"id,omitempty"`
+	Tuples [][]json.RawMessage `json:"tuples"`
+	Orders []orderJSON         `json:"orders,omitempty"`
+}
+
+// orderJSON is an explicit currency edge: tuple t1 ≼_attr tuple t2.
+type orderJSON struct {
+	Attr string `json:"attr"`
+	T1   int    `json:"t1"`
+	T2   int    `json:"t2"`
+}
+
+// resolveRequest is the body of POST /v1/resolve and /v1/validate.
+type resolveRequest struct {
+	ruleSetJSON
+	Entity    entityJSON `json:"entity"`
+	MaxRounds int        `json:"maxRounds,omitempty"`
+}
+
+// timingJSON reports per-phase latency in microseconds.
+type timingJSON struct {
+	ValidityUs int64 `json:"validityUs"`
+	DeduceUs   int64 `json:"deduceUs"`
+	SuggestUs  int64 `json:"suggestUs"`
+	TotalUs    int64 `json:"totalUs"`
+}
+
+// resultJSON is one resolution outcome on the wire; in batch streams each
+// line also carries the input's id and zero-based line index.
+type resultJSON struct {
+	ID       string         `json:"id,omitempty"`
+	Index    *int           `json:"index,omitempty"`
+	Valid    bool           `json:"valid"`
+	Resolved map[string]any `json:"resolved,omitempty"`
+	Tuple    []any          `json:"tuple,omitempty"`
+	Rounds   int            `json:"rounds,omitempty"`
+	Timing   *timingJSON    `json:"timing,omitempty"`
+	Cached   bool           `json:"cached,omitempty"`
+	Error    *errorJSON     `json:"error,omitempty"`
+}
+
+// errorJSON is the structured error envelope every non-2xx response carries.
+type errorJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// decodeValue converts one raw JSON cell into a relation value. Integral
+// numbers become ints, other numbers floats; booleans and nested structures
+// are rejected.
+func decodeValue(raw json.RawMessage) (conflictres.Value, error) {
+	s := string(raw)
+	if s == "" || s == "null" {
+		return conflictres.Null, nil
+	}
+	switch s[0] {
+	case '"':
+		var str string
+		if err := json.Unmarshal(raw, &str); err != nil {
+			return conflictres.Null, err
+		}
+		return conflictres.String(str), nil
+	case '{', '[', 't', 'f':
+		return conflictres.Null, fmt.Errorf("unsupported value %s (want null, string or number)", s)
+	default:
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return conflictres.Int(i), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return conflictres.Null, fmt.Errorf("bad value %s: %w", s, err)
+		}
+		return conflictres.Float(f), nil
+	}
+}
+
+// encodeValue converts a relation value into its JSON form.
+func encodeValue(v conflictres.Value) any {
+	switch v.Kind() {
+	case relation.KindString:
+		return v.Str()
+	case relation.KindInt:
+		return v.Int64()
+	case relation.KindFloat:
+		return v.Float64()
+	default:
+		return nil
+	}
+}
+
+// bindEntity turns a wire entity into a specification bound to the compiled
+// rule set, applying explicit currency orders.
+func bindEntity(rules *conflictres.RuleSet, e *entityJSON) (*conflictres.Spec, error) {
+	if len(e.Tuples) == 0 {
+		return nil, fmt.Errorf("entity has no tuples")
+	}
+	sch := rules.Schema()
+	in := conflictres.NewInstance(sch)
+	for ti, row := range e.Tuples {
+		if len(row) != sch.Len() {
+			return nil, fmt.Errorf("tuple %d has %d values, schema has %d", ti, len(row), sch.Len())
+		}
+		t := make(conflictres.Tuple, len(row))
+		for ai, raw := range row {
+			v, err := decodeValue(raw)
+			if err != nil {
+				return nil, fmt.Errorf("tuple %d, attribute %s: %w", ti, sch.Name(conflictres.Attr(ai)), err)
+			}
+			t[ai] = v
+		}
+		if _, err := in.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	spec, err := conflictres.NewSpecFromRules(in, rules)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range e.Orders {
+		if err := spec.AddOrder(o.Attr, conflictres.TupleID(o.T1), conflictres.TupleID(o.T2)); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}
+
+// encodeResult converts a resolution outcome into its wire form.
+func encodeResult(sch *conflictres.Schema, res *conflictres.Result) *resultJSON {
+	out := &resultJSON{Valid: res.Valid, Rounds: res.Rounds}
+	if !res.Valid {
+		return out
+	}
+	out.Resolved = make(map[string]any, len(res.Resolved))
+	for a, v := range res.Resolved {
+		out.Resolved[sch.Name(a)] = encodeValue(v)
+	}
+	out.Tuple = make([]any, len(res.Tuple))
+	for i, v := range res.Tuple {
+		out.Tuple[i] = encodeValue(v)
+	}
+	out.Timing = &timingJSON{
+		ValidityUs: res.Timing.Validity.Microseconds(),
+		DeduceUs:   res.Timing.Deduce.Microseconds(),
+		SuggestUs:  res.Timing.Suggest.Microseconds(),
+		TotalUs:    res.Timing.Total().Microseconds(),
+	}
+	return out
+}

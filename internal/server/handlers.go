@@ -1,0 +1,338 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"conflictres"
+)
+
+// Error codes carried in the structured error envelope.
+const (
+	codeBadRequest  = "bad_request"
+	codeBadRules    = "invalid_rules"
+	codeBadEntity   = "invalid_entity"
+	codeTooLarge    = "body_too_large"
+	codeTimeout     = "timeout"
+	codeResolveFail = "resolve_failed"
+)
+
+func (s *Server) writeError(w http.ResponseWriter, status int, code, msg string) {
+	s.met.errorResponses.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]*errorJSON{"error": {Code: code, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody decodes a size-limited JSON request body, distinguishing
+// oversized bodies from malformed ones.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok bool) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "bad JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// compileRules returns the compiled rule set for a wire rule set, consulting
+// the rule cache so identical (schema, Σ, Γ) parse only once server-wide.
+func (s *Server) compileRules(rs *ruleSetJSON) (*conflictres.RuleSet, error) {
+	key := rulesKey(rs)
+	if v, ok := s.rules.get(key); ok {
+		return v.(*conflictres.RuleSet), nil
+	}
+	sch, err := conflictres.NewSchema(rs.Schema...)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := conflictres.CompileRules(sch, rs.Currency, rs.CFDs)
+	if err != nil {
+		return nil, err
+	}
+	s.rules.put(key, rules)
+	return rules, nil
+}
+
+// runTimed executes f under the server's per-entity deadline. The solver is
+// not preemptible, so an expired deadline abandons the goroutine; done (may
+// be nil) is called exactly when f actually finishes, letting callers tie
+// pool slots to real work rather than to the wrapper's return.
+func runTimed[T any](ctx context.Context, timeout time.Duration, done func(), f func() T) (T, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ch := make(chan T, 1)
+	go func() {
+		v := f()
+		if done != nil {
+			done()
+		}
+		ch <- v
+	}()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
+	}
+}
+
+// resolveEntity binds one wire entity against compiled rules and resolves it
+// through the result cache. It returns a wire result ready for stamping with
+// id/index, or an error classified by code. release (may be nil) is invoked
+// exactly once when the entity's heavy work is over — immediately for bind
+// errors and cache hits, or when the solver goroutine finishes otherwise
+// (which on timeout is later than this function's return).
+func (s *Server) resolveEntity(ctx context.Context, rules *conflictres.RuleSet, e *entityJSON, maxRounds int, release func()) (*resultJSON, string, error) {
+	if release == nil {
+		release = func() {}
+	}
+	release = sync.OnceFunc(release)
+	spec, err := bindEntity(rules, e)
+	if err != nil {
+		release()
+		return nil, codeBadEntity, err
+	}
+	key := specKey(rules, spec, e.Orders)
+	if v, ok := s.results.get(key); ok {
+		release()
+		return v.(*cachedResult).toResult(), "", nil
+	}
+	type outcome struct {
+		res *conflictres.Result
+		err error
+	}
+	o, err := runTimed(ctx, s.cfg.Timeout, release, func() outcome {
+		res, err := conflictres.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds})
+		return outcome{res, err}
+	})
+	if err != nil {
+		return nil, codeTimeout, err
+	}
+	if o.err != nil {
+		return nil, codeResolveFail, o.err
+	}
+	s.met.observe(o.res)
+	out := encodeResult(rules.Schema(), o.res)
+	s.results.put(key, toCached(out))
+	return out, "", nil
+}
+
+// scanErrClass classifies a batch-stream scanner error: a line over the size
+// cap is the client's fault (413); anything else is a bad request/stream.
+func scanErrClass(err error) (code string, status int) {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return codeTooLarge, http.StatusRequestEntityTooLarge
+	}
+	return codeBadRequest, http.StatusBadRequest
+}
+
+func errStatus(code string) int {
+	switch code {
+	case codeTimeout:
+		return http.StatusGatewayTimeout
+	case codeResolveFail:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleResolve is POST /v1/resolve: one entity, JSON in, JSON out.
+func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
+	s.met.resolveRequests.Add(1)
+	var req resolveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	rules, err := s.compileRules(&req.ruleSetJSON)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
+		return
+	}
+	out, code, err := s.resolveEntity(r.Context(), rules, &req.Entity, req.MaxRounds, nil)
+	if err != nil {
+		s.writeError(w, errStatus(code), code, err.Error())
+		return
+	}
+	out.ID = req.Entity.ID
+	writeJSON(w, out)
+}
+
+// handleValidate is POST /v1/validate: validity check only; with
+// "explain": true an invalid specification is diagnosed to a minimal
+// conflicting constraint set.
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	s.met.validateRequests.Add(1)
+	var req struct {
+		resolveRequest
+		Explain bool `json:"explain,omitempty"`
+	}
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	rules, err := s.compileRules(&req.ruleSetJSON)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
+		return
+	}
+	spec, err := bindEntity(rules, &req.Entity)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, codeBadEntity, err.Error())
+		return
+	}
+	type verdict struct {
+		Valid  bool
+		Reason string
+	}
+	v, err := runTimed(r.Context(), s.cfg.Timeout, nil, func() verdict {
+		var out verdict
+		out.Valid = conflictres.Validate(spec)
+		if !out.Valid && req.Explain {
+			if reason, ok := conflictres.Explain(spec); ok {
+				out.Reason = reason
+			}
+		}
+		return out
+	})
+	if err != nil {
+		s.writeError(w, http.StatusGatewayTimeout, codeTimeout, err.Error())
+		return
+	}
+	writeJSON(w, struct {
+		ID     string `json:"id,omitempty"`
+		Valid  bool   `json:"valid"`
+		Reason string `json:"reason,omitempty"`
+	}{ID: req.Entity.ID, Valid: v.Valid, Reason: v.Reason})
+}
+
+// batchHeader is the first NDJSON line of a batch request.
+type batchHeader struct {
+	ruleSetJSON
+	MaxRounds int `json:"maxRounds,omitempty"`
+}
+
+// handleBatch is POST /v1/resolve/batch: NDJSON streaming. The first line
+// compiles the shared rule set; every following line is one entity. Results
+// stream back one JSON line each, in completion order, carrying the input's
+// id and zero-based entity index. Memory use is bounded by the worker-pool
+// width, not the stream length.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.met.batchRequests.Add(1)
+	sc := bufio.NewScanner(r.Body)
+	// Scanner's effective cap is max(cap(buf), max): keep the initial buffer
+	// at or below the configured limit so small limits actually bind.
+	bufSize := 64 << 10
+	if int(s.cfg.MaxBodyBytes) < bufSize {
+		bufSize = int(s.cfg.MaxBodyBytes)
+	}
+	sc.Buffer(make([]byte, bufSize), int(s.cfg.MaxBodyBytes))
+
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			code, status := scanErrClass(err)
+			s.writeError(w, status, code, "bad header line: "+err.Error())
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "empty batch: missing header line")
+		return
+	}
+	var hdr batchHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, "bad header line: "+err.Error())
+		return
+	}
+	rules, err := s.compileRules(&hdr.ruleSetJSON)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var wmu sync.Mutex // serializes result lines
+	enc := json.NewEncoder(w)
+	emit := func(out *resultJSON) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		enc.Encode(out)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	sem := make(chan struct{}, s.cfg.Workers)
+	var wg sync.WaitGroup
+	index := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		i := index
+		index++
+		var e entityJSON
+		if err := json.Unmarshal(line, &e); err != nil {
+			s.met.entitiesFailed.Add(1)
+			emit(&resultJSON{Index: &i, Error: &errorJSON{Code: codeBadRequest, Message: "bad entity line: " + err.Error()}})
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(e entityJSON, i int) {
+			defer wg.Done()
+			// The slot is released by resolveEntity when the solver actually
+			// finishes — on timeout that is later than the error response, so
+			// Workers bounds true solver concurrency, not just wrapper count.
+			out, code, err := s.resolveEntity(r.Context(), rules, &e, hdr.MaxRounds, func() { <-sem })
+			if err != nil {
+				s.met.entitiesFailed.Add(1)
+				out = &resultJSON{Error: &errorJSON{Code: code, Message: err.Error()}}
+			}
+			out.ID, out.Index = e.ID, &i
+			emit(out)
+		}(e, i)
+	}
+	scanErr := sc.Err()
+	wg.Wait()
+	if scanErr != nil {
+		// The status line is long gone; report the failure in-band.
+		code, _ := scanErrClass(scanErr)
+		i := index
+		emit(&resultJSON{Index: &i, Error: &errorJSON{Code: code, Message: "stream aborted: " + scanErr.Error()}})
+	}
+}
+
+// handleHealthz is GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleMetrics is GET /metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.results)
+}

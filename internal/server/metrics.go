@@ -1,0 +1,71 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"conflictres"
+)
+
+// metrics holds the server's monotonic counters. Everything is atomic so the
+// hot path never takes a lock for accounting.
+type metrics struct {
+	// Requests per endpoint.
+	resolveRequests  atomic.Int64
+	batchRequests    atomic.Int64
+	validateRequests atomic.Int64
+	errorResponses   atomic.Int64
+
+	// Work done.
+	entitiesResolved atomic.Int64
+	entitiesInvalid  atomic.Int64
+	entitiesFailed   atomic.Int64
+
+	// Cumulative per-phase solver time, nanoseconds (from core.Timing).
+	validityNs atomic.Int64
+	deduceNs   atomic.Int64
+	suggestNs  atomic.Int64
+}
+
+// observe accounts one resolved entity's outcome and phase timings.
+func (m *metrics) observe(res *conflictres.Result) {
+	m.entitiesResolved.Add(1)
+	if !res.Valid {
+		m.entitiesInvalid.Add(1)
+	}
+	m.validityNs.Add(int64(res.Timing.Validity))
+	m.deduceNs.Add(int64(res.Timing.Deduce))
+	m.suggestNs.Add(int64(res.Timing.Suggest))
+}
+
+// write renders the counters in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, cache *lru) {
+	hits, misses, size := cache.stats()
+	var hitRate float64
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	fmt.Fprintf(w, "# TYPE crserve_requests_total counter\n")
+	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"resolve\"} %d\n", m.resolveRequests.Load())
+	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"validate\"} %d\n", m.validateRequests.Load())
+	fmt.Fprintf(w, "# TYPE crserve_error_responses_total counter\n")
+	fmt.Fprintf(w, "crserve_error_responses_total %d\n", m.errorResponses.Load())
+	fmt.Fprintf(w, "# TYPE crserve_entities_total counter\n")
+	fmt.Fprintf(w, "crserve_entities_total{outcome=\"resolved\"} %d\n", m.entitiesResolved.Load())
+	fmt.Fprintf(w, "crserve_entities_total{outcome=\"invalid\"} %d\n", m.entitiesInvalid.Load())
+	fmt.Fprintf(w, "crserve_entities_total{outcome=\"failed\"} %d\n", m.entitiesFailed.Load())
+	fmt.Fprintf(w, "# TYPE crserve_phase_seconds_total counter\n")
+	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"validity\"} %g\n", float64(m.validityNs.Load())/1e9)
+	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"deduce\"} %g\n", float64(m.deduceNs.Load())/1e9)
+	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"suggest\"} %g\n", float64(m.suggestNs.Load())/1e9)
+	fmt.Fprintf(w, "# TYPE crserve_cache_hits_total counter\n")
+	fmt.Fprintf(w, "crserve_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# TYPE crserve_cache_misses_total counter\n")
+	fmt.Fprintf(w, "crserve_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# TYPE crserve_cache_entries gauge\n")
+	fmt.Fprintf(w, "crserve_cache_entries %d\n", size)
+	fmt.Fprintf(w, "# TYPE crserve_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "crserve_cache_hit_rate %g\n", hitRate)
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Config tunes the resolution server.
+type Config struct {
+	// Addr is the listen address (default ":8372").
+	Addr string
+	// Workers bounds the per-request worker pool for batch resolution
+	// (default GOMAXPROCS).
+	Workers int
+	// CacheSize is the result-cache capacity in entries (default 4096;
+	// negative disables caching).
+	CacheSize int
+	// RuleCacheSize is the compiled-rule-set cache capacity (default 128).
+	RuleCacheSize int
+	// Timeout bounds the solver time of one entity (default 30s; negative
+	// disables the deadline).
+	Timeout time.Duration
+	// MaxBodyBytes caps single-request bodies and batch NDJSON lines
+	// (default 8 MiB).
+	MaxBodyBytes int64
+	// ShutdownGrace bounds how long Serve waits for in-flight requests on
+	// shutdown (default 10s).
+	ShutdownGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8372"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	case c.CacheSize == 0:
+		c.CacheSize = 4096
+	}
+	switch {
+	case c.RuleCacheSize < 0:
+		c.RuleCacheSize = 0
+	case c.RuleCacheSize == 0:
+		c.RuleCacheSize = 128
+	}
+	switch {
+	case c.Timeout < 0:
+		c.Timeout = 0
+	case c.Timeout == 0:
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the crserve HTTP resolution service.
+type Server struct {
+	cfg     Config
+	results *lru // cacheKey(rules+instance) -> *cachedResult
+	rules   *lru // cacheKey(rules)          -> *conflictres.RuleSet
+	met     *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a server; zero Config fields take defaults.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg.withDefaults(),
+		met: &metrics{},
+		mux: http.NewServeMux(),
+	}
+	s.results = newLRU(s.cfg.CacheSize)
+	s.rules = newLRU(s.cfg.RuleCacheSize)
+	s.mux.HandleFunc("POST /v1/resolve", s.handleResolve)
+	s.mux.HandleFunc("POST /v1/resolve/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the root handler; it is what tests mount on httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves until ctx is cancelled, then shuts down gracefully,
+// waiting up to ShutdownGrace for in-flight requests.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	srv := &http.Server{
+		Addr:              s.cfg.Addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("server: %w", err)
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	return nil
+}
