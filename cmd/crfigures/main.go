@@ -21,6 +21,7 @@ import (
 
 	"conflictres/internal/bench"
 	"conflictres/internal/datagen"
+	"conflictres/internal/version"
 )
 
 type scaleCfg struct {
@@ -61,11 +62,21 @@ var scales = map[string]scaleCfg{
 
 func main() {
 	var (
-		scale = flag.String("scale", "default", "default | paper | smoke")
-		only  = flag.String("only", "", "comma-separated figure ids (e.g. 8a,8e,8n); empty = all")
-		seed  = flag.Int64("seed", 1, "generator seed")
+		scale       = flag.String("scale", "default", "default | paper | smoke")
+		only        = flag.String("only", "", "comma-separated figure ids (e.g. 8a,8e,8n); empty = all")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("crfigures"))
+		return
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "crfigures: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
 	cfg, ok := scales[*scale]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "crfigures: unknown scale %q\n", *scale)

@@ -1,14 +1,24 @@
-// Command crgen emits simulated datasets (NBA, CAREER, Person) as
-// specification files, one per entity, plus a ground-truth file.
+// Command crgen emits simulated datasets (NBA, CAREER, Person) either as
+// per-entity specification files or as one flat relation (CSV/NDJSON) plus
+// a rules file — the input shape cmd/crresolve consumes — always with a
+// ground-truth file.
 //
 // Usage:
 //
 //	crgen -dataset person -entities 100 -out ./persondata
 //	crgen -dataset nba -out ./nbadata
-//	crgen -dataset career -out ./careerdata
+//	crgen -dataset person -entities 2000 -format csv -out ./data
+//
+// -format spec (default) writes entity_NNNNN.spec files; -format csv
+// writes data.csv (entity-key column + one row per tuple, clustered by
+// entity, ready for `crresolve -sorted`) and rules.cr; -format ndjson
+// writes data.ndjson the same way.
 package main
 
 import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,20 +26,36 @@ import (
 
 	"conflictres/internal/datagen"
 	"conflictres/internal/textio"
+	"conflictres/internal/version"
 )
 
 func main() {
 	var (
-		dataset  = flag.String("dataset", "person", "person | nba | career")
-		entities = flag.Int("entities", 50, "number of entities (person/nba/career)")
-		minT     = flag.Int("min-tuples", 2, "minimum tuples per entity (person)")
-		maxT     = flag.Int("max-tuples", 100, "maximum tuples per entity (person)")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		out      = flag.String("out", "", "output directory (required)")
+		dataset     = flag.String("dataset", "person", "person | nba | career")
+		entities    = flag.Int("entities", 50, "number of entities (person/nba/career)")
+		minT        = flag.Int("min-tuples", 2, "minimum tuples per entity (person)")
+		maxT        = flag.Int("max-tuples", 100, "maximum tuples per entity (person)")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		format      = flag.String("format", "spec", "output shape: spec | csv | ndjson")
+		out         = flag.String("out", "", "output directory (required)")
+		showVersion = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "crgen: -out is required")
+	if *showVersion {
+		fmt.Println(version.String("crgen"))
+		return
+	}
+	if *out == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: crgen -dataset person|nba|career -out DIR [-format spec|csv|ndjson] [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	switch *format {
+	case "spec", "csv", "ndjson":
+	default:
+		// Reject before the (expensive) generation runs and before any
+		// output files are created.
+		fmt.Fprintf(os.Stderr, "crgen: unknown format %q\n", *format)
 		os.Exit(2)
 	}
 
@@ -56,19 +82,116 @@ func main() {
 		fatal(err)
 	}
 	defer truthFile.Close()
-
-	for i, e := range ds.Entities {
-		path := filepath.Join(*out, fmt.Sprintf("entity_%05d.spec", i))
-		if err := textio.SaveSpecFile(path, e.Spec); err != nil {
-			fatal(err)
-		}
+	for _, e := range ds.Entities {
 		fmt.Fprintf(truthFile, "%s\t%s\n", e.ID, e.Truth)
 	}
 	if err := truthFile.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Println(ds.Stats())
-	fmt.Printf("wrote %d spec files and %s\n", len(ds.Entities), truthPath)
+
+	switch *format {
+	case "spec":
+		for i, e := range ds.Entities {
+			path := filepath.Join(*out, fmt.Sprintf("entity_%05d.spec", i))
+			if err := textio.SaveSpecFile(path, e.Spec); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println(ds.Stats())
+		fmt.Printf("wrote %d spec files and %s\n", len(ds.Entities), truthPath)
+	case "csv", "ndjson":
+		rulesPath := filepath.Join(*out, "rules.cr")
+		if err := writeFile(rulesPath, func(w *bufio.Writer) error {
+			return textio.WriteRules(w, ds.Schema, ds.Sigma, ds.Gamma)
+		}); err != nil {
+			fatal(err)
+		}
+		dataPath := filepath.Join(*out, "data."+*format)
+		rows := 0
+		err := writeFile(dataPath, func(w *bufio.Writer) error {
+			var werr error
+			if *format == "csv" {
+				rows, werr = writeCSV(w, ds)
+			} else {
+				rows, werr = writeNDJSON(w, ds)
+			}
+			return werr
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ds.Stats())
+		fmt.Printf("wrote %s (%d rows, clustered by entity), %s and %s\n",
+			dataPath, rows, rulesPath, truthPath)
+		fmt.Printf("resolve with: crresolve -rules %s -key entity -format %s -sorted -stats -in %s\n",
+			rulesPath, *format, dataPath)
+	}
+}
+
+// writeCSV emits the flat relation: an entity-key column plus the schema
+// attributes, one row per tuple, entities contiguous.
+func writeCSV(w *bufio.Writer, ds *datagen.Dataset) (int, error) {
+	cw := csv.NewWriter(w)
+	header := append([]string{"entity"}, ds.Schema.Names()...)
+	if err := cw.Write(header); err != nil {
+		return 0, err
+	}
+	rows := 0
+	rec := make([]string, len(header))
+	for _, e := range ds.Entities {
+		in := e.Spec.TI.Inst
+		for _, id := range in.TupleIDs() {
+			rec[0] = e.ID
+			for i, v := range in.Tuple(id) {
+				rec[1+i] = textio.EncodeCell(v)
+			}
+			if err := cw.Write(rec); err != nil {
+				return rows, err
+			}
+			rows++
+		}
+	}
+	cw.Flush()
+	return rows, cw.Error()
+}
+
+// writeNDJSON emits one JSON object per tuple with the entity key field.
+func writeNDJSON(w *bufio.Writer, ds *datagen.Dataset) (int, error) {
+	enc := json.NewEncoder(w)
+	names := ds.Schema.Names()
+	rows := 0
+	for _, e := range ds.Entities {
+		in := e.Spec.TI.Inst
+		for _, id := range in.TupleIDs() {
+			obj := make(map[string]any, len(names)+1)
+			obj["entity"] = e.ID
+			for i, v := range in.Tuple(id) {
+				obj[names[i]] = v.AsJSON()
+			}
+			if err := enc.Encode(obj); err != nil {
+				return rows, err
+			}
+			rows++
+		}
+	}
+	return rows, nil
+}
+
+func writeFile(path string, fill func(*bufio.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := fill(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

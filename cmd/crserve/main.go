@@ -7,13 +7,19 @@
 //
 // Endpoints:
 //
-//	POST /v1/resolve        one entity, JSON in / JSON out
-//	POST /v1/resolve/batch  NDJSON streaming: header line with the shared
-//	                        rule set, then one entity per line; one result
-//	                        per line back
-//	POST /v1/validate       validity check (optionally with an explanation)
-//	GET  /healthz           liveness probe
-//	GET  /metrics           Prometheus-style counters
+//	POST /v1/resolve         one entity, JSON in / JSON out
+//	POST /v1/resolve/batch   NDJSON streaming: header line with the shared
+//	                         rule set, then one entity per line; one result
+//	                         per line back
+//	POST /v1/resolve/dataset NDJSON streaming: header line with rules + key
+//	                         columns, then one raw row per line; rows are
+//	                         grouped into entities by key — one result per
+//	                         entity plus a summary line back
+//	POST /v1/validate        validity check (optionally with an explanation)
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus-style counters
+//
+// See docs/OPERATIONS.md for the full wire formats with curl examples.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -29,10 +35,12 @@ import (
 	"time"
 
 	"conflictres/internal/server"
+	"conflictres/internal/version"
 )
 
 func main() {
 	var cfg server.Config
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.StringVar(&cfg.Addr, "addr", ":8372", "listen address")
 	flag.IntVar(&cfg.Workers, "workers", 0, "batch worker pool width (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.CacheSize, "cache-size", 0, "result cache entries (0 = default 4096, negative disables)")
@@ -40,6 +48,10 @@ func main() {
 	flag.DurationVar(&cfg.Timeout, "timeout", 0, "per-entity solver deadline (0 = default 30s, negative disables)")
 	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "max request body / batch line bytes (0 = default 8 MiB)")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("crserve"))
+		return
+	}
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "crserve: unexpected arguments: %v\n", flag.Args())
 		flag.Usage()

@@ -1,0 +1,200 @@
+package conflictres
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/relation"
+	"conflictres/internal/textio"
+)
+
+// datasetCSV renders n batch entities as a flat CSV relation, clustered by
+// an entity key column, using the textio cell codec so values round-trip
+// with their types.
+func datasetCSV(t testing.TB, n int) []byte {
+	t.Helper()
+	sch := batchSchema()
+	var buf bytes.Buffer
+	cw := csv.NewWriter(&buf)
+	if err := cw.Write(append([]string{"entity"}, sch.Names()...)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		in := batchInstance(sch, i)
+		for _, id := range in.TupleIDs() {
+			rec := []string{in.Tuple(id)[0].Str()} // key = name column value
+			for _, v := range in.Tuple(id) {
+				rec = append(rec, textio.EncodeCell(v))
+			}
+			if err := cw.Write(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestResolveDatasetCSV(t *testing.T) {
+	rules := batchRules(t)
+	var out bytes.Buffer
+	stats, err := ResolveDataset(context.Background(), rules,
+		bytes.NewReader(datasetCSV(t, 8)), &out, DatasetOptions{
+			KeyColumns: []string{"entity"},
+			Sorted:     true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsRead != 24 || stats.Entities != 8 || stats.Resolved != 8 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("output lines = %d", len(lines))
+	}
+	if lines[0] != "entity,valid,rows,"+strings.Join(batchSchema().Names(), ",")+",error" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if !strings.Contains(l, ",deceased,") || !strings.Contains(l, ",LA,") {
+			t.Fatalf("entity not resolved to deceased/LA: %q", l)
+		}
+	}
+}
+
+func TestResolveDatasetNDJSON(t *testing.T) {
+	rules := batchRules(t)
+	sch := batchSchema()
+	var in bytes.Buffer
+	enc := json.NewEncoder(&in)
+	for i := 0; i < 3; i++ {
+		inst := batchInstance(sch, i)
+		for _, id := range inst.TupleIDs() {
+			obj := map[string]any{"entity": inst.Tuple(id)[0].Str()}
+			for ai, v := range inst.Tuple(id) {
+				switch v.Kind() {
+				case relation.KindNull:
+					obj[sch.Name(Attr(ai))] = nil
+				case relation.KindString:
+					obj[sch.Name(Attr(ai))] = v.Str()
+				case relation.KindInt:
+					obj[sch.Name(Attr(ai))] = v.Int64()
+				default:
+					obj[sch.Name(Attr(ai))] = v.Float64()
+				}
+			}
+			if err := enc.Encode(obj); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var out bytes.Buffer
+	stats, err := ResolveDataset(context.Background(), rules, &in, &out, DatasetOptions{
+		KeyColumns:   []string{"entity"},
+		InputFormat:  "ndjson",
+		OutputFormat: "ndjson",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 3 || stats.Resolved != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		var got struct {
+			Key      string         `json:"key"`
+			Valid    bool           `json:"valid"`
+			Resolved map[string]any `json:"resolved"`
+		}
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+		if !got.Valid || got.Resolved["city"] != "LA" {
+			t.Fatalf("line = %q", line)
+		}
+	}
+}
+
+func TestResolveDatasetOptionValidation(t *testing.T) {
+	rules := batchRules(t)
+	ctx := context.Background()
+	if _, err := ResolveDataset(ctx, nil, strings.NewReader(""), &bytes.Buffer{}, DatasetOptions{}); err == nil {
+		t.Fatal("nil rules: want error")
+	}
+	if _, err := ResolveDataset(ctx, rules, strings.NewReader(""), &bytes.Buffer{},
+		DatasetOptions{KeyColumns: []string{"entity"}, InputFormat: "xml"}); err == nil {
+		t.Fatal("bad format: want error")
+	}
+	if _, err := ResolveDataset(ctx, rules, strings.NewReader("x\n"), &bytes.Buffer{},
+		DatasetOptions{}); err == nil {
+		t.Fatal("missing key columns: want error")
+	}
+}
+
+func TestLoadRules(t *testing.T) {
+	src := `# rules for the Edith fleet
+schema: name, status, city, AC
+
+sigma:
+t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2
+
+gamma:
+AC = "213" => city = "LA"
+`
+	rules, err := LoadRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules.Schema().Len() != 4 || len(rules.CurrencyTexts()) != 1 || len(rules.CFDTexts()) != 1 {
+		t.Fatalf("rules = %v %v", rules.CurrencyTexts(), rules.CFDTexts())
+	}
+	if _, err := LoadRules(strings.NewReader("sigma:\nnonsense\n")); err == nil {
+		t.Fatal("rules before schema: want error")
+	}
+	if _, err := LoadRules(strings.NewReader("schema: a, b\nsigma:\nnonsense\n")); err == nil {
+		t.Fatal("bad constraint text: want error")
+	}
+}
+
+func TestLoadRulesParsesEachTextOnce(t *testing.T) {
+	src := `schema: name, status, city, AC
+sigma:
+t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2
+t1 <[status] t2 -> t1 <[AC] t2
+gamma:
+AC = "213" => city = "LA"
+`
+	before := constraint.ParseCalls()
+	rules, err := LoadRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := constraint.ParseCalls() - before; got != 3 {
+		t.Fatalf("parse calls = %d, want 3 (one per constraint text)", got)
+	}
+	// The assembled rule set binds and resolves without further parsing.
+	in := NewInstance(rules.Schema())
+	in.MustAdd(Tuple{String("Edith"), String("working"), String("NY"), String("212")})
+	in.MustAdd(Tuple{String("Edith"), String("retired"), Null, String("213")})
+	before = constraint.ParseCalls()
+	spec, err := NewSpecFromRules(in, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resolve(spec, nil)
+	if err != nil || !res.Valid || res.Value("city") != "LA" {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+	if got := constraint.ParseCalls() - before; got != 0 {
+		t.Fatalf("binding/resolving re-parsed %d times", got)
+	}
+}

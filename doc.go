@@ -36,7 +36,15 @@
 //	res, err := conflictres.Resolve(spec, nil)
 //	// res.Value("city") == "LA"
 //
+// Beyond per-entity resolution, the package serves production workloads:
+// CompileRules/ResolveBatch resolve streams of entities that share one
+// constraint set over a worker pool, and ResolveDataset resolves whole
+// relations — CSV/NDJSON rows grouped into entities by key — in one
+// streaming, constant-memory pass (cmd/crresolve is its CLI, and
+// internal/server exposes the same engine over HTTP).
+//
 // The full model and algorithms live in internal packages; this package is
-// the stable public surface. See README.md for the architecture and
-// DESIGN.md for the paper-to-code map.
+// the stable public surface. See README.md for the architecture, DESIGN.md
+// for the paper-to-code map, and CONSTRAINTS.md for the complete
+// constraint-language reference (grammar, typing rules, worked examples).
 package conflictres

@@ -1,0 +1,60 @@
+package conflictres_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks verifies that every relative link in the repository's
+// markdown files points at a file or directory that exists, and that the
+// documents the code references by name are present. It is the link-check
+// half of the CI docs job.
+func TestDocLinks(t *testing.T) {
+	for _, must := range []string{
+		"README.md", "DESIGN.md", "CONSTRAINTS.md", "ROADMAP.md",
+		filepath.Join("docs", "OPERATIONS.md"),
+	} {
+		if _, err := os.Stat(must); err != nil {
+			t.Errorf("required document missing: %s", must)
+		}
+	}
+
+	var mdFiles []string
+	for _, glob := range []string{"*.md", "docs/*.md"} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mdFiles = append(mdFiles, m...)
+	}
+	if len(mdFiles) < 5 {
+		t.Fatalf("suspiciously few markdown files: %v", mdFiles)
+	}
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external or intra-document
+			}
+			target, _, _ = strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(md), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s)", md, m[1], resolved)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package conflictres_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"conflictres"
+)
+
+// The paper's running example: conflicting records about Edith. Area code
+// 213 implies Los Angeles (a CFD), working precedes retired (a currency
+// constraint), and whoever is more current in status is more current in
+// area code too.
+func ExampleNewSpec() {
+	sch := conflictres.MustSchema("name", "status", "city", "AC")
+	in := conflictres.NewInstance(sch)
+	in.MustAdd(conflictres.Tuple{
+		conflictres.String("Edith"), conflictres.String("working"),
+		conflictres.String("NY"), conflictres.String("212")})
+	in.MustAdd(conflictres.Tuple{
+		conflictres.String("Edith"), conflictres.String("retired"),
+		conflictres.Null, conflictres.String("213")})
+
+	spec, err := conflictres.NewSpec(in,
+		[]string{
+			`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+			`t1 <[status] t2 -> t1 <[AC] t2`,
+		},
+		[]string{`AC = "213" => city = "LA"`})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("valid:", conflictres.Validate(spec))
+	// Output:
+	// valid: true
+}
+
+func ExampleResolve() {
+	sch := conflictres.MustSchema("name", "status", "city", "AC")
+	in := conflictres.NewInstance(sch)
+	in.MustAdd(conflictres.Tuple{
+		conflictres.String("Edith"), conflictres.String("working"),
+		conflictres.String("NY"), conflictres.String("212")})
+	in.MustAdd(conflictres.Tuple{
+		conflictres.String("Edith"), conflictres.String("retired"),
+		conflictres.Null, conflictres.String("213")})
+
+	spec, _ := conflictres.NewSpec(in,
+		[]string{
+			`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+			`t1 <[status] t2 -> t1 <[AC] t2`,
+		},
+		[]string{`AC = "213" => city = "LA"`})
+
+	// A nil oracle performs a single automatic pass: currency constraints
+	// order status and AC, and the fired CFD fills in the city.
+	res, err := conflictres.Resolve(spec, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("complete:", res.Complete())
+	for _, attr := range []string{"name", "status", "city", "AC"} {
+		fmt.Printf("%s = %s\n", attr, res.Value(attr))
+	}
+	// Output:
+	// complete: true
+	// name = Edith
+	// status = retired
+	// city = LA
+	// AC = 213
+}
+
+// Server-style workloads resolve many entities that share one schema and
+// one constraint set: compile the constraints once, then bind and resolve
+// each entity without re-parsing.
+func ExampleCompileRules() {
+	sch := conflictres.MustSchema("name", "status", "city", "AC")
+	rules, err := conflictres.CompileRules(sch,
+		[]string{
+			`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+			`t1 <[status] t2 -> t1 <[AC] t2`,
+		},
+		[]string{`AC = "213" => city = "LA"`})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	var instances []*conflictres.Instance
+	for _, name := range []string{"Edith", "George"} {
+		in := conflictres.NewInstance(sch)
+		in.MustAdd(conflictres.Tuple{
+			conflictres.String(name), conflictres.String("working"),
+			conflictres.String("NY"), conflictres.String("212")})
+		in.MustAdd(conflictres.Tuple{
+			conflictres.String(name), conflictres.String("retired"),
+			conflictres.Null, conflictres.String("213")})
+		instances = append(instances, in)
+	}
+
+	batch, err := conflictres.ResolveBatch(rules, instances, conflictres.BatchOptions{Workers: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("resolved:", batch.Resolved, "failed:", batch.Failed)
+	for i, res := range batch.Results {
+		fmt.Printf("entity %d: %s lives in %s\n", i, res.Value("name"), res.Value("city"))
+	}
+	// Output:
+	// resolved: 2 failed: 0
+	// entity 0: Edith lives in LA
+	// entity 1: George lives in LA
+}
+
+// Constraints can be mined from ordered change histories (audit-log
+// exports): consecutive rows are currency evidence, and co-occurring
+// values become CFD candidates.
+func ExampleDiscoverConstraints() {
+	sch := conflictres.MustSchema("status", "city", "AC")
+	history := func(rows ...[3]string) conflictres.OrderedHistory {
+		var h conflictres.OrderedHistory
+		for _, r := range rows {
+			h.Rows = append(h.Rows, conflictres.Tuple{
+				conflictres.String(r[0]), conflictres.String(r[1]), conflictres.String(r[2])})
+		}
+		return h
+	}
+	histories := []conflictres.OrderedHistory{
+		history([3]string{"working", "NY", "212"}, [3]string{"retired", "LA", "213"}),
+		history([3]string{"working", "NY", "212"}, [3]string{"retired", "LA", "213"}),
+		history([3]string{"working", "LA", "213"}, [3]string{"retired", "LA", "213"}),
+	}
+	currency, cfds, err := conflictres.DiscoverConstraints(sch, histories, conflictres.DiscoverOptions{
+		MinSupport:       2,
+		MinCFDSupport:    2,
+		MinCFDConfidence: 0.9,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sort.Strings(currency)
+	sort.Strings(cfds)
+	for _, c := range currency {
+		if strings.Contains(c, "status") && strings.Contains(c, "working") {
+			fmt.Println("mined:", c)
+		}
+	}
+	for _, c := range cfds {
+		if strings.HasPrefix(c, `AC = "213"`) {
+			fmt.Println("mined:", c)
+		}
+	}
+	// Output:
+	// mined: t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2
+	// mined: AC = "213" => city = "LA"
+}
+
+// Whole relations resolve in one streaming pass: rows are grouped into
+// entities by a key column, resolved in parallel, and written back out one
+// line per entity. Shards: 1 plus clustered input keeps the example's
+// output order deterministic.
+func ExampleResolveDataset() {
+	// CSV cells are typed: numeric-looking cells parse as numbers, so the
+	// constraint literals here are numbers too (quote cells to force
+	// strings — see CONSTRAINTS.md).
+	sch := conflictres.MustSchema("name", "status", "city", "AC")
+	rules, _ := conflictres.CompileRules(sch,
+		[]string{
+			`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+			`t1 <[status] t2 -> t1 <[AC] t2`,
+		},
+		[]string{`AC = 213 => city = "LA"`})
+
+	input := `entity,name,status,city,AC
+e1,Edith,working,NY,212
+e1,Edith,retired,null,213
+e2,George,working,NY,212
+e2,George,retired,null,213
+`
+	var out strings.Builder
+	stats, err := conflictres.ResolveDataset(context.Background(), rules,
+		strings.NewReader(input), &out, conflictres.DatasetOptions{
+			KeyColumns: []string{"entity"},
+			Shards:     1,
+			Sorted:     true,
+		})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%d rows -> %d entities\n", stats.RowsRead, stats.Entities)
+	fmt.Print(out.String())
+	// Output:
+	// 4 rows -> 2 entities
+	// entity,valid,rows,name,status,city,AC,error
+	// e1,true,2,Edith,retired,LA,213,
+	// e2,true,2,George,retired,LA,213,
+}

@@ -14,6 +14,7 @@ import (
 	"conflictres/internal/core"
 	"conflictres/internal/encode"
 	"conflictres/internal/relation"
+	"conflictres/internal/version"
 )
 
 // Run executes one crctl invocation: args are the raw command-line arguments
@@ -25,6 +26,9 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	cmd := args[0]
 	switch cmd {
+	case "-version", "--version", "version":
+		fmt.Fprintln(stdout, version.String("crctl"))
+		return 0
 	case "validate", "deduce", "suggest", "resolve":
 	default:
 		usage(stderr)
@@ -64,6 +68,7 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: crctl {validate|deduce|suggest|resolve} [flags] spec.txt")
+	fmt.Fprintln(w, "       crctl -version")
 }
 
 func runValidate(spec *conflictres.Spec, stdout io.Writer) int {

@@ -144,6 +144,21 @@ func TestUsageErrors(t *testing.T) {
 	}
 }
 
+func TestVersionFlag(t *testing.T) {
+	for _, arg := range []string{"-version", "--version", "version"} {
+		code, out, errOut := run(t, []string{arg}, "")
+		if code != 0 || !strings.HasPrefix(out, "crctl ") || errOut != "" {
+			t.Fatalf("%s: code=%d out=%q err=%q", arg, code, out, errOut)
+		}
+	}
+}
+
+func TestUsageGoesToStderr(t *testing.T) {
+	if _, out, errOut := run(t, nil, ""); out != "" || !strings.Contains(errOut, "usage:") {
+		t.Fatalf("usage must go to stderr: out=%q err=%q", out, errOut)
+	}
+}
+
 func TestScriptedOracleErrors(t *testing.T) {
 	edith, _ := writeSpecs(t)
 	if code, _, _ := run(t, []string{"resolve", "-answers", "nonsense", edith}, ""); code != 1 {

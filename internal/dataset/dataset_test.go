@@ -1,0 +1,562 @@
+package dataset
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"conflictres/internal/relation"
+)
+
+var testSchema = relation.MustSchema("name", "status", "kids")
+
+// pickFirst is a stub resolver: the "resolved" tuple is the group's first
+// row, recorded with the group size so tests can assert grouping.
+func pickFirst(mu *sync.Mutex, seen map[string]int) Resolver {
+	return func(key string, in *relation.Instance) Outcome {
+		mu.Lock()
+		seen[key] += in.Len()
+		mu.Unlock()
+		return Outcome{Valid: true, Tuple: in.Tuple(0).Clone()}
+	}
+}
+
+// memWriter collects results for assertions.
+type memWriter struct {
+	mu      sync.Mutex
+	results []*Result
+	flushed int
+}
+
+func (w *memWriter) Write(r *Result) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.results = append(w.results, r)
+	return nil
+}
+
+func (w *memWriter) Flush() error { w.flushed++; return nil }
+
+func rowsFor(keys ...string) []Row {
+	out := make([]Row, len(keys))
+	for i, k := range keys {
+		out[i] = Row{Key: k, Tuple: relation.Tuple{
+			relation.String(k), relation.String("working"), relation.Int(int64(i))}}
+	}
+	return out
+}
+
+type sliceReader struct {
+	rows []Row
+	i    int
+}
+
+func (r *sliceReader) Read() (Row, error) {
+	if r.i >= len(r.rows) {
+		return Row{}, io.EOF
+	}
+	r.i++
+	return r.rows[r.i-1], nil
+}
+
+func TestRunGroupsByKey(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "b", "a", "c", "b", "a")},
+		pickFirst(&mu, seen), w, Options{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsRead != 6 || stats.Entities != 3 || stats.Resolved != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if seen["a"] != 3 || seen["b"] != 2 || seen["c"] != 1 {
+		t.Fatalf("grouping = %v", seen)
+	}
+	if len(w.results) != 3 || w.flushed != 1 {
+		t.Fatalf("results %d, flushed %d", len(w.results), w.flushed)
+	}
+	for _, r := range w.results {
+		if r.Rows != seen[r.Key] {
+			t.Fatalf("result %q rows = %d, want %d", r.Key, r.Rows, seen[r.Key])
+		}
+	}
+}
+
+func TestRunSortedFlushesEagerly(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	// Clustered input: each key's rows contiguous.
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "a", "b", "c", "c", "c")},
+		pickFirst(&mu, seen), w, Options{Shards: 2, Sorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 3 {
+		t.Fatalf("entities = %d, want 3", stats.Entities)
+	}
+	if seen["a"] != 2 || seen["b"] != 1 || seen["c"] != 3 {
+		t.Fatalf("grouping = %v", seen)
+	}
+}
+
+func TestRunSortedSurvivesUnsortedInput(t *testing.T) {
+	// Sorted on unclustered input must not lose rows: "a" resolves once
+	// per contiguous run.
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "b", "a", "b")},
+		pickFirst(&mu, seen), w, Options{Shards: 1, Sorted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsRead != 4 || seen["a"] != 2 || seen["b"] != 2 {
+		t.Fatalf("rows %d grouping %v", stats.RowsRead, seen)
+	}
+	if stats.Entities != 4 {
+		t.Fatalf("entities = %d, want 4 chunks", stats.Entities)
+	}
+}
+
+func TestRunWindowFlush(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "a", "a", "a", "a")},
+		pickFirst(&mu, seen), w, Options{Shards: 1, WindowRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Windows != 2 {
+		t.Fatalf("windows = %d, want 2", stats.Windows)
+	}
+	// 5 rows with window 2: chunks of 2, 2, 1.
+	if stats.Entities != 3 || seen["a"] != 5 {
+		t.Fatalf("entities = %d, seen = %v", stats.Entities, seen)
+	}
+}
+
+func TestRunMaxEntityRows(t *testing.T) {
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "a", "a")},
+		func(string, *relation.Instance) Outcome { return Outcome{Valid: true} },
+		w, Options{Shards: 1, MaxEntityRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 1 || len(w.results) != 1 || w.results[0].Err == nil {
+		t.Fatalf("stats = %+v, results = %+v", stats, w.results)
+	}
+}
+
+func TestRunResolverErrorIsNotFatal(t *testing.T) {
+	w := &memWriter{}
+	boom := errors.New("boom")
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "b")},
+		func(key string, _ *relation.Instance) Outcome {
+			if key == "a" {
+				return Outcome{Err: boom}
+			}
+			return Outcome{Valid: true, Tuple: relation.NewTuple(testSchema)}
+		}, w, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failed != 1 || stats.Resolved != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+type failAfterReader struct {
+	rows []Row
+	i    int
+}
+
+func (r *failAfterReader) Read() (Row, error) {
+	if r.i >= len(r.rows) {
+		return Row{}, &RowError{Line: r.i + 1, Err: errors.New("ragged")}
+	}
+	r.i++
+	return r.rows[r.i-1], nil
+}
+
+func TestRunReaderErrorAbortsAndDropsBuffered(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&failAfterReader{rows: rowsFor("a", "b")},
+		pickFirst(&mu, seen), w, Options{Shards: 1})
+	var re *RowError
+	if !errors.As(err, &re) || re.Line != 3 {
+		t.Fatalf("err = %v, want RowError at line 3", err)
+	}
+	// Buffered groups are dropped, not written: the reader cannot know
+	// whether they were truncated by the failure, and a partial group
+	// would be indistinguishable from a complete result downstream.
+	if stats.RowsRead != 2 || stats.Entities != 0 || len(w.results) != 0 {
+		t.Fatalf("stats = %+v, results = %d", stats, len(w.results))
+	}
+}
+
+func TestRunSortedReaderErrorKeepsCompletedEntities(t *testing.T) {
+	// With Sorted, groups flushed by a key change before the failure are
+	// complete and are still resolved; only the in-progress group drops.
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&failAfterReader{rows: rowsFor("a", "a", "b")},
+		pickFirst(&mu, seen), w, Options{Shards: 1, Sorted: true})
+	if err == nil {
+		t.Fatal("want reader error")
+	}
+	if stats.Entities != 1 || seen["a"] != 2 || seen["b"] != 0 {
+		t.Fatalf("stats = %+v, seen = %v", stats, seen)
+	}
+}
+
+type failingWriter struct {
+	n int
+}
+
+func (w *failingWriter) Write(*Result) error { w.n++; return errors.New("disk full") }
+func (w *failingWriter) Flush() error        { return nil }
+
+func TestRunWriterErrorStopsReading(t *testing.T) {
+	// Sorted input with many entities: once the first write fails, the
+	// reader must stop feeding the solver rather than resolving the whole
+	// remaining input for discarded output.
+	var keys []string
+	for i := 0; i < 1000; i++ {
+		keys = append(keys, fmt.Sprintf("k%04d", i), fmt.Sprintf("k%04d", i))
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &failingWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor(keys...)}, pickFirst(&mu, seen), w,
+		Options{Shards: 1, Sorted: true})
+	if err == nil || err.Error() != "disk full" {
+		t.Fatalf("err = %v", err)
+	}
+	if stats.RowsRead >= int64(len(keys)) {
+		t.Fatalf("reader consumed the whole input (%d rows) despite the write failure", stats.RowsRead)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := &memWriter{}
+	_, err := Run(ctx, testSchema, &sliceReader{rows: rowsFor("a")},
+		func(string, *relation.Instance) Outcome { return Outcome{Valid: true} },
+		w, Options{Shards: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCSVReaderRoundTrip(t *testing.T) {
+	in := strings.NewReader("entity,name,status,kids\r\n" + // CRLF header
+		"e1,Edith,working,0\r\n" +
+		`e1,"Smith, Edith",retired,null` + "\r\n" + // quoted separator, null
+		`e2,"""null""",working,2` + "\n") // textio-quoted keyword stays a string
+	r, err := NewCSVReader(in, testSchema, []string{"entity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for {
+		row, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Key != "e1" || rows[0].Tuple[0].Str() != "Edith" || rows[0].Tuple[2].Int64() != 0 {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	if got := rows[1].Tuple[0].Str(); got != "Smith, Edith" {
+		t.Fatalf("quoted separator = %q", got)
+	}
+	if !rows[1].Tuple[2].IsNull() {
+		t.Fatalf("null cell = %v", rows[1].Tuple[2])
+	}
+	if got := rows[2].Tuple[0]; got.Kind() != relation.KindString || got.Str() != "null" {
+		t.Fatalf("quoted null = %v (%v)", got, got.Kind())
+	}
+}
+
+func TestCSVReaderRaggedRow(t *testing.T) {
+	in := strings.NewReader("entity,name,status,kids\ne1,Edith,working,0\ne1,Edith,retired\n")
+	r, err := NewCSVReader(in, testSchema, []string{"entity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Read()
+	var re *RowError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RowError", err)
+	}
+	if re.Line != 3 {
+		t.Fatalf("line = %d, want 3", re.Line)
+	}
+}
+
+func TestCSVReaderHeaderValidation(t *testing.T) {
+	if _, err := NewCSVReader(strings.NewReader(""), testSchema, []string{"entity"}); err == nil {
+		t.Fatal("empty input: want error")
+	}
+	in := strings.NewReader("entity,name,status\n")
+	if _, err := NewCSVReader(in, testSchema, []string{"entity"}); err == nil || !strings.Contains(err.Error(), "kids") {
+		t.Fatalf("missing attribute: err = %v", err)
+	}
+	in = strings.NewReader("name,status,kids\n")
+	if _, err := NewCSVReader(in, testSchema, []string{"entity"}); err == nil || !strings.Contains(err.Error(), "entity") {
+		t.Fatalf("missing key: err = %v", err)
+	}
+}
+
+func TestCSVReaderColumnOrderAndExtras(t *testing.T) {
+	// Columns permuted, an extra column ignored, key column doubling as a
+	// schema attribute.
+	in := strings.NewReader("kids,extra,name,status\n3,x,Edith,retired\n")
+	r, err := NewCSVReader(in, testSchema, []string{"name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Key != "Edith" || row.Tuple[0].Str() != "Edith" || row.Tuple[2].Int64() != 3 {
+		t.Fatalf("row = %+v", row)
+	}
+}
+
+func TestNDJSONReaderObjects(t *testing.T) {
+	in := strings.NewReader(`{"entity":"e1","name":"Edith","status":"working","kids":2}
+{"entity":"e1","name":"Edith","status":"retired","ignored":"x"}
+
+{"entity":7,"name":"Bob","status":null,"kids":1.5}
+`)
+	r, err := NewNDJSONReader(in, testSchema, []string{"entity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []Row
+	for {
+		row, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !rows[1].Tuple[2].IsNull() { // missing field reads as null
+		t.Fatalf("missing field = %v", rows[1].Tuple[2])
+	}
+	if rows[2].Key != "7" || rows[2].Tuple[2].Kind() != relation.KindFloat {
+		t.Fatalf("row 2 = %+v", rows[2])
+	}
+}
+
+func TestNDJSONReaderErrors(t *testing.T) {
+	r, err := NewNDJSONReader(strings.NewReader("{\"name\":\"x\"}\n"), testSchema, []string{"entity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Read()
+	var re *RowError
+	if !errors.As(err, &re) || !strings.Contains(err.Error(), "entity") {
+		t.Fatalf("missing key: err = %v", err)
+	}
+
+	r, _ = NewNDJSONReader(strings.NewReader("not json\n"), testSchema, []string{"entity"})
+	if _, err := r.Read(); !errors.As(err, &re) || re.Line != 1 {
+		t.Fatalf("bad json: err = %v", err)
+	}
+
+	r, _ = NewNDJSONReader(strings.NewReader(`{"entity":"e","name":true,"status":"s","kids":1}`+"\n"), testSchema, []string{"entity"})
+	if _, err := r.Read(); err == nil || !strings.Contains(err.Error(), "name") {
+		t.Fatalf("bool value: err = %v", err)
+	}
+}
+
+func TestNDJSONArrayReader(t *testing.T) {
+	cols := []string{"entity", "name", "status", "kids"}
+	in := strings.NewReader("[\"e1\",\"Edith\",\"working\",2]\n[\"e1\",\"Edith\",\"retired\",3]\n")
+	r, err := NewNDJSONArrayReader(in, testSchema, cols, []string{"entity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Key != "e1" || row.Tuple[1].Str() != "working" || row.Tuple[2].Int64() != 2 {
+		t.Fatalf("row = %+v", row)
+	}
+
+	// Short array → structured error.
+	r, _ = NewNDJSONArrayReader(strings.NewReader("[\"e1\",\"Edith\"]\n"), testSchema, cols, []string{"entity"})
+	var re *RowError
+	if _, err := r.Read(); !errors.As(err, &re) {
+		t.Fatalf("short array: err = %v", err)
+	}
+}
+
+func TestCSVWriterRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	w, err := NewCSVWriter(&sb, testSchema, "entity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := &Result{Key: "e1", Rows: 2, Outcome: Outcome{
+		Valid: true,
+		Tuple: relation.Tuple{relation.String("Smith, Edith"), relation.String("retired"), relation.Int(3)},
+	}}
+	bad := &Result{Key: "e2", Rows: 1, Outcome: Outcome{Err: errors.New("no valid completion")}}
+	invalid := &Result{Key: "e3", Rows: 4, Outcome: Outcome{Valid: false}}
+	for _, r := range []*Result{ok, bad, invalid} {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %q", lines)
+	}
+	if lines[0] != "entity,valid,rows,name,status,kids,error" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `e1,true,2,"Smith, Edith",retired,3,` {
+		t.Fatalf("ok line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "e2,false,1,,,,") {
+		t.Fatalf("err line = %q", lines[2])
+	}
+	if lines[3] != "e3,false,4,,,," {
+		t.Fatalf("invalid line = %q", lines[3])
+	}
+}
+
+func TestCSVWriterKeyNameCollision(t *testing.T) {
+	// A key column that is also a schema attribute must not produce a
+	// duplicate header column; the output must stay readable by the
+	// module's own header-keyed reader.
+	var sb strings.Builder
+	w, err := NewCSVWriter(&sb, testSchema, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.TrimSpace(sb.String())
+	if header != "key_name,valid,rows,name,status,kids,error" {
+		t.Fatalf("header = %q", header)
+	}
+}
+
+func TestNDJSONWriter(t *testing.T) {
+	var sb strings.Builder
+	w := NewNDJSONWriter(&sb, testSchema)
+	res := &Result{Key: "e1", Rows: 2, Outcome: Outcome{
+		Valid: true,
+		Tuple: relation.Tuple{relation.String("Edith"), relation.String("retired"), relation.Int(3)},
+		Resolved: map[relation.Attr]relation.Value{
+			0: relation.String("Edith"), 2: relation.Int(3)},
+		Cached: true,
+	}}
+	if err := w.Write(res); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["key"] != "e1" || got["valid"] != true || got["cached"] != true {
+		t.Fatalf("line = %v", got)
+	}
+	tuple := got["tuple"].([]any)
+	if tuple[1] != "retired" || tuple[2] != float64(3) {
+		t.Fatalf("tuple = %v", tuple)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := &Stats{RowsRead: 10, Entities: 2, Resolved: 2, Wall: 1e9}
+	if !strings.Contains(s.String(), "10 rows") || s.RowsPerSec() != 10 {
+		t.Fatalf("stats = %q, rps = %v", s.String(), s.RowsPerSec())
+	}
+}
+
+func TestShardAssignmentIsStable(t *testing.T) {
+	// Many keys across many shards: every row must come back exactly once.
+	var keys []string
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("k%03d", i%50))
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor(keys...)}, pickFirst(&mu, seen), w,
+		Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 50 || stats.RowsRead != 200 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	var got []string
+	for _, r := range w.results {
+		got = append(got, r.Key)
+		if r.Rows != 4 {
+			t.Fatalf("key %s rows = %d, want 4", r.Key, r.Rows)
+		}
+	}
+	sort.Strings(got)
+	for i, k := range got {
+		if want := fmt.Sprintf("k%03d", i); k != want {
+			t.Fatalf("key[%d] = %s, want %s", i, k, want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"conflictres/internal/relation"
+	"conflictres/internal/textio"
+)
+
+// CSVWriter streams results as CSV: a header line, then per entity its key,
+// validity, grouped row count, the resolved current tuple (one column per
+// schema attribute, textio cell syntax, empty when invalid or failed) and
+// an error message column.
+type CSVWriter struct {
+	cw     *csv.Writer
+	sch    *relation.Schema
+	record []string // reused across writes
+}
+
+// NewCSVWriter writes the header immediately; keyName labels the key column
+// ("key" when empty). A keyName that collides with a schema attribute —
+// legal on input, where one column can serve as both — is prefixed with
+// "key_" until unique, so the output header never repeats a column name
+// and stays readable by header-keyed consumers (including NewCSVReader).
+func NewCSVWriter(w io.Writer, sch *relation.Schema, keyName string) (*CSVWriter, error) {
+	if keyName == "" {
+		keyName = "key"
+	}
+	for attrNamed(sch, keyName) {
+		keyName = "key_" + keyName
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{keyName, "valid", "rows"}, sch.Names()...)
+	header = append(header, "error")
+	if err := cw.Write(header); err != nil {
+		return nil, err
+	}
+	return &CSVWriter{cw: cw, sch: sch, record: make([]string, len(header))}, nil
+}
+
+// Write emits one result line.
+func (w *CSVWriter) Write(res *Result) error {
+	rec := w.record
+	for i := range rec {
+		rec[i] = ""
+	}
+	rec[0] = DisplayKey(res.Key)
+	rec[1] = strconv.FormatBool(res.Valid && res.Err == nil)
+	rec[2] = strconv.Itoa(res.Rows)
+	if res.Err == nil && res.Valid {
+		for i := range w.sch.Names() {
+			rec[3+i] = textio.EncodeCell(res.Tuple[i])
+		}
+	}
+	if res.Err != nil {
+		rec[len(rec)-1] = res.Err.Error()
+	}
+	return w.cw.Write(rec)
+}
+
+// Flush flushes the underlying CSV writer.
+func (w *CSVWriter) Flush() error {
+	w.cw.Flush()
+	return w.cw.Error()
+}
+
+func attrNamed(sch *relation.Schema, name string) bool {
+	_, ok := sch.Attr(name)
+	return ok
+}
+
+// resultLineJSON is one NDJSON output line.
+type resultLineJSON struct {
+	Key      string         `json:"key"`
+	Valid    bool           `json:"valid"`
+	Rows     int            `json:"rows"`
+	Tuple    []any          `json:"tuple,omitempty"`
+	Resolved map[string]any `json:"resolved,omitempty"`
+	Cached   bool           `json:"cached,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// NDJSONWriter streams results as one JSON object per line.
+type NDJSONWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	sch *relation.Schema
+}
+
+// NewNDJSONWriter wraps w in a buffered NDJSON result stream.
+func NewNDJSONWriter(w io.Writer, sch *relation.Schema) *NDJSONWriter {
+	bw := bufio.NewWriter(w)
+	return &NDJSONWriter{bw: bw, enc: json.NewEncoder(bw), sch: sch}
+}
+
+// Write emits one result line.
+func (w *NDJSONWriter) Write(res *Result) error {
+	line := resultLineJSON{Key: DisplayKey(res.Key), Rows: res.Rows, Cached: res.Cached}
+	switch {
+	case res.Err != nil:
+		line.Error = res.Err.Error()
+	case res.Valid:
+		line.Valid = true
+		line.Tuple = make([]any, len(res.Tuple))
+		for i, v := range res.Tuple {
+			line.Tuple[i] = v.AsJSON()
+		}
+		line.Resolved = make(map[string]any, len(res.Resolved))
+		for a, v := range res.Resolved {
+			line.Resolved[w.sch.Name(a)] = v.AsJSON()
+		}
+	}
+	return w.enc.Encode(line)
+}
+
+// Flush flushes the buffered stream.
+func (w *NDJSONWriter) Flush() error { return w.bw.Flush() }

@@ -9,6 +9,7 @@
 package relation
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -158,6 +159,52 @@ func (v Value) asFloat() float64 {
 // each other (they denote the same "missing" token inside one attribute
 // domain), and numerically equal int/float values are equal.
 func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// FromJSONScalar converts one raw JSON scalar into a Value: null, strings
+// and numbers (integral numbers decode as ints, others as floats).
+// Booleans and nested structures are rejected — every wire format in the
+// module (HTTP codec, NDJSON datasets, crgen exports) carries only
+// relational cell values, and this is their single decoder.
+func FromJSONScalar(raw []byte) (Value, error) {
+	s := string(raw)
+	if s == "" || s == "null" {
+		return Null, nil
+	}
+	switch s[0] {
+	case '"':
+		var str string
+		if err := json.Unmarshal(raw, &str); err != nil {
+			return Null, err
+		}
+		return String(str), nil
+	case '{', '[', 't', 'f':
+		return Null, fmt.Errorf("unsupported value %s (want null, string or number)", s)
+	default:
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return Int(i), nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Null, fmt.Errorf("bad value %s: %w", s, err)
+		}
+		return Float(f), nil
+	}
+}
+
+// AsJSON returns the value in its JSON-encodable form — nil, string,
+// int64 or float64 — the inverse of FromJSONScalar.
+func (v Value) AsJSON() any {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	default:
+		return nil
+	}
+}
 
 // ParseValue parses the textual form produced by Quote: double-quoted
 // strings, bare integers, bare floats, or the keyword null.

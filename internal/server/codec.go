@@ -4,18 +4,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/resolve        one entity, JSON in / JSON out
-//	POST /v1/resolve/batch  NDJSON: header line, then one entity per line in,
-//	                        one result per line out (constant memory)
-//	POST /v1/validate       validity check only
-//	GET  /healthz           liveness probe
-//	GET  /metrics           Prometheus-style counters
+//	POST /v1/resolve         one entity, JSON in / JSON out
+//	POST /v1/resolve/batch   NDJSON: header line, then one entity per line
+//	                         in, one result per line out (constant memory)
+//	POST /v1/resolve/dataset NDJSON: header line with rules + key columns,
+//	                         then one row per line; rows are grouped into
+//	                         entities by key and resolved over the pool —
+//	                         one result line per entity plus a summary line
+//	POST /v1/validate        validity check only
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus-style counters
 package server
 
 import (
 	"encoding/json"
 	"fmt"
-	"strconv"
 
 	"conflictres"
 	"conflictres/internal/relation"
@@ -62,8 +65,11 @@ type timingJSON struct {
 // resultJSON is one resolution outcome on the wire; in batch streams each
 // line also carries the input's id and zero-based line index.
 type resultJSON struct {
-	ID       string         `json:"id,omitempty"`
-	Index    *int           `json:"index,omitempty"`
+	ID    string `json:"id,omitempty"`
+	Index *int   `json:"index,omitempty"`
+	// Rows is the input-row count grouped into this entity (dataset
+	// streams only).
+	Rows     int            `json:"rows,omitempty"`
 	Valid    bool           `json:"valid"`
 	Resolved map[string]any `json:"resolved,omitempty"`
 	Tuple    []any          `json:"tuple,omitempty"`
@@ -79,48 +85,15 @@ type errorJSON struct {
 	Message string `json:"message"`
 }
 
-// decodeValue converts one raw JSON cell into a relation value. Integral
-// numbers become ints, other numbers floats; booleans and nested structures
-// are rejected.
+// decodeValue converts one raw JSON cell into a relation value (integral
+// numbers become ints; booleans and nested structures are rejected). It is
+// the shared scalar codec of every wire surface — see relation.FromJSONScalar.
 func decodeValue(raw json.RawMessage) (conflictres.Value, error) {
-	s := string(raw)
-	if s == "" || s == "null" {
-		return conflictres.Null, nil
-	}
-	switch s[0] {
-	case '"':
-		var str string
-		if err := json.Unmarshal(raw, &str); err != nil {
-			return conflictres.Null, err
-		}
-		return conflictres.String(str), nil
-	case '{', '[', 't', 'f':
-		return conflictres.Null, fmt.Errorf("unsupported value %s (want null, string or number)", s)
-	default:
-		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
-			return conflictres.Int(i), nil
-		}
-		f, err := strconv.ParseFloat(s, 64)
-		if err != nil {
-			return conflictres.Null, fmt.Errorf("bad value %s: %w", s, err)
-		}
-		return conflictres.Float(f), nil
-	}
+	return relation.FromJSONScalar(raw)
 }
 
 // encodeValue converts a relation value into its JSON form.
-func encodeValue(v conflictres.Value) any {
-	switch v.Kind() {
-	case relation.KindString:
-		return v.Str()
-	case relation.KindInt:
-		return v.Int64()
-	case relation.KindFloat:
-		return v.Float64()
-	default:
-		return nil
-	}
-}
+func encodeValue(v conflictres.Value) any { return v.AsJSON() }
 
 // bindEntity turns a wire entity into a specification bound to the compiled
 // rule set, applying explicit currency orders.

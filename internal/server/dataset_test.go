@@ -1,0 +1,300 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// datasetBody builds a dataset request: header + rows. Rows are objects by
+// default; pass columns for array shape.
+func datasetHeaderLine(t *testing.T, columns []string, sorted bool) string {
+	t.Helper()
+	hdr := map[string]any{
+		"schema":   edithRules().Schema,
+		"currency": edithRules().Currency,
+		"cfds":     edithRules().CFDs,
+		"key":      []string{"entity"},
+		"sorted":   sorted,
+	}
+	if columns != nil {
+		hdr["columns"] = columns
+	}
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// edithRows renders entity #i's three conflicting tuples as object rows.
+func edithRows(i int) string {
+	name := fmt.Sprintf("Edith %d", i)
+	var sb strings.Builder
+	for _, row := range []string{
+		fmt.Sprintf(`{"entity":"e%d","name":"%s","status":"working","job":"nurse","kids":%d,"city":"NY","AC":"212","zip":"10036","county":"Manhattan"}`, i, name, i%4),
+		fmt.Sprintf(`{"entity":"e%d","name":"%s","status":"retired","job":"n/a","kids":%d,"city":"SFC","AC":"415","zip":"94924","county":"Dogtown"}`, i, name, i%4+3),
+		fmt.Sprintf(`{"entity":"e%d","name":"%s","status":"deceased","job":"n/a","kids":null,"city":"LA","AC":"213","zip":"90058","county":"Vermont"}`, i, name),
+	} {
+		sb.WriteString(row)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+type datasetLine struct {
+	resultJSON
+	Summary *datasetSummaryJSON `json:"summary"`
+}
+
+func postDataset(t *testing.T, url, body string) (results map[string]*datasetLine, summary *datasetSummaryJSON) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/resolve/dataset", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	results = map[string]*datasetLine{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var line datasetLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q: %v", sc.Text(), err)
+		}
+		if line.Summary != nil {
+			if summary != nil {
+				t.Fatal("two summary lines")
+			}
+			summary = line.Summary
+			continue
+		}
+		results[line.ID] = &line
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if summary == nil {
+		t.Fatal("missing summary line")
+	}
+	return results, summary
+}
+
+func TestDatasetObjectRows(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	var body strings.Builder
+	body.WriteString(datasetHeaderLine(t, nil, false) + "\n")
+	for i := 0; i < 5; i++ {
+		body.WriteString(edithRows(i))
+	}
+	results, summary := postDataset(t, ts.URL, body.String())
+	if summary.Rows != 15 || summary.Entities != 5 || summary.Resolved != 5 || summary.Failed != 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	for i := 0; i < 5; i++ {
+		res := results[fmt.Sprintf("e%d", i)]
+		if res == nil {
+			t.Fatalf("missing entity e%d in %v", i, results)
+		}
+		if !res.Valid || res.Rows != 3 {
+			t.Fatalf("e%d = %+v", i, res)
+		}
+		if res.Resolved["city"] != "LA" || res.Resolved["status"] != "deceased" {
+			t.Fatalf("e%d resolved = %v", i, res.Resolved)
+		}
+	}
+}
+
+func TestDatasetArrayRowsSorted(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	cols := []string{"entity", "name", "status", "job", "kids", "city", "AC", "zip", "county"}
+	var body strings.Builder
+	body.WriteString(datasetHeaderLine(t, cols, true) + "\n")
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("Edith %d", i)
+		fmt.Fprintf(&body, `["e%d","%s","working","nurse",%d,"NY","212","10036","Manhattan"]`+"\n", i, name, i%4)
+		fmt.Fprintf(&body, `["e%d","%s","retired","n/a",%d,"SFC","415","94924","Dogtown"]`+"\n", i, name, i%4+3)
+		fmt.Fprintf(&body, `["e%d","%s","deceased","n/a",null,"LA","213","90058","Vermont"]`+"\n", i, name)
+	}
+	results, summary := postDataset(t, ts.URL, body.String())
+	if summary.Rows != 9 || summary.Entities != 3 || summary.Resolved != 3 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if res := results["e1"]; res == nil || !res.Valid || res.Resolved["city"] != "LA" {
+		t.Fatalf("e1 = %+v", results["e1"])
+	}
+}
+
+func TestDatasetCacheAcrossEntities(t *testing.T) {
+	// One worker, so the two identical groups resolve sequentially: the
+	// second is guaranteed to hit the result cache (entity keys are not
+	// part of the spec hash).
+	s, ts := newTestServer(t, Config{Workers: 1})
+	var body strings.Builder
+	body.WriteString(datasetHeaderLine(t, nil, false) + "\n")
+	body.WriteString(strings.ReplaceAll(edithRows(0), `"e0"`, `"a"`))
+	body.WriteString(strings.ReplaceAll(edithRows(0), `"e0"`, `"b"`))
+	results, summary := postDataset(t, ts.URL, body.String())
+	// A cached valid outcome counts as both Resolved and Cached.
+	if summary.Entities != 2 || summary.Resolved != 2 || summary.Cached != 1 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	var cached int
+	for _, r := range results {
+		if r.Cached {
+			cached++
+		}
+	}
+	if cached != 1 {
+		t.Fatalf("cached results = %d, want 1 (results %v)", cached, results)
+	}
+	hits, _, _ := s.results.stats()
+	if hits < 1 {
+		t.Fatalf("cache hits = %d", hits)
+	}
+}
+
+func TestDatasetRowErrorsInBand(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var body strings.Builder
+	body.WriteString(datasetHeaderLine(t, nil, false) + "\n")
+	body.WriteString(edithRows(0))
+	body.WriteString("this is not json\n")
+	resp, err := http.Post(ts.URL+"/v1/resolve/dataset", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// The stream aborts in-band: an error line plus a summary accounting
+	// the rows read before the bad line.
+	sc := bufio.NewScanner(resp.Body)
+	var sawError, sawSummary bool
+	for sc.Scan() {
+		var line datasetLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q", sc.Text())
+		}
+		if line.Summary != nil {
+			sawSummary = true
+			if line.Summary.Rows != 3 {
+				t.Fatalf("summary rows = %d, want 3", line.Summary.Rows)
+			}
+		} else if line.Error != nil {
+			sawError = true
+		}
+	}
+	if !sawError || !sawSummary {
+		t.Fatalf("sawError=%v sawSummary=%v", sawError, sawSummary)
+	}
+}
+
+func TestDatasetOversizedHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	// A huge header with no newline must be rejected at the cap, not
+	// buffered wholesale.
+	body := `{"schema":["a"],"key":["a"],"x":"` + strings.Repeat("y", 4096) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/resolve/dataset", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestDatasetOversizedRowLineInBand(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 2048})
+	var body strings.Builder
+	body.WriteString(datasetHeaderLine(t, nil, false) + "\n")
+	body.WriteString(edithRows(0))
+	body.WriteString(`{"entity":"big","name":"` + strings.Repeat("x", 4096) + `"}` + "\n")
+	resp, err := http.Post(ts.URL+"/v1/resolve/dataset", "application/x-ndjson", strings.NewReader(body.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	var abortCode string
+	var sawSummary bool
+	for sc.Scan() {
+		var line datasetLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad line %q", sc.Text())
+		}
+		switch {
+		case line.Summary != nil:
+			sawSummary = true
+		case line.Error != nil && line.ID == "":
+			abortCode = line.Error.Code
+		}
+	}
+	if abortCode != codeTooLarge || !sawSummary {
+		t.Fatalf("abort code = %q, summary = %v", abortCode, sawSummary)
+	}
+}
+
+func TestDatasetHeaderValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for name, tc := range map[string]struct {
+		body string
+		code string
+	}{
+		"empty":      {"", codeBadRequest},
+		"badJSON":    {"not json\n", codeBadRequest},
+		"missingKey": {`{"schema":["a"]}` + "\n", codeBadRequest},
+		"badRules":   {`{"schema":["a"],"key":["a"],"currency":["nonsense"]}` + "\n", codeBadRules},
+		"badColumns": {`{"schema":["a"],"key":["k"],"columns":["a"]}` + "\n", codeBadRequest},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/resolve/dataset", "application/x-ndjson", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Error errorJSON `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || env.Error.Code != tc.code {
+			t.Fatalf("%s: status %d code %q, want 400 %q", name, resp.StatusCode, env.Error.Code, tc.code)
+		}
+	}
+}
+
+func TestDatasetMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var body strings.Builder
+	body.WriteString(datasetHeaderLine(t, nil, false) + "\n")
+	body.WriteString(edithRows(0))
+	postDataset(t, ts.URL, body.String())
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text() + "\n")
+	}
+	out := sb.String()
+	if !strings.Contains(out, `crserve_requests_total{endpoint="dataset"} 1`) {
+		t.Fatalf("metrics missing dataset requests:\n%s", out)
+	}
+	if !strings.Contains(out, "crserve_dataset_rows_total 3") {
+		t.Fatalf("metrics missing dataset rows:\n%s", out)
+	}
+}

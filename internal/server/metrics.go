@@ -14,8 +14,12 @@ type metrics struct {
 	// Requests per endpoint.
 	resolveRequests  atomic.Int64
 	batchRequests    atomic.Int64
+	datasetRequests  atomic.Int64
 	validateRequests atomic.Int64
 	errorResponses   atomic.Int64
+
+	// Dataset rows streamed through /v1/resolve/dataset.
+	datasetRows atomic.Int64
 
 	// Work done.
 	entitiesResolved atomic.Int64
@@ -49,7 +53,10 @@ func (m *metrics) write(w io.Writer, cache *lru) {
 	fmt.Fprintf(w, "# TYPE crserve_requests_total counter\n")
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"resolve\"} %d\n", m.resolveRequests.Load())
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"dataset\"} %d\n", m.datasetRequests.Load())
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"validate\"} %d\n", m.validateRequests.Load())
+	fmt.Fprintf(w, "# TYPE crserve_dataset_rows_total counter\n")
+	fmt.Fprintf(w, "crserve_dataset_rows_total %d\n", m.datasetRows.Load())
 	fmt.Fprintf(w, "# TYPE crserve_error_responses_total counter\n")
 	fmt.Fprintf(w, "crserve_error_responses_total %d\n", m.errorResponses.Load())
 	fmt.Fprintf(w, "# TYPE crserve_entities_total counter\n")

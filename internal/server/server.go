@@ -85,6 +85,7 @@ func New(cfg Config) *Server {
 	s.rules = newLRU(s.cfg.RuleCacheSize)
 	s.mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	s.mux.HandleFunc("POST /v1/resolve/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/resolve/dataset", s.handleDataset)
 	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

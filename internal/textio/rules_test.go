@@ -1,0 +1,155 @@
+package textio
+
+import (
+	"strings"
+	"testing"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/relation"
+)
+
+func TestCellRoundTripEdgeCases(t *testing.T) {
+	cases := []relation.Value{
+		relation.Null,
+		relation.String(""),
+		relation.String("null"),       // the keyword as a string
+		relation.String("212"),        // numeric-looking string
+		relation.String("3.14"),       // float-looking string
+		relation.String("  padded  "), // significant whitespace
+		relation.String("a,b"),        // separator (CSV layer's job, but must parse back)
+		relation.String(`quo"ted`),
+		relation.Int(0),
+		relation.Int(-42),
+		relation.Float(0),   // "0.0", must stay float
+		relation.Float(2.5), // plain float
+		relation.Float(1e30),
+	}
+	for _, v := range cases {
+		cell := EncodeCell(v)
+		got, err := ParseCell(cell)
+		if err != nil {
+			t.Fatalf("%v: ParseCell(%q): %v", v, cell, err)
+		}
+		if got.Kind() != v.Kind() || !relation.Equal(got, v) {
+			t.Fatalf("%v (%v) round-tripped to %v (%v) via %q", v, v.Kind(), got, got.Kind(), cell)
+		}
+	}
+}
+
+func TestParseCellForms(t *testing.T) {
+	for _, tc := range []struct {
+		cell string
+		want relation.Value
+	}{
+		{"null", relation.Null},
+		{" null ", relation.Null},
+		{"", relation.String("")},
+		{"7", relation.Int(7)},
+		{"7.5", relation.Float(7.5)},
+		{`"7"`, relation.String("7")},
+		{"hello", relation.String("hello")},
+		{" trimmed ", relation.String("trimmed")}, // unquoted cells trim
+	} {
+		got, err := ParseCell(tc.cell)
+		if err != nil {
+			t.Fatalf("ParseCell(%q): %v", tc.cell, err)
+		}
+		if got.Kind() != tc.want.Kind() || !relation.Equal(got, tc.want) {
+			t.Fatalf("ParseCell(%q) = %v (%v), want %v (%v)", tc.cell, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+	if _, err := ParseCell(`"unterminated`); err == nil {
+		t.Fatal("bad string literal: want error")
+	}
+}
+
+func TestReadSpecCRLF(t *testing.T) {
+	src := "schema: name, status\r\n\r\ndata:\r\nEdith,working\r\nEdith,retired\r\n"
+	spec, err := ReadSpec(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.TI.Inst.Len() != 2 {
+		t.Fatalf("tuples = %d", spec.TI.Inst.Len())
+	}
+	if got := spec.TI.Inst.Value(0, 1).Str(); got != "working" {
+		t.Fatalf("value = %q (CRLF must not leak into cells)", got)
+	}
+}
+
+func TestReadSpecRaggedRow(t *testing.T) {
+	src := "schema: name, status\n\ndata:\nEdith,working\nEdith\n"
+	_, err := ReadSpec(strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "line 5") {
+		t.Fatalf("ragged row must name its line: %v", err)
+	}
+}
+
+func TestReadWriteRulesRoundTrip(t *testing.T) {
+	sch := relation.MustSchema("name", "status", "city", "AC")
+	sigma := []constraint.Currency{
+		constraint.MustCurrency(sch, `t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`),
+		constraint.MustCurrency(sch, `t1 <[status] t2 -> t1 <[AC] t2`),
+	}
+	gamma := []constraint.CFD{
+		constraint.MustCFD(sch, `AC = "213" => city = "LA"`),
+	}
+	var sb strings.Builder
+	if err := WriteRules(&sb, sch, sigma, gamma); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := ReadRules(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("%v\nfile:\n%s", err, sb.String())
+	}
+	if got := rules.Schema.Names(); len(got) != 4 || got[0] != "name" {
+		t.Fatalf("schema = %v", got)
+	}
+	if len(rules.Currency) != 2 || len(rules.CFDs) != 1 {
+		t.Fatalf("rules = %v / %v", rules.Currency, rules.CFDs)
+	}
+	// The returned texts are valid parser input.
+	for _, s := range rules.Currency {
+		constraint.MustCurrency(rules.Schema, s)
+	}
+	for _, s := range rules.CFDs {
+		constraint.MustCFD(rules.Schema, s)
+	}
+}
+
+func TestReadRulesSkipsDataSections(t *testing.T) {
+	src := `schema: name, status
+
+data:
+Edith,working
+Edith,retired
+
+orders:
+status: 0 1
+
+sigma:
+true -> t1 <[name] t2
+`
+	rules, err := ReadRules(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules.Currency) != 1 || len(rules.CFDs) != 0 {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestReadRulesErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"missingSchema":   "sigma:\ntrue -> t1 <[a] t2\n",
+		"duplicateSchema": "schema: a\nschema: b\n",
+		"badConstraint":   "schema: a\nsigma:\nnonsense\n",
+		"badCFD":          "schema: a\ngamma:\nnonsense\n",
+		"strayContent":    "stray\n",
+		"empty":           "",
+	} {
+		if _, err := ReadRules(strings.NewReader(src)); err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+	}
+}

@@ -53,7 +53,7 @@ func WriteSpec(w io.Writer, spec *model.Spec) error {
 			if v.Kind() == relation.KindString && strings.ContainsAny(v.Str(), "\n\r") {
 				return fmt.Errorf("textio: tuple %d: the line-oriented format cannot hold values with newlines", id)
 			}
-			rec[i] = encodeCell(v)
+			rec[i] = EncodeCell(v)
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("textio: %w", err)
@@ -85,7 +85,10 @@ func WriteSpec(w io.Writer, spec *model.Spec) error {
 	return bw.Flush()
 }
 
-func encodeCell(v relation.Value) string {
+// EncodeCell renders one value as a CSV cell that ParseCell reads back to an
+// equal value: null is the bare keyword, strings that could be mistaken for
+// anything else are quoted, and floats keep a mark of their floatness.
+func EncodeCell(v relation.Value) string {
 	switch v.Kind() {
 	case relation.KindNull:
 		return "null"
@@ -173,7 +176,7 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 			}
 			t := relation.NewTuple(sch)
 			for i, cell := range rec {
-				v, err := parseCell(cell)
+				v, err := ParseCell(cell)
 				if err != nil {
 					return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
 				}
@@ -232,7 +235,13 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 	return spec, nil
 }
 
-func parseCell(cell string) (relation.Value, error) {
+// ParseCell parses one CSV cell into a value: the keyword "null" is the
+// missing value, numeric-looking cells become ints or floats, quoted cells
+// go through the string-literal parser (preserving whitespace and forcing
+// stringness), and anything else is a bare string. It is the inverse of
+// EncodeCell and the cell codec of every CSV surface in the module (spec
+// files here, dataset rows in internal/dataset).
+func ParseCell(cell string) (relation.Value, error) {
 	cell = strings.TrimSpace(cell)
 	if cell == "null" {
 		return relation.Null, nil
@@ -250,6 +259,107 @@ func parseCell(cell string) (relation.Value, error) {
 		return relation.Float(f), nil
 	}
 	return relation.String(cell), nil
+}
+
+// Rules is a parsed rules file: a schema plus its sigma and gamma
+// sections, each carried both as the raw text (for serialization and
+// cache keys) and in parsed form (so loading a rules file parses each
+// constraint exactly once). Sigma is aligned with Currency, Gamma with
+// CFDs.
+type Rules struct {
+	Schema   *relation.Schema
+	Currency []string
+	CFDs     []string
+	Sigma    []constraint.Currency
+	Gamma    []constraint.CFD
+}
+
+// ReadRules parses a rules file: the textio format restricted to the
+// schema, sigma and gamma sections. Data and orders sections are permitted
+// and skipped, so a full specification file is also a valid rules source.
+func ReadRules(r io.Reader) (*Rules, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 1<<20), 1<<24)
+
+	out := &Rules{}
+	section := ""
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "schema:"):
+			if out.Schema != nil {
+				return nil, fmt.Errorf("textio: line %d: duplicate schema", lineNo)
+			}
+			names := strings.Split(strings.TrimPrefix(line, "schema:"), ",")
+			for i := range names {
+				names[i] = strings.TrimSpace(names[i])
+			}
+			sch, err := relation.NewSchema(names...)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			out.Schema = sch
+			continue
+		case line == "data:" || line == "orders:" || line == "sigma:" || line == "gamma:":
+			if out.Schema == nil {
+				return nil, fmt.Errorf("textio: line %d: section %q before schema", lineNo, line)
+			}
+			section = strings.TrimSuffix(line, ":")
+			continue
+		}
+		switch section {
+		case "sigma":
+			c, err := constraint.ParseCurrency(out.Schema, line)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			out.Currency = append(out.Currency, line)
+			out.Sigma = append(out.Sigma, c)
+		case "gamma":
+			c, err := constraint.ParseCFD(out.Schema, line)
+			if err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			out.CFDs = append(out.CFDs, line)
+			out.Gamma = append(out.Gamma, c)
+		case "data", "orders":
+			// A rules reader over a full spec file: tuples and explicit
+			// orders belong to one entity, not to the rule set.
+		default:
+			return nil, fmt.Errorf("textio: line %d: content outside any section", lineNo)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("textio: %w", err)
+	}
+	if out.Schema == nil {
+		return nil, fmt.Errorf("textio: missing schema")
+	}
+	return out, nil
+}
+
+// WriteRules serializes a rules file readable by ReadRules.
+func WriteRules(w io.Writer, sch *relation.Schema, sigma []constraint.Currency, gamma []constraint.CFD) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "schema: %s\n", strings.Join(sch.Names(), ", "))
+	if len(sigma) > 0 {
+		fmt.Fprintln(bw, "\nsigma:")
+		for _, c := range sigma {
+			fmt.Fprintln(bw, c.Format(sch))
+		}
+	}
+	if len(gamma) > 0 {
+		fmt.Fprintln(bw, "\ngamma:")
+		for _, c := range gamma {
+			fmt.Fprintln(bw, c.Format(sch))
+		}
+	}
+	return bw.Flush()
 }
 
 // SaveSpecFile writes the specification to a file.

@@ -1,0 +1,29 @@
+// Package version centralizes the module version string every binary
+// reports for -version, so release bumps touch one line.
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the module's semantic version. PR-sized changes bump the
+// minor version.
+const Version = "0.3.0"
+
+// String renders the canonical "-version" line for a binary: name, module
+// version, VCS revision when the binary was built from a checkout, and the
+// Go toolchain.
+func String(binary string) string {
+	rev := ""
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				rev = " (" + s.Value[:12] + ")"
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("%s %s%s %s", binary, Version, rev, runtime.Version())
+}
