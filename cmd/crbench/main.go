@@ -1,0 +1,223 @@
+// Command crbench turns `go test -bench` output into a committed JSON
+// artifact (BENCH_N.json) and compares two artifacts for regressions, so CI
+// can track the performance trajectory of the resolution engine across PRs.
+//
+// Usage:
+//
+//	go test -bench 'Resolve|Solver' -benchmem ./... | crbench -emit BENCH_3.json
+//	crbench -compare BENCH_2.json BENCH_3.json
+//
+// Emit parses benchmark result lines from stdin (name, iterations, then
+// value/unit pairs: ns/op, B/op, allocs/op and any custom metrics) and
+// writes them keyed by benchmark name.
+//
+// Compare prints a per-benchmark delta for ns/op and allocs/op and flags
+// changes beyond ±25% — warnings only, the exit code stays 0, so the CI
+// step is non-blocking by design (shared runners are noisy; the committed
+// artifact is the durable record).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+
+	"conflictres/internal/version"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the artifact layout.
+type File struct {
+	Go         string            `json:"go"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		emit        = flag.String("emit", "", "parse `go test -bench` output on stdin and write the JSON artifact to this path")
+		compare     = flag.Bool("compare", false, "compare two artifacts: crbench -compare OLD.json NEW.json")
+		threshold   = flag.Float64("threshold", 0.25, "relative change flagged by -compare")
+		showVersion = flag.Bool("version", false, "print version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("crbench"))
+		return
+	}
+	switch {
+	case *emit != "":
+		if err := runEmit(*emit); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+	case *compare:
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "crbench: -compare needs exactly two artifact paths")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "crbench:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runEmit(path string) error {
+	f := File{Go: runtime.Version(), Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the CI log
+		name, res, ok := parseLine(line)
+		if ok {
+			f.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "crbench: wrote %d benchmarks to %s\n", len(f.Benchmarks), path)
+	return nil
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkResolveLoopSession-8   20   18693091 ns/op   1.25 extends/op   10180448 B/op   176213 allocs/op
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		// Strip the -GOMAXPROCS suffix when present.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsOp = val
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	if res.NsPerOp == 0 {
+		return "", Result{}, false
+	}
+	return name, res, true
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func runCompare(oldPath, newPath string, threshold float64) error {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(newF.Benchmarks))
+	for name := range newF.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	for _, name := range names {
+		nw := newF.Benchmarks[name]
+		od, ok := oldF.Benchmarks[name]
+		if !ok {
+			fmt.Printf("  new       %-44s %12.0f ns/op\n", name, nw.NsPerOp)
+			continue
+		}
+		dNs := rel(od.NsPerOp, nw.NsPerOp)
+		dAl := rel(od.AllocsOp, nw.AllocsOp)
+		tag := "ok"
+		switch {
+		case dNs > threshold || dAl > threshold:
+			tag = "REGRESSION"
+			regressions++
+		case dNs < -threshold:
+			tag = "improved"
+		}
+		fmt.Printf("  %-9s %-44s %12.0f -> %12.0f ns/op (%+5.1f%%)  allocs %+5.1f%%\n",
+			tag, name, od.NsPerOp, nw.NsPerOp, 100*dNs, 100*dAl)
+	}
+	for name := range oldF.Benchmarks {
+		if _, ok := newF.Benchmarks[name]; !ok {
+			fmt.Printf("  gone      %s\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("crbench: %d possible regression(s) beyond %.0f%% — non-blocking, see the committed artifact trail\n",
+			regressions, 100*threshold)
+	}
+	return nil
+}
+
+// rel returns (new-old)/old, 0 when old is 0.
+func rel(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}

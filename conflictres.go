@@ -37,6 +37,8 @@ type (
 	SimulatedUser = core.SimulatedUser
 	// Timing breaks resolution time down by framework phase.
 	Timing = core.Timing
+	// SessionStats reports a resolution session's solver-reuse counters.
+	SessionStats = core.SessionStats
 )
 
 // Value constructors and helpers.
@@ -141,6 +143,10 @@ type Options struct {
 	MaxRounds int
 	// UseNaiveDeduce switches to the exact per-variable deduction baseline.
 	UseNaiveDeduce bool
+	// FromScratch disables the incremental session engine and re-encodes
+	// the specification every round with a fresh solver per phase; for
+	// ablation benchmarks and differential testing.
+	FromScratch bool
 }
 
 // Result is the outcome of resolving one entity.
@@ -160,6 +166,9 @@ type Result struct {
 	Suggestions []Suggestion
 	// Timing aggregates per-phase elapsed time.
 	Timing Timing
+	// Session reports the resolution engine's solver-reuse counters (zero
+	// when Options.FromScratch bypassed the session engine).
+	Session SessionStats
 
 	schema *Schema
 }
@@ -195,6 +204,7 @@ func Resolve(spec *Spec, oracle Oracle, opts ...Options) (*Result, error) {
 	out, err := core.Resolve(spec.m, oracle, core.Options{
 		MaxRounds:      o.MaxRounds,
 		UseNaiveDeduce: o.UseNaiveDeduce,
+		FromScratch:    o.FromScratch,
 	})
 	if err != nil {
 		return nil, err
@@ -207,6 +217,7 @@ func Resolve(spec *Spec, oracle Oracle, opts ...Options) (*Result, error) {
 		Interactions: out.Interactions,
 		Suggestions:  out.Suggestions,
 		Timing:       out.Timing,
+		Session:      out.Session,
 		schema:       spec.Schema(),
 	}, nil
 }
@@ -214,43 +225,45 @@ func Resolve(spec *Spec, oracle Oracle, opts ...Options) (*Result, error) {
 // Validate reports whether the specification is valid, i.e. whether some
 // completion of its currency orders satisfies all constraints.
 func Validate(spec *Spec) bool {
-	enc := encode.Build(spec.m, encode.Options{})
-	ok, _ := core.IsValid(enc)
+	sess := core.NewSession(spec.m, encode.Options{})
+	ok, _ := sess.IsValid()
 	return ok
 }
 
 // Deduce runs one non-interactive deduction pass and returns the true
-// values determined so far, keyed by attribute name.
+// values determined so far, keyed by attribute name. Validity checking and
+// deduction share one incremental solver.
 func Deduce(spec *Spec) (map[string]Value, error) {
-	enc := encode.Build(spec.m, encode.Options{})
-	if ok, _ := core.IsValid(enc); !ok {
+	sess := core.NewSession(spec.m, encode.Options{})
+	if ok, _ := sess.IsValid(); !ok {
 		return nil, fmt.Errorf("conflictres: specification is invalid")
 	}
-	od, ok := core.DeduceOrder(enc)
+	od, ok := sess.DeduceOrder()
 	if !ok {
 		return nil, fmt.Errorf("conflictres: specification is invalid")
 	}
 	sch := spec.Schema()
 	out := make(map[string]Value)
-	for a, v := range core.TrueValues(enc, od) {
+	for a, v := range core.TrueValues(sess.Encoding(), od) {
 		out[sch.Name(a)] = v
 	}
 	return out, nil
 }
 
 // SuggestOnce computes the attribute set a user should confirm next, with
-// candidate values, without applying any input.
+// candidate values, without applying any input. All phases share one
+// incremental solver.
 func SuggestOnce(spec *Spec) (Suggestion, error) {
-	enc := encode.Build(spec.m, encode.Options{})
-	if ok, _ := core.IsValid(enc); !ok {
+	sess := core.NewSession(spec.m, encode.Options{})
+	if ok, _ := sess.IsValid(); !ok {
 		return Suggestion{}, fmt.Errorf("conflictres: specification is invalid")
 	}
-	od, ok := core.DeduceOrder(enc)
+	od, ok := sess.DeduceOrder()
 	if !ok {
 		return Suggestion{}, fmt.Errorf("conflictres: specification is invalid")
 	}
-	resolved := core.TrueValues(enc, od)
-	return core.Suggest(enc, od, resolved), nil
+	resolved := core.TrueValues(sess.Encoding(), od)
+	return sess.Suggest(od, resolved), nil
 }
 
 // Explain diagnoses an invalid specification: it returns a human-readable

@@ -74,6 +74,51 @@ func ExampleResolve() {
 	// AC = 213
 }
 
+// Interactive workloads drive the framework loop step by step. A Session
+// keeps one incremental encoding and one SAT solver for the entity's whole
+// lifetime: each Apply folds the answers in as Se ⊕ Ot — appended clauses,
+// not a re-encode — and every later phase reuses all learned solver state.
+func ExampleNewSession() {
+	sch := conflictres.MustSchema("name", "status", "job")
+	in := conflictres.NewInstance(sch)
+	in.MustAdd(conflictres.Tuple{
+		conflictres.String("George"), conflictres.String("working"),
+		conflictres.String("sailor")})
+	in.MustAdd(conflictres.Tuple{
+		conflictres.String("George"), conflictres.String("retired"),
+		conflictres.String("veteran")})
+
+	spec, _ := conflictres.NewSpec(in,
+		[]string{`t1 <[status] t2 -> t1 <[job] t2`}, nil)
+
+	sess, err := conflictres.NewSession(spec)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sug, _ := sess.Suggest()
+	fmt.Println("please confirm:", len(sug.Attrs), "attribute(s)")
+
+	// The user validates status = retired; the coupling constraint then
+	// derives the job, completing the tuple without further questions.
+	if err := sess.Apply(map[string]conflictres.Value{
+		"status": conflictres.String("retired"),
+	}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("complete:", sess.Complete())
+	res := sess.Result()
+	fmt.Println("job =", res.Value("job"))
+	st := sess.Stats()
+	fmt.Printf("solver builds: %d, incremental extensions: %d\n", st.Rebuilds, st.Extends)
+	// Output:
+	// please confirm: 1 attribute(s)
+	// complete: true
+	// job = veteran
+	// solver builds: 1, incremental extensions: 1
+}
+
 // Server-style workloads resolve many entities that share one schema and
 // one constraint set: compile the constraints once, then bind and resolve
 // each entity without re-parsing.

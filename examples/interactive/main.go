@@ -35,23 +35,37 @@ func main() {
 	sch := spec.Schema()
 
 	fmt.Printf("entity instance with %d tuples over %s\n", spec.Instance().Len(), sch)
-	if !conflictres.Validate(spec) {
+
+	// One incremental session carries the whole conversation: validity,
+	// deduction and every Se ⊕ Ot step reuse the same solver state.
+	sess, err := conflictres.NewSession(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !sess.Valid() {
 		log.Fatal("the specification is invalid: its orders and constraints contradict each other")
 	}
 
 	reader := bufio.NewReader(os.Stdin)
-	oracle := conflictres.OracleFunc(func(s conflictres.Suggestion) map[conflictres.Attr]conflictres.Value {
+	for round := 0; round < 8 && !sess.Complete(); round++ {
+		sug, err := sess.Suggest()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(sug.Attrs) == 0 {
+			break
+		}
 		fmt.Println("\nthe framework needs your input:")
-		out := map[conflictres.Attr]conflictres.Value{}
-		for _, a := range s.Attrs {
+		answers := map[string]conflictres.Value{}
+		for _, a := range sug.Attrs {
 			var cands []string
-			for _, v := range s.Candidates[a] {
+			for _, v := range sug.Candidates[a] {
 				cands = append(cands, v.String())
 			}
 			fmt.Printf("  %s (candidates: %s) = ? ", sch.Name(a), strings.Join(cands, ", "))
 			line, err := reader.ReadString('\n')
 			if err != nil {
-				return out
+				break
 			}
 			line = strings.TrimSpace(line)
 			if line == "" {
@@ -62,20 +76,21 @@ func main() {
 				fmt.Println("  cannot parse:", err)
 				continue
 			}
-			out[a] = v
+			answers[sch.Name(a)] = v
 		}
-		return out
-	})
+		if len(answers) == 0 {
+			break
+		}
+		if err := sess.Apply(answers); err != nil {
+			// Contradictory input: the session rolled back to its last
+			// consistent state; report and stop asking.
+			fmt.Println("\n", err)
+			break
+		}
+	}
 
-	res, err := conflictres.Resolve(spec, oracle)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !res.Valid {
-		fmt.Println("\nyour input contradicts the constraints; nothing resolved")
-		os.Exit(1)
-	}
-	fmt.Printf("\nresolved after %d round(s):\n", res.Rounds)
+	res := sess.Result()
+	fmt.Printf("\nresolved after %d answered round(s):\n", sess.Interactions())
 	for _, a := range sch.Attrs() {
 		if v, ok := res.Resolved[a]; ok {
 			fmt.Printf("  %-8s %s\n", sch.Name(a), v)
@@ -83,6 +98,9 @@ func main() {
 			fmt.Printf("  %-8s (undetermined)\n", sch.Name(a))
 		}
 	}
+	st := sess.Stats()
+	fmt.Printf("\nsession: %d solver build(s), %d incremental extension(s), %d SAT queries\n",
+		st.Rebuilds, st.Extends, st.Solves)
 }
 
 func georgeSpec() (*conflictres.Spec, error) {

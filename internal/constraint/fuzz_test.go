@@ -1,0 +1,60 @@
+package constraint
+
+import (
+	"testing"
+
+	"conflictres/internal/relation"
+)
+
+// FuzzParseConstraint feeds arbitrary text to both constraint parsers. The
+// contract under fuzzing: never panic, and anything that parses must
+// validate against the schema and survive a Format → re-parse round trip
+// (the textio rules files depend on that inverse).
+func FuzzParseConstraint(f *testing.F) {
+	seeds := []string{
+		`t1[status] = "working" & t2[status] = "retired" -> t1 <[status] t2`,
+		`t1[kids] < t2[kids] -> t1 <[kids] t2`,
+		`t1 <[status] t2 -> t1 <[AC] t2`,
+		`t1 <[city] t2 & t1 <[zip] t2 -> t1 <[county] t2`,
+		`t1[kids] != t2[kids] -> t1 <[kids] t2`,
+		`AC = "212" => city = "NY"`,
+		`AC = "213", zip = "90058" => city = "LA"`,
+		`-> t1 <[status] t2`,
+		`t1[x] = -> bad`,
+		`t1[status] = "unterminated -> t1 <[status] t2`,
+		"\x00\xff",
+		`t1[kids] < 3.5e300 -> t1 <[kids] t2`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	sch := relation.MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county", "x")
+	f.Fuzz(func(t *testing.T, s string) {
+		if c, err := ParseCurrency(sch, s); err == nil {
+			if verr := c.Validate(sch); verr != nil {
+				t.Fatalf("parsed currency constraint fails validation: %v\n%q", verr, s)
+			}
+			text := c.Format(sch)
+			c2, err := ParseCurrency(sch, text)
+			if err != nil {
+				t.Fatalf("Format output does not re-parse: %v\n%q -> %q", err, s, text)
+			}
+			if c2.Format(sch) != text {
+				t.Fatalf("Format not a fixpoint: %q -> %q", text, c2.Format(sch))
+			}
+		}
+		if c, err := ParseCFD(sch, s); err == nil {
+			if verr := c.Validate(sch); verr != nil {
+				t.Fatalf("parsed CFD fails validation: %v\n%q", verr, s)
+			}
+			text := c.Format(sch)
+			c2, err := ParseCFD(sch, text)
+			if err != nil {
+				t.Fatalf("CFD Format output does not re-parse: %v\n%q -> %q", err, s, text)
+			}
+			if c2.Format(sch) != text {
+				t.Fatalf("CFD Format not a fixpoint: %q -> %q", text, c2.Format(sch))
+			}
+		}
+	})
+}

@@ -114,7 +114,7 @@ func Candidates(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]r
 			continue
 		}
 		var vs []relation.Value
-		for i := 0; i < enc.ADomSize(a); i++ {
+		for _, i := range enc.ADomIndices(a) {
 			if !od.dominatedInAdom(enc, a, i) {
 				vs = append(vs, enc.Dom(a)[i])
 			}

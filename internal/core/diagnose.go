@@ -50,48 +50,58 @@ func (c Conflict) Format(enc *encode.Encoding) string {
 // a time while the remainder stays unsatisfiable. It returns ok=false when
 // the specification is actually valid.
 //
-// Each minimization step is one SAT call, so the cost is |Ω| solver runs —
-// fine for the entity-instance sizes this library targets.
+// One incremental solver carries all |Ω|+1 minimization queries: each
+// instance clause is guarded by a fresh selector variable s_i (the solver
+// stores ¬s_i ∨ clause), and dropping an instance simply omits its selector
+// from the assumption set — learned clauses accumulate across every step
+// instead of being rebuilt per candidate.
 func Diagnose(enc *encode.Encoding) (Conflict, bool) {
-	// Split Φ's clauses: the first len(Omega) clauses correspond 1:1 to the
-	// instances (the encoder emits instances before axioms); everything
-	// after is axioms. Rebuild formulas accordingly.
-	axioms, instClauses := splitClauses(enc)
-
-	nVars := enc.CNF().NVars
-	unsat := func(keep []bool) bool {
-		s := sat.New()
-		for s.NumVars() < nVars {
-			s.NewVar()
-		}
-		load := func(cl []sat.Lit) bool { return s.AddClause(cl...) }
-		okAll := true
-		for _, cl := range axioms {
-			if !load(cl) {
-				okAll = false
-			}
-		}
-		for i, cl := range instClauses {
-			if keep[i] && !load(cl) {
-				okAll = false
-			}
-		}
-		if !okAll {
-			return true
-		}
-		return s.Solve() == sat.StatusUnsat
+	instClause := make(map[int]bool, len(enc.Omega))
+	for _, ci := range enc.InstanceClauseIndex() {
+		instClause[ci] = true
 	}
 
-	keep := make([]bool, len(instClauses))
+	s := sat.New()
+	for s.NumVars() < enc.CNF().NVars {
+		s.NewVar()
+	}
+	for ci, cl := range enc.CNF().Clauses {
+		if instClause[ci] {
+			continue
+		}
+		s.AddClause(cl...) // axioms alone contradictory leaves s.Okay() false
+	}
+	sel := make([]sat.Lit, len(enc.Omega))
+	for i, ci := range enc.InstanceClauseIndex() {
+		v := s.NewVar()
+		sel[i] = sat.PosLit(v)
+		// The fresh unassigned guard ¬s_i keeps this addition conflict-free.
+		s.AddClause(append([]sat.Lit{sat.NegLit(v)}, enc.CNF().Clauses[ci]...)...)
+	}
+
+	keep := make([]bool, len(sel))
 	for i := range keep {
 		keep[i] = true
 	}
-	if !unsat(keep) {
+	unsat := func() bool {
+		if !s.Okay() {
+			return true
+		}
+		assume := make([]sat.Lit, 0, len(sel))
+		for i, k := range keep {
+			if k {
+				assume = append(assume, sel[i])
+			}
+		}
+		return s.Solve(assume...) == sat.StatusUnsat
+	}
+
+	if !unsat() {
 		return Conflict{}, false
 	}
 	for i := range keep {
 		keep[i] = false
-		if !unsat(keep) {
+		if !unsat() {
 			keep[i] = true // needed for the conflict
 		}
 	}
@@ -102,16 +112,4 @@ func Diagnose(enc *encode.Encoding) (Conflict, bool) {
 		}
 	}
 	return out, true
-}
-
-// splitClauses separates Φ's clauses into the per-instance prefix and the
-// axiom suffix, relying on the encoder's emission order (one clause per
-// instance, in Omega order, followed by axioms).
-func splitClauses(enc *encode.Encoding) (axioms, instances [][]sat.Lit) {
-	all := enc.CNF().Clauses
-	n := len(enc.Omega)
-	if n > len(all) {
-		n = len(all)
-	}
-	return all[n:], all[:n]
 }

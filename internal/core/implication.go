@@ -34,6 +34,13 @@ func Implies(enc *encode.Encoding, l encode.OrderLit) bool {
 // trivially when the two tuples agree on A, and otherwise reduces to the
 // value-level atom. Unknown values are never implied upward (null-lowest).
 func ImpliesEdge(enc *encode.Encoding, edge model.OrderEdge) bool {
+	return impliesEdgeWith(enc, edge, func(l encode.OrderLit) bool { return Implies(enc, l) })
+}
+
+// impliesEdgeWith reduces a tuple-level edge to a value-level implication
+// query; probe decides the atom (one-shot Implies or a session's shared
+// solver).
+func impliesEdgeWith(enc *encode.Encoding, edge model.OrderEdge, probe func(encode.OrderLit) bool) bool {
 	in := enc.Spec.TI.Inst
 	v1 := in.Value(edge.T1, edge.Attr)
 	v2 := in.Value(edge.T2, edge.Attr)
@@ -51,7 +58,7 @@ func ImpliesEdge(enc *encode.Encoding, edge model.OrderEdge) bool {
 	if !ok1 || !ok2 {
 		return false
 	}
-	return Implies(enc, encode.OrderLit{Attr: edge.Attr, A1: i1, A2: i2})
+	return probe(encode.OrderLit{Attr: edge.Attr, A1: i1, A2: i2})
 }
 
 // ImpliedOrder computes the full set of implied value-level atoms — the

@@ -64,7 +64,7 @@ func (o *OrderSet) Contains(other *OrderSet) bool {
 // dominatedInAdom reports whether domain value index i of attribute a is
 // dominated by some active-domain value (i ≺ j ∈ Od for j in adom, j ≠ i).
 func (o *OrderSet) dominatedInAdom(enc *encode.Encoding, a relation.Attr, i int) bool {
-	for j := 0; j < enc.ADomSize(a); j++ {
+	for _, j := range enc.ADomIndices(a) {
 		if j != i && o.set[encode.OrderLit{Attr: a, A1: i, A2: j}] {
 			return true
 		}
@@ -86,7 +86,7 @@ func (o *OrderSet) dominatedInDom(enc *encode.Encoding, a relation.Attr, i int) 
 // coversAdom reports whether value index i sits above every other
 // active-domain value of attribute a in Od.
 func (o *OrderSet) coversAdom(enc *encode.Encoding, a relation.Attr, i int) bool {
-	for j := 0; j < enc.ADomSize(a); j++ {
+	for _, j := range enc.ADomIndices(a) {
 		if j != i && !o.set[encode.OrderLit{Attr: a, A1: j, A2: i}] {
 			return false
 		}

@@ -32,6 +32,11 @@ type Options struct {
 	// UseNaiveDeduce switches true-value deduction to the NaiveDeduce
 	// baseline (one SAT call per variable); for benchmarking.
 	UseNaiveDeduce bool
+	// FromScratch disables the incremental session engine: every round
+	// re-encodes the specification and every phase builds and loads a fresh
+	// solver — the pre-session baseline, kept for differential testing and
+	// the ResolveLoop benchmarks.
+	FromScratch bool
 }
 
 func (o Options) maxRounds() int {
@@ -86,6 +91,9 @@ type Outcome struct {
 	Suggestions []Suggestion
 	// Timing aggregates per-phase elapsed time.
 	Timing Timing
+	// Session reports the resolution engine's solver-reuse counters (zero
+	// when Options.FromScratch bypassed the session engine).
+	Session SessionStats
 }
 
 // Complete reports whether every attribute has a determined true value.
@@ -93,31 +101,106 @@ func (o *Outcome) Complete(sch *relation.Schema) bool {
 	return len(o.Resolved) == sch.Len()
 }
 
+// resolveEngine abstracts the per-round phase services so the framework
+// loop is shared between the incremental session engine and the
+// from-scratch baseline.
+type resolveEngine interface {
+	// beginRound prepares the round and returns the current encoding.
+	beginRound() *encode.Encoding
+	isValid() bool
+	deduce(naive bool) *OrderSet
+	suggest(od *OrderSet, resolved map[relation.Attr]relation.Value) Suggestion
+	extend(answers map[relation.Attr]relation.Value)
+	stats() SessionStats
+}
+
+// sessionEngine serves every phase from one Session: one encoding, one
+// solver, incremental ⊕ Ot.
+type sessionEngine struct{ s *Session }
+
+func (e *sessionEngine) beginRound() *encode.Encoding { e.s.sync(); return e.s.Encoding() }
+func (e *sessionEngine) isValid() bool                { ok, _ := e.s.IsValid(); return ok }
+func (e *sessionEngine) deduce(naive bool) *OrderSet {
+	if naive {
+		od, _ := e.s.NaiveDeduce()
+		return od
+	}
+	od, _ := e.s.DeduceOrder()
+	return od
+}
+func (e *sessionEngine) suggest(od *OrderSet, resolved map[relation.Attr]relation.Value) Suggestion {
+	return e.s.Suggest(od, resolved)
+}
+func (e *sessionEngine) extend(answers map[relation.Attr]relation.Value) { e.s.Extend(answers) }
+func (e *sessionEngine) stats() SessionStats                             { return e.s.Stats() }
+
+// scratchEngine is the pre-session pipeline: re-encode the specification at
+// the top of every round, fresh solver per phase.
+type scratchEngine struct {
+	cur  *model.Spec
+	opts encode.Options
+	enc  *encode.Encoding
+}
+
+func (e *scratchEngine) beginRound() *encode.Encoding {
+	e.enc = encode.Build(e.cur, e.opts)
+	return e.enc
+}
+func (e *scratchEngine) isValid() bool { ok, _ := IsValid(e.enc); return ok }
+func (e *scratchEngine) deduce(naive bool) *OrderSet {
+	if naive {
+		od, _ := NaiveDeduce(e.enc)
+		return od
+	}
+	od, _ := DeduceOrder(e.enc)
+	return od
+}
+func (e *scratchEngine) suggest(od *OrderSet, resolved map[relation.Attr]relation.Value) Suggestion {
+	return Suggest(e.enc, od, resolved)
+}
+func (e *scratchEngine) extend(answers map[relation.Attr]relation.Value) {
+	e.cur = e.cur.Extend(answers)
+}
+func (e *scratchEngine) stats() SessionStats { return SessionStats{} }
+
 // Resolve runs the conflict-resolution framework of Fig. 4 on a
 // specification: validate, deduce true values, and while attributes remain
 // unresolved, generate a suggestion, apply the oracle's answers as new
 // currency information (Se ⊕ Ot), and repeat. A nil oracle disables
 // interaction (a single automatic round).
+//
+// By default all phases and rounds are served by one incremental Session
+// per entity; Options.FromScratch selects the re-encode-per-round baseline.
 func Resolve(spec *model.Spec, oracle Oracle, opts Options) (*Outcome, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid specification: %w", err)
 	}
+	var eng resolveEngine
+	if opts.FromScratch {
+		eng = &scratchEngine{cur: spec, opts: opts.Encode}
+	} else {
+		eng = &sessionEngine{s: NewSession(spec, opts.Encode)}
+	}
+	return resolveLoop(eng, spec.Schema(), oracle, opts)
+}
+
+// resolveLoop is the framework loop of Fig. 4 over an engine.
+func resolveLoop(eng resolveEngine, sch *relation.Schema, oracle Oracle, opts Options) (*Outcome, error) {
 	out := &Outcome{Valid: true}
-	cur := spec
-	sch := spec.Schema()
 	answered := make(map[relation.Attr]bool)
 
 	for round := 0; ; round++ {
-		enc := encode.Build(cur, opts.Encode)
+		enc := eng.beginRound()
 
 		// Step (1): validity checking.
 		start := time.Now()
-		valid, _ := IsValid(enc)
+		valid := eng.isValid()
 		out.Timing.Validity += time.Since(start)
 		if !valid {
 			if round == 0 {
 				out.Valid = false
 				out.Rounds = 1
+				out.Session = eng.stats()
 				return out, nil
 			}
 			// User input contradicted the specification: take the 'No'
@@ -129,12 +212,7 @@ func Resolve(spec *model.Spec, oracle Oracle, opts Options) (*Outcome, error) {
 
 		// Step (2): true-value deduction.
 		start = time.Now()
-		var od *OrderSet
-		if opts.UseNaiveDeduce {
-			od, _ = NaiveDeduce(enc)
-		} else {
-			od, _ = DeduceOrder(enc)
-		}
+		od := eng.deduce(opts.UseNaiveDeduce)
 		resolved := TrueValues(enc, od)
 		out.Timing.Deduce += time.Since(start)
 
@@ -159,7 +237,7 @@ func Resolve(spec *model.Spec, oracle Oracle, opts Options) (*Outcome, error) {
 
 		// Step (4): generate a suggestion and consult the oracle.
 		start = time.Now()
-		sug := Suggest(enc, od, resolved)
+		sug := eng.suggest(od, resolved)
 		out.Timing.Suggest += time.Since(start)
 		out.Suggestions = append(out.Suggestions, sug)
 
@@ -177,9 +255,10 @@ func Resolve(spec *model.Spec, oracle Oracle, opts Options) (*Outcome, error) {
 		for a := range answers {
 			answered[a] = true
 		}
-		cur = cur.Extend(answers)
+		eng.extend(answers)
 	}
 
+	out.Session = eng.stats()
 	out.Tuple = relation.NewTuple(sch)
 	for a, v := range out.Resolved {
 		out.Tuple[a] = v

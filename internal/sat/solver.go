@@ -52,6 +52,9 @@ type Stats struct {
 	Propagations int64
 	Restarts     int64
 	Learnt       int64
+	// Solves counts Solve calls; incremental callers (resolution sessions)
+	// read it to report how many queries one solver instance amortized.
+	Solves int64
 }
 
 // New creates an empty solver.
@@ -95,7 +98,14 @@ func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 // unsatisfiable state (including becoming unsatisfiable because of this
 // clause). Duplicate literals are removed; tautologies are dropped; literals
 // already false at level 0 are stripped.
+//
+// AddClause is safe after Solve: every Solve call backtracks to the root
+// level before returning, so clauses (and fresh variables) can be attached
+// incrementally while all learned clauses — consequences of the formula so
+// far, hence of any extension — are preserved. The cached model of the last
+// Solve is invalidated, since the new clause may falsify it.
 func (s *Solver) AddClause(lits ...Lit) bool {
+	s.haveModl = false
 	if !s.ok {
 		return false
 	}
@@ -402,6 +412,7 @@ func luby(i int64) int64 {
 // Model reports the satisfying assignment.
 func (s *Solver) Solve(assumptions ...Lit) Status {
 	s.haveModl = false
+	s.Stats.Solves++
 	if !s.ok {
 		return StatusUnsat
 	}

@@ -30,9 +30,19 @@ type metrics struct {
 	validityNs atomic.Int64
 	deduceNs   atomic.Int64
 	suggestNs  atomic.Int64
+
+	// Incremental-session reuse counters (from Result.Session): how many
+	// solver builds the session engine performed vs how many ⊕ Ot steps it
+	// absorbed incrementally, and how many SAT queries the shared solvers
+	// answered.
+	sessionRebuilds atomic.Int64
+	sessionExtends  atomic.Int64
+	sessionSolves   atomic.Int64
+	sessionClauses  atomic.Int64
 }
 
-// observe accounts one resolved entity's outcome and phase timings.
+// observe accounts one resolved entity's outcome, phase timings and session
+// reuse counters.
 func (m *metrics) observe(res *conflictres.Result) {
 	m.entitiesResolved.Add(1)
 	if !res.Valid {
@@ -41,6 +51,10 @@ func (m *metrics) observe(res *conflictres.Result) {
 	m.validityNs.Add(int64(res.Timing.Validity))
 	m.deduceNs.Add(int64(res.Timing.Deduce))
 	m.suggestNs.Add(int64(res.Timing.Suggest))
+	m.sessionRebuilds.Add(int64(res.Session.Rebuilds))
+	m.sessionExtends.Add(int64(res.Session.Extends))
+	m.sessionSolves.Add(res.Session.Solves)
+	m.sessionClauses.Add(int64(res.Session.ClausesLoaded))
 }
 
 // write renders the counters in Prometheus text exposition format.
@@ -67,6 +81,14 @@ func (m *metrics) write(w io.Writer, cache *lru) {
 	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"validity\"} %g\n", float64(m.validityNs.Load())/1e9)
 	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"deduce\"} %g\n", float64(m.deduceNs.Load())/1e9)
 	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"suggest\"} %g\n", float64(m.suggestNs.Load())/1e9)
+	fmt.Fprintf(w, "# TYPE crserve_session_rebuilds_total counter\n")
+	fmt.Fprintf(w, "crserve_session_rebuilds_total %d\n", m.sessionRebuilds.Load())
+	fmt.Fprintf(w, "# TYPE crserve_session_extends_total counter\n")
+	fmt.Fprintf(w, "crserve_session_extends_total %d\n", m.sessionExtends.Load())
+	fmt.Fprintf(w, "# TYPE crserve_session_solves_total counter\n")
+	fmt.Fprintf(w, "crserve_session_solves_total %d\n", m.sessionSolves.Load())
+	fmt.Fprintf(w, "# TYPE crserve_session_clauses_loaded_total counter\n")
+	fmt.Fprintf(w, "crserve_session_clauses_loaded_total %d\n", m.sessionClauses.Load())
 	fmt.Fprintf(w, "# TYPE crserve_cache_hits_total counter\n")
 	fmt.Fprintf(w, "crserve_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "# TYPE crserve_cache_misses_total counter\n")

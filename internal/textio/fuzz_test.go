@@ -1,0 +1,44 @@
+package textio
+
+import (
+	"math"
+	"testing"
+
+	"conflictres/internal/relation"
+)
+
+// FuzzParseCell feeds arbitrary CSV cell text through the cell codec. The
+// contract: never panic, never error on the non-quoted forms (everything
+// falls back to a bare string), and EncodeCell(ParseCell(s)) must itself
+// re-parse to an equal value — the stability every CSV surface (spec files,
+// dataset rows) relies on.
+func FuzzParseCell(f *testing.F) {
+	seeds := []string{
+		"", "null", "  null  ", "42", "-7", "3.14", "1e9", "NaN",
+		`"quoted"`, `"with ""escape"""`, `"unterminated`, `" spaced "`,
+		"bare string", "212", "0x1f", "+5", "00", "9223372036854775808",
+		"\x00", "héllo", `"null"`, `"42"`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseCell(s)
+		if err != nil {
+			return // quoted-literal syntax errors are allowed
+		}
+		enc := EncodeCell(v)
+		v2, err := ParseCell(enc)
+		if err != nil {
+			t.Fatalf("EncodeCell output does not re-parse: %v\n%q -> %v -> %q", err, s, v, enc)
+		}
+		bothNaN := v.Kind() == relation.KindFloat && v2.Kind() == relation.KindFloat &&
+			math.IsNaN(v.Float64()) && math.IsNaN(v2.Float64())
+		if !relation.Equal(v, v2) && !bothNaN {
+			t.Fatalf("cell round trip not stable: %q -> %v -> %q -> %v", s, v, enc, v2)
+		}
+		if EncodeCell(v2) != enc {
+			t.Fatalf("EncodeCell not a fixpoint: %q vs %q", enc, EncodeCell(v2))
+		}
+	})
+}

@@ -29,6 +29,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -96,14 +97,23 @@ func EncodeCell(v relation.Value) string {
 		s := v.Str()
 		// Guard against cells that would parse back as something else or
 		// disappear entirely: the keyword null, numeric-looking text, the
-		// empty string (a lone empty cell would render as a blank line) and
-		// surrounding whitespace (the reader trims unquoted cells).
-		if s == "" || s == "null" || looksNumeric(s) || s != strings.TrimSpace(s) {
+		// empty string (a lone empty cell would render as a blank line),
+		// surrounding whitespace (the reader trims unquoted cells), a
+		// leading double quote (which would start a string literal), and
+		// text that a spec reader would swallow at line level — a leading
+		// '#' (comment) or a section-header shape like "schema: x".
+		if s == "" || s == "null" || looksNumeric(s) || s != strings.TrimSpace(s) ||
+			strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "#") || looksSectionHeader(s) {
 			return strconv.Quote(s)
 		}
 		return s
 	case relation.KindFloat:
 		s := v.String()
+		// Non-finite values (NaN, ±Inf) already re-parse as floats and must
+		// not grow a bogus ".0" suffix.
+		if f := v.Float64(); math.IsNaN(f) || math.IsInf(f, 0) {
+			return s
+		}
 		// Keep the float kind through a round trip: "0" would re-parse as
 		// an int.
 		if !strings.ContainsAny(s, ".eE") {
@@ -117,6 +127,21 @@ func EncodeCell(v relation.Value) string {
 
 func looksNumeric(s string) bool {
 	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	return false
+}
+
+// looksSectionHeader reports whether a bare cell could be mistaken for a
+// spec-file section marker at line level: "schema:" as a prefix (ReadSpec
+// treats any such line as the schema) or one of the other section keywords
+// as the whole cell (a single-column row would switch sections).
+func looksSectionHeader(s string) bool {
+	if strings.HasPrefix(s, "schema:") {
+		return true
+	}
+	switch s {
+	case "data:", "orders:", "sigma:", "gamma:":
 		return true
 	}
 	return false

@@ -73,6 +73,44 @@ func TestFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRoundTripHostileCells: string values that look like spec-file syntax
+// at line level — comments, section headers — must survive a write/read
+// round trip (EncodeCell quotes them).
+func TestRoundTripHostileCells(t *testing.T) {
+	sch := relation.MustSchema("a", "b")
+	in := relation.NewInstance(sch)
+	hostile := [][2]string{
+		{"#note", "plain"},
+		{"schema: x", "y"},
+		{"data:", "orders:"},
+		{`"quoted"`, `"`},
+	}
+	for _, row := range hostile {
+		in.MustAdd(relation.Tuple{relation.String(row[0]), relation.String(row[1])})
+	}
+	spec := model.NewSpec(model.NewTemporal(in), nil, nil)
+
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, buf.String())
+	}
+	if got.TI.Inst.Len() != len(hostile) {
+		t.Fatalf("round trip lost tuples: %d of %d\n%s", got.TI.Inst.Len(), len(hostile), buf.String())
+	}
+	for i, row := range hostile {
+		for a := 0; a < 2; a++ {
+			v := got.TI.Inst.Value(relation.TupleID(i), relation.Attr(a))
+			if v.Kind() != relation.KindString || v.Str() != row[a] {
+				t.Fatalf("tuple %d attr %d: got %v, want %q", i, a, v, row[a])
+			}
+		}
+	}
+}
+
 func TestValueKindsSurvive(t *testing.T) {
 	sch := relation.MustSchema("s", "i", "f", "n", "tricky")
 	in := relation.NewInstance(sch)

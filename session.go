@@ -1,0 +1,181 @@
+package conflictres
+
+import (
+	"fmt"
+
+	"conflictres/internal/core"
+	"conflictres/internal/encode"
+	"conflictres/internal/relation"
+)
+
+// Session drives the interactive resolution framework (Fig. 4) step by
+// step while holding one incremental encoding and one SAT solver for the
+// entity's whole lifetime: validity, deduction and suggestion all reuse the
+// same learned-clause state, and each Apply folds the user's answers in as
+// Se ⊕ Ot — incremental unit-clause additions instead of a re-encode.
+//
+// Resolve remains the one-call loop; Session is for callers that mediate a
+// real user conversation (ask, wait, apply, repeat) and for long-lived
+// integrations that interleave deduction with other work.
+//
+// A Session is not safe for concurrent use.
+type Session struct {
+	sess         *core.Session
+	sch          *Schema
+	interactions int
+	// prior accumulates the counters of core sessions replaced by Apply's
+	// rollback path, so Stats reports the whole conversation's work.
+	prior SessionStats
+	// view caches validity, the derived order and the resolved values for
+	// the current formula; Apply invalidates it. One round of the usual
+	// loop (Complete → Suggest → Apply → Result) then deduces once, not
+	// three times.
+	view *sessionView
+}
+
+type sessionView struct {
+	valid    bool
+	od       *core.OrderSet
+	resolved map[Attr]Value
+}
+
+// current returns the cached per-formula view, computing it on first use.
+func (s *Session) current() *sessionView {
+	if s.view != nil {
+		return s.view
+	}
+	v := &sessionView{}
+	if ok, _ := s.sess.IsValid(); ok {
+		v.valid = true
+		v.od, _ = s.sess.DeduceOrder()
+		v.resolved = core.TrueValues(s.sess.Encoding(), v.od)
+	}
+	s.view = v
+	return v
+}
+
+// NewSession starts an incremental resolution session on the specification.
+func NewSession(spec *Spec) (*Session, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("conflictres: NewSession needs a specification")
+	}
+	if err := spec.m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{
+		sess: core.NewSession(spec.m, encode.Options{}),
+		sch:  spec.Schema(),
+	}, nil
+}
+
+// Valid reports whether the current specification (including all applied
+// answers) has a valid completion. The verdict is cached until Apply.
+// Validity gates every derived view: deduction on a spec that is UNSAT
+// only under search would otherwise yield values read off an
+// unsatisfiable formula.
+func (s *Session) Valid() bool {
+	return s.current().valid
+}
+
+// Deduce returns the true values determined so far, keyed by attribute
+// name. It returns nil when the current specification is invalid.
+func (s *Session) Deduce() map[string]Value {
+	v := s.current()
+	if !v.valid {
+		return nil
+	}
+	out := make(map[string]Value, len(v.resolved))
+	for a, val := range v.resolved {
+		out[s.sch.Name(a)] = val
+	}
+	return out
+}
+
+// Complete reports whether every attribute has a determined true value.
+func (s *Session) Complete() bool {
+	v := s.current()
+	return v.valid && len(v.resolved) == s.sch.Len()
+}
+
+// Suggest computes the attribute set the user should confirm next, with
+// candidate values. It fails when the current specification is invalid.
+func (s *Session) Suggest() (Suggestion, error) {
+	v := s.current()
+	if !v.valid {
+		return Suggestion{}, fmt.Errorf("conflictres: specification is invalid")
+	}
+	return s.sess.Suggest(v.od, v.resolved), nil
+}
+
+// Apply folds user-validated true values, keyed by attribute name, into the
+// session (Se ⊕ Ot). Values outside the data's active domain are allowed.
+// If the input contradicts the specification, the session rolls back to its
+// last consistent state (the framework's "revise" branch) and an error is
+// returned.
+func (s *Session) Apply(answers map[string]Value) error {
+	if len(answers) == 0 {
+		return nil
+	}
+	conv := make(map[Attr]Value, len(answers))
+	for name, v := range answers {
+		a, ok := s.sch.Attr(name)
+		if !ok {
+			return fmt.Errorf("conflictres: unknown attribute %q", name)
+		}
+		conv[a] = v
+	}
+	prev := s.sess.Spec() // Extend clones; prev stays the consistent state
+	s.sess.Extend(conv)
+	s.view = nil // formula changed: every derived view is stale
+	if ok, _ := s.sess.IsValid(); !ok {
+		// Roll back to the last consistent state, carrying the discarded
+		// session's reuse counters into the running totals.
+		s.prior = addStats(s.prior, s.sess.Stats())
+		s.sess = core.NewSession(prev, encode.Options{})
+		return fmt.Errorf("conflictres: input contradicts the specification; rolled back")
+	}
+	s.interactions++
+	return nil
+}
+
+func addStats(a, b SessionStats) SessionStats {
+	a.Rebuilds += b.Rebuilds
+	a.Extends += b.Extends
+	a.Solves += b.Solves
+	a.ClausesLoaded += b.ClausesLoaded
+	return a
+}
+
+// Interactions returns the number of successful Apply calls.
+func (s *Session) Interactions() int { return s.interactions }
+
+// Stats returns the session's solver-reuse counters, including the work of
+// any sessions discarded by Apply's rollback.
+func (s *Session) Stats() SessionStats { return addStats(s.prior, s.sess.Stats()) }
+
+// Result snapshots the session as a Result, mirroring Resolve's output for
+// the rounds driven so far: one initial automatic round plus one per
+// successful Apply. Timing stays zero — the step-wise API leaves phase
+// timing to the caller's own clock.
+func (s *Session) Result() *Result {
+	v := s.current()
+	res := &Result{
+		Valid:        v.valid,
+		Resolved:     make(map[Attr]Value, len(v.resolved)),
+		Rounds:       s.interactions + 1,
+		Interactions: s.interactions,
+		Session:      s.Stats(),
+		schema:       s.sch,
+	}
+	if !v.valid {
+		return res
+	}
+	for a, val := range v.resolved {
+		res.Resolved[a] = val
+	}
+	res.Tuple = relation.NewTuple(s.sch)
+	for a, val := range res.Resolved {
+		res.Tuple[a] = val
+	}
+	return res
+}

@@ -1,0 +1,131 @@
+package conflictres
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSessionDrivesEdith walks the facade Session through the paper's
+// Edith entity without any input: the spec auto-resolves completely and the
+// session reports exactly one solver build.
+func TestSessionDrivesEdith(t *testing.T) {
+	sess, err := NewSession(edithSpecPublic(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Valid() {
+		t.Fatal("Edith spec must be valid")
+	}
+	if !sess.Complete() {
+		t.Fatalf("Edith auto-resolves completely; got %v", sess.Deduce())
+	}
+	res := sess.Result()
+	if got := res.Value("city"); got != "LA" {
+		t.Fatalf("city = %q, want LA", got)
+	}
+	if st := sess.Stats(); st.Rebuilds != 1 || st.Extends != 0 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+// TestSessionApplyAndRollback: contradictory input must error, roll the
+// session back to its last consistent state, and keep the accumulated
+// reuse counters rather than resetting them.
+func TestSessionApplyAndRollback(t *testing.T) {
+	sch := MustSchema("a", "b")
+	in := NewInstance(sch)
+	in.MustAdd(Tuple{String("x1"), String("y1")})
+	in.MustAdd(Tuple{String("x2"), String("y2")})
+	spec, err := NewSpec(in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explicit currency edge: tuple 0 is no more current than tuple 1 in a,
+	// i.e. x1 ≺ x2.
+	if err := spec.AddOrder("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Valid() {
+		t.Fatal("spec must be valid")
+	}
+	// A consistent answer on b first, to accumulate session work.
+	if err := sess.Apply(map[string]Value{"b": String("y2")}); err != nil {
+		t.Fatal(err)
+	}
+	statsBefore := sess.Stats()
+	if sess.Interactions() != 1 {
+		t.Fatalf("interactions = %d, want 1", sess.Interactions())
+	}
+
+	// Now contradict the explicit edge: validating a = x1 ranks x1 above
+	// x2, while the edge forces x1 ≺ x2.
+	err = sess.Apply(map[string]Value{"a": String("x1")})
+	if err == nil {
+		t.Fatal("contradictory input must be rejected")
+	}
+	if !strings.Contains(err.Error(), "rolled back") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if !sess.Valid() {
+		t.Fatal("session must be valid again after rollback")
+	}
+	if sess.Interactions() != 1 {
+		t.Fatalf("rejected input must not count: interactions = %d", sess.Interactions())
+	}
+	statsAfter := sess.Stats()
+	if statsAfter.Solves < statsBefore.Solves || statsAfter.Rebuilds < statsBefore.Rebuilds {
+		t.Fatalf("rollback lost accumulated counters: before %+v, after %+v", statsBefore, statsAfter)
+	}
+	// The consistent answer must survive the rollback of the bad one.
+	if got := sess.Deduce()["b"]; got.String() != "y2" {
+		t.Fatalf("b = %v after rollback, want y2", got)
+	}
+	// Unknown attributes are rejected up front.
+	if err := sess.Apply(map[string]Value{"nope": String("v")}); err == nil {
+		t.Fatal("unknown attribute must be rejected")
+	}
+}
+
+// TestSessionDeduceInvalid: an invalid specification yields nil from
+// Deduce and false from Complete, never values off an unsatisfiable
+// formula.
+func TestSessionDeduceInvalid(t *testing.T) {
+	sch := MustSchema("a")
+	in := NewInstance(sch)
+	in.MustAdd(Tuple{String("x1")})
+	in.MustAdd(Tuple{String("x2")})
+	spec, err := NewSpec(in, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contradictory explicit edges: x1 ≺ x2 and x2 ≺ x1.
+	if err := spec.AddOrder("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.AddOrder("a", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Valid() {
+		t.Fatal("cyclic edges must be invalid")
+	}
+	if got := sess.Deduce(); got != nil {
+		t.Fatalf("Deduce on an invalid spec = %v, want nil", got)
+	}
+	if sess.Complete() {
+		t.Fatal("Complete must be false on an invalid spec")
+	}
+	if _, err := sess.Suggest(); err == nil {
+		t.Fatal("Suggest must fail on an invalid spec")
+	}
+	if res := sess.Result(); res.Valid {
+		t.Fatal("Result.Valid must be false")
+	}
+}
