@@ -8,6 +8,12 @@
 //	crctl suggest  spec.txt          print the attributes needing user input
 //	crctl resolve  spec.txt          resolve interactively on the terminal
 //	crctl resolve -answers k=v,...   resolve with scripted answers
+//	crctl session -server URL spec.txt
+//	                                 resolve interactively against a crserve
+//	                                 instance: the server holds the entity's
+//	                                 incremental session between rounds, so
+//	                                 each answer is one small HTTP exchange
+//	                                 (-answers works here too)
 //
 // Specification files use the textio format; see internal/textio.
 package main

@@ -134,6 +134,10 @@ func run() int {
 			st.Timing.Validity.Round(1e6), st.Timing.Deduce.Round(1e6),
 			st.Timing.Suggest.Round(1e6), st.Wall.Round(1e6), st.Windows)
 	}
+	if st != nil && st.SplitEntities > 0 {
+		fmt.Fprintf(os.Stderr, "crresolve: warning: %d entities had rows split across grouping windows and were resolved more than once from partial instances; raise -window or cluster the input by key (and pass -sorted)\n",
+			st.SplitEntities)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crresolve:", err)
 		if outFile != nil {

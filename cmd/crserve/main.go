@@ -4,6 +4,7 @@
 //
 //	crserve [-addr :8372] [-workers N] [-cache-size N] [-rule-cache-size N]
 //	        [-timeout 30s] [-max-body 8388608]
+//	        [-session-cap N] [-session-ttl 15m] [-session-sweep 1m]
 //
 // Endpoints:
 //
@@ -16,6 +17,13 @@
 //	                         grouped into entities by key — one result per
 //	                         entity plus a summary line back
 //	POST /v1/validate        validity check (optionally with an explanation)
+//	POST /v1/session             start a stateful interactive session; the
+//	                             server keeps the entity's incremental
+//	                             solver alive between rounds
+//	GET  /v1/session/{id}        current session state
+//	POST /v1/session/{id}/answer fold user answers in (Se ⊕ Ot) and return
+//	                             the next suggestion
+//	DELETE /v1/session/{id}      drop the session
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus-style counters
 //
@@ -47,6 +55,9 @@ func main() {
 	flag.IntVar(&cfg.RuleCacheSize, "rule-cache-size", 0, "compiled rule-set cache entries (0 = default 128)")
 	flag.DurationVar(&cfg.Timeout, "timeout", 0, "per-entity solver deadline (0 = default 30s, negative disables)")
 	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "max request body / batch line bytes (0 = default 8 MiB)")
+	flag.IntVar(&cfg.SessionCap, "session-cap", 0, "max live interactive sessions before LRU eviction (0 = default 1024)")
+	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 0, "idle session expiry (0 = default 15m, negative disables)")
+	flag.DurationVar(&cfg.SessionSweep, "session-sweep", 0, "session janitor sweep interval (0 = default 1m)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String("crserve"))

@@ -31,8 +31,11 @@ type DatasetOptions struct {
 	// Entities are sharded by key hash.
 	Shards int
 	// WindowRows bounds the rows buffered while grouping (default 65536):
-	// when reached, all pending groups are dispatched. Entities whose rows
-	// span a window boundary resolve once per chunk.
+	// when reached, pending groups are dispatched, except the one that
+	// received the most recent row — it is carried across the flush so a
+	// contiguous run of one key never splits. Only entities whose rows are
+	// interleaved far enough apart to span a flush resolve once per chunk;
+	// they are counted in DatasetStats.SplitEntities.
 	WindowRows int
 	// Sorted declares the input clustered by entity key, letting the
 	// grouper flush each entity at its last row; memory then stays at one

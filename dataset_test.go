@@ -71,6 +71,43 @@ func TestResolveDatasetCSV(t *testing.T) {
 	}
 }
 
+// TestResolveDatasetWindowSpanRegression pins the window-split bugfix at the
+// facade level: with a grouping window smaller than one entity's row count,
+// every entity's rows span window flushes, and each used to resolve once per
+// chunk from a partial instance. Now each entity must resolve exactly once,
+// from its full instance, with no split entities reported.
+func TestResolveDatasetWindowSpanRegression(t *testing.T) {
+	rules := batchRules(t)
+	var out bytes.Buffer
+	stats, err := ResolveDataset(context.Background(), rules,
+		bytes.NewReader(datasetCSV(t, 8)), &out, DatasetOptions{
+			KeyColumns: []string{"entity"},
+			WindowRows: 2, // each entity has 3 rows: every entity spans a flush
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 8 || stats.Resolved != 8 {
+		t.Fatalf("stats = %+v: entities must resolve exactly once", stats)
+	}
+	if stats.SplitEntities != 0 {
+		t.Fatalf("split entities = %d, want 0 for clustered input", stats.SplitEntities)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 9 { // header + one line per entity
+		t.Fatalf("output lines = %d, want 9:\n%s", len(lines), out.String())
+	}
+	for _, l := range lines[1:] {
+		// Column 3 is the grouped row count: the full instance, not a chunk.
+		if !strings.Contains(l, ",3,") {
+			t.Fatalf("entity resolved from a partial instance: %q", l)
+		}
+		if !strings.Contains(l, ",deceased,") || !strings.Contains(l, ",LA,") {
+			t.Fatalf("entity not fully resolved: %q", l)
+		}
+	}
+}
+
 func TestResolveDatasetNDJSON(t *testing.T) {
 	rules := batchRules(t)
 	sch := batchSchema()

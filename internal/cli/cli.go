@@ -29,7 +29,7 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	case "-version", "--version", "version":
 		fmt.Fprintln(stdout, version.String("crctl"))
 		return 0
-	case "validate", "deduce", "suggest", "resolve":
+	case "validate", "deduce", "suggest", "resolve", "session":
 	default:
 		usage(stderr)
 		return 2
@@ -38,10 +38,16 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	answers := fs.String("answers", "", "comma-separated attr=value answers instead of prompting")
 	maxRounds := fs.Int("max-rounds", 8, "maximum interaction rounds")
+	server := fs.String("server", "", "crserve base URL for the session command (e.g. http://localhost:8372)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
 	if fs.NArg() != 1 {
+		usage(stderr)
+		return 2
+	}
+	if cmd == "session" && *server == "" {
+		fmt.Fprintln(stderr, "crctl: session needs -server URL")
 		usage(stderr)
 		return 2
 	}
@@ -60,6 +66,8 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return runSuggest(spec, stdout, stderr)
 	case "resolve":
 		return runResolve(spec, *answers, *maxRounds, stdin, stdout, stderr)
+	case "session":
+		return runSession(spec, *server, *answers, *maxRounds, stdin, stdout, stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -68,6 +76,7 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, "usage: crctl {validate|deduce|suggest|resolve} [flags] spec.txt")
+	fmt.Fprintln(w, "       crctl session -server URL [flags] spec.txt")
 	fmt.Fprintln(w, "       crctl -version")
 }
 

@@ -1,0 +1,301 @@
+package cli
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"conflictres"
+	"conflictres/internal/relation"
+)
+
+// Wire mirror of the server's session state (internal/server/sessions.go);
+// the cli package deliberately does not import the server, it speaks the
+// public HTTP contract like any remote client would.
+type wireSuggestion struct {
+	Attrs      []string         `json:"attrs"`
+	Candidates map[string][]any `json:"candidates"`
+	Derivable  []string         `json:"derivable"`
+}
+
+type wireState struct {
+	Session      string          `json:"session"`
+	Valid        bool            `json:"valid"`
+	Complete     bool            `json:"complete"`
+	Resolved     map[string]any  `json:"resolved"`
+	Suggestion   *wireSuggestion `json:"suggestion"`
+	Rounds       int             `json:"rounds"`
+	Interactions int             `json:"interactions"`
+}
+
+type wireErrorEnvelope struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// wireError is a server error envelope as a Go error, keeping the code
+// inspectable so the session loop can tell a contradiction (a data outcome,
+// handled like local resolve's revise branch) from a real failure.
+type wireError struct {
+	Code    string
+	Message string
+}
+
+func (e *wireError) Error() string { return fmt.Sprintf("%s (%s)", e.Message, e.Code) }
+
+// sessionClient drives the crserve session endpoints for one entity.
+type sessionClient struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *sessionClient) do(method, path string, body any) (*wireState, error) {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		var env wireErrorEnvelope
+		if json.Unmarshal(data, &env) == nil && env.Error.Code != "" {
+			return nil, &wireError{Code: env.Error.Code, Message: env.Error.Message}
+		}
+		return nil, fmt.Errorf("server answered %s", resp.Status)
+	}
+	var state wireState
+	if err := json.Unmarshal(data, &state); err != nil {
+		return nil, fmt.Errorf("bad server response: %w", err)
+	}
+	return &state, nil
+}
+
+// createBody renders the loaded specification as a session-create request:
+// schema and constraint texts plus the entity's tuples and explicit orders.
+func createBody(spec *conflictres.Spec) map[string]any {
+	m := spec.Model()
+	sch := m.Schema()
+	req := map[string]any{"schema": sch.Names()}
+	var sigma []string
+	for _, c := range m.Sigma {
+		sigma = append(sigma, c.Format(sch))
+	}
+	if sigma != nil {
+		req["currency"] = sigma
+	}
+	var gamma []string
+	for _, c := range m.Gamma {
+		gamma = append(gamma, c.Format(sch))
+	}
+	if gamma != nil {
+		req["cfds"] = gamma
+	}
+	var tuples [][]any
+	for _, id := range m.TI.Inst.TupleIDs() {
+		var row []any
+		for _, v := range m.TI.Inst.Tuple(id) {
+			row = append(row, v.AsJSON())
+		}
+		tuples = append(tuples, row)
+	}
+	entity := map[string]any{"tuples": tuples}
+	var orders []map[string]any
+	for _, e := range m.TI.Edges {
+		orders = append(orders, map[string]any{"attr": sch.Name(e.Attr), "t1": int(e.T1), "t2": int(e.T2)})
+	}
+	if orders != nil {
+		entity["orders"] = orders
+	}
+	req["entity"] = entity
+	return req
+}
+
+func printWireSuggestion(w io.Writer, sug *wireSuggestion) {
+	fmt.Fprintln(w, "please provide true values for:")
+	for _, a := range sug.Attrs {
+		var cands []string
+		for _, v := range sug.Candidates[a] {
+			cands = append(cands, fmt.Sprint(v))
+		}
+		fmt.Fprintf(w, "  %-16s candidates: %s\n", a, strings.Join(cands, ", "))
+	}
+	if len(sug.Derivable) > 0 {
+		fmt.Fprintf(w, "then derivable automatically: %s\n", strings.Join(sug.Derivable, ", "))
+	}
+}
+
+func printWireState(w io.Writer, spec *conflictres.Spec, state *wireState) {
+	sch := spec.Schema()
+	for _, a := range sch.Attrs() {
+		if v, ok := state.Resolved[sch.Name(a)]; ok && v != nil {
+			fmt.Fprintf(w, "  %-16s %v\n", sch.Name(a), v)
+		} else {
+			fmt.Fprintf(w, "  %-16s ?\n", sch.Name(a))
+		}
+	}
+}
+
+// scriptedAnswers parses "attr=value,..." into a one-shot answer pool.
+func scriptedAnswers(spec *conflictres.Spec, script string) (map[string]any, error) {
+	sch := spec.Schema()
+	pool := make(map[string]any)
+	for _, part := range strings.Split(script, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad answer %q; want attr=value", part)
+		}
+		name := strings.TrimSpace(k)
+		if _, found := sch.Attr(name); !found {
+			return nil, fmt.Errorf("unknown attribute %q", k)
+		}
+		val, err := relation.ParseValue(strings.TrimSpace(v))
+		if err != nil {
+			return nil, err
+		}
+		pool[name] = val.AsJSON()
+	}
+	return pool, nil
+}
+
+// promptAnswers asks the terminal user for each suggested attribute.
+func promptAnswers(sug *wireSuggestion, stdin *bufio.Reader, stdout io.Writer) map[string]any {
+	out := make(map[string]any)
+	for _, a := range sug.Attrs {
+		fmt.Fprintf(stdout, "%s = ? (enter to skip): ", a)
+		line, err := stdin.ReadString('\n')
+		if err != nil {
+			return out
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		v, err := relation.ParseValue(line)
+		if err != nil {
+			fmt.Fprintln(stdout, "  cannot parse:", err)
+			continue
+		}
+		out[a] = v.AsJSON()
+	}
+	return out
+}
+
+// runSession is `crctl session`: the interactive resolution loop of Fig. 4
+// driven remotely against crserve's stateful session endpoints. The server
+// keeps the entity's incremental solver alive between rounds, so each
+// answer round costs one small HTTP exchange instead of a full re-encode.
+func runSession(spec *conflictres.Spec, server, answers string, maxRounds int,
+	stdin io.Reader, stdout, stderr io.Writer) int {
+
+	client := &sessionClient{base: strings.TrimRight(server, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
+
+	var pool map[string]any
+	if answers != "" {
+		var err error
+		if pool, err = scriptedAnswers(spec, answers); err != nil {
+			fmt.Fprintln(stderr, "crctl:", err)
+			return 1
+		}
+	}
+
+	state, err := client.do(http.MethodPost, "/v1/session", createBody(spec))
+	if err != nil {
+		fmt.Fprintln(stderr, "crctl:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "session %s created\n", state.Session)
+	// Drop the session on every exit path; a failed delete only costs the
+	// server an eventual TTL expiry, so the error is not fatal.
+	defer client.do(http.MethodDelete, "/v1/session/"+state.Session, nil)
+
+	reader := bufio.NewReader(stdin)
+	for round := 0; ; round++ {
+		if !state.Valid {
+			fmt.Fprintln(stdout, "INVALID: the specification has no valid completion")
+			return 1
+		}
+		if state.Complete || state.Suggestion == nil || round >= maxRounds {
+			break
+		}
+		printWireSuggestion(stdout, state.Suggestion)
+
+		var ans map[string]any
+		if pool != nil {
+			ans = make(map[string]any)
+			for _, a := range state.Suggestion.Attrs {
+				if v, ok := pool[a]; ok {
+					ans[a] = v
+					delete(pool, a)
+				}
+			}
+		} else {
+			ans = promptAnswers(state.Suggestion, reader, stdout)
+		}
+		if len(ans) == 0 {
+			break // no more input: keep the current partial resolution
+		}
+		// Deterministic echo of what is being sent, for scripted use.
+		names := make([]string, 0, len(ans))
+		for n := range ans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(stdout, "answering %s = %v\n", n, ans[n])
+		}
+
+		next, err := client.do(http.MethodPost, "/v1/session/"+state.Session+"/answer", map[string]any{"answers": ans})
+		if err != nil {
+			fmt.Fprintln(stderr, "crctl:", err)
+			var we *wireError
+			if errors.As(err, &we) && we.Code == "contradiction" {
+				// The server rolled back to the last consistent state; stop
+				// asking and report that state — the framework's "revise"
+				// branch, matching local resolve (which also exits 0 when
+				// input contradicts and the last consistent round stands).
+				break
+			}
+			// Anything else — transport failure, expired/evicted session,
+			// a racing apply — means the conversation did not run to its
+			// agreed end: fail so scripts do not mistake it for success.
+			return 1
+		}
+		state = next
+	}
+
+	// Partial resolutions still exit 0, matching local resolve: unresolved
+	// attributes print as '?'.
+	fmt.Fprintf(stdout, "resolved after %d round(s), %d interaction(s):\n", state.Rounds, state.Interactions)
+	printWireState(stdout, spec, state)
+	return 0
+}

@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"conflictres/internal/server"
+)
+
+// newCRServe mounts a real resolution server on httptest, the same wiring
+// cmd/crserve uses, so the session command is exercised end to end.
+func newCRServe(t *testing.T) *httptest.Server {
+	t.Helper()
+	s := server.New(server.Config{})
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSessionCommandScripted(t *testing.T) {
+	ts := newCRServe(t)
+	_, george := writeSpecs(t)
+	code, out, errOut := run(t, []string{"session", "-server", ts.URL, "-answers", `status="retired"`, george}, "")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s err=%s", code, out, errOut)
+	}
+	for _, want := range []string{"session ", "1 interaction", "veteran", "Accord", "12404"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSessionCommandPrompt(t *testing.T) {
+	ts := newCRServe(t)
+	_, george := writeSpecs(t)
+	code, out, errOut := run(t, []string{"session", "-server", ts.URL, george}, "retired\n")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s err=%s", code, out, errOut)
+	}
+	if !strings.Contains(out, "veteran") {
+		t.Fatalf("prompted session resolve failed:\n%s", out)
+	}
+}
+
+func TestSessionCommandAutoComplete(t *testing.T) {
+	// Edith needs no input: the create response is already complete and no
+	// answer round runs.
+	ts := newCRServe(t)
+	edith, _ := writeSpecs(t)
+	code, out, _ := run(t, []string{"session", "-server", ts.URL, edith}, "")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s", code, out)
+	}
+	for _, want := range []string{"0 interaction", "deceased", "Vermont"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSessionCommandContradictionKeepsLastState(t *testing.T) {
+	// Input contradicting the specification mirrors local resolve: the
+	// server rolls back, crctl reports it, prints the last consistent
+	// state, and exits 0 (the framework's revise branch).
+	ts := newCRServe(t)
+	_, george := writeSpecs(t)
+	code, out, errOut := run(t, []string{"session", "-server", ts.URL, "-answers", `status="working"`, george}, "")
+	if code != 0 {
+		t.Fatalf("code=%d out=%s err=%s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "contradiction") {
+		t.Fatalf("stderr must report the contradiction: %q", errOut)
+	}
+	if !strings.Contains(out, "0 interaction") {
+		t.Fatalf("rolled-back conversation must report the pre-answer state:\n%s", out)
+	}
+}
+
+func TestSessionCommandAnswerFailureExitsNonzero(t *testing.T) {
+	// A session that dies between create and answer (evicted, expired,
+	// server restarted) must not masquerade as success: scripts depend on
+	// the exit code. Stub server: create succeeds, answer always 404s.
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/session":
+			w.Header().Set("Content-Type", "application/json")
+			io.WriteString(w, `{"session":"dead","valid":true,"complete":false,`+
+				`"suggestion":{"attrs":["status"],"candidates":{"status":["retired"]}},"rounds":1}`)
+		case r.Method == http.MethodDelete:
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, `{"error":{"code":"session_not_found","message":"gone"}}`)
+		}
+	}))
+	t.Cleanup(stub.Close)
+	_, george := writeSpecs(t)
+	code, _, errOut := run(t, []string{"session", "-server", stub.URL, "-answers", `status="retired"`, george}, "")
+	if code != 1 {
+		t.Fatalf("code=%d, want 1; stderr=%q", code, errOut)
+	}
+	if !strings.Contains(errOut, "session_not_found") {
+		t.Fatalf("stderr must carry the server's error: %q", errOut)
+	}
+}
+
+func TestSessionCommandUsage(t *testing.T) {
+	_, george := writeSpecs(t)
+	if code, _, errOut := run(t, []string{"session", george}, ""); code != 2 || !strings.Contains(errOut, "-server") {
+		t.Fatalf("missing -server must be a usage error: code=%d err=%q", code, errOut)
+	}
+	if code, _, errOut := run(t, []string{"session", "-server", "http://127.0.0.1:1", george}, ""); code != 1 || errOut == "" {
+		t.Fatalf("unreachable server must fail with a message: code=%d err=%q", code, errOut)
+	}
+}

@@ -13,14 +13,19 @@
 // serialization and running statistics.
 //
 // Memory is bounded regardless of input size: at most Options.WindowRows
-// rows are buffered in the grouper, plus a constant number of in-flight
-// groups per shard. Input that is clustered by key (each entity's rows
-// contiguous, as produced by crgen) can set Options.Sorted to flush every
-// entity as soon as its last row has passed, keeping residency at a single
-// entity per shard. Unclustered input is still resolved correctly as long
-// as each entity's rows fall inside one window; an entity whose rows span a
-// window flush is resolved once per window chunk (each chunk reported with
-// its own row count), which callers detect by duplicate keys in the output.
+// rows are buffered in the grouper (plus the still-hot group carried across
+// a flush, itself bounded by Options.MaxEntityRows), plus a constant number
+// of in-flight groups per shard. Input that is clustered by key (each
+// entity's rows contiguous, as produced by crgen) can set Options.Sorted to
+// flush every entity as soon as its last row has passed, keeping residency
+// at a single entity per shard. Unclustered input is still resolved
+// correctly as long as each entity's rows fall inside one window: a window
+// flush dispatches every pending group except the one that received the
+// most recent row, so a contiguous run of one key is never split by the
+// flush. Only a key whose rows are interleaved with enough other rows to
+// span a flush resolves once per chunk (each chunk reported with its own
+// row count); such keys are counted in Stats.SplitEntities and appear as
+// duplicate keys in the output.
 package dataset
 
 import (
@@ -113,8 +118,10 @@ type Options struct {
 	// Entities are assigned to shards by key hash, so a key's chunks
 	// resolve in input order.
 	Shards int
-	// WindowRows bounds the rows buffered by the grouper before every
-	// pending group is dispatched (default 65536).
+	// WindowRows bounds the rows buffered by the grouper before pending
+	// groups are dispatched (default 65536). The group that received the
+	// most recent row is carried across the flush so contiguous runs of one
+	// key are never split; its residency is bounded by MaxEntityRows.
 	WindowRows int
 	// Sorted declares the input clustered by key: every key change
 	// dispatches the finished group immediately, keeping memory at one
@@ -166,10 +173,26 @@ type Stats struct {
 	Invalid int64
 	// Failed counts entities whose resolution returned an error.
 	Failed int64
-	// Cached counts outcomes served from a resolver-side cache.
+	// Cached counts written results that were served from a resolver-side
+	// cache (like the other outcome counters, it excludes Dropped results).
 	Cached int64
-	// Windows counts grouper flushes forced by the WindowRows bound.
+	// Windows counts grouper flushes forced by the WindowRows bound that
+	// actually dispatched at least one group.
 	Windows int64
+	// SplitEntities counts keys that were dispatched by a window flush and
+	// later received more rows: each such key was resolved more than once,
+	// each time from a partial instance. A non-zero count means the window
+	// is too small for how far apart the input scatters a key's rows —
+	// raise WindowRows or cluster the input by key. (Detection remembers
+	// window-dispatched keys, one map entry per such key up to a fixed cap;
+	// runs with no window flushes pay nothing, and splits past the cap may
+	// be undercounted.)
+	SplitEntities int64
+	// Dropped counts results discarded after a writer failure: the work was
+	// done but never reached the output, so Resolved/Invalid/Failed only
+	// count results actually written and the stats reconcile with the
+	// output file.
+	Dropped int64
 	// Timing sums solver phase time across all entities (exceeds Wall by
 	// up to the shard count).
 	Timing core.Timing
@@ -186,9 +209,16 @@ func (s *Stats) RowsPerSec() float64 {
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("%d rows, %d entities (%d resolved, %d invalid, %d failed, %d cached) in %s (%.0f rows/s)",
+	out := fmt.Sprintf("%d rows, %d entities (%d resolved, %d invalid, %d failed, %d cached) in %s (%.0f rows/s)",
 		s.RowsRead, s.Entities, s.Resolved, s.Invalid, s.Failed, s.Cached,
 		s.Wall.Round(time.Millisecond), s.RowsPerSec())
+	if s.Dropped > 0 {
+		out += fmt.Sprintf(", %d dropped", s.Dropped)
+	}
+	if s.SplitEntities > 0 {
+		out += fmt.Sprintf(", %d split", s.SplitEntities)
+	}
+	return out
 }
 
 // group is one pending entity: its key and the rows buffered so far.
@@ -196,6 +226,11 @@ type group struct {
 	key  string
 	rows []relation.Tuple
 }
+
+// maxSplitTrackedKeys caps the split-detection key set (see Run): enough
+// for any sane window configuration, small enough that a hostile stream of
+// distinct keys cannot balloon server memory through it.
+const maxSplitTrackedKeys = 1 << 18
 
 // Run streams rows from r, groups them by key, resolves every group with
 // res across a sharded pool, and writes results to w. It returns the run's
@@ -244,6 +279,9 @@ func Run(ctx context.Context, sch *relation.Schema, r RowReader, res Resolver, w
 	// Writer: the only goroutine touching w; aggregates outcome counters.
 	// A write failure flips writeFailed so the reader stops feeding work
 	// instead of resolving the rest of the input for discarded output.
+	// Results completing after the failure are drained (so shards never
+	// block forever) but counted in Dropped, not in the outcome counters:
+	// Resolved/Invalid/Failed describe what the output file actually holds.
 	var writeErr error
 	var writeFailed atomic.Bool
 	writerDone := make(chan struct{})
@@ -251,6 +289,26 @@ func Run(ctx context.Context, sch *relation.Schema, r RowReader, res Resolver, w
 		defer close(writerDone)
 		for out := range results {
 			stats.Entities++
+			// Timing is work accounting — solver time was spent whether or
+			// not the result reached the output — but every per-outcome
+			// counter (Resolved/Invalid/Failed/Cached) describes only
+			// written results, so they reconcile with the output file.
+			stats.Timing.Validity += out.Timing.Validity
+			stats.Timing.Deduce += out.Timing.Deduce
+			stats.Timing.Suggest += out.Timing.Suggest
+			if writeErr != nil {
+				stats.Dropped++
+				continue
+			}
+			if err := w.Write(out); err != nil {
+				writeErr = err
+				writeFailed.Store(true)
+				stats.Dropped++ // the failed write never reached the output
+				continue
+			}
+			if out.Cached {
+				stats.Cached++
+			}
 			switch {
 			case out.Err != nil:
 				stats.Failed++
@@ -258,19 +316,6 @@ func Run(ctx context.Context, sch *relation.Schema, r RowReader, res Resolver, w
 				stats.Resolved++
 			default:
 				stats.Invalid++
-			}
-			if out.Cached {
-				stats.Cached++
-			}
-			stats.Timing.Validity += out.Timing.Validity
-			stats.Timing.Deduce += out.Timing.Deduce
-			stats.Timing.Suggest += out.Timing.Suggest
-			if writeErr != nil {
-				continue // keep draining so shards never block forever
-			}
-			if err := w.Write(out); err != nil {
-				writeErr = err
-				writeFailed.Store(true)
 			}
 		}
 	}()
@@ -287,6 +332,12 @@ func Run(ctx context.Context, sch *relation.Schema, r RowReader, res Resolver, w
 	buffered := 0
 	var lastKey string
 	var readErr error
+	// windowSplit remembers keys dispatched by a window flush: a later row
+	// for such a key means the entity was genuinely split across windows.
+	// Tracking is capped at maxSplitTrackedKeys so a stream with enormous
+	// key cardinality cannot grow the map without bound; beyond the cap
+	// new splits go undetected (the counter is a diagnostic, not an audit).
+	windowSplit := make(map[string]bool) // value: already counted
 	for readErr == nil {
 		if err := ctx.Err(); err != nil {
 			readErr = err
@@ -325,18 +376,48 @@ func Run(ctx context.Context, sch *relation.Schema, r RowReader, res Resolver, w
 			g = &group{key: row.Key}
 			groups[row.Key] = g
 			order = append(order, g)
+			if counted, split := windowSplit[row.Key]; split && !counted {
+				// This key already went out in an earlier window: it is now
+				// resolved more than once, each time from partial rows.
+				stats.SplitEntities++
+				windowSplit[row.Key] = true
+			}
 		}
 		g.rows = append(g.rows, row.Tuple)
 		buffered++
 		if buffered >= opts.windowRows() {
-			stats.Windows++
-			for _, g := range order {
-				dispatch(g)
+			// Flush every pending group except the one that received this
+			// row: it is still hot, and dispatching it here would split a
+			// contiguous run of its key across two partial resolutions.
+			// Carrying it also preserves lastKey's meaning in Sorted mode —
+			// the next row of the same key keeps extending the same group.
+			// A hot group already past the MaxEntityRows reject limit is
+			// dispatched anyway (resolveGroup will refuse it with a clear
+			// error either way), keeping grouper memory bounded by
+			// WindowRows + MaxEntityRows even for one endless key.
+			keepHot := len(g.rows) <= maxRows
+			dispatched := false
+			for _, og := range order {
+				if keepHot && og == g {
+					continue
+				}
+				dispatch(og)
+				if _, seen := windowSplit[og.key]; !seen && len(windowSplit) < maxSplitTrackedKeys {
+					windowSplit[og.key] = false
+				}
+				dispatched = true
 			}
-			groups = make(map[string]*group)
+			if dispatched {
+				stats.Windows++
+			}
+			clear(groups)
 			order = order[:0]
 			buffered = 0
-			lastKey = ""
+			if keepHot {
+				groups[g.key] = g
+				order = append(order, g)
+				buffered = len(g.rows)
+			}
 		}
 	}
 	// Flush the tail — only on a clean end of input. After a cancellation,

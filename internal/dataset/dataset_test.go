@@ -130,7 +130,11 @@ func TestRunSortedSurvivesUnsortedInput(t *testing.T) {
 	}
 }
 
-func TestRunWindowFlush(t *testing.T) {
+func TestRunWindowFlushCarriesHotGroup(t *testing.T) {
+	// Regression: an entity whose rows span a window flush used to resolve
+	// once per chunk, each result computed from a partial instance that
+	// looked complete. The hot group must be carried across the flush: a
+	// contiguous run resolves exactly once, with every row.
 	var mu sync.Mutex
 	seen := map[string]int{}
 	w := &memWriter{}
@@ -140,12 +144,111 @@ func TestRunWindowFlush(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The only group is always the hot one, so no flush ever dispatches.
+	if stats.Windows != 0 || stats.SplitEntities != 0 {
+		t.Fatalf("windows = %d, splits = %d, want 0/0", stats.Windows, stats.SplitEntities)
+	}
+	if stats.Entities != 1 || seen["a"] != 5 {
+		t.Fatalf("entities = %d, seen = %v, want one full resolution", stats.Entities, seen)
+	}
+	if len(w.results) != 1 || w.results[0].Rows != 5 {
+		t.Fatalf("results = %+v, want one result with all 5 rows", w.results)
+	}
+}
+
+func TestRunWindowFlushDispatchesColdGroups(t *testing.T) {
+	// Two interleaved keys with a tiny window: the flush dispatches the cold
+	// group(s) but keeps the hot one, and a cold key that receives more rows
+	// later is counted as genuinely split.
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "b", "b", "b", "a", "a")},
+		pickFirst(&mu, seen), w, Options{Shards: 1, WindowRows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window fills at row 3 (a, b, b): "a" is cold and goes out with one
+	// row; hot "b" is carried. Row 5 ("a" again) refills the window, so "b"
+	// goes out with all three rows and the tail "a" rows resolve as a
+	// second, split chunk at end-of-input.
 	if stats.Windows != 2 {
 		t.Fatalf("windows = %d, want 2", stats.Windows)
 	}
-	// 5 rows with window 2: chunks of 2, 2, 1.
-	if stats.Entities != 3 || seen["a"] != 5 {
+	if stats.SplitEntities != 1 {
+		t.Fatalf("splits = %d, want 1 (key a)", stats.SplitEntities)
+	}
+	if stats.Entities != 3 || seen["a"] != 3 || seen["b"] != 3 {
 		t.Fatalf("entities = %d, seen = %v", stats.Entities, seen)
+	}
+	rowsByKey := map[string][]int{}
+	for _, r := range w.results {
+		rowsByKey[r.Key] = append(rowsByKey[r.Key], r.Rows)
+	}
+	sort.Ints(rowsByKey["a"])
+	if len(rowsByKey["b"]) != 1 || rowsByKey["b"][0] != 3 {
+		t.Fatalf("hot key b = %v, want one chunk of 3", rowsByKey["b"])
+	}
+	if len(rowsByKey["a"]) != 2 || rowsByKey["a"][0] != 1 || rowsByKey["a"][1] != 2 {
+		t.Fatalf("split key a = %v, want chunks 1+2", rowsByKey["a"])
+	}
+}
+
+func TestRunSortedWindowFlushKeepsRun(t *testing.T) {
+	// Regression for the Sorted variant of the same bug: a window flush used
+	// to reset lastKey to "", so the next row of the in-flight entity opened
+	// a fresh group and the contiguous run was split. With the hot group
+	// carried and lastKey preserved, one clustered entity larger than the
+	// window still resolves exactly once.
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "a", "a", "b", "b")},
+		pickFirst(&mu, seen), w, Options{Shards: 1, Sorted: true, WindowRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Entities != 2 || seen["a"] != 3 || seen["b"] != 2 {
+		t.Fatalf("entities = %d, seen = %v, want each entity resolved once with all rows", stats.Entities, seen)
+	}
+	if stats.SplitEntities != 0 {
+		t.Fatalf("splits = %d, want 0", stats.SplitEntities)
+	}
+	for _, r := range w.results {
+		if r.Rows != seen[r.Key] {
+			t.Fatalf("result %q rows = %d, want %d", r.Key, r.Rows, seen[r.Key])
+		}
+	}
+}
+
+func TestRunOversizedHotGroupStaysBounded(t *testing.T) {
+	// The hot group is carried across window flushes, but not past the
+	// MaxEntityRows reject limit: one endless key must be dispatched in
+	// bounded chunks (each refused with a clear error), never buffered
+	// without bound.
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &memWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor("a", "a", "a", "a", "a", "a", "a", "a", "a", "a")},
+		pickFirst(&mu, seen), w, Options{Shards: 1, WindowRows: 2, MaxEntityRows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunks of 4 (first over-limit flush), 4, then the 2-row tail.
+	if stats.Failed != 2 || stats.Resolved != 1 {
+		t.Fatalf("stats = %+v, want 2 oversized rejects + 1 resolved tail", stats)
+	}
+	maxChunk := 0
+	for _, r := range w.results {
+		if r.Rows > maxChunk {
+			maxChunk = r.Rows
+		}
+	}
+	if maxChunk > 4 { // MaxEntityRows+1: the row that tipped it over
+		t.Fatalf("largest buffered chunk = %d rows; the carry must respect MaxEntityRows", maxChunk)
 	}
 }
 
@@ -525,6 +628,41 @@ func TestStatsString(t *testing.T) {
 	s := &Stats{RowsRead: 10, Entities: 2, Resolved: 2, Wall: 1e9}
 	if !strings.Contains(s.String(), "10 rows") || s.RowsPerSec() != 10 {
 		t.Fatalf("stats = %q, rps = %v", s.String(), s.RowsPerSec())
+	}
+	if strings.Contains(s.String(), "dropped") || strings.Contains(s.String(), "split") {
+		t.Fatalf("zero counters must stay silent: %q", s.String())
+	}
+	s.Dropped, s.SplitEntities = 3, 1
+	if !strings.Contains(s.String(), "3 dropped") || !strings.Contains(s.String(), "1 split") {
+		t.Fatalf("stats = %q", s.String())
+	}
+}
+
+func TestRunWriterErrorCountsDropped(t *testing.T) {
+	// Satellite bugfix: results completing after a write failure used to be
+	// silently discarded while still counted in Resolved. They must land in
+	// Dropped instead, so Resolved + Invalid + Failed matches the output
+	// file and Entities = written + Dropped.
+	var keys []string
+	for i := 0; i < 50; i++ {
+		keys = append(keys, fmt.Sprintf("k%02d", i))
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	w := &failingWriter{}
+	stats, err := Run(context.Background(), testSchema,
+		&sliceReader{rows: rowsFor(keys...)}, pickFirst(&mu, seen), w,
+		Options{Shards: 4, Sorted: true})
+	if err == nil || err.Error() != "disk full" {
+		t.Fatalf("err = %v", err)
+	}
+	// Every write failed, so nothing reached the output: all completed
+	// entities must be dropped and none counted resolved.
+	if stats.Resolved != 0 || stats.Invalid != 0 || stats.Failed != 0 {
+		t.Fatalf("outcome counters must reconcile with the (empty) output: %+v", stats)
+	}
+	if stats.Dropped == 0 || stats.Dropped != stats.Entities {
+		t.Fatalf("dropped = %d, entities = %d; want all entities dropped", stats.Dropped, stats.Entities)
 	}
 }
 

@@ -1,6 +1,7 @@
 // Package server implements the crserve HTTP resolution service: single and
-// streaming-batch conflict resolution over compiled rule sets, an LRU result
-// cache, and text-format metrics.
+// streaming-batch conflict resolution over compiled rule sets, stateful
+// interactive resolution sessions (the paper's Se ⊕ Ot loop as addressable
+// server state), an LRU result cache, and text-format metrics.
 //
 // Endpoints:
 //
@@ -12,8 +13,19 @@
 //	                         entities by key and resolved over the pool —
 //	                         one result line per entity plus a summary line
 //	POST /v1/validate        validity check only
+//	POST /v1/session             start an interactive session: rules +
+//	                             entity in; id, validity, deduced values
+//	                             and first suggestion out
+//	GET  /v1/session/{id}        current session state
+//	POST /v1/session/{id}/answer fold user answers in (Se ⊕ Ot), re-deduce
+//	                             incrementally, return the next suggestion
+//	DELETE /v1/session/{id}      drop the session
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus-style counters
+//
+// Sessions are held in a concurrency-safe store with LRU eviction under
+// Config.SessionCap and TTL expiry under Config.SessionTTL; a dropped,
+// expired or evicted id answers 404 and the client re-creates the session.
 package server
 
 import (

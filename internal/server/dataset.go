@@ -195,13 +195,20 @@ func (w *wireWriter) Flush() error { return nil }
 
 // datasetSummaryJSON is the trailing summary line of a dataset response.
 type datasetSummaryJSON struct {
-	Rows       int64   `json:"rows"`
-	Entities   int64   `json:"entities"`
-	Resolved   int64   `json:"resolved"`
-	Invalid    int64   `json:"invalid"`
-	Failed     int64   `json:"failed"`
-	Cached     int64   `json:"cached"`
-	Windows    int64   `json:"windows"`
+	Rows     int64 `json:"rows"`
+	Entities int64 `json:"entities"`
+	Resolved int64 `json:"resolved"`
+	Invalid  int64 `json:"invalid"`
+	Failed   int64 `json:"failed"`
+	Cached   int64 `json:"cached"`
+	Windows  int64 `json:"windows"`
+	// SplitEntities counts keys resolved more than once because their rows
+	// spanned a grouping-window flush — each chunk computed from a partial
+	// instance; cluster the stream by key or raise windowRows.
+	SplitEntities int64 `json:"splitEntities,omitempty"`
+	// Dropped counts results lost after a response-write failure; the
+	// outcome counters above only describe result lines actually sent.
+	Dropped    int64   `json:"dropped,omitempty"`
 	WallUs     int64   `json:"wallUs"`
 	RowsPerSec float64 `json:"rowsPerSec"`
 }
@@ -279,15 +286,17 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 		enc.Encode(&resultJSON{Error: &errorJSON{Code: code, Message: "stream aborted: " + runErr.Error()}})
 	}
 	enc.Encode(map[string]*datasetSummaryJSON{"summary": {
-		Rows:       stats.RowsRead,
-		Entities:   stats.Entities,
-		Resolved:   stats.Resolved,
-		Invalid:    stats.Invalid,
-		Failed:     stats.Failed,
-		Cached:     stats.Cached,
-		Windows:    stats.Windows,
-		WallUs:     int64(stats.Wall / time.Microsecond),
-		RowsPerSec: stats.RowsPerSec(),
+		Rows:          stats.RowsRead,
+		Entities:      stats.Entities,
+		Resolved:      stats.Resolved,
+		Invalid:       stats.Invalid,
+		Failed:        stats.Failed,
+		Cached:        stats.Cached,
+		Windows:       stats.Windows,
+		SplitEntities: stats.SplitEntities,
+		Dropped:       stats.Dropped,
+		WallUs:        int64(stats.Wall / time.Microsecond),
+		RowsPerSec:    stats.RowsPerSec(),
 	}})
 	if flusher != nil {
 		flusher.Flush()

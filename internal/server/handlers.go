@@ -54,6 +54,16 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) (ok b
 	return true
 }
 
+// compileWireRules compiles a wire rule set into a rule set, with no cache
+// involvement; it is the pure codec path (also the fuzzing surface).
+func compileWireRules(rs *ruleSetJSON) (*conflictres.RuleSet, error) {
+	sch, err := conflictres.NewSchema(rs.Schema...)
+	if err != nil {
+		return nil, err
+	}
+	return conflictres.CompileRules(sch, rs.Currency, rs.CFDs)
+}
+
 // compileRules returns the compiled rule set for a wire rule set, consulting
 // the rule cache so identical (schema, Σ, Γ) parse only once server-wide.
 func (s *Server) compileRules(rs *ruleSetJSON) (*conflictres.RuleSet, error) {
@@ -61,11 +71,7 @@ func (s *Server) compileRules(rs *ruleSetJSON) (*conflictres.RuleSet, error) {
 	if v, ok := s.rules.get(key); ok {
 		return v.(*conflictres.RuleSet), nil
 	}
-	sch, err := conflictres.NewSchema(rs.Schema...)
-	if err != nil {
-		return nil, err
-	}
-	rules, err := conflictres.CompileRules(sch, rs.Currency, rs.CFDs)
+	rules, err := compileWireRules(rs)
 	if err != nil {
 		return nil, err
 	}
@@ -334,5 +340,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics is GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.results)
+	s.met.write(w, s.results, s.sessions)
 }

@@ -16,6 +16,7 @@ type metrics struct {
 	batchRequests    atomic.Int64
 	datasetRequests  atomic.Int64
 	validateRequests atomic.Int64
+	sessionRequests  atomic.Int64
 	errorResponses   atomic.Int64
 
 	// Dataset rows streamed through /v1/resolve/dataset.
@@ -58,7 +59,7 @@ func (m *metrics) observe(res *conflictres.Result) {
 }
 
 // write renders the counters in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, cache *lru) {
+func (m *metrics) write(w io.Writer, cache *lru, sessions *sessionStore) {
 	hits, misses, size := cache.stats()
 	var hitRate float64
 	if hits+misses > 0 {
@@ -69,6 +70,7 @@ func (m *metrics) write(w io.Writer, cache *lru) {
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"dataset\"} %d\n", m.datasetRequests.Load())
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"validate\"} %d\n", m.validateRequests.Load())
+	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"session\"} %d\n", m.sessionRequests.Load())
 	fmt.Fprintf(w, "# TYPE crserve_dataset_rows_total counter\n")
 	fmt.Fprintf(w, "crserve_dataset_rows_total %d\n", m.datasetRows.Load())
 	fmt.Fprintf(w, "# TYPE crserve_error_responses_total counter\n")
@@ -89,6 +91,14 @@ func (m *metrics) write(w io.Writer, cache *lru) {
 	fmt.Fprintf(w, "crserve_session_solves_total %d\n", m.sessionSolves.Load())
 	fmt.Fprintf(w, "# TYPE crserve_session_clauses_loaded_total counter\n")
 	fmt.Fprintf(w, "crserve_session_clauses_loaded_total %d\n", m.sessionClauses.Load())
+	fmt.Fprintf(w, "# TYPE crserve_session_store_live gauge\n")
+	fmt.Fprintf(w, "crserve_session_store_live %d\n", sessions.live())
+	fmt.Fprintf(w, "# TYPE crserve_session_store_created_total counter\n")
+	fmt.Fprintf(w, "crserve_session_store_created_total %d\n", sessions.created.Load())
+	fmt.Fprintf(w, "# TYPE crserve_session_store_expired_total counter\n")
+	fmt.Fprintf(w, "crserve_session_store_expired_total %d\n", sessions.expired.Load())
+	fmt.Fprintf(w, "# TYPE crserve_session_store_evicted_total counter\n")
+	fmt.Fprintf(w, "crserve_session_store_evicted_total %d\n", sessions.evicted.Load())
 	fmt.Fprintf(w, "# TYPE crserve_cache_hits_total counter\n")
 	fmt.Fprintf(w, "crserve_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "# TYPE crserve_cache_misses_total counter\n")

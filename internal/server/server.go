@@ -29,6 +29,16 @@ type Config struct {
 	// ShutdownGrace bounds how long Serve waits for in-flight requests on
 	// shutdown (default 10s).
 	ShutdownGrace time.Duration
+	// SessionCap bounds the live interactive sessions held by the store
+	// (default 1024). Over the cap, the least recently used session is
+	// evicted; its next request answers 404 and the client re-creates.
+	SessionCap int
+	// SessionTTL expires sessions idle for longer than this (default 15m;
+	// negative disables expiry). Expiry is enforced lazily on access and by
+	// a background janitor.
+	SessionTTL time.Duration
+	// SessionSweep is the janitor's sweep interval (default 1m).
+	SessionSweep time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,19 +72,34 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
+	if c.SessionCap <= 0 {
+		c.SessionCap = 1024
+	}
+	switch {
+	case c.SessionTTL < 0:
+		c.SessionTTL = 0 // disables expiry
+	case c.SessionTTL == 0:
+		c.SessionTTL = 15 * time.Minute
+	}
+	if c.SessionSweep <= 0 {
+		c.SessionSweep = time.Minute
+	}
 	return c
 }
 
 // Server is the crserve HTTP resolution service.
 type Server struct {
-	cfg     Config
-	results *lru // cacheKey(rules+instance) -> *cachedResult
-	rules   *lru // cacheKey(rules)          -> *conflictres.RuleSet
-	met     *metrics
-	mux     *http.ServeMux
+	cfg      Config
+	results  *lru // cacheKey(rules+instance) -> *cachedResult
+	rules    *lru // cacheKey(rules)          -> *conflictres.RuleSet
+	sessions *sessionStore
+	met      *metrics
+	mux      *http.ServeMux
 }
 
-// New builds a server; zero Config fields take defaults.
+// New builds a server; zero Config fields take defaults. The server owns a
+// background janitor goroutine for session expiry: call Close when done
+// (ListenAndServe does so on shutdown; tests must call it themselves).
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg: cfg.withDefaults(),
@@ -83,10 +108,16 @@ func New(cfg Config) *Server {
 	}
 	s.results = newLRU(s.cfg.CacheSize)
 	s.rules = newLRU(s.cfg.RuleCacheSize)
+	s.sessions = newSessionStore(s.cfg.SessionCap, s.cfg.SessionTTL)
+	go s.sessions.janitor(s.cfg.SessionSweep)
 	s.mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	s.mux.HandleFunc("POST /v1/resolve/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/resolve/dataset", s.handleDataset)
 	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /v1/session/{id}/answer", s.handleSessionAnswer)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -94,6 +125,11 @@ func New(cfg Config) *Server {
 
 // Handler returns the root handler; it is what tests mount on httptest.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close releases the server's background resources (the session janitor).
+// It does not wait for in-flight requests; ListenAndServe's graceful
+// shutdown does that before calling Close.
+func (s *Server) Close() { s.sessions.close() }
 
 // ListenAndServe serves until ctx is cancelled, then shuts down gracefully,
 // waiting up to ShutdownGrace for in-flight requests.
@@ -103,6 +139,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	defer s.Close()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

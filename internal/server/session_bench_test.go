@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"conflictres/internal/core"
+	"conflictres/internal/datagen"
+	"conflictres/internal/encode"
+	"conflictres/internal/relation"
+)
+
+// benchConvo is one pre-scripted interactive conversation: the create body,
+// the per-round answer bodies for the session endpoints, and the equivalent
+// stateless bodies — one /v1/resolve request per round with all answers so
+// far folded into the re-sent entity (a fresh tuple holding the validated
+// value, ordered above every existing tuple, exactly Se ⊕ Ot).
+type benchConvo struct {
+	createBody      []byte
+	answerBodies    [][]byte
+	statelessBodies [][]byte
+}
+
+var (
+	benchConvoOnce sync.Once
+	benchConvos    []*benchConvo
+)
+
+// scriptConversation replays the paper's interactive loop in-process —
+// deduce, suggest, answer one attribute per round from the ground truth —
+// and records the answers, so both HTTP variants drive the identical
+// conversation.
+func scriptConversation(e *datagen.Entity) *benchConvo {
+	sch := e.Spec.Schema()
+	sess := core.NewSession(e.Spec, encode.Options{})
+	type answer struct {
+		attr relation.Attr
+		val  relation.Value
+	}
+	var script []answer
+	for {
+		if ok, _ := sess.IsValid(); !ok {
+			panic("bench entity must stay valid under truth answers")
+		}
+		od, _ := sess.DeduceOrder()
+		resolved := core.TrueValues(sess.Encoding(), od)
+		if len(resolved) == sch.Len() {
+			break
+		}
+		sug := sess.Suggest(od, resolved)
+		var ans *answer
+		for _, a := range sug.Attrs {
+			v := e.Truth[a]
+			if v.IsNull() {
+				continue
+			}
+			if rv, ok := resolved[a]; ok && relation.Equal(rv, v) {
+				continue
+			}
+			ans = &answer{attr: a, val: v}
+			break
+		}
+		if ans == nil {
+			break
+		}
+		script = append(script, *ans)
+		sess.Extend(map[relation.Attr]relation.Value{ans.attr: ans.val})
+	}
+
+	c := &benchConvo{}
+	wire := specWire(e.Spec, e.ID)
+	body, err := json.Marshal(wire)
+	if err != nil {
+		panic(err)
+	}
+	c.createBody = body
+
+	// Stateless round 0: resolve the base entity as-is.
+	entity := wire["entity"].(map[string]any)
+	tuples := entity["tuples"].([][]any)
+	orders, _ := entity["orders"].([]map[string]any)
+	stateless := func() []byte {
+		req := map[string]any{"schema": wire["schema"], "entity": map[string]any{
+			"tuples": tuples, "orders": orders,
+		}}
+		if s, ok := wire["currency"]; ok {
+			req["currency"] = s
+		}
+		if s, ok := wire["cfds"]; ok {
+			req["cfds"] = s
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	c.statelessBodies = append(c.statelessBodies, stateless())
+
+	for _, ans := range script {
+		ab, err := json.Marshal(map[string]any{"answers": map[string]any{
+			sch.Name(ans.attr): ans.val.AsJSON(),
+		}})
+		if err != nil {
+			panic(err)
+		}
+		c.answerBodies = append(c.answerBodies, ab)
+
+		// Fold the answer into the stateless entity: t_o above everything.
+		row := make([]any, sch.Len())
+		row[ans.attr] = ans.val.AsJSON()
+		newID := len(tuples)
+		for t := range tuples {
+			orders = append(orders, map[string]any{"attr": sch.Name(ans.attr), "t1": t, "t2": newID})
+		}
+		tuples = append(tuples, row)
+		c.statelessBodies = append(c.statelessBodies, stateless())
+	}
+	return c
+}
+
+// benchConversations scripts interactive Person entities from the same
+// generator shape the in-process loop benchmarks use (session_bench_test.go
+// at the repo root), keeping only entities whose conversation actually
+// loops (≥2 answer rounds): the session endpoints exist for the multi-round
+// exchange, and auto-completing entities would only measure the create path
+// both variants share.
+func benchConversations() []*benchConvo {
+	benchConvoOnce.Do(func() {
+		ds := datagen.Person(datagen.PersonConfig{
+			Entities: 48, MinTuples: 3, MaxTuples: 8, Seed: 7,
+			ACPool: 24, StatusChains: 6, StatusChainLen: 8,
+			JobChains: 6, JobChainLen: 8,
+		})
+		for _, e := range ds.Entities {
+			c := scriptConversation(e)
+			if len(c.answerBodies) >= 2 {
+				benchConvos = append(benchConvos, c)
+			}
+			if len(benchConvos) == 6 {
+				break
+			}
+		}
+		if len(benchConvos) == 0 {
+			panic("no interactive bench conversations generated")
+		}
+	})
+	return benchConvos
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body []byte) []byte {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// BenchmarkSessionHTTPLoop compares the interactive Se ⊕ Ot loop over the
+// stateful session endpoints (create once, one small answer request per
+// round, the server extends its live solver) against the same conversation
+// driven statelessly (one POST /v1/resolve per round, the full entity with
+// all answers folded in re-sent and re-encoded every time). One op is one
+// whole conversation. The result cache is disabled: a stateless client's
+// identical re-sends would otherwise be answered from cache and the
+// comparison would measure the cache, not the per-round re-encode the
+// session endpoints exist to avoid.
+func BenchmarkSessionHTTPLoop(b *testing.B) {
+	convos := benchConversations()
+	rounds := 0
+	for _, c := range convos {
+		rounds += len(c.answerBodies)
+	}
+	if rounds == 0 {
+		b.Fatal("bench conversations have no interactive rounds")
+	}
+
+	newBenchServer := func(b *testing.B) (*httptest.Server, *http.Client) {
+		b.Helper()
+		s := New(Config{CacheSize: -1})
+		b.Cleanup(s.Close)
+		ts := httptest.NewServer(s.Handler())
+		b.Cleanup(ts.Close)
+		return ts, ts.Client()
+	}
+
+	b.Run("session", func(b *testing.B) {
+		ts, client := newBenchServer(b)
+		b.ReportAllocs()
+		rounds := 0
+		for i := 0; i < b.N; i++ {
+			c := convos[i%len(convos)]
+			data := benchPost(b, client, ts.URL+"/v1/session", c.createBody)
+			var st struct {
+				Session string `json:"session"`
+			}
+			if err := json.Unmarshal(data, &st); err != nil || st.Session == "" {
+				b.Fatalf("bad create response: %s", data)
+			}
+			for _, ab := range c.answerBodies {
+				benchPost(b, client, ts.URL+"/v1/session/"+st.Session+"/answer", ab)
+				rounds++
+			}
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/"+st.Session, nil)
+			resp, err := client.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	})
+
+	b.Run("stateless", func(b *testing.B) {
+		ts, client := newBenchServer(b)
+		b.ReportAllocs()
+		rounds := 0
+		for i := 0; i < b.N; i++ {
+			c := convos[i%len(convos)]
+			for _, body := range c.statelessBodies {
+				benchPost(b, client, ts.URL+"/v1/resolve", body)
+			}
+			rounds += len(c.statelessBodies) - 1
+		}
+		b.ReportMetric(float64(rounds)/float64(b.N), "rounds/op")
+	})
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"conflictres"
+)
+
+// sessionEntry is one live interactive resolution session owned by the
+// store: the facade Session plus everything needed to serve and expire it.
+type sessionEntry struct {
+	id    string
+	sess  *conflictres.Session
+	rules *conflictres.RuleSet
+	// entityID echoes the create request's entity id in every state response.
+	entityID string
+
+	// mu serializes multi-call handler sequences on the session (the facade
+	// Session makes individual calls safe, but a state snapshot or an
+	// apply-then-snapshot must not interleave with another apply). The
+	// answer handler uses TryLock so a second concurrent apply gets 409
+	// instead of silently queueing behind the first.
+	mu sync.Mutex
+
+	// lastUse is the entry's TTL clock, guarded by the store mutex.
+	lastUse time.Time
+}
+
+// sessionStore is a concurrency-safe map of live interactive sessions with
+// LRU eviction under a capacity cap and TTL expiry. Expired entries are
+// collected lazily on access and by a janitor goroutine whose lifetime is
+// tied to the server's (Server.Close stops it).
+type sessionStore struct {
+	mu  sync.Mutex
+	cap int
+	ttl time.Duration
+	ll  *list.List               // front = most recently used; holds *sessionEntry
+	m   map[string]*list.Element // id -> element in ll
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// Monotonic counters surfaced in /metrics; live is ll.Len().
+	created atomic.Int64
+	expired atomic.Int64
+	evicted atomic.Int64
+}
+
+func newSessionStore(capacity int, ttl time.Duration) *sessionStore {
+	return &sessionStore{
+		cap:  capacity,
+		ttl:  ttl,
+		ll:   list.New(),
+		m:    make(map[string]*list.Element),
+		stop: make(chan struct{}),
+	}
+}
+
+// newSessionID returns an opaque, unguessable session id.
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; there is no sane
+		// fallback that keeps ids unguessable.
+		panic("server: crypto/rand: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// add registers a new session and returns its id, evicting the least
+// recently used entries if the store is over capacity.
+func (st *sessionStore) add(e *sessionEntry) string {
+	e.id = newSessionID()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e.lastUse = time.Now()
+	st.m[e.id] = st.ll.PushFront(e)
+	st.created.Add(1)
+	for st.ll.Len() > st.cap {
+		el := st.ll.Back()
+		old := el.Value.(*sessionEntry)
+		st.ll.Remove(el)
+		delete(st.m, old.id)
+		st.evicted.Add(1)
+	}
+	return e.id
+}
+
+// get returns the live entry for id, refreshing its TTL clock and LRU
+// position. An entry past its TTL is removed and reported as absent — the
+// caller answers 404 whether the id never existed, expired, or was evicted;
+// ids are opaque, so the distinction is not observable remotely anyway.
+func (st *sessionStore) get(id string) (*sessionEntry, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*sessionEntry)
+	if st.ttl > 0 && time.Since(e.lastUse) > st.ttl {
+		st.ll.Remove(el)
+		delete(st.m, id)
+		st.expired.Add(1)
+		return nil, false
+	}
+	e.lastUse = time.Now()
+	st.ll.MoveToFront(el)
+	return e, true
+}
+
+// remove deletes the session with the given id, reporting whether it was
+// present (and not already expired).
+func (st *sessionStore) remove(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.m[id]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*sessionEntry)
+	expired := st.ttl > 0 && time.Since(e.lastUse) > st.ttl
+	st.ll.Remove(el)
+	delete(st.m, id)
+	if expired {
+		st.expired.Add(1)
+	}
+	return !expired
+}
+
+// live returns the number of sessions currently held.
+func (st *sessionStore) live() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.ll.Len()
+}
+
+// sweep removes every entry past its TTL. It walks from the LRU tail, so it
+// stops at the first still-live entry.
+func (st *sessionStore) sweep() {
+	if st.ttl <= 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := time.Now()
+	for el := st.ll.Back(); el != nil; {
+		e := el.Value.(*sessionEntry)
+		if now.Sub(e.lastUse) <= st.ttl {
+			break // everything further front is more recently used
+		}
+		prev := el.Prev()
+		st.ll.Remove(el)
+		delete(st.m, e.id)
+		st.expired.Add(1)
+		el = prev
+	}
+}
+
+// janitor periodically sweeps expired sessions until close is called. Run it
+// on its own goroutine.
+func (st *sessionStore) janitor(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-t.C:
+			st.sweep()
+		}
+	}
+}
+
+// close stops the janitor. Safe to call more than once.
+func (st *sessionStore) close() {
+	st.stopOnce.Do(func() { close(st.stop) })
+}

@@ -2,6 +2,7 @@ package conflictres
 
 import (
 	"fmt"
+	"sync"
 
 	"conflictres/internal/core"
 	"conflictres/internal/encode"
@@ -18,8 +19,16 @@ import (
 // real user conversation (ask, wait, apply, repeat) and for long-lived
 // integrations that interleave deduction with other work.
 //
-// A Session is not safe for concurrent use.
+// A Session is safe for concurrent use: every method holds an internal
+// mutex, so calls from multiple goroutines serialize against each other and
+// each call observes a consistent view. Multi-call sequences (for example
+// Suggest followed by Apply) are NOT atomic as a unit — a server handing
+// one session to several clients must add its own per-session lock around
+// such sequences (internal/server's session store does exactly that).
 type Session struct {
+	// mu guards every field below. The underlying core.Session is not
+	// concurrency-safe, so all access to it goes through this lock.
+	mu           sync.Mutex
 	sess         *core.Session
 	sch          *Schema
 	interactions int
@@ -40,6 +49,7 @@ type sessionView struct {
 }
 
 // current returns the cached per-formula view, computing it on first use.
+// Callers must hold s.mu.
 func (s *Session) current() *sessionView {
 	if s.view != nil {
 		return s.view
@@ -74,12 +84,16 @@ func NewSession(spec *Spec) (*Session, error) {
 // only under search would otherwise yield values read off an
 // unsatisfiable formula.
 func (s *Session) Valid() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.current().valid
 }
 
 // Deduce returns the true values determined so far, keyed by attribute
 // name. It returns nil when the current specification is invalid.
 func (s *Session) Deduce() map[string]Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := s.current()
 	if !v.valid {
 		return nil
@@ -93,6 +107,8 @@ func (s *Session) Deduce() map[string]Value {
 
 // Complete reports whether every attribute has a determined true value.
 func (s *Session) Complete() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := s.current()
 	return v.valid && len(v.resolved) == s.sch.Len()
 }
@@ -100,6 +116,8 @@ func (s *Session) Complete() bool {
 // Suggest computes the attribute set the user should confirm next, with
 // candidate values. It fails when the current specification is invalid.
 func (s *Session) Suggest() (Suggestion, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := s.current()
 	if !v.valid {
 		return Suggestion{}, fmt.Errorf("conflictres: specification is invalid")
@@ -124,6 +142,8 @@ func (s *Session) Apply(answers map[string]Value) error {
 		}
 		conv[a] = v
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	prev := s.sess.Spec() // Extend clones; prev stays the consistent state
 	s.sess.Extend(conv)
 	s.view = nil // formula changed: every derived view is stale
@@ -147,24 +167,34 @@ func addStats(a, b SessionStats) SessionStats {
 }
 
 // Interactions returns the number of successful Apply calls.
-func (s *Session) Interactions() int { return s.interactions }
+func (s *Session) Interactions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.interactions
+}
 
 // Stats returns the session's solver-reuse counters, including the work of
 // any sessions discarded by Apply's rollback.
-func (s *Session) Stats() SessionStats { return addStats(s.prior, s.sess.Stats()) }
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return addStats(s.prior, s.sess.Stats())
+}
 
 // Result snapshots the session as a Result, mirroring Resolve's output for
 // the rounds driven so far: one initial automatic round plus one per
 // successful Apply. Timing stays zero — the step-wise API leaves phase
 // timing to the caller's own clock.
 func (s *Session) Result() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	v := s.current()
 	res := &Result{
 		Valid:        v.valid,
 		Resolved:     make(map[Attr]Value, len(v.resolved)),
 		Rounds:       s.interactions + 1,
 		Interactions: s.interactions,
-		Session:      s.Stats(),
+		Session:      addStats(s.prior, s.sess.Stats()),
 		schema:       s.sch,
 	}
 	if !v.valid {

@@ -1,0 +1,70 @@
+package conflictres
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"conflictres/internal/fixtures"
+)
+
+// TestSessionConcurrentUseRace hammers one facade Session from many
+// goroutines mixing reads (Valid/Deduce/Suggest/Result/Stats) with writes
+// (Apply, including contradictory input that takes the rollback path). Run
+// under -race this pins the documented guarantee: individual Session calls
+// are safe from multiple goroutines.
+func TestSessionConcurrentUseRace(t *testing.T) {
+	spec := &Spec{m: fixtures.GeorgeSpec()}
+	sess, err := NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					sess.Valid()
+					sess.Complete()
+				case 1:
+					sess.Deduce()
+					sess.Stats()
+				case 2:
+					if _, err := sess.Suggest(); err != nil {
+						t.Errorf("Suggest: %v", err)
+					}
+				case 3:
+					res := sess.Result()
+					if !res.Valid {
+						t.Error("George must stay valid")
+					}
+				case 4:
+					// Alternate two mutually contradictory answers: whichever
+					// lands second takes the rollback path, which swaps the
+					// underlying core session and must be invisible to
+					// concurrent readers. Either order is a valid outcome.
+					ans := map[string]Value{"status": String("retired")}
+					if i%2 == 1 {
+						ans = map[string]Value{"status": String("working")}
+					}
+					if err := sess.Apply(ans); err != nil && !strings.Contains(err.Error(), "rolled back") {
+						t.Errorf("Apply: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The session must end in a consistent, resolvable state.
+	if !sess.Valid() {
+		t.Fatal("session ended invalid")
+	}
+	if got := sess.Result(); !got.Valid {
+		t.Fatalf("final result invalid: %+v", got)
+	}
+}
