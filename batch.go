@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"conflictres/internal/constraint"
+	"conflictres/internal/core"
+	"conflictres/internal/encode"
 	"conflictres/internal/model"
 )
 
@@ -23,6 +26,89 @@ type RuleSet struct {
 	// The original texts, kept for serialization and cache keys.
 	currencyTexts []string
 	cfdTexts      []string
+
+	// pool holds resolve pipelines (compiled encoding skeleton + arena
+	// solver) checked out by workers resolving entities under this rule
+	// set; see RuleSet.Resolve.
+	pool sync.Pool
+}
+
+// Module-wide pooled-pipeline counters, across all rule sets; the crserve
+// /metrics endpoint exposes them as crserve_pool_*_total.
+var (
+	poolHits             atomic.Int64
+	poolMisses           atomic.Int64
+	poolSkeletonRebuilds atomic.Int64
+)
+
+// PoolStats reports the cumulative pooled-pipeline counters of the process:
+// how many pipeline checkouts were served from a pool (Hits) vs freshly
+// constructed (Misses), and how many encodings the pooled pipelines had to
+// build from zero instead of reusing the skeleton's retained storage
+// (SkeletonRebuilds — the first build of each fresh pipeline plus any
+// rebuild forced by a non-monotone Se ⊕ Ot step or a foreign spec).
+type PoolStats struct {
+	Hits             int64
+	Misses           int64
+	SkeletonRebuilds int64
+}
+
+// PoolCounters returns the current module-wide pool counters.
+func PoolCounters() PoolStats {
+	return PoolStats{
+		Hits:             poolHits.Load(),
+		Misses:           poolMisses.Load(),
+		SkeletonRebuilds: poolSkeletonRebuilds.Load(),
+	}
+}
+
+// pipeline wraps a core pipeline with the rebuild count already reported to
+// the module-wide counters.
+type pipeline struct {
+	p        *core.Pipeline
+	reported int
+}
+
+// acquirePipeline checks a pipeline out of the rule set's pool, building one
+// on a miss. Callers must return it with releasePipeline and must not use it
+// from two goroutines.
+func (rs *RuleSet) acquirePipeline() *pipeline {
+	if v := rs.pool.Get(); v != nil {
+		poolHits.Add(1)
+		return v.(*pipeline)
+	}
+	poolMisses.Add(1)
+	return &pipeline{p: core.NewPipeline(rs.sigma, rs.gamma, encode.Options{})}
+}
+
+// releasePipeline accounts the pipeline's skeleton rebuilds and returns it
+// to the pool.
+func (rs *RuleSet) releasePipeline(pl *pipeline) {
+	builds, reuses := pl.p.SkeletonStats()
+	if d := builds - reuses - pl.reported; d > 0 {
+		poolSkeletonRebuilds.Add(int64(d))
+		pl.reported = builds - reuses
+	}
+	rs.pool.Put(pl)
+}
+
+// Resolve resolves a specification bound to this rule set through a pooled
+// per-worker pipeline: the entity-independent encoding skeleton and the
+// arena-backed SAT solver are reused across calls instead of being rebuilt
+// per entity. Results are identical to the package-level Resolve (the
+// differential tests pin this); Options.Unpooled or Options.FromScratch
+// fall back to it.
+func (rs *RuleSet) Resolve(spec *Spec, oracle Oracle, opts ...Options) (*Result, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Unpooled || o.FromScratch {
+		return Resolve(spec, oracle, o)
+	}
+	pl := rs.acquirePipeline()
+	defer rs.releasePipeline(pl)
+	return resolveWith(spec, oracle, o, pl.p)
 }
 
 // CompileRules parses the currency constraints and constant CFDs against the
@@ -138,6 +224,11 @@ type BatchResult struct {
 // rule set, fanning the entities out over a bounded worker pool. Resolution
 // is non-interactive (nil oracle): the batch path is meant for unattended
 // bulk and server workloads.
+//
+// Each worker checks one resolve pipeline out of the rule set's pool and
+// serves all its entities from it — the encoding skeleton and solver are
+// built once per worker, not per entity. Options.Unpooled restores the
+// per-entity construction for ablation benchmarks and differential tests.
 func ResolveBatch(rules *RuleSet, instances []*Instance, opts BatchOptions) (*BatchResult, error) {
 	if rules == nil {
 		return nil, fmt.Errorf("conflictres: ResolveBatch needs a rule set")
@@ -152,7 +243,7 @@ func ResolveBatch(rules *RuleSet, instances []*Instance, opts BatchOptions) (*Ba
 		}
 		specs[i] = s
 	}
-	br := ResolveSpecs(specs, opts)
+	br := resolveSpecs(specs, opts, rules)
 	// Merge binding errors over the (nil) results of unbound slots.
 	for i, err := range errs {
 		if err != nil {
@@ -165,10 +256,17 @@ func ResolveBatch(rules *RuleSet, instances []*Instance, opts BatchOptions) (*Ba
 
 // ResolveSpecs resolves already-bound specifications over a bounded worker
 // pool; nil slots yield nil Result and nil error (callers account for them).
-// It is the engine under ResolveBatch. (The HTTP batch endpoint streams
-// results as they complete, so it runs its own pool over the same per-entity
-// path instead.)
+// It is the engine under ResolveBatch. Without a rule set in hand it cannot
+// pool pipelines; prefer ResolveBatch for pooled throughput. (The HTTP batch
+// endpoint streams results as they complete, so it runs its own pool over
+// the same per-entity path instead.)
 func ResolveSpecs(specs []*Spec, opts BatchOptions) *BatchResult {
+	return resolveSpecs(specs, opts, nil)
+}
+
+// resolveSpecs is the shared batch engine; a non-nil rules enables pooled
+// per-worker pipelines (unless the options opt out).
+func resolveSpecs(specs []*Spec, opts BatchOptions, rules *RuleSet) *BatchResult {
 	start := time.Now()
 	br := &BatchResult{
 		Results: make([]*Result, len(specs)),
@@ -181,6 +279,7 @@ func ResolveSpecs(specs []*Spec, opts BatchOptions) *BatchResult {
 	if workers < 1 {
 		workers = 1
 	}
+	pooled := rules != nil && !opts.Options.Unpooled && !opts.Options.FromScratch
 
 	var mu sync.Mutex // guards the aggregate counters
 	var wg sync.WaitGroup
@@ -189,8 +288,14 @@ func ResolveSpecs(specs []*Spec, opts BatchOptions) *BatchResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var pipe *core.Pipeline
+			if pooled {
+				pl := rules.acquirePipeline()
+				defer rules.releasePipeline(pl)
+				pipe = pl.p
+			}
 			for i := range jobs {
-				res, err := Resolve(specs[i], nil, opts.Options)
+				res, err := resolveWith(specs[i], nil, opts.Options, pipe)
 				mu.Lock()
 				if err != nil {
 					br.Errs[i] = err

@@ -7,8 +7,11 @@ import (
 )
 
 // BenchmarkResolveBatch measures batch throughput at several worker-pool
-// widths over one compiled rule set; the workers=1 case is the sequential
-// baseline the parallel cases must beat.
+// widths over one compiled rule set, in two series: pooled (the default —
+// per-worker pipelines reuse the encoding skeleton and arena solver across
+// entities) and unpooled (every entity builds its encoding and solver from
+// zero — the pre-pipeline baseline). The workers=1 cases are the sequential
+// baselines; allocs/op divided by the entity count gives allocs/entity.
 func BenchmarkResolveBatch(b *testing.B) {
 	rs := batchRules(b)
 	instances := batchInstances(rs.Schema(), 64)
@@ -16,19 +19,28 @@ func BenchmarkResolveBatch(b *testing.B) {
 	if runtime.GOMAXPROCS(0) <= 2 {
 		widths = []int{1, 2}
 	}
-	for _, w := range widths {
-		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				br, err := ResolveBatch(rs, instances, BatchOptions{Workers: w})
-				if err != nil {
-					b.Fatal(err)
+	for _, mode := range []struct {
+		name     string
+		unpooled bool
+	}{{"pooled", false}, {"unpooled", true}} {
+		for _, w := range widths {
+			b.Run(fmt.Sprintf("%s/workers=%d", mode.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					br, err := ResolveBatch(rs, instances, BatchOptions{
+						Workers: w,
+						Options: Options{Unpooled: mode.unpooled},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if br.Resolved != len(instances) {
+						b.Fatalf("Resolved = %d", br.Resolved)
+					}
 				}
-				if br.Resolved != len(instances) {
-					b.Fatalf("Resolved = %d", br.Resolved)
-				}
-			}
-			b.ReportMetric(float64(len(instances)*b.N)/b.Elapsed().Seconds(), "entities/s")
-		})
+				b.ReportMetric(float64(len(instances)*b.N)/b.Elapsed().Seconds(), "entities/s")
+			})
+		}
 	}
 }
 

@@ -11,10 +11,12 @@
 // value/unit pairs: ns/op, B/op, allocs/op and any custom metrics) and
 // writes them keyed by benchmark name.
 //
-// Compare prints a per-benchmark delta for ns/op and allocs/op and flags
-// changes beyond ±25% — warnings only, the exit code stays 0, so the CI
-// step is non-blocking by design (shared runners are noisy; the committed
-// artifact is the durable record).
+// Compare prints a per-benchmark delta for ns/op and allocs/op — both
+// old -> new values with their relative change — and flags either moving
+// beyond ±25% (time is noisy on shared runners; allocation counts are
+// deterministic, so an allocs/op regression is a real code change).
+// Warnings only: the exit code stays 0, so the CI step is non-blocking by
+// design (the committed artifact trail is the durable record).
 package main
 
 import (
@@ -186,7 +188,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 		nw := newF.Benchmarks[name]
 		od, ok := oldF.Benchmarks[name]
 		if !ok {
-			fmt.Printf("  new       %-44s %12.0f ns/op\n", name, nw.NsPerOp)
+			fmt.Printf("  new       %-44s %12.0f ns/op %10.0f allocs/op\n", name, nw.NsPerOp, nw.AllocsOp)
 			continue
 		}
 		dNs := rel(od.NsPerOp, nw.NsPerOp)
@@ -196,11 +198,11 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 		case dNs > threshold || dAl > threshold:
 			tag = "REGRESSION"
 			regressions++
-		case dNs < -threshold:
+		case dNs < -threshold || dAl < -threshold:
 			tag = "improved"
 		}
-		fmt.Printf("  %-9s %-44s %12.0f -> %12.0f ns/op (%+5.1f%%)  allocs %+5.1f%%\n",
-			tag, name, od.NsPerOp, nw.NsPerOp, 100*dNs, 100*dAl)
+		fmt.Printf("  %-9s %-44s %12.0f -> %12.0f ns/op (%+5.1f%%)  %10.0f -> %10.0f allocs/op (%+5.1f%%)\n",
+			tag, name, od.NsPerOp, nw.NsPerOp, 100*dNs, od.AllocsOp, nw.AllocsOp, 100*dAl)
 	}
 	for name := range oldF.Benchmarks {
 		if _, ok := newF.Benchmarks[name]; !ok {
@@ -208,7 +210,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 		}
 	}
 	if regressions > 0 {
-		fmt.Printf("crbench: %d possible regression(s) beyond %.0f%% — non-blocking, see the committed artifact trail\n",
+		fmt.Printf("crbench: %d possible regression(s) beyond %.0f%% in ns/op or allocs/op — non-blocking, see the committed artifact trail\n",
 			regressions, 100*threshold)
 	}
 	return nil

@@ -7,6 +7,7 @@
 //	crresolve -rules rules.cr -key name [-in data.csv] [-out resolved.csv]
 //	          [-format csv|ndjson] [-output-format csv|ndjson]
 //	          [-shards N] [-window N] [-sorted] [-max-rounds N] [-stats]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The rules file uses the textio format restricted to schema/sigma/gamma
 // sections (see CONSTRAINTS.md); crgen -format csv emits a matching
@@ -32,6 +33,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -59,6 +62,8 @@ func run() int {
 		maxRounds   = fs.Int("max-rounds", 8, "maximum resolution rounds per entity")
 		maxRows     = fs.Int("max-entity-rows", 0, "per-entity row limit (0 = default 10000, negative disables)")
 		stats       = fs.Bool("stats", false, "print run statistics to stderr")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	fs.Usage = func() {
@@ -113,6 +118,38 @@ func run() int {
 		if k = strings.TrimSpace(k); k != "" {
 			keys = append(keys, k)
 		}
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crresolve:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "crresolve:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crresolve:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "crresolve:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

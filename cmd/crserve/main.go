@@ -5,6 +5,7 @@
 //	crserve [-addr :8372] [-workers N] [-cache-size N] [-rule-cache-size N]
 //	        [-timeout 30s] [-max-body 8388608]
 //	        [-session-cap N] [-session-ttl 15m] [-session-sweep 1m]
+//	        [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
@@ -27,6 +28,13 @@
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus-style counters
 //
+// With -pprof-addr a net/http/pprof mux is served on a second, separate
+// listener (opt-in, keep it on loopback or an internal interface — the
+// profiling endpoints are not meant for untrusted clients):
+//
+//	crserve -pprof-addr 127.0.0.1:6060 &
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+//
 // See docs/OPERATIONS.md for the full wire formats with curl examples.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM.
@@ -37,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,6 +68,7 @@ func main() {
 	flag.IntVar(&cfg.SessionCap, "session-cap", 0, "max live interactive sessions before LRU eviction (0 = default 1024)")
 	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 0, "idle session expiry (0 = default 15m, negative disables)")
 	flag.DurationVar(&cfg.SessionSweep, "session-sweep", 0, "session janitor sweep interval (0 = default 1m)")
+	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this extra address (empty = disabled; keep it internal)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String("crserve"))
@@ -71,6 +82,23 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *pprofAddr != "" {
+		// A dedicated mux so the profiling endpoints never leak onto the
+		// public listener; DefaultServeMux stays untouched.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("crserve: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("crserve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv := server.New(cfg)
 	log.Printf("crserve: listening on %s", cfg.Addr)

@@ -144,9 +144,14 @@ type Options struct {
 	// UseNaiveDeduce switches to the exact per-variable deduction baseline.
 	UseNaiveDeduce bool
 	// FromScratch disables the incremental session engine and re-encodes
-	// the specification every round with a fresh solver per phase; for
-	// ablation benchmarks and differential testing.
+	// the specification every round; for ablation benchmarks and
+	// differential testing.
 	FromScratch bool
+	// Unpooled disables cross-entity pipeline reuse (encoding skeleton +
+	// solver pooling) in the batch and dataset paths, constructing every
+	// entity's encoding and solver from zero; for ablation benchmarks and
+	// differential testing. Identical results either way.
+	Unpooled bool
 }
 
 // Result is the outcome of resolving one entity.
@@ -201,10 +206,16 @@ func Resolve(spec *Spec, oracle Oracle, opts ...Options) (*Result, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	return resolveWith(spec, oracle, o, nil)
+}
+
+// resolveWith runs the core framework, optionally on a pooled pipeline.
+func resolveWith(spec *Spec, oracle Oracle, o Options, pipe *core.Pipeline) (*Result, error) {
 	out, err := core.Resolve(spec.m, oracle, core.Options{
 		MaxRounds:      o.MaxRounds,
 		UseNaiveDeduce: o.UseNaiveDeduce,
 		FromScratch:    o.FromScratch,
+		Pipeline:       pipe,
 	})
 	if err != nil {
 		return nil, err

@@ -46,6 +46,10 @@ type DatasetOptions struct {
 	// MaxEntityRows rejects entities larger than this many rows within a
 	// window (default 10000; negative disables).
 	MaxEntityRows int
+	// Unpooled disables the pooled resolve pipelines (encoding skeleton +
+	// solver reused across entities); for ablation benchmarks and
+	// differential testing. Identical results either way.
+	Unpooled bool
 }
 
 func (o DatasetOptions) formats() (in, out string, err error) {
@@ -113,7 +117,7 @@ func ResolveDataset(ctx context.Context, rules *RuleSet, in io.Reader, out io.Wr
 		writer = dataset.NewNDJSONWriter(out, sch)
 	}
 
-	return dataset.Run(ctx, sch, reader, datasetResolver(rules, opts.MaxRounds), writer, dataset.Options{
+	return dataset.Run(ctx, sch, reader, datasetResolver(rules, opts.MaxRounds, opts.Unpooled), writer, dataset.Options{
 		Shards:        opts.Shards,
 		WindowRows:    opts.WindowRows,
 		Sorted:        opts.Sorted,
@@ -123,15 +127,18 @@ func ResolveDataset(ctx context.Context, rules *RuleSet, in io.Reader, out io.Wr
 
 // datasetResolver adapts a compiled rule set to the dataset engine's
 // resolver contract: bind the grouped instance without re-parsing, resolve
-// non-interactively. (The HTTP server builds its own resolver so it can
-// consult its result cache around the same binding path.)
-func datasetResolver(rules *RuleSet, maxRounds int) dataset.Resolver {
+// non-interactively through the rule set's pipeline pool — each shard
+// effectively keeps one skeleton + solver warm across its entities. (The
+// HTTP server builds its own resolver so it can consult its result cache
+// around the same binding path.)
+func datasetResolver(rules *RuleSet, maxRounds int, unpooled bool) dataset.Resolver {
+	ropts := Options{MaxRounds: maxRounds, Unpooled: unpooled}
 	return func(key string, in *relation.Instance) dataset.Outcome {
 		spec, err := NewSpecFromRules(in, rules)
 		if err != nil {
 			return dataset.Outcome{Err: err}
 		}
-		res, err := Resolve(spec, nil, Options{MaxRounds: maxRounds})
+		res, err := rules.Resolve(spec, nil, ropts)
 		if err != nil {
 			return dataset.Outcome{Err: err}
 		}

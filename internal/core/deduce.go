@@ -9,9 +9,23 @@ import (
 // IsValid reports whether the specification compiled into enc is valid,
 // i.e. whether Φ(Se) is satisfiable (paper Section V-A, Lemma 5). The
 // second result is the satisfying model when valid, for diagnostics.
+//
+// It builds and loads a throwaway solver; callers that already hold Φ(Se)
+// in a solver (resolution engines, pooled pipelines) use IsValidWith and
+// skip the redundant clause load.
 func IsValid(enc *encode.Encoding) (bool, []bool) {
 	s := sat.New()
 	if !enc.CNF().LoadInto(s) {
+		return false, nil
+	}
+	return IsValidWith(s)
+}
+
+// IsValidWith is IsValid against a caller-supplied solver that already
+// holds Φ(Se) (loaded via LoadInto/AppendInto): one root solve, no clause
+// reload.
+func IsValidWith(s *sat.Solver) (bool, []bool) {
+	if !s.Okay() {
 		return false, nil
 	}
 	if s.Solve() != sat.StatusSat {
@@ -29,19 +43,36 @@ func IsValid(enc *encode.Encoding) (bool, []bool) {
 // inconsistent at the top level (the specification is certainly invalid).
 func DeduceOrder(enc *encode.Encoding) (*OrderSet, bool) {
 	s := sat.New()
-	consistent := enc.CNF().LoadInto(s)
-	od := NewOrderSet()
-	if !consistent {
-		return od, false
+	if !enc.CNF().LoadInto(s) {
+		return NewOrderSet(), false
 	}
-	for _, l := range s.Assigned() {
+	return DeduceOrderWith(enc, s)
+}
+
+// DeduceOrderWith is DeduceOrder against a caller-supplied solver that
+// already holds Φ(Se): the derived order is read off the solver's level-0
+// trail with no clause reload. Called before any search on s it yields
+// exactly the Fig. 5 unit-propagation fixpoint; after a search the trail
+// may also carry learned units — still consequences of Φ(Se), so the
+// result can only soundly grow.
+func DeduceOrderWith(enc *encode.Encoding, s *sat.Solver) (*OrderSet, bool) {
+	if !s.Okay() {
+		return NewOrderSet(), false
+	}
+	return orderFromTrail(enc, s.Assigned()), true
+}
+
+// orderFromTrail converts level-0 trail literals into a derived order.
+func orderFromTrail(enc *encode.Encoding, lits []sat.Lit) *OrderSet {
+	od := NewOrderSet()
+	for _, l := range lits {
 		p := enc.Pair(l.Var())
 		if l.Neg() {
 			p.A1, p.A2 = p.A2, p.A1
 		}
 		od.Add(p)
 	}
-	return od, true
+	return od
 }
 
 // NaiveDeduce implements the exact baseline of Section V-B: for every order
@@ -50,9 +81,19 @@ func DeduceOrder(enc *encode.Encoding) (*OrderSet, bool) {
 // reverse atom). One initial model prunes half the calls: a literal can only
 // be implied if it holds in that model.
 func NaiveDeduce(enc *encode.Encoding) (*OrderSet, bool) {
-	od := NewOrderSet()
 	s := sat.New()
 	if !enc.CNF().LoadInto(s) {
+		return NewOrderSet(), false
+	}
+	return NaiveDeduceWith(enc, s)
+}
+
+// NaiveDeduceWith is NaiveDeduce against a caller-supplied solver that
+// already holds Φ(Se): the assumption probes reuse the solver's learned
+// clauses instead of paying a clause load per phase.
+func NaiveDeduceWith(enc *encode.Encoding, s *sat.Solver) (*OrderSet, bool) {
+	od := NewOrderSet()
+	if !s.Okay() {
 		return od, false
 	}
 	if s.Solve() != sat.StatusSat {

@@ -7,6 +7,7 @@ import (
 	"conflictres/internal/encode"
 	"conflictres/internal/model"
 	"conflictres/internal/relation"
+	"conflictres/internal/sat"
 )
 
 // Oracle supplies user input during resolution. Answer receives a
@@ -33,10 +34,16 @@ type Options struct {
 	// baseline (one SAT call per variable); for benchmarking.
 	UseNaiveDeduce bool
 	// FromScratch disables the incremental session engine: every round
-	// re-encodes the specification and every phase builds and loads a fresh
-	// solver — the pre-session baseline, kept for differential testing and
-	// the ResolveLoop benchmarks.
+	// re-encodes the specification into a fresh encoding and solver — the
+	// pre-session baseline, kept for differential testing and the
+	// ResolveLoop benchmarks. (Within one round the phases share the
+	// round's solver; see scratchEngine.)
 	FromScratch bool
+	// Pipeline, when set, serves the resolution from the pipeline's pooled
+	// skeleton and solver instead of allocating per entity. The pipeline
+	// must belong to the spec's rule set and must not be used concurrently;
+	// ignored under FromScratch.
+	Pipeline *Pipeline
 }
 
 func (o Options) maxRounds() int {
@@ -134,26 +141,50 @@ func (e *sessionEngine) suggest(od *OrderSet, resolved map[relation.Attr]relatio
 func (e *sessionEngine) extend(answers map[relation.Attr]relation.Value) { e.s.Extend(answers) }
 func (e *sessionEngine) stats() SessionStats                             { return e.s.Stats() }
 
-// scratchEngine is the pre-session pipeline: re-encode the specification at
-// the top of every round, fresh solver per phase.
+// scratchEngine is the pre-session baseline: re-encode the specification at
+// the top of every round into a fresh encoding and solver. The round's
+// phases share that one solver — Φ(Se) is loaded once per round, the
+// propagation fixpoint snapshotted before any search (so deduction still
+// reads exactly the Fig. 5 fixpoint), and validity/naive-deduction queries
+// run on the loaded solver instead of paying a redundant clause load per
+// phase.
 type scratchEngine struct {
 	cur  *model.Spec
 	opts encode.Options
 	enc  *encode.Encoding
+
+	solver     *sat.Solver
+	consistent bool
+	fixpoint   []sat.Lit
 }
 
 func (e *scratchEngine) beginRound() *encode.Encoding {
 	e.enc = encode.Build(e.cur, e.opts)
+	e.solver = sat.New()
+	e.consistent = e.enc.CNF().LoadInto(e.solver)
+	if e.consistent {
+		e.fixpoint = e.solver.Assigned()
+	} else {
+		e.fixpoint = nil
+	}
 	return e.enc
 }
-func (e *scratchEngine) isValid() bool { ok, _ := IsValid(e.enc); return ok }
+func (e *scratchEngine) isValid() bool {
+	if !e.consistent {
+		return false
+	}
+	ok, _ := IsValidWith(e.solver)
+	return ok
+}
 func (e *scratchEngine) deduce(naive bool) *OrderSet {
+	if !e.consistent {
+		return NewOrderSet()
+	}
 	if naive {
-		od, _ := NaiveDeduce(e.enc)
+		od, _ := NaiveDeduceWith(e.enc, e.solver)
 		return od
 	}
-	od, _ := DeduceOrder(e.enc)
-	return od
+	return orderFromTrail(e.enc, e.fixpoint)
 }
 func (e *scratchEngine) suggest(od *OrderSet, resolved map[relation.Attr]relation.Value) Suggestion {
 	return Suggest(e.enc, od, resolved)
@@ -176,9 +207,12 @@ func Resolve(spec *model.Spec, oracle Oracle, opts Options) (*Outcome, error) {
 		return nil, fmt.Errorf("core: invalid specification: %w", err)
 	}
 	var eng resolveEngine
-	if opts.FromScratch {
+	switch {
+	case opts.FromScratch:
 		eng = &scratchEngine{cur: spec, opts: opts.Encode}
-	} else {
+	case opts.Pipeline != nil:
+		eng = &sessionEngine{s: opts.Pipeline.NewSession(spec)}
+	default:
 		eng = &sessionEngine{s: NewSession(spec, opts.Encode)}
 	}
 	return resolveLoop(eng, spec.Schema(), oracle, opts)

@@ -40,7 +40,8 @@ type Session struct {
 	enc    *encode.Encoding
 	opts   encode.Options
 	solver *sat.Solver
-	loaded int // prefix of enc.CNF().Clauses attached to solver
+	pipe   *Pipeline // non-nil: skeleton builds + pooled solver reuse
+	loaded int       // prefix of enc.CNF().Clauses attached to solver
 
 	// fixpoint snapshots the solver's level-0 trail right after clause
 	// loading, before any search: at round 0 this is exactly the unit
@@ -78,18 +79,38 @@ func NewSessionFromEncoding(enc *encode.Encoding, opts encode.Options) *Session 
 }
 
 // install points the session at a (re)built encoding and loads the full
-// formula into a fresh solver.
+// formula into a fresh (or Reset pooled) solver.
 func (s *Session) install(enc *encode.Encoding) {
 	if s.solver != nil {
 		s.solvesDone += s.solver.Stats.Solves
 	}
 	s.enc = enc
-	s.solver = sat.New()
+	s.solver = s.newSolver()
 	s.loaded = 0
 	s.rebuilds++
 	s.validKnown = false
 	s.model = nil
 	s.sync()
+}
+
+// buildEncoding compiles a specification through the pipeline's skeleton
+// when one is attached, standalone otherwise.
+func (s *Session) buildEncoding(spec *model.Spec) *encode.Encoding {
+	if s.pipe != nil {
+		return s.pipe.skel.Build(spec)
+	}
+	return encode.Build(spec, s.opts)
+}
+
+// newSolver returns the solver for the next install: the pipeline's pooled
+// instance, Reset for reuse, or a fresh one. Callers snapshot Stats first
+// (install does).
+func (s *Session) newSolver() *sat.Solver {
+	if s.pipe != nil {
+		s.pipe.solver.Reset()
+		return s.pipe.solver
+	}
+	return sat.New()
 }
 
 // sync attaches clauses appended to the encoding since the last load (delta
@@ -155,18 +176,10 @@ func (s *Session) IsValid() (bool, []bool) {
 // solver construction, no clause reload, no search.
 func (s *Session) DeduceOrder() (*OrderSet, bool) {
 	s.sync()
-	od := NewOrderSet()
 	if !s.consistent {
-		return od, false
+		return NewOrderSet(), false
 	}
-	for _, l := range s.fixpoint {
-		p := s.enc.Pair(l.Var())
-		if l.Neg() {
-			p.A1, p.A2 = p.A2, p.A1
-		}
-		od.Add(p)
-	}
-	return od, true
+	return orderFromTrail(s.enc, s.fixpoint), true
 }
 
 // NaiveDeduce is the exact per-variable deduction of Section V-B served by
@@ -249,6 +262,6 @@ func (s *Session) Extend(answers map[relation.Attr]relation.Value) bool {
 		return true
 	}
 	// Non-monotone delta: e.Spec already carries the extension; rebuild.
-	s.install(encode.Build(s.enc.Spec, s.opts))
+	s.install(s.buildEncoding(s.enc.Spec))
 	return false
 }

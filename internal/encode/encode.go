@@ -24,12 +24,17 @@
 // sound sparse encoding (closed unit facts plus bridge clauses), which can
 // only under-constrain — the same direction of incompleteness the paper
 // accepts for its SAT reduction.
+//
+// Encodings are built either standalone (Build) or through a Skeleton,
+// which pre-compiles the entity-independent parts of a rule set and reuses
+// one encoding's storage across a stream of entities (see skeleton.go).
 package encode
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
-	"strings"
 
 	"conflictres/internal/constraint"
 	"conflictres/internal/model"
@@ -95,17 +100,59 @@ type pairKey struct {
 	a2   int
 }
 
+// valKey canonicalizes a value for domain dedup without building strings:
+// numerically equal int/float collapse onto one float key, strings and null
+// keep their kind. NaN needs its own kind because NaN != NaN would make it
+// unusable as a map key. (The old string-keyed scheme distinguished 0 from
+// -0 through their decimal renderings; the float key collapses them, which
+// agrees with relation.Equal.)
+type valKey struct {
+	kind relation.Kind
+	f    float64
+	s    string
+}
+
+const kindNaN = relation.Kind(0xfe)
+
+func canonKey(v relation.Value) valKey {
+	switch v.Kind() {
+	case relation.KindNull:
+		return valKey{}
+	case relation.KindString:
+		return valKey{kind: relation.KindString, s: v.Str()}
+	default:
+		f := asFloat(v)
+		if math.IsNaN(f) {
+			return valKey{kind: kindNaN}
+		}
+		return valKey{kind: relation.KindFloat, f: f}
+	}
+}
+
+func asFloat(v relation.Value) float64 {
+	if v.Kind() == relation.KindInt {
+		return float64(v.Int64())
+	}
+	return v.Float64()
+}
+
 // Encoding is the compiled form of a specification. It owns the variable
 // mapping and can be extended with fresh variables after construction (the
 // Suggest algorithm asserts facts over pairs the original CNF never
 // mentioned; EnsureLit allocates them consistently, including asymmetry).
+//
+// An encoding produced by a Skeleton reuses arena-backed storage: building
+// the next entity on the same skeleton invalidates every slice previously
+// obtained from this encoding (Dom, CNF clauses, Omega bodies). Callers that
+// outlive the build — sessions, one-shot resolves — must copy out anything
+// they keep, which the core package's result types already do.
 type Encoding struct {
 	Spec   *model.Spec
 	Schema *relation.Schema
 
 	doms   [][]relation.Value // per attribute: active domain ∪ CFD constants
 	adomSz []int              // per attribute: |adom| prefix of doms at Build time
-	domIdx []map[string]int   // value key -> index in doms
+	domIdx []map[valKey]int   // canonical value -> index in doms
 
 	// Incremental extension (Se ⊕ Ot) appends new active-domain values past
 	// the CFD-constant suffix, so adom membership is the Build-time prefix
@@ -120,72 +167,190 @@ type Encoding struct {
 	Sparse bool       // true if any attribute used the sparse transitivity path
 
 	opts      Options
-	instIdx   []int           // per Omega instance: its clause index in cnf
-	active    []map[int]bool  // per attribute: values covered by full axioms
-	edgesDone int             // explicit order edges already encoded
-	seenOrder map[string]bool // instance dedup, per source kind
-	seenSigma map[string]bool
-	seenGamma map[string]bool
+	instIdx   []int             // per Omega instance: its clause index in cnf
+	active    []map[int]bool    // per attribute: values covered by full axioms
+	edgesDone int               // explicit order edges already encoded
+	seenOrder map[OrderLit]bool // order-fact dedup (facts have no body)
+	// Instance dedup, binary keys, per source kind. The maps persist across
+	// builds (skeleton reuse) with an epoch marking the current build:
+	// recurring keys — entities under one rule set emit near-identical
+	// instance shapes — dedup without re-allocating the key string, and the
+	// boxed epoch lets stale entries be revived in place.
+	seenSigma map[string]*uint32
+	seenGamma map[string]*uint32
+	seenEpoch uint32
+	refAttrs  [][]relation.Attr // per Σ constraint; shared with the skeleton
+
+	// tix[t][a] is the domain index of tuple t's value in attribute a, so
+	// instantiation never re-hashes values. Rows are append-only and stay
+	// valid (contents frozen) even when later rows grow the backing array.
+	tix     [][]int32
+	tixData []int32
+
+	// Arena backing the Omega instance bodies.
+	bodyBlocks [][]OrderLit
+	bodyCur    int
+
+	// Scratch storage, reused across emissions and across builds on the
+	// skeleton path.
+	keyBuf    []byte
+	sortBuf   []OrderLit
+	bodyBuf   []OrderLit
+	cfdBuf    []OrderLit
+	litBuf    []sat.Lit
+	intBuf    []int
+	projIdx   map[string]int
+	projReps  []int
+	projCnt   []int
+	axAll     []int
+	axNew     map[int]bool
+	factEdges []map[[2]int]bool
+	condVals  []map[int]bool
 }
 
-// valueKey canonicalizes a value for domain dedup: numerically equal
-// int/float collapse; strings and null are tagged.
-func valueKey(v relation.Value) string {
-	switch v.Kind() {
-	case relation.KindNull:
-		return "n"
-	case relation.KindString:
-		return "s:" + v.Str()
-	default:
-		return "f:" + relation.Float(asFloat(v)).String()
-	}
-}
-
-func asFloat(v relation.Value) float64 {
-	if v.Kind() == relation.KindInt {
-		return float64(v.Int64())
-	}
-	return v.Float64()
-}
+// seenKeyCap bounds the persistent instance-dedup maps: past it, the next
+// build clears them (correct, just loses the cross-entity interning until
+// they refill).
+const seenKeyCap = 1 << 17
 
 // Build compiles the specification. It never fails structurally (call
 // Spec.Validate first); contradictory order information simply yields an
 // unsatisfiable Φ(Se), which is precisely what IsValid detects.
 func Build(spec *model.Spec, opts Options) *Encoding {
-	e := &Encoding{
-		Spec:      spec,
-		Schema:    spec.Schema(),
-		varOf:     make(map[pairKey]sat.Var),
-		cnf:       sat.NewCNF(0),
-		opts:      opts,
-		seenOrder: make(map[string]bool),
-		seenSigma: make(map[string]bool),
-		seenGamma: make(map[string]bool),
+	e := &Encoding{opts: opts}
+	e.init(spec, nil)
+	return e
+}
+
+// init compiles spec into e, reusing whatever storage e already holds.
+// refAttrs, when non-nil, is the skeleton's precomputed per-constraint
+// attribute list (must match spec.Sigma element-wise).
+func (e *Encoding) init(spec *model.Spec, refAttrs [][]relation.Attr) {
+	e.Spec = spec
+	e.Schema = spec.Schema()
+	e.resetStorage(e.Schema.Len())
+	if refAttrs != nil {
+		e.refAttrs = refAttrs
+	} else {
+		e.refAttrs = e.refAttrs[:0]
+		for _, c := range spec.Sigma {
+			e.refAttrs = append(e.refAttrs, refAttrsOf(c))
+		}
 	}
 	e.buildDomains()
 	e.emitOrderFacts()
-	if opts.NoProjectionDedup {
+	if e.opts.NoProjectionDedup {
 		e.emitCurrencyInstancesNaive()
 	} else {
 		e.emitCurrencyInstances()
 	}
 	e.emitCFDInstances()
-	e.emitAxioms(opts.cap())
-	return e
+	e.emitAxioms(e.opts.cap())
+}
+
+// resetStorage clears every piece of build state while keeping allocations,
+// sizing the per-attribute tables to n.
+func (e *Encoding) resetStorage(n int) {
+	e.Sparse = false
+	e.edgesDone = 0
+	e.pairs = e.pairs[:0]
+	e.Omega = e.Omega[:0]
+	e.instIdx = e.instIdx[:0]
+	for i := range e.bodyBlocks {
+		e.bodyBlocks[i] = e.bodyBlocks[i][:0]
+	}
+	e.bodyCur = 0
+	if e.cnf == nil {
+		e.cnf = sat.NewCNF(0)
+	} else {
+		e.cnf.Reset()
+	}
+	if e.varOf == nil {
+		e.varOf = make(map[pairKey]sat.Var)
+	} else {
+		clear(e.varOf)
+	}
+	if e.seenOrder == nil {
+		e.seenOrder = make(map[OrderLit]bool)
+	} else {
+		clear(e.seenOrder)
+	}
+	if e.seenSigma == nil {
+		e.seenSigma = make(map[string]*uint32)
+	}
+	if e.seenGamma == nil {
+		e.seenGamma = make(map[string]*uint32)
+	}
+	e.seenEpoch++
+	if e.seenEpoch == 0 || len(e.seenSigma) > seenKeyCap || len(e.seenGamma) > seenKeyCap {
+		clear(e.seenSigma)
+		clear(e.seenGamma)
+		e.seenEpoch = 1
+	}
+
+	// Per-attribute tables: truncate or grow to n, clearing reused entries.
+	if cap(e.doms) < n {
+		e.doms = make([][]relation.Value, n)
+		e.adomSz = make([]int, n)
+		e.domIdx = make([]map[valKey]int, n)
+		e.adomExtra = make([]map[int]bool, n)
+		e.adomIdx = make([][]int, n)
+		e.active = make([]map[int]bool, n)
+		e.factEdges = make([]map[[2]int]bool, n)
+		e.condVals = make([]map[int]bool, n)
+	} else {
+		e.doms = e.doms[:n]
+		e.adomSz = e.adomSz[:n]
+		e.domIdx = e.domIdx[:n]
+		e.adomExtra = e.adomExtra[:n]
+		e.adomIdx = e.adomIdx[:n]
+		e.active = e.active[:n]
+		e.factEdges = e.factEdges[:n]
+		e.condVals = e.condVals[:n]
+	}
+	for a := 0; a < n; a++ {
+		e.doms[a] = e.doms[a][:0]
+		e.adomSz[a] = 0
+		e.adomIdx[a] = e.adomIdx[a][:0]
+		if e.domIdx[a] == nil {
+			e.domIdx[a] = make(map[valKey]int)
+		} else {
+			clear(e.domIdx[a])
+		}
+		if e.adomExtra[a] == nil {
+			e.adomExtra[a] = make(map[int]bool)
+		} else {
+			clear(e.adomExtra[a])
+		}
+		if e.active[a] == nil {
+			e.active[a] = make(map[int]bool)
+		} else {
+			clear(e.active[a])
+		}
+		if e.factEdges[a] == nil {
+			e.factEdges[a] = make(map[[2]int]bool)
+		} else {
+			clear(e.factEdges[a])
+		}
+		if e.condVals[a] == nil {
+			e.condVals[a] = make(map[int]bool)
+		} else {
+			clear(e.condVals[a])
+		}
+	}
 }
 
 // emitCurrencyInstancesNaive instantiates over all ordered tuple pairs — the
 // paper's literal algorithm; kept for ablation benchmarking.
 func (e *Encoding) emitCurrencyInstancesNaive() {
-	in := e.Spec.TI.Inst
-	ids := in.TupleIDs()
+	n := e.Spec.TI.Inst.Len()
 	for ci, c := range e.Spec.Sigma {
-		for _, id1 := range ids {
-			for _, id2 := range ids {
-				if id1 == id2 {
+		for t1 := 0; t1 < n; t1++ {
+			for t2 := 0; t2 < n; t2++ {
+				if t1 == t2 {
 					continue
 				}
-				e.instantiatePair(ci, c, in.Tuple(id1), in.Tuple(id2), e.seenSigma)
+				e.instantiatePair(ci, c, relation.TupleID(t1), relation.TupleID(t2))
 			}
 		}
 	}
@@ -224,7 +389,7 @@ func (e *Encoding) InstanceClauseIndex() []int { return e.instIdx }
 // ValueIndex resolves a value to its domain index for attribute a; ok is
 // false if the value is not in the domain.
 func (e *Encoding) ValueIndex(a relation.Attr, v relation.Value) (int, bool) {
-	i, ok := e.domIdx[a][valueKey(v)]
+	i, ok := e.domIdx[a][canonKey(v)]
 	return i, ok
 }
 
@@ -287,31 +452,35 @@ func (e *Encoding) litRaw(attr relation.Attr, a1, a2 int) sat.Lit {
 	return sat.PosLit(v)
 }
 
-func (e *Encoding) buildDomains() {
-	sch := e.Schema
-	n := sch.Len()
-	e.doms = make([][]relation.Value, n)
-	e.adomSz = make([]int, n)
-	e.domIdx = make([]map[string]int, n)
-	for a := 0; a < n; a++ {
-		e.domIdx[a] = make(map[string]int)
-	}
-	add := func(a relation.Attr, v relation.Value) int {
-		k := valueKey(v)
-		if i, ok := e.domIdx[a][k]; ok {
-			return i
-		}
-		i := len(e.doms[a])
-		e.doms[a] = append(e.doms[a], v)
-		e.domIdx[a][k] = i
+// addDomValue registers v in attribute a's domain and returns its index.
+func (e *Encoding) addDomValue(a relation.Attr, v relation.Value) int {
+	k := canonKey(v)
+	if i, ok := e.domIdx[a][k]; ok {
 		return i
 	}
+	i := len(e.doms[a])
+	e.doms[a] = append(e.doms[a], v)
+	e.domIdx[a][k] = i
+	return i
+}
+
+func (e *Encoding) buildDomains() {
+	n := e.Schema.Len()
 	in := e.Spec.TI.Inst
-	for _, id := range in.TupleIDs() {
-		t := in.Tuple(id)
+	nT := in.Len()
+	if cap(e.tixData) < nT*n {
+		e.tixData = make([]int32, 0, nT*n)
+	} else {
+		e.tixData = e.tixData[:0]
+	}
+	e.tix = e.tix[:0]
+	for t := 0; t < nT; t++ {
+		tu := in.Tuple(relation.TupleID(t))
+		start := len(e.tixData)
 		for a := 0; a < n; a++ {
-			add(relation.Attr(a), t[a])
+			e.tixData = append(e.tixData, int32(e.addDomValue(relation.Attr(a), tu[a])))
 		}
+		e.tix = append(e.tix, e.tixData[start:len(e.tixData):len(e.tixData)])
 	}
 	for a := 0; a < n; a++ {
 		e.adomSz[a] = len(e.doms[a])
@@ -319,17 +488,14 @@ func (e *Encoding) buildDomains() {
 	// CFD constants extend the domains past the active-domain prefix.
 	for _, cfd := range e.Spec.Gamma {
 		for i, a := range cfd.X {
-			add(a, cfd.PX[i])
+			e.addDomValue(a, cfd.PX[i])
 		}
-		add(cfd.B, cfd.VB)
+		e.addDomValue(cfd.B, cfd.VB)
 	}
-	e.adomExtra = make([]map[int]bool, n)
-	e.adomIdx = make([][]int, n)
 	for a := 0; a < n; a++ {
-		e.adomExtra[a] = make(map[int]bool)
-		idx := make([]int, e.adomSz[a])
-		for i := range idx {
-			idx[i] = i
+		idx := e.adomIdx[a][:0]
+		for i := 0; i < e.adomSz[a]; i++ {
+			idx = append(idx, i)
 		}
 		e.adomIdx[a] = idx
 	}
@@ -346,39 +512,102 @@ func (e *Encoding) joinADom(a relation.Attr, i int) {
 	sort.Ints(e.adomIdx[a])
 }
 
-// instKey canonicalizes an instance constraint for dedup.
-func instKey(inst Instance) string {
-	var b strings.Builder
-	lits := append([]OrderLit(nil), inst.Body...)
-	sort.Slice(lits, func(i, j int) bool {
-		if lits[i].Attr != lits[j].Attr {
-			return lits[i].Attr < lits[j].Attr
+// instKey canonicalizes an instance constraint for dedup: the body sorted,
+// then the head, varint-encoded into the reused key buffer. The returned
+// slice is only valid until the next key is built.
+func (e *Encoding) instKey(body []OrderLit, head OrderLit) []byte {
+	sb := append(e.sortBuf[:0], body...)
+	e.sortBuf = sb
+	for i := 1; i < len(sb); i++ {
+		for j := i; j > 0 && orderLitLess(sb[j], sb[j-1]); j-- {
+			sb[j], sb[j-1] = sb[j-1], sb[j]
 		}
-		if lits[i].A1 != lits[j].A1 {
-			return lits[i].A1 < lits[j].A1
-		}
-		return lits[i].A2 < lits[j].A2
-	})
-	for _, l := range lits {
-		fmt.Fprintf(&b, "%d:%d<%d,", l.Attr, l.A1, l.A2)
 	}
-	fmt.Fprintf(&b, "=>%d:%d<%d", inst.Head.Attr, inst.Head.A1, inst.Head.A2)
-	return b.String()
+	buf := binary.AppendUvarint(e.keyBuf[:0], uint64(len(sb)))
+	for _, l := range sb {
+		buf = appendOrderLit(buf, l)
+	}
+	buf = appendOrderLit(buf, head)
+	e.keyBuf = buf
+	return buf
 }
 
-// addInstance records the instance in Ω and emits its clause, deduplicating.
-func (e *Encoding) addInstance(inst Instance, seen map[string]bool) {
-	k := instKey(inst)
-	if seen[k] {
-		return
+func orderLitLess(a, b OrderLit) bool {
+	if a.Attr != b.Attr {
+		return a.Attr < b.Attr
 	}
-	seen[k] = true
-	e.Omega = append(e.Omega, inst)
-	cl := make([]sat.Lit, 0, len(inst.Body)+1)
-	for _, l := range inst.Body {
+	if a.A1 != b.A1 {
+		return a.A1 < b.A1
+	}
+	return a.A2 < b.A2
+}
+
+func appendOrderLit(buf []byte, l OrderLit) []byte {
+	buf = binary.AppendUvarint(buf, uint64(l.Attr))
+	buf = binary.AppendUvarint(buf, uint64(l.A1))
+	return binary.AppendUvarint(buf, uint64(l.A2))
+}
+
+// allocBody copies a body into the instance-body arena; empty bodies stay
+// nil (facts).
+func (e *Encoding) allocBody(body []OrderLit) []OrderLit {
+	n := len(body)
+	if n == 0 {
+		return nil
+	}
+	for e.bodyCur < len(e.bodyBlocks) {
+		b := e.bodyBlocks[e.bodyCur]
+		if cap(b)-len(b) >= n {
+			cl := append(b[len(b):len(b):cap(b)], body...)
+			e.bodyBlocks[e.bodyCur] = b[:len(b)+n]
+			return cl[:n:n]
+		}
+		e.bodyCur++
+	}
+	size := 1 << 12
+	if n > size {
+		size = n
+	}
+	block := make([]OrderLit, 0, size)
+	cl := append(block, body...)
+	e.bodyBlocks = append(e.bodyBlocks, cl)
+	e.bodyCur = len(e.bodyBlocks) - 1
+	return cl[:n:n]
+}
+
+// addInstance records the instance in Ω and emits its clause, deduplicating
+// per source kind. Order facts (empty body) dedup on the head atom alone;
+// Σ and Γ instances dedup on a binary body+head key built in scratch.
+func (e *Encoding) addInstance(body []OrderLit, head OrderLit, src Source) {
+	switch src.Kind {
+	case SrcOrder:
+		if e.seenOrder[head] {
+			return
+		}
+		e.seenOrder[head] = true
+	default:
+		seen := e.seenSigma
+		if src.Kind == SrcCFD {
+			seen = e.seenGamma
+		}
+		k := e.instKey(body, head)
+		if p, ok := seen[string(k)]; ok {
+			if *p == e.seenEpoch {
+				return // duplicate within this build
+			}
+			*p = e.seenEpoch // key known from an earlier build: revive in place
+		} else {
+			ep := e.seenEpoch
+			seen[string(k)] = &ep
+		}
+	}
+	e.Omega = append(e.Omega, Instance{Body: e.allocBody(body), Head: head, Src: src})
+	cl := e.litBuf[:0]
+	for _, l := range body {
 		cl = append(cl, e.litRaw(l.Attr, l.A1, l.A2).Not())
 	}
-	cl = append(cl, e.litRaw(inst.Head.Attr, inst.Head.A1, inst.Head.A2))
+	cl = append(cl, e.litRaw(head.Attr, head.A1, head.A2))
+	e.litBuf = cl
 	e.instIdx = append(e.instIdx, len(e.cnf.Clauses))
 	e.cnf.Add(cl...)
 }
@@ -390,7 +619,7 @@ func (e *Encoding) emitOrderFacts() {
 	// Null ranks lowest: null ≺v a for every non-null active-domain value.
 	for a := 0; a < e.Schema.Len(); a++ {
 		attr := relation.Attr(a)
-		ni, ok := e.domIdx[a][valueKey(relation.Null)]
+		ni, ok := e.domIdx[a][valKey{}]
 		if !ok || !e.InADom(attr, ni) {
 			continue // no null among the data values
 		}
@@ -398,7 +627,7 @@ func (e *Encoding) emitOrderFacts() {
 			if i == ni {
 				continue
 			}
-			e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, e.seenOrder)
+			e.addInstance(nil, OrderLit{attr, ni, i}, Source{SrcOrder, -1})
 		}
 	}
 }
@@ -416,13 +645,13 @@ func (e *Encoding) emitEdgeFacts() {
 		}
 		i1, _ := e.ValueIndex(edge.Attr, v1)
 		i2, _ := e.ValueIndex(edge.Attr, v2)
-		e.addInstance(Instance{Head: OrderLit{edge.Attr, i1, i2}, Src: Source{SrcOrder, -1}}, e.seenOrder)
+		e.addInstance(nil, OrderLit{edge.Attr, i1, i2}, Source{SrcOrder, -1})
 	}
 	e.edgesDone = len(edges)
 }
 
-// refAttrs returns the attributes a currency constraint reads or writes.
-func refAttrs(c constraint.Currency) []relation.Attr {
+// refAttrsOf returns the attributes a currency constraint reads or writes.
+func refAttrsOf(c constraint.Currency) []relation.Attr {
 	set := map[relation.Attr]bool{c.Target: true}
 	for _, p := range c.Body {
 		switch p.Kind {
@@ -449,41 +678,41 @@ func refAttrs(c constraint.Currency) []relation.Attr {
 // pairs (Section V-A (2)), grouping tuples by their projection onto the
 // referenced attributes: two tuples with equal projections induce identical
 // instance constraints, so one representative per projection suffices.
+// Projection keys are built from domain indices (no value hashing), and the
+// group index is reused across constraints and builds.
 func (e *Encoding) emitCurrencyInstances() {
-	seen := e.seenSigma
-	in := e.Spec.TI.Inst
-	ids := in.TupleIDs()
+	nT := e.Spec.TI.Inst.Len()
 	for ci, c := range e.Spec.Sigma {
-		attrs := refAttrs(c)
-		// Distinct projections with multiplicities.
-		type proj struct {
-			rep   relation.Tuple
-			count int
+		attrs := e.refAttrs[ci]
+		if e.projIdx == nil {
+			e.projIdx = make(map[string]int)
+		} else {
+			clear(e.projIdx)
 		}
-		var projs []proj
-		index := make(map[string]int)
-		var kb strings.Builder
-		for _, id := range ids {
-			t := in.Tuple(id)
-			kb.Reset()
+		reps := e.projReps[:0]
+		cnt := e.projCnt[:0]
+		for t := 0; t < nT; t++ {
+			row := e.tix[t]
+			buf := e.keyBuf[:0]
 			for _, a := range attrs {
-				kb.WriteString(valueKey(t[a]))
-				kb.WriteByte('|')
+				buf = binary.AppendUvarint(buf, uint64(row[a]))
 			}
-			k := kb.String()
-			if pi, ok := index[k]; ok {
-				projs[pi].count++
+			e.keyBuf = buf
+			if pi, ok := e.projIdx[string(buf)]; ok {
+				cnt[pi]++
 			} else {
-				index[k] = len(projs)
-				projs = append(projs, proj{rep: t, count: 1})
+				e.projIdx[string(buf)] = len(reps)
+				reps = append(reps, t)
+				cnt = append(cnt, 1)
 			}
 		}
-		for i := range projs {
-			for j := range projs {
-				if i == j && projs[i].count < 2 {
+		e.projReps, e.projCnt = reps, cnt
+		for i := range reps {
+			for j := range reps {
+				if i == j && cnt[i] < 2 {
 					continue // needs two distinct tuples sharing the projection
 				}
-				e.instantiatePair(ci, c, projs[i].rep, projs[j].rep, seen)
+				e.instantiatePair(ci, c, relation.TupleID(reps[i]), relation.TupleID(reps[j]))
 			}
 		}
 	}
@@ -497,40 +726,46 @@ func (e *Encoding) emitCurrencyInstances() {
 // this rule, the framework's user-input tuple — null in every unanswered
 // attribute — would fire constraint bodies via null-lowest facts and rank
 // its own validated values below stale data (see DESIGN.md §5).
-func (e *Encoding) instantiatePair(ci int, c constraint.Currency, s1, s2 relation.Tuple, seen map[string]bool) {
-	h1, h2 := s1[c.Target], s2[c.Target]
-	if relation.Equal(h1, h2) {
+//
+// Value equality tests run on domain indices: the domain interning collapses
+// exactly the values relation.Equal identifies.
+func (e *Encoding) instantiatePair(ci int, c constraint.Currency, t1, t2 relation.TupleID) {
+	in := e.Spec.TI.Inst
+	s1, s2 := in.Tuple(t1), in.Tuple(t2)
+	x1, x2 := e.tix[t1], e.tix[t2]
+	if x1[c.Target] == x2[c.Target] {
 		return // consequent trivially satisfiable at the tuple level
 	}
-	if h1.IsNull() || h2.IsNull() {
+	if s1[c.Target].IsNull() || s2[c.Target].IsNull() {
 		return // null never appears in a currency atom
 	}
-	var body []OrderLit
+	body := e.bodyBuf[:0]
 	for _, p := range c.Body {
 		switch p.Kind {
 		case constraint.PredCompare:
 			if p.L.Resolve(s1, s2).IsNull() || p.R.Resolve(s1, s2).IsNull() {
+				e.bodyBuf = body
 				return // missing values never fire constraints
 			}
 			if !p.EvalCompare(s1, s2) {
+				e.bodyBuf = body
 				return // statically false conjunct: instance vacuous
 			}
 		case constraint.PredCurrency:
-			v1, v2 := s1[p.Attr], s2[p.Attr]
-			if relation.Equal(v1, v2) {
+			if x1[p.Attr] == x2[p.Attr] {
+				e.bodyBuf = body
 				return // strict order between equal values is impossible
 			}
-			if v1.IsNull() || v2.IsNull() {
+			if s1[p.Attr].IsNull() || s2[p.Attr].IsNull() {
+				e.bodyBuf = body
 				return // null never appears in a currency atom
 			}
-			i1, _ := e.ValueIndex(p.Attr, v1)
-			i2, _ := e.ValueIndex(p.Attr, v2)
-			body = append(body, OrderLit{p.Attr, i1, i2})
+			body = append(body, OrderLit{p.Attr, int(x1[p.Attr]), int(x2[p.Attr])})
 		}
 	}
-	i1, _ := e.ValueIndex(c.Target, h1)
-	i2, _ := e.ValueIndex(c.Target, h2)
-	e.addInstance(Instance{Body: body, Head: OrderLit{c.Target, i1, i2}, Src: Source{SrcCurrency, ci}}, seen)
+	e.bodyBuf = body
+	e.addInstance(body, OrderLit{c.Target, int(x1[c.Target]), int(x2[c.Target])},
+		Source{SrcCurrency, ci})
 }
 
 // emitCFDInstances encodes each constant CFD (Section V-A (3)).
@@ -542,19 +777,16 @@ func (e *Encoding) emitCFDInstances() {
 			if i == bi {
 				continue
 			}
-			e.addInstance(Instance{
-				Body: append([]OrderLit(nil), omegaX...),
-				Head: OrderLit{cfd.B, i, bi},
-				Src:  Source{SrcCFD, gi},
-			}, e.seenGamma)
+			e.addInstance(omegaX, OrderLit{cfd.B, i, bi}, Source{SrcCFD, gi})
 		}
 	}
 }
 
 // cfdBody builds ωX for a constant CFD: every other active-domain X-value
-// sits below the pattern.
+// sits below the pattern. The returned slice is scratch, valid until the
+// next cfdBody call.
 func (e *Encoding) cfdBody(cfd constraint.CFD) []OrderLit {
-	var omegaX []OrderLit
+	omegaX := e.cfdBuf[:0]
 	for xi, a := range cfd.X {
 		pi, _ := e.ValueIndex(a, cfd.PX[xi])
 		for _, i := range e.adomIdx[a] {
@@ -564,6 +796,7 @@ func (e *Encoding) cfdBody(cfd constraint.CFD) []OrderLit {
 			omegaX = append(omegaX, OrderLit{a, i, pi})
 		}
 	}
+	e.cfdBuf = omegaX
 	return omegaX
 }
 
@@ -573,30 +806,19 @@ func (e *Encoding) cfdBody(cfd constraint.CFD) []OrderLit {
 // be inserted anywhere in a completion, so axioms about them change nothing.
 func (e *Encoding) emitAxioms(transCap int) {
 	n := e.Schema.Len()
-	// Collect active value indices and fact edges per attribute.
-	active := make([]map[int]bool, n)
-	for a := range active {
-		active[a] = make(map[int]bool)
-	}
-	factEdges := make([]map[[2]int]bool, n)
-	condVals := make([]map[int]bool, n) // values in non-unit clauses
-	for a := range factEdges {
-		factEdges[a] = make(map[[2]int]bool)
-		condVals[a] = make(map[int]bool)
-	}
 	mark := func(l OrderLit, unit bool) {
-		active[l.Attr][l.A1] = true
-		active[l.Attr][l.A2] = true
+		e.active[l.Attr][l.A1] = true
+		e.active[l.Attr][l.A2] = true
 		if !unit {
-			condVals[l.Attr][l.A1] = true
-			condVals[l.Attr][l.A2] = true
+			e.condVals[l.Attr][l.A1] = true
+			e.condVals[l.Attr][l.A2] = true
 		}
 	}
 	for _, inst := range e.Omega {
 		unit := len(inst.Body) == 0
 		mark(inst.Head, unit)
 		if unit {
-			factEdges[inst.Head.Attr][[2]int{inst.Head.A1, inst.Head.A2}] = true
+			e.factEdges[inst.Head.Attr][[2]int{inst.Head.A1, inst.Head.A2}] = true
 		}
 		for _, l := range inst.Body {
 			mark(l, false)
@@ -605,15 +827,26 @@ func (e *Encoding) emitAxioms(transCap int) {
 
 	for a := 0; a < n; a++ {
 		attr := relation.Attr(a)
-		vals := sortedKeys(active[a])
+		vals := e.sortedKeysScratch(e.active[a])
 		if len(vals) <= transCap {
 			e.emitFullAxioms(attr, vals)
 			continue
 		}
 		e.Sparse = true
-		e.emitSparseAxioms(attr, vals, factEdges[a], sortedKeys(condVals[a]), transCap)
+		e.emitSparseAxioms(attr, vals, e.factEdges[a], sortedKeys(e.condVals[a]), transCap)
 	}
-	e.active = active // retained for incremental axiom deltas
+}
+
+// sortedKeysScratch is sortedKeys into the encoding's reused int buffer;
+// the result is valid until the next call.
+func (e *Encoding) sortedKeysScratch(m map[int]bool) []int {
+	out := e.intBuf[:0]
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	e.intBuf = out
+	return out
 }
 
 func sortedKeys(m map[int]bool) []int {
@@ -745,8 +978,8 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 		return false
 	}
 	in := e.Spec.TI.Inst
-	ids := in.TupleIDs()
-	toID := ids[len(ids)-1]
+	nT := in.Len()
+	toID := relation.TupleID(nT - 1)
 	to := in.Tuple(toID)
 	n := e.Schema.Len()
 
@@ -776,17 +1009,14 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 		}
 	}
 
-	// Mutation phase: register t_o's values in the domains.
+	// Mutation phase: register t_o's values in the domains and give it a
+	// domain-index row.
 	newJoin := make([]map[int]bool, n)
+	rowStart := len(e.tixData)
 	for a := 0; a < n; a++ {
 		attr := relation.Attr(a)
-		v := to[a]
-		idx, known := e.ValueIndex(attr, v)
-		if !known {
-			idx = len(e.doms[a])
-			e.doms[a] = append(e.doms[a], v)
-			e.domIdx[a][valueKey(v)] = idx
-		}
+		idx := e.addDomValue(attr, to[a])
+		e.tixData = append(e.tixData, int32(idx))
 		if !e.InADom(attr, idx) {
 			e.joinADom(attr, idx)
 			if newJoin[a] == nil {
@@ -795,13 +1025,14 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 			newJoin[a][idx] = true
 		}
 	}
+	e.tix = append(e.tix, e.tixData[rowStart:len(e.tixData):len(e.tixData)])
 
 	omegaMark := len(e.Omega)
 
 	// Null-lowest facts for attributes whose active domain changed.
 	for a := 0; a < n; a++ {
 		attr := relation.Attr(a)
-		ni, ok := e.domIdx[a][valueKey(relation.Null)]
+		ni, ok := e.domIdx[a][valKey{}]
 		if !ok || !e.InADom(attr, ni) {
 			continue
 		}
@@ -813,13 +1044,13 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 			// extra units are sound, null ranks lowest in every completion.
 			for i := range e.doms[a] {
 				if i != ni {
-					e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, e.seenOrder)
+					e.addInstance(nil, OrderLit{attr, ni, i}, Source{SrcOrder, -1})
 				}
 			}
 		} else {
 			for i := range newJoin[a] {
 				if i != ni {
-					e.addInstance(Instance{Head: OrderLit{attr, ni, i}, Src: Source{SrcOrder, -1}}, e.seenOrder)
+					e.addInstance(nil, OrderLit{attr, ni, i}, Source{SrcOrder, -1})
 				}
 			}
 		}
@@ -831,10 +1062,9 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 	// Currency instances pairing each existing tuple with t_o. Self-pairs
 	// and pairs among existing tuples are already covered (or vacuous).
 	for ci, c := range e.Spec.Sigma {
-		for _, id := range ids[:len(ids)-1] {
-			t := in.Tuple(id)
-			e.instantiatePair(ci, c, t, to, e.seenSigma)
-			e.instantiatePair(ci, c, to, t, e.seenSigma)
+		for t := 0; t < nT-1; t++ {
+			e.instantiatePair(ci, c, relation.TupleID(t), toID)
+			e.instantiatePair(ci, c, toID, relation.TupleID(t))
 		}
 	}
 
@@ -851,11 +1081,7 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 			if i == bi {
 				continue
 			}
-			e.addInstance(Instance{
-				Body: append([]OrderLit(nil), omegaX...),
-				Head: OrderLit{cfd.B, i, bi},
-				Src:  Source{SrcCFD, gi},
-			}, e.seenGamma)
+			e.addInstance(omegaX, OrderLit{cfd.B, i, bi}, Source{SrcCFD, gi})
 		}
 	}
 
@@ -908,9 +1134,15 @@ func (e *Encoding) emitAxiomsDelta(attr relation.Attr, newVals []int) {
 // new value. With an empty old set this is the full axiom emission; with
 // the attribute's previously covered values it is exactly the delta.
 func (e *Encoding) emitAxiomsOver(attr relation.Attr, old, newVals []int) {
-	all := append(append([]int(nil), old...), newVals...)
+	all := append(append(e.axAll[:0], old...), newVals...)
+	e.axAll = all
 	sort.Ints(all)
-	isNew := make(map[int]bool, len(newVals))
+	if e.axNew == nil {
+		e.axNew = make(map[int]bool, len(newVals))
+	} else {
+		clear(e.axNew)
+	}
+	isNew := e.axNew
 	for _, v := range newVals {
 		isNew[v] = true
 	}

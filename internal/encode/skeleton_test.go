@@ -1,0 +1,121 @@
+package encode
+
+import (
+	"reflect"
+	"testing"
+
+	"conflictres/internal/fixtures"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// encodingFingerprint captures everything observable about an encoding that
+// downstream algorithms read.
+type encodingFingerprint struct {
+	CNF     string
+	Omega   []Instance
+	InstIdx []int
+	Doms    [][]relation.Value
+	ADomSz  []int
+	ADomIdx [][]int
+	NumVars int
+	Sparse  bool
+}
+
+func fingerprint(e *Encoding) encodingFingerprint {
+	fp := encodingFingerprint{
+		CNF:     e.CNF().String(),
+		NumVars: e.NumVars(),
+		Sparse:  e.Sparse,
+	}
+	for _, inst := range e.Omega {
+		cp := inst
+		cp.Body = append([]OrderLit(nil), inst.Body...)
+		if len(cp.Body) == 0 {
+			cp.Body = nil
+		}
+		fp.Omega = append(fp.Omega, cp)
+	}
+	fp.InstIdx = append([]int(nil), e.InstanceClauseIndex()...)
+	for a := 0; a < e.Schema.Len(); a++ {
+		attr := relation.Attr(a)
+		fp.Doms = append(fp.Doms, append([]relation.Value(nil), e.Dom(attr)...))
+		fp.ADomSz = append(fp.ADomSz, e.ADomSize(attr))
+		fp.ADomIdx = append(fp.ADomIdx, append([]int(nil), e.ADomIndices(attr)...))
+	}
+	return fp
+}
+
+// TestSkeletonBuildMatchesFreshBuild proves the skeleton's storage-reuse
+// path produces a byte-identical encoding to a standalone Build, across a
+// sequence of different entities on one skeleton (the reuse path is only
+// exercised from the second build on).
+func TestSkeletonBuildMatchesFreshBuild(t *testing.T) {
+	specs := []*model.Spec{
+		fixtures.EdithSpec(),
+		fixtures.GeorgeSpec(),
+		fixtures.EdithSpec(), // back to the first shape: reuse after shrink/grow
+	}
+	k := NewSkeleton(specs[0].Sigma, specs[0].Gamma, Options{})
+	for i, spec := range specs {
+		fresh := fingerprint(Build(spec, Options{}))
+		reused := fingerprint(k.Build(spec))
+		if fresh.CNF != reused.CNF {
+			t.Fatalf("spec %d: CNF differs\nfresh:\n%s\nreused:\n%s", i, fresh.CNF, reused.CNF)
+		}
+		if !reflect.DeepEqual(fresh, reused) {
+			t.Fatalf("spec %d: encoding fingerprint differs: %+v vs %+v", i, fresh, reused)
+		}
+	}
+	builds, reuses := k.Stats()
+	if builds != len(specs) || reuses != len(specs)-1 {
+		t.Fatalf("Stats() = (%d builds, %d reuses), want (%d, %d)", builds, reuses, len(specs), len(specs)-1)
+	}
+}
+
+// TestSkeletonBuildThenExtend checks the ⊕ Ot path on a skeleton-built
+// encoding stays identical to the same extension on a fresh encoding.
+func TestSkeletonBuildThenExtend(t *testing.T) {
+	spec := fixtures.EdithSpec()
+	k := NewSkeleton(spec.Sigma, spec.Gamma, Options{})
+	// Warm the skeleton so the extension runs on reused storage.
+	k.Build(fixtures.GeorgeSpec())
+
+	answers := map[relation.Attr]relation.Value{
+		1: relation.String("deceased"), // status
+	}
+	fresh := Build(fixtures.EdithSpec(), Options{})
+	okF := fresh.ExtendAnswers(answers)
+	reused := k.Build(fixtures.EdithSpec())
+	okR := reused.ExtendAnswers(answers)
+	if okF != okR {
+		t.Fatalf("ExtendAnswers monotone verdicts differ: fresh %v, reused %v", okF, okR)
+	}
+	if !okF {
+		t.Fatal("expected a monotone extension on the Edith fixture")
+	}
+	f, r := fingerprint(fresh), fingerprint(reused)
+	if !reflect.DeepEqual(f, r) {
+		t.Fatalf("extended encodings differ:\nfresh CNF:\n%s\nreused CNF:\n%s", f.CNF, r.CNF)
+	}
+}
+
+// TestSkeletonForeignSpecFallsBack: a spec with a different constraint count
+// must still encode correctly (standalone path) and not poison the skeleton.
+func TestSkeletonForeignSpecFallsBack(t *testing.T) {
+	spec := fixtures.EdithSpec()
+	k := NewSkeleton(spec.Sigma, spec.Gamma, Options{})
+	foreign := fixtures.EdithSpec()
+	foreign.Sigma = foreign.Sigma[:1]
+	got := fingerprint(k.Build(foreign))
+	want := fingerprint(Build(foreign, Options{}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("foreign-spec fallback produced a different encoding")
+	}
+	// And the skeleton still serves its own rule set afterwards.
+	got = fingerprint(k.Build(fixtures.EdithSpec()))
+	want = fingerprint(Build(fixtures.EdithSpec(), Options{}))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("skeleton poisoned by foreign-spec build")
+	}
+}

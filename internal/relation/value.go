@@ -206,6 +206,31 @@ func (v Value) AsJSON() any {
 	}
 }
 
+// LooksNumeric reports whether s could possibly parse as an int or float:
+// a cheap pre-filter that spares strconv the error allocation on the
+// overwhelmingly common bare-string cell. It may report true for strings
+// that still fail to parse (e.g. "n/a" resembling "nan"); it never reports
+// false for a parseable number.
+func LooksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	i := 0
+	if s[0] == '+' || s[0] == '-' {
+		i = 1
+		if len(s) == 1 {
+			return false
+		}
+	}
+	switch c := s[i]; {
+	case c >= '0' && c <= '9', c == '.':
+		return true
+	case c == 'i' || c == 'I' || c == 'n' || c == 'N':
+		return true // inf / infinity / nan, any case
+	}
+	return false
+}
+
 // ParseValue parses the textual form produced by Quote: double-quoted
 // strings, bare integers, bare floats, or the keyword null.
 func ParseValue(s string) (Value, error) {
@@ -222,11 +247,13 @@ func ParseValue(s string) (Value, error) {
 		}
 		return String(u), nil
 	}
-	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return Int(i), nil
-	}
-	if f, err := strconv.ParseFloat(s, 64); err == nil {
-		return Float(f), nil
+	if LooksNumeric(s) {
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return Int(i), nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return Float(f), nil
+		}
 	}
 	// Bare word: treat as a string for CSV friendliness.
 	return String(s), nil

@@ -5,33 +5,87 @@ import (
 	"strings"
 )
 
+// cnfBlockLits is the chunk size of the CNF literal arena. Formulas in this
+// module run from hundreds to a few hundred thousand literals; 16Ki-literal
+// (64 KiB) blocks keep the block count small without over-reserving for tiny
+// formulas.
+const cnfBlockLits = 1 << 14
+
 // CNF is a plain clause-set container, decoupled from any solver instance so
 // it can be copied, filtered and re-solved cheaply. The encode package
 // produces CNF values; core algorithms load them into Solvers.
+//
+// Clause literals are stored in a chunked arena: Add copies each clause into
+// the current block instead of allocating a fresh slice per clause, and
+// Reset rewinds the arena for reuse so one CNF value can carry thousands of
+// formulas over its lifetime without reallocating. Clauses remain exposed as
+// an ordinary [][]Lit — the sub-slices alias the arena and must not be
+// mutated or retained across Reset.
 type CNF struct {
 	NVars   int
 	Clauses [][]Lit
+
+	blocks [][]Lit // literal arena; blocks[cur] is being filled
+	cur    int
 }
 
 // NewCNF creates an empty formula over n variables.
 func NewCNF(n int) *CNF { return &CNF{NVars: n} }
 
-// Add appends a clause (copied).
+// Reset empties the formula (NVars 0, no clauses) while keeping the clause
+// index and literal arena allocated for reuse. Slices previously obtained
+// from Clauses are invalidated.
+func (c *CNF) Reset() {
+	c.NVars = 0
+	c.Clauses = c.Clauses[:0]
+	for i := range c.blocks {
+		c.blocks[i] = c.blocks[i][:0]
+	}
+	c.cur = 0
+}
+
+// alloc returns an empty arena slice with capacity for n more literals.
+func (c *CNF) alloc(n int) []Lit {
+	for c.cur < len(c.blocks) {
+		b := c.blocks[c.cur]
+		if cap(b)-len(b) >= n {
+			return b[len(b):len(b):cap(b)]
+		}
+		c.cur++
+	}
+	size := cnfBlockLits
+	if n > size {
+		size = n
+	}
+	c.blocks = append(c.blocks, make([]Lit, 0, size))
+	c.cur = len(c.blocks) - 1
+	return c.blocks[c.cur]
+}
+
+// Add appends a clause (copied into the arena).
 func (c *CNF) Add(lits ...Lit) {
 	for _, l := range lits {
 		if int(l.Var()) >= c.NVars {
 			c.NVars = int(l.Var()) + 1
 		}
 	}
-	c.Clauses = append(c.Clauses, append([]Lit(nil), lits...))
+	cl := append(c.alloc(len(lits)), lits...)
+	c.blocks[c.cur] = c.blocks[c.cur][:len(c.blocks[c.cur])+len(cl)]
+	c.Clauses = append(c.Clauses, cl[:len(cl):len(cl)])
 }
 
-// Clone deep-copies the formula.
+// Clone deep-copies the formula. The copy's literals live in one flat block,
+// independent of the receiver's arena.
 func (c *CNF) Clone() *CNF {
+	flat := make([]Lit, 0, c.NumLiterals())
 	cp := &CNF{NVars: c.NVars, Clauses: make([][]Lit, len(c.Clauses))}
 	for i, cl := range c.Clauses {
-		cp.Clauses[i] = append([]Lit(nil), cl...)
+		start := len(flat)
+		flat = append(flat, cl...)
+		cp.Clauses[i] = flat[start:len(flat):len(flat)]
 	}
+	cp.blocks = [][]Lit{flat}
+	cp.cur = 0
 	return cp
 }
 

@@ -12,6 +12,12 @@ func newVarHeap(act *[]float64) *varHeap {
 	return &varHeap{act: act}
 }
 
+// reset empties the heap while keeping its storage for reuse.
+func (h *varHeap) reset() {
+	h.heap = h.heap[:0]
+	h.pos = h.pos[:0]
+}
+
 func (h *varHeap) grow(n int) {
 	for len(h.pos) < n {
 		h.pos = append(h.pos, -1)

@@ -1,0 +1,102 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSolverResetMatchesFresh checks that one Reset-reused solver decides a
+// stream of formulas exactly like a fresh solver per formula, including the
+// brute-force oracle where feasible.
+func TestSolverResetMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	reused := New()
+	for i := 0; i < 200; i++ {
+		nv := 3 + rng.Intn(12)
+		c := randomCNF(rng, nv, 2+rng.Intn(40))
+
+		reused.Reset()
+		okR := c.LoadInto(reused)
+		stR := StatusUnsat
+		if okR {
+			stR = reused.Solve()
+		}
+
+		fresh := New()
+		okF := c.LoadInto(fresh)
+		stF := StatusUnsat
+		if okF {
+			stF = fresh.Solve()
+		}
+
+		if okR != okF || stR != stF {
+			t.Fatalf("formula %d: reused (ok=%v, %v) vs fresh (ok=%v, %v)\n%s",
+				i, okR, stR, okF, stF, c)
+		}
+		want, _ := c.SolveBrute()
+		got := stF
+		if !okF {
+			got = StatusUnsat
+		}
+		if got != want {
+			t.Fatalf("formula %d: solver %v, brute %v\n%s", i, got, want, c)
+		}
+		if stR == StatusSat {
+			m := reused.Model()
+			if !c.Eval(m) {
+				t.Fatalf("formula %d: reused solver model does not satisfy formula", i)
+			}
+		}
+	}
+}
+
+// TestSolverResetAfterIncrementalUse reuses a solver that went through
+// assumption queries and incremental clause additions before the Reset.
+func TestSolverResetAfterIncrementalUse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New()
+	for i := 0; i < 50; i++ {
+		s.Reset()
+		c := randomCNF(rng, 8, 25)
+		if c.LoadInto(s) && s.Solve() == StatusSat {
+			// A few assumption probes, then an incremental clause.
+			for v := 0; v < 4; v++ {
+				s.Solve(PosLit(Var(v)))
+			}
+			s.AddClause(NegLit(0), NegLit(1))
+			c.Add(NegLit(0), NegLit(1))
+			st := s.Solve()
+			want, _ := c.SolveBrute()
+			if s.Okay() && st != want {
+				t.Fatalf("round %d: incremental %v, brute %v", i, st, want)
+			}
+		}
+	}
+}
+
+// TestCNFResetReuse checks that a Reset CNF rebuilt with different clauses
+// matches a freshly built one.
+func TestCNFResetReuse(t *testing.T) {
+	c := NewCNF(0)
+	c.Add(PosLit(0), NegLit(1))
+	c.Add(PosLit(2))
+	c.Reset()
+	if c.NVars != 0 || len(c.Clauses) != 0 {
+		t.Fatalf("Reset left NVars=%d clauses=%d", c.NVars, len(c.Clauses))
+	}
+	c.Add(NegLit(0), PosLit(3))
+	c.Add(PosLit(1), PosLit(2), NegLit(3))
+	fresh := NewCNF(0)
+	fresh.Add(NegLit(0), PosLit(3))
+	fresh.Add(PosLit(1), PosLit(2), NegLit(3))
+	if c.String() != fresh.String() {
+		t.Fatalf("reused CNF differs from fresh:\n%s\nvs\n%s", c, fresh)
+	}
+	// Clauses must be safely append-protected: appending to one clause must
+	// not clobber its neighbor in the shared arena.
+	cl := c.Clauses[0]
+	_ = append(cl, PosLit(9))
+	if c.String() != fresh.String() {
+		t.Fatalf("append to a returned clause corrupted the arena:\n%s", c)
+	}
+}

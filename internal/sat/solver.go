@@ -4,20 +4,40 @@ import (
 	"sort"
 )
 
+// clauseRef indexes a clause in the solver's arena; noClause means "none".
+type clauseRef int32
+
+const noClause clauseRef = -1
+
 // clause is a disjunction of literals. lits[0] and lits[1] are the watched
-// positions (for clauses of length ≥ 2).
+// positions (for clauses of length ≥ 2). Clauses live in the solver's arena
+// and are addressed by clauseRef, never by pointer across mutations.
 type clause struct {
 	lits   []Lit
-	learnt bool
 	act    float64
+	learnt bool
 }
+
+// solverBlockLits is the chunk size of the problem-clause literal arena.
+const solverBlockLits = 1 << 14
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 // A Solver is not safe for concurrent use.
+//
+// Clause storage is arena-backed: clause headers live in one growable slice
+// indexed by clauseRef, problem-clause literals in chunked blocks, and the
+// watch lists are flat []clauseRef per literal. Reset rewinds everything for
+// reuse, so one solver instance can serve thousands of formulas (a pooled
+// resolve pipeline resolving a dataset entity-by-entity) without
+// reallocating trail, watch or activity storage.
 type Solver struct {
-	clauses []*clause
-	learnts []*clause
-	watches [][]*clause // indexed by Lit; clauses in which Lit is watched
+	arena   []clause
+	clauses []clauseRef
+	learnts []clauseRef
+	watches [][]clauseRef // indexed by Lit; clauses in which Lit is watched
+
+	litBlocks [][]Lit // literal arena for problem clauses
+	litCur    int
 
 	assigns  []lbool // per var
 	polarity []bool  // saved phase: true = last assigned false
@@ -28,16 +48,18 @@ type Solver struct {
 
 	trail    []Lit
 	trailLim []int
-	reason   []*clause
+	reason   []clauseRef
 	level    []int
 	qhead    int
 
 	seen     []bool
-	ok       bool // false once a top-level contradiction is derived
+	addBuf   []Lit // AddClause scratch
+	ok       bool  // false once a top-level contradiction is derived
 	model    []bool
 	haveModl bool
 
-	// Stats counts solver work; useful for benchmarks and tuning.
+	// Stats counts solver work; useful for benchmarks and tuning. Reset
+	// zeroes it along with the formula.
 	Stats Stats
 
 	// MaxConflicts bounds the total conflicts per Solve call; 0 means
@@ -64,16 +86,57 @@ func New() *Solver {
 	return s
 }
 
+// Reset returns the solver to the empty state of New while keeping every
+// allocation — clause arena, literal blocks, watch lists, trail, activity
+// and heap storage — for reuse by the next formula. Stats and MaxConflicts
+// are zeroed; snapshot them first if they matter.
+func (s *Solver) Reset() {
+	s.arena = s.arena[:0]
+	s.clauses = s.clauses[:0]
+	s.learnts = s.learnts[:0]
+	for i := range s.litBlocks {
+		s.litBlocks[i] = s.litBlocks[i][:0]
+	}
+	s.litCur = 0
+	// Per-variable storage shrinks to zero length; NewVar re-initializes
+	// entries as it grows back into the retained capacity.
+	s.assigns = s.assigns[:0]
+	s.polarity = s.polarity[:0]
+	s.activity = s.activity[:0]
+	s.reason = s.reason[:0]
+	s.level = s.level[:0]
+	s.seen = s.seen[:0]
+	s.watches = s.watches[:0]
+	s.trail = s.trail[:0]
+	s.trailLim = s.trailLim[:0]
+	s.qhead = 0
+	s.order.reset()
+	s.varInc, s.claInc = 1, 1
+	s.ok = true
+	s.haveModl = false
+	s.MaxConflicts = 0
+	s.Stats = Stats{}
+}
+
 // NewVar allocates a fresh variable and returns it.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
 	s.assigns = append(s.assigns, lUndef)
 	s.polarity = append(s.polarity, true)
 	s.activity = append(s.activity, 0)
-	s.reason = append(s.reason, nil)
+	s.reason = append(s.reason, noClause)
 	s.level = append(s.level, 0)
 	s.seen = append(s.seen, false)
-	s.watches = append(s.watches, nil, nil)
+	// Watch lists retained across Reset keep their capacity: grow by
+	// reslicing (which preserves the stored inner slices) and truncate the
+	// reused entries, instead of appending nil over them.
+	if n := len(s.watches) + 2; n <= cap(s.watches) {
+		s.watches = s.watches[:n]
+		s.watches[n-2] = s.watches[n-2][:0]
+		s.watches[n-1] = s.watches[n-1][:0]
+	} else {
+		s.watches = append(s.watches, nil, nil)
+	}
 	s.order.insert(v)
 	return v
 }
@@ -94,10 +157,47 @@ func (s *Solver) value(l Lit) lbool {
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
+// allocLits returns an arena slice holding a copy of lits (problem clauses
+// only; learnt clauses own their literals so reduceDB can release them).
+func (s *Solver) allocLits(lits []Lit) []Lit {
+	n := len(lits)
+	for s.litCur < len(s.litBlocks) {
+		b := s.litBlocks[s.litCur]
+		if cap(b)-len(b) >= n {
+			cl := append(b[len(b):len(b):cap(b)], lits...)
+			s.litBlocks[s.litCur] = b[:len(b)+n]
+			return cl[:n:n]
+		}
+		s.litCur++
+	}
+	size := solverBlockLits
+	if n > size {
+		size = n
+	}
+	block := make([]Lit, 0, size)
+	cl := append(block, lits...)
+	s.litBlocks = append(s.litBlocks, cl)
+	s.litCur = len(s.litBlocks) - 1
+	return cl[:n:n]
+}
+
+// newClause stores a clause in the arena and returns its reference.
+func (s *Solver) newClause(lits []Lit, learnt bool) clauseRef {
+	var stored []Lit
+	if learnt {
+		stored = append([]Lit(nil), lits...)
+	} else {
+		stored = s.allocLits(lits)
+	}
+	s.arena = append(s.arena, clause{lits: stored, learnt: learnt})
+	return clauseRef(len(s.arena) - 1)
+}
+
 // AddClause adds a clause. It returns false if the solver is already in an
 // unsatisfiable state (including becoming unsatisfiable because of this
 // clause). Duplicate literals are removed; tautologies are dropped; literals
-// already false at level 0 are stripped.
+// already false at level 0 are stripped. The input slice is not retained or
+// mutated.
 //
 // AddClause is safe after Solve: every Solve call backtracks to the root
 // level before returning, so clauses (and fresh variables) can be attached
@@ -112,9 +212,16 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause above decision level 0")
 	}
-	// Sort/dedup; detect tautology and strip level-0-false literals.
-	ls := append([]Lit(nil), lits...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	// Sort/dedup; detect tautology and strip level-0-false literals. The
+	// scratch copy keeps the caller's slice intact; insertion sort beats
+	// sort.Slice on the short clauses that dominate here.
+	ls := append(s.addBuf[:0], lits...)
+	s.addBuf = ls
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j] < ls[j-1]; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
 	out := ls[:0]
 	var prev Lit = -1
 	for _, l := range ls {
@@ -139,22 +246,23 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], nil)
-		s.ok = s.propagate() == nil
+		s.uncheckedEnqueue(out[0], noClause)
+		s.ok = s.propagate() == noClause
 		return s.ok
 	}
-	c := &clause{lits: append([]Lit(nil), out...)}
-	s.attach(c)
-	s.clauses = append(s.clauses, c)
+	cr := s.newClause(out, false)
+	s.attach(cr)
+	s.clauses = append(s.clauses, cr)
 	return true
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], c)
-	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+func (s *Solver) attach(cr clauseRef) {
+	c := &s.arena[cr]
+	s.watches[c.lits[0]] = append(s.watches[c.lits[0]], cr)
+	s.watches[c.lits[1]] = append(s.watches[c.lits[1]], cr)
 }
 
-func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+func (s *Solver) uncheckedEnqueue(l Lit, from clauseRef) {
 	v := l.Var()
 	if l.Neg() {
 		s.assigns[v] = lFalse
@@ -167,8 +275,8 @@ func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 }
 
 // propagate performs unit propagation; it returns the conflicting clause or
-// nil.
-func (s *Solver) propagate() *clause {
+// noClause.
+func (s *Solver) propagate() clauseRef {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead] // p is now true
 		s.qhead++
@@ -178,43 +286,44 @@ func (s *Solver) propagate() *clause {
 		kept := ws[:0]
 	clauses:
 		for ci := 0; ci < len(ws); ci++ {
-			c := ws[ci]
+			cr := ws[ci]
+			c := &s.arena[cr]
 			// Normalize: watched falseLit at position 1.
 			if c.lits[0] == falseLit {
 				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
 			}
 			// If first watch is true, clause is satisfied.
 			if s.value(c.lits[0]) == lTrue {
-				kept = append(kept, c)
+				kept = append(kept, cr)
 				continue
 			}
 			// Look for a new literal to watch.
 			for k := 2; k < len(c.lits); k++ {
 				if s.value(c.lits[k]) != lFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], c)
+					s.watches[c.lits[1]] = append(s.watches[c.lits[1]], cr)
 					continue clauses
 				}
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, c)
+			kept = append(kept, cr)
 			if s.value(c.lits[0]) == lFalse {
 				// Conflict: keep remaining watchers and bail.
 				kept = append(kept, ws[ci+1:]...)
 				s.watches[falseLit] = kept
 				s.qhead = len(s.trail)
-				return c
+				return cr
 			}
-			s.uncheckedEnqueue(c.lits[0], c)
+			s.uncheckedEnqueue(c.lits[0], cr)
 		}
 		s.watches[falseLit] = kept
 	}
-	return nil
+	return noClause
 }
 
 // analyze performs first-UIP conflict analysis. It returns the learnt clause
 // (asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+func (s *Solver) analyze(confl clauseRef) ([]Lit, int) {
 	learnt := []Lit{0} // placeholder for asserting literal
 	counter := 0
 	var p Lit = -1
@@ -226,11 +335,12 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 		if p != -1 {
 			start = 1 // skip the asserting literal position in reasons
 		}
-		if confl.learnt {
-			s.bumpClause(confl)
+		c := &s.arena[confl]
+		if c.learnt {
+			s.bumpClause(c)
 		}
-		for i := start; i < len(confl.lits); i++ {
-			q := confl.lits[i]
+		for i := start; i < len(c.lits); i++ {
+			q := c.lits[i]
 			v := q.Var()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -290,12 +400,12 @@ func (s *Solver) minimize(learnt []Lit) []Lit {
 	out := learnt[:1]
 	for _, l := range learnt[1:] {
 		r := s.reason[l.Var()]
-		if r == nil {
+		if r == noClause {
 			out = append(out, l)
 			continue
 		}
 		redundant := true
-		for _, q := range r.lits {
+		for _, q := range s.arena[r].lits {
 			if q.Var() == l.Var() {
 				continue
 			}
@@ -320,7 +430,7 @@ func (s *Solver) cancelUntil(lvl int) {
 		v := l.Var()
 		s.assigns[v] = lUndef
 		s.polarity[v] = l.Neg()
-		s.reason[v] = nil
+		s.reason[v] = noClause
 		s.order.insert(v)
 	}
 	s.trail = s.trail[:s.trailLim[lvl]]
@@ -343,7 +453,7 @@ func (s *Solver) bumpClause(c *clause) {
 	c.act += s.claInc
 	if c.act > 1e20 {
 		for _, lc := range s.learnts {
-			lc.act *= 1e-20
+			s.arena[lc].act *= 1e-20
 		}
 		s.claInc *= 1e-20
 	}
@@ -366,27 +476,31 @@ func (s *Solver) pickBranchVar() Var {
 
 // reduceDB halves the learnt-clause database, keeping the most active.
 func (s *Solver) reduceDB() {
-	sort.Slice(s.learnts, func(i, j int) bool { return s.learnts[i].act > s.learnts[j].act })
+	sort.Slice(s.learnts, func(i, j int) bool { return s.arena[s.learnts[i]].act > s.arena[s.learnts[j]].act })
 	keep := s.learnts[:0]
-	locked := func(c *clause) bool {
-		v := c.lits[0].Var()
-		return s.assigns[v] != lUndef && s.reason[v] == c
+	locked := func(cr clauseRef) bool {
+		v := s.arena[cr].lits[0].Var()
+		return s.assigns[v] != lUndef && s.reason[v] == cr
 	}
-	for i, c := range s.learnts {
-		if i < len(s.learnts)/2 || len(c.lits) == 2 || locked(c) {
-			keep = append(keep, c)
+	for i, cr := range s.learnts {
+		if i < len(s.learnts)/2 || len(s.arena[cr].lits) == 2 || locked(cr) {
+			keep = append(keep, cr)
 		} else {
-			s.detach(c)
+			s.detach(cr)
+			// The arena slot leaks until Reset, but the literals (the bulk)
+			// are released for the garbage collector now.
+			s.arena[cr].lits = nil
 		}
 	}
 	s.learnts = keep
 }
 
-func (s *Solver) detach(c *clause) {
-	for _, w := range []Lit{c.lits[0], c.lits[1]} {
+func (s *Solver) detach(cr clauseRef) {
+	lits := s.arena[cr].lits
+	for _, w := range []Lit{lits[0], lits[1]} {
 		ws := s.watches[w]
 		for i, x := range ws {
-			if x == c {
+			if x == cr {
 				ws[i] = ws[len(ws)-1]
 				s.watches[w] = ws[:len(ws)-1]
 				break
@@ -428,7 +542,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		st, confl := s.search(assumptions, budget, &totalConflicts, &maxLearnts)
 		switch st {
 		case StatusSat:
-			s.model = make([]bool, len(s.assigns))
+			if cap(s.model) >= len(s.assigns) {
+				s.model = s.model[:len(s.assigns)]
+			} else {
+				s.model = make([]bool, len(s.assigns))
+			}
 			for i, a := range s.assigns {
 				s.model[i] = a == lTrue
 			}
@@ -455,7 +573,7 @@ func (s *Solver) search(assumptions []Lit, budget int64, total *int64, maxLearnt
 	var conflicts int64
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != noClause {
 			s.Stats.Conflicts++
 			conflicts++
 			*total++
@@ -465,14 +583,14 @@ func (s *Solver) search(assumptions []Lit, budget int64, total *int64, maxLearnt
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], nil)
+				s.uncheckedEnqueue(learnt[0], noClause)
 			} else {
-				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
-				s.attach(c)
-				s.learnts = append(s.learnts, c)
-				s.bumpClause(c)
+				cr := s.newClause(learnt, true)
+				s.attach(cr)
+				s.learnts = append(s.learnts, cr)
+				s.bumpClause(&s.arena[cr])
 				s.Stats.Learnt++
-				s.uncheckedEnqueue(learnt[0], c)
+				s.uncheckedEnqueue(learnt[0], cr)
 			}
 			s.decayActivities()
 			if int64(len(s.learnts)) > *maxLearnts {
@@ -508,7 +626,7 @@ func (s *Solver) search(assumptions []Lit, budget int64, total *int64, maxLearnt
 			next = MkLit(v, s.polarity[v])
 		}
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(next, nil)
+		s.uncheckedEnqueue(next, noClause)
 	}
 }
 

@@ -137,7 +137,7 @@ func (s *Server) datasetResolver(ctx context.Context, rules *conflictres.RuleSet
 		}
 		sem <- struct{}{}
 		o, err := runTimed(ctx, s.cfg.Timeout, func() { <-sem }, func() outcome {
-			res, err := conflictres.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds})
+			res, err := rules.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds})
 			return outcome{res, err}
 		})
 		if err != nil {

@@ -132,7 +132,9 @@ func (s *Server) resolveEntity(ctx context.Context, rules *conflictres.RuleSet, 
 		err error
 	}
 	o, err := runTimed(ctx, s.cfg.Timeout, release, func() outcome {
-		res, err := conflictres.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds})
+		// rules.Resolve serves the entity from a pooled pipeline (skeleton +
+		// solver reused across requests under this rule set).
+		res, err := rules.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds})
 		return outcome{res, err}
 	})
 	if err != nil {

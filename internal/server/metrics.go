@@ -99,6 +99,13 @@ func (m *metrics) write(w io.Writer, cache *lru, sessions *sessionStore) {
 	fmt.Fprintf(w, "crserve_session_store_expired_total %d\n", sessions.expired.Load())
 	fmt.Fprintf(w, "# TYPE crserve_session_store_evicted_total counter\n")
 	fmt.Fprintf(w, "crserve_session_store_evicted_total %d\n", sessions.evicted.Load())
+	pool := conflictres.PoolCounters()
+	fmt.Fprintf(w, "# TYPE crserve_pool_hits_total counter\n")
+	fmt.Fprintf(w, "crserve_pool_hits_total %d\n", pool.Hits)
+	fmt.Fprintf(w, "# TYPE crserve_pool_misses_total counter\n")
+	fmt.Fprintf(w, "crserve_pool_misses_total %d\n", pool.Misses)
+	fmt.Fprintf(w, "# TYPE crserve_pool_skeleton_rebuilds_total counter\n")
+	fmt.Fprintf(w, "crserve_pool_skeleton_rebuilds_total %d\n", pool.SkeletonRebuilds)
 	fmt.Fprintf(w, "# TYPE crserve_cache_hits_total counter\n")
 	fmt.Fprintf(w, "crserve_cache_hits_total %d\n", hits)
 	fmt.Fprintf(w, "# TYPE crserve_cache_misses_total counter\n")

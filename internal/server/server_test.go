@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"conflictres"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -393,6 +395,46 @@ func TestHealthzAndMetrics(t *testing.T) {
 		`crserve_entities_total{outcome="resolved"} 1`, // second request hit the cache
 		`crserve_cache_hits_total 1`,
 		`crserve_phase_seconds_total{phase="deduce"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestPoolMetrics: the resolve path runs on pooled pipelines, and /metrics
+// exposes the module-wide pool counters. The counters are process-global
+// (shared with every other test), so the assertions are presence plus
+// monotonic growth across distinct-entity traffic.
+func TestPoolMetrics(t *testing.T) {
+	before := conflictres.PoolCounters()
+	_, ts := newTestServer(t, Config{})
+	// Distinct entities: both are cache misses, so both check a pipeline
+	// out of the rule set's pool (the second checkout is a pool hit).
+	postJSON(t, ts.URL+"/v1/resolve", edithRequestBody(t, 0))
+	postJSON(t, ts.URL+"/v1/resolve", edithRequestBody(t, 1))
+	after := conflictres.PoolCounters()
+	if got := after.Hits + after.Misses - before.Hits - before.Misses; got < 2 {
+		t.Errorf("pool checkouts grew by %d, want >= 2", got)
+	}
+	if after.Misses == before.Misses && after.Hits == before.Hits {
+		t.Error("pool counters did not move")
+	}
+	if after.SkeletonRebuilds < before.SkeletonRebuilds {
+		t.Error("skeleton rebuild counter went backwards")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, want := range []string{
+		"crserve_pool_hits_total ",
+		"crserve_pool_misses_total ",
+		"crserve_pool_skeleton_rebuilds_total ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q in:\n%s", want, text)

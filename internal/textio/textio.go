@@ -277,11 +277,13 @@ func ParseCell(cell string) (relation.Value, error) {
 	if strings.HasPrefix(cell, "\"") {
 		return relation.ParseValue(cell)
 	}
-	if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
-		return relation.Int(i), nil
-	}
-	if f, err := strconv.ParseFloat(cell, 64); err == nil {
-		return relation.Float(f), nil
+	if relation.LooksNumeric(cell) {
+		if i, err := strconv.ParseInt(cell, 10, 64); err == nil {
+			return relation.Int(i), nil
+		}
+		if f, err := strconv.ParseFloat(cell, 64); err == nil {
+			return relation.Float(f), nil
+		}
 	}
 	return relation.String(cell), nil
 }
