@@ -8,6 +8,7 @@
 //	crgen -dataset person -entities 100 -out ./persondata
 //	crgen -dataset nba -out ./nbadata
 //	crgen -dataset person -entities 2000 -format csv -out ./data
+//	crgen -dataset person -entities 500 -skew zipf -out ./skewed
 //
 // -format spec (default) writes entity_NNNNN.spec files; -format csv
 // writes data.csv (entity-key column + one row per tuple, clustered by
@@ -35,6 +36,7 @@ func main() {
 		entities    = flag.Int("entities", 50, "number of entities (person/nba/career)")
 		minT        = flag.Int("min-tuples", 2, "minimum tuples per entity (person)")
 		maxT        = flag.Int("max-tuples", 100, "maximum tuples per entity (person)")
+		skew        = flag.String("skew", "uniform", "entity-size distribution (person): uniform | zipf")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		format      = flag.String("format", "spec", "output shape: spec | csv | ndjson")
 		out         = flag.String("out", "", "output directory (required)")
@@ -58,12 +60,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crgen: unknown format %q\n", *format)
 		os.Exit(2)
 	}
+	switch *skew {
+	case datagen.SkewUniform, datagen.SkewZipf:
+	default:
+		fmt.Fprintf(os.Stderr, "crgen: unknown skew %q\n", *skew)
+		os.Exit(2)
+	}
 
 	var ds *datagen.Dataset
 	switch *dataset {
 	case "person":
 		ds = datagen.Person(datagen.PersonConfig{
-			Entities: *entities, MinTuples: *minT, MaxTuples: *maxT, Seed: *seed})
+			Entities: *entities, MinTuples: *minT, MaxTuples: *maxT, Seed: *seed, Skew: *skew})
 	case "nba":
 		ds = datagen.NBA(datagen.NBAConfig{Players: *entities, Seed: *seed})
 	case "career":

@@ -5,6 +5,7 @@
 //	crserve [-addr :8372] [-workers N] [-cache-size N] [-rule-cache-size N]
 //	        [-timeout 30s] [-max-body 8388608]
 //	        [-session-cap N] [-session-ttl 15m] [-session-sweep 1m]
+//	        [-session-snapshot sessions.ndjson]
 //	        [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
@@ -25,8 +26,14 @@
 //	POST /v1/session/{id}/answer fold user answers in (Se ⊕ Ot) and return
 //	                             the next suggestion
 //	DELETE /v1/session/{id}      drop the session
-//	GET  /healthz            liveness probe
+//	GET  /healthz            liveness probe (green even while draining)
+//	GET  /readyz             readiness probe (503 once shutdown starts)
 //	GET  /metrics            Prometheus-style counters
+//
+// With -session-snapshot the server restores interactive sessions from the
+// named NDJSON file at startup (missing file = fresh start) and writes the
+// live sessions back to it on graceful shutdown — the rolling-restart path
+// for a fleet backend: clients keep their session ids across the restart.
 //
 // With -pprof-addr a net/http/pprof mux is served on a second, separate
 // listener (opt-in, keep it on loopback or an internal interface — the
@@ -68,6 +75,7 @@ func main() {
 	flag.IntVar(&cfg.SessionCap, "session-cap", 0, "max live interactive sessions before LRU eviction (0 = default 1024)")
 	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 0, "idle session expiry (0 = default 15m, negative disables)")
 	flag.DurationVar(&cfg.SessionSweep, "session-sweep", 0, "session janitor sweep interval (0 = default 1m)")
+	snapshotPath := flag.String("session-snapshot", "", "restore sessions from this NDJSON file at startup and snapshot back on shutdown (empty = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this extra address (empty = disabled; keep it internal)")
 	flag.Parse()
 	if *showVersion {
@@ -101,10 +109,59 @@ func main() {
 	}
 
 	srv := server.New(cfg)
+	if *snapshotPath != "" {
+		restoreSessions(srv, *snapshotPath)
+	}
 	log.Printf("crserve: listening on %s", cfg.Addr)
 	start := time.Now()
 	if err := srv.ListenAndServe(ctx); err != nil {
 		log.Fatalf("crserve: %v", err)
 	}
+	if *snapshotPath != "" {
+		snapshotSessions(srv, *snapshotPath)
+	}
 	log.Printf("crserve: shut down cleanly after %s", time.Since(start).Round(time.Second))
+}
+
+// restoreSessions rebuilds interactive sessions from a snapshot file. A
+// missing file is a fresh start; a partly bad file restores what it can.
+func restoreSessions(srv *server.Server, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("crserve: session snapshot: %v", err)
+		}
+		return
+	}
+	defer f.Close()
+	n, err := srv.RestoreSessions(f)
+	if err != nil {
+		log.Printf("crserve: session restore: %v", err)
+	}
+	log.Printf("crserve: restored %d sessions from %s", n, path)
+}
+
+// snapshotSessions writes the live sessions out after graceful shutdown,
+// atomically via a temp file so a crash mid-write cannot corrupt the last
+// good snapshot.
+func snapshotSessions(srv *server.Server, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("crserve: session snapshot: %v", err)
+		return
+	}
+	err = srv.SnapshotSessions(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		log.Printf("crserve: session snapshot: %v", err)
+		return
+	}
+	log.Printf("crserve: snapshotted sessions to %s", path)
 }

@@ -1,0 +1,95 @@
+// Command crshard coordinates a fleet of crserve backends behind the
+// single-server wire API: entities are consistent-hashed across the fleet,
+// batch and dataset NDJSON streams are partitioned, fanned out, and merged,
+// and interactive sessions are pinned to their owning backend through
+// tagged session ids.
+//
+// Usage:
+//
+//	crshard -backends http://host1:8372,http://host2:8372
+//	        [-addr :8371] [-vnodes 64] [-pipeline 4] [-chunk 32]
+//	        [-timeout 2m] [-health-interval 2s] [-max-body 8388608]
+//
+// Endpoints (same contracts as crserve):
+//
+//	POST /v1/resolve         forwarded to the entity's owner, with failover
+//	POST /v1/resolve/batch   split into per-backend sub-batches, pipelined,
+//	                         merged; a dead backend's unanswered entities
+//	                         retry on the next owner along the ring
+//	POST /v1/resolve/dataset rows partitioned by entity key so each entity
+//	                         groups and resolves on one backend; result
+//	                         lines relayed verbatim, summaries merged
+//	POST /v1/validate        forwarded to the entity's owner, with failover
+//	POST /v1/session             routed by entity key; the returned id pins
+//	                             the session to its backend
+//	GET/POST/DELETE /v1/session/{id}...  proxied to the pinned backend
+//	GET  /healthz            coordinator liveness
+//	GET  /readyz             ready while at least one backend is up
+//	GET  /metrics            per-backend request/error/retry counters, ring
+//	                         occupancy, merge latency
+//
+// See docs/OPERATIONS.md ("Fleet deployment") for topology and failover
+// semantics. The coordinator shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"conflictres/internal/shard"
+	"conflictres/internal/version"
+)
+
+func main() {
+	var cfg shard.Config
+	showVersion := flag.Bool("version", false, "print version and exit")
+	backends := flag.String("backends", "", "comma-separated crserve base URLs (required)")
+	flag.StringVar(&cfg.Addr, "addr", ":8371", "listen address")
+	flag.IntVar(&cfg.VNodes, "vnodes", 0, "virtual nodes per backend on the hash ring (0 = default 64)")
+	flag.IntVar(&cfg.Pipeline, "pipeline", 0, "max in-flight sub-batches per backend (0 = default 4)")
+	flag.IntVar(&cfg.ChunkEntities, "chunk", 0, "entities per batch sub-request (0 = default 32)")
+	flag.DurationVar(&cfg.Timeout, "timeout", 0, "per backend-request deadline (0 = default 2m)")
+	flag.DurationVar(&cfg.HealthInterval, "health-interval", 0, "backend probe cadence (0 = default 2s)")
+	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "max request body / NDJSON line bytes (0 = default 8 MiB)")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("crshard"))
+		return
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "crshard: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			cfg.Backends = append(cfg.Backends, u)
+		}
+	}
+	if len(cfg.Backends) == 0 {
+		fmt.Fprintln(os.Stderr, "crshard: -backends is required (comma-separated crserve URLs)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	coord, err := shard.New(cfg)
+	if err != nil {
+		log.Fatalf("crshard: %v", err)
+	}
+	log.Printf("crshard: listening on %s, %d backends", cfg.Addr, len(cfg.Backends))
+	start := time.Now()
+	if err := coord.ListenAndServe(ctx); err != nil {
+		log.Fatalf("crshard: %v", err)
+	}
+	log.Printf("crshard: shut down cleanly after %s", time.Since(start).Round(time.Second))
+}

@@ -59,7 +59,10 @@ type Session struct {
 	rebuilds      int
 	extends       int
 	clausesLoaded int
-	solvesDone    int64 // Solves accumulated on solvers replaced by rebuilds
+	// solveBase is the solver's lifetime Solves counter when this session
+	// acquired it; solver Stats are cumulative across Reset, so the
+	// session's own query count is the difference.
+	solveBase int64
 }
 
 // NewSession compiles the specification and loads it into a fresh solver.
@@ -79,13 +82,21 @@ func NewSessionFromEncoding(enc *encode.Encoding, opts encode.Options) *Session 
 }
 
 // install points the session at a (re)built encoding and loads the full
-// formula into a fresh (or Reset pooled) solver.
+// formula into the session's solver, Reset for reuse. The solver is
+// acquired once per session — the pipeline's pooled instance or a fresh
+// one — and kept across rebuilds; solver Stats accumulate across Reset, so
+// no snapshot is needed when the formula is replaced.
 func (s *Session) install(enc *encode.Encoding) {
-	if s.solver != nil {
-		s.solvesDone += s.solver.Stats.Solves
-	}
 	s.enc = enc
-	s.solver = s.newSolver()
+	if s.solver == nil {
+		if s.pipe != nil {
+			s.solver = s.pipe.solver
+		} else {
+			s.solver = sat.New()
+		}
+		s.solveBase = s.solver.Stats.Solves
+	}
+	s.solver.Reset()
 	s.loaded = 0
 	s.rebuilds++
 	s.validKnown = false
@@ -100,17 +111,6 @@ func (s *Session) buildEncoding(spec *model.Spec) *encode.Encoding {
 		return s.pipe.skel.Build(spec)
 	}
 	return encode.Build(spec, s.opts)
-}
-
-// newSolver returns the solver for the next install: the pipeline's pooled
-// instance, Reset for reuse, or a fresh one. Callers snapshot Stats first
-// (install does).
-func (s *Session) newSolver() *sat.Solver {
-	if s.pipe != nil {
-		s.pipe.solver.Reset()
-		return s.pipe.solver
-	}
-	return sat.New()
 }
 
 // sync attaches clauses appended to the encoding since the last load (delta
@@ -141,7 +141,7 @@ func (s *Session) Stats() SessionStats {
 	return SessionStats{
 		Rebuilds:      s.rebuilds,
 		Extends:       s.extends,
-		Solves:        s.solvesDone + s.solver.Stats.Solves,
+		Solves:        s.solver.Stats.Solves - s.solveBase,
 		ClausesLoaded: s.clausesLoaded,
 	}
 }

@@ -161,6 +161,82 @@ func TestInteractiveResolutionReachesTruth(t *testing.T) {
 	}
 }
 
+// TestPersonSkewDistributions pins the two entity-size distributions:
+// uniform must fill [MinTuples, MaxTuples] evenly, zipf must concentrate
+// mass at the bottom with a heavy tail — and switching Skew must not perturb
+// the uniform draw sequence existing seeds depend on.
+func TestPersonSkewDistributions(t *testing.T) {
+	const (
+		n    = 400
+		minT = 2
+		maxT = 101
+	)
+	sizes := func(skew string) []int {
+		ds := Person(PersonConfig{Entities: n, MinTuples: minT, MaxTuples: maxT, Seed: 17, Skew: skew})
+		out := make([]int, 0, n)
+		for _, e := range ds.Entities {
+			out = append(out, e.Spec.TI.Inst.Len())
+		}
+		return out
+	}
+	stats := func(sizes []int) (mean float64, small int) {
+		sum := 0
+		for _, s := range sizes {
+			sum += s
+			if s <= minT+(maxT-minT)/10 {
+				small++
+			}
+		}
+		return float64(sum) / float64(len(sizes)), small
+	}
+
+	uni := sizes("") // empty defaults to SkewUniform
+	uniMean, uniSmall := stats(uni)
+	mid := float64(minT+maxT) / 2
+	if uniMean < mid-10 || uniMean > mid+10 {
+		t.Fatalf("uniform mean %.1f, want near %.1f", uniMean, mid)
+	}
+	// A uniform draw puts ~10% of entities in the bottom decile; zipf
+	// should put the large majority there.
+	if frac := float64(uniSmall) / n; frac > 0.25 {
+		t.Fatalf("uniform bottom-decile fraction %.2f, want ~0.10", frac)
+	}
+
+	zipf := sizes(SkewZipf)
+	zipfMean, zipfSmall := stats(zipf)
+	if frac := float64(zipfSmall) / n; frac < 0.6 {
+		t.Fatalf("zipf bottom-decile fraction %.2f, want > 0.6 (heavy head)", frac)
+	}
+	if zipfMean >= uniMean/2 {
+		t.Fatalf("zipf mean %.1f not well below uniform mean %.1f", zipfMean, uniMean)
+	}
+	tail := 0
+	for _, s := range zipf {
+		if s > minT+(maxT-minT)/2 {
+			tail++
+		}
+	}
+	if tail == 0 {
+		t.Fatal("zipf produced no large entities: tail missing")
+	}
+
+	// Explicit SkewUniform is the same distribution as the zero value, draw
+	// for draw (seed compatibility).
+	explicit := sizes(SkewUniform)
+	for i := range uni {
+		if uni[i] != explicit[i] {
+			t.Fatalf("entity %d: SkewUniform size %d differs from default %d", i, explicit[i], uni[i])
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown skew must panic")
+		}
+	}()
+	Person(PersonConfig{Entities: 1, Skew: "bogus"})
+}
+
 func TestDeterministicForSeed(t *testing.T) {
 	a := Person(PersonConfig{Entities: 5, MinTuples: 2, MaxTuples: 20, Seed: 11})
 	b := Person(PersonConfig{Entities: 5, MinTuples: 2, MaxTuples: 20, Seed: 11})

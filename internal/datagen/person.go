@@ -10,8 +10,8 @@ import (
 )
 
 // PersonConfig parameterizes the Person generator of Section VI(3): n
-// entities whose instance sizes are drawn uniformly from [MinTuples,
-// MaxTuples]. The default constraint pools reproduce the paper's counts:
+// entities whose instance sizes are drawn from [MinTuples, MaxTuples]
+// (uniformly by default; see Skew). The default constraint pools reproduce the paper's counts:
 // 983 currency constraints (status/job chain pairs with distinct constants,
 // the monotone kids rule, and the ϕ5–ϕ8 couplings) and a single CFD
 // AC → city with 1000 patterns.
@@ -20,6 +20,14 @@ type PersonConfig struct {
 	MinTuples int
 	MaxTuples int
 	Seed      int64
+
+	// Skew selects the entity-size distribution over [MinTuples, MaxTuples]:
+	// SkewUniform (the default, and the paper's setup) draws sizes uniformly;
+	// SkewZipf draws them Zipf-distributed, so most entities are near
+	// MinTuples with a heavy tail of large ones — the shape of real-world
+	// entity populations, and the interesting case for shard balancing (a few
+	// hot keys carry most of the tuples).
+	Skew string
 
 	// Constraint-pool shape; zero values take the paper-matching defaults.
 	StatusChains   int // default 25, chain length 21 → 500 pair constraints
@@ -64,7 +72,43 @@ func (c PersonConfig) withDefaults() PersonConfig {
 	if c.MovesFor == nil {
 		c.MovesFor = func(size int) int { return 3 + size/400 }
 	}
+	if c.Skew == "" {
+		c.Skew = SkewUniform
+	}
 	return c
+}
+
+// Entity-size distributions accepted by PersonConfig.Skew.
+const (
+	SkewUniform = "uniform"
+	SkewZipf    = "zipf"
+)
+
+// zipfSizeS/zipfSizeV parameterize the SkewZipf distribution. s = 1.5 keeps
+// a visible heavy tail (s near 1 is almost flat, s >> 2 collapses everything
+// onto MinTuples).
+const (
+	zipfSizeS = 1.5
+	zipfSizeV = 1
+)
+
+// sizeSampler returns the per-entity instance-size draw for cfg. The uniform
+// path consumes exactly one rng.Intn per call — identical to the historical
+// draw sequence, so existing seeds reproduce byte-for-byte.
+func sizeSampler(cfg PersonConfig, rng *rand.Rand) (func() int, error) {
+	span := cfg.MaxTuples - cfg.MinTuples
+	switch cfg.Skew {
+	case SkewUniform:
+		return func() int { return cfg.MinTuples + rng.Intn(span+1) }, nil
+	case SkewZipf:
+		if span == 0 {
+			return func() int { return cfg.MinTuples }, nil
+		}
+		z := rand.NewZipf(rng, zipfSizeS, zipfSizeV, uint64(span))
+		return func() int { return cfg.MinTuples + int(z.Uint64()) }, nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown skew %q (want %q or %q)", cfg.Skew, SkewUniform, SkewZipf)
+	}
 }
 
 // personCurrencyTarget is the paper's |Σ| for Person.
@@ -78,6 +122,10 @@ const personCurrencyTarget = 983
 func Person(cfg PersonConfig) *Dataset {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizeFor, err := sizeSampler(cfg, rng)
+	if err != nil {
+		panic(err) // config error, like MustSchema: caller passed a bad Skew
+	}
 	sch := relation.MustSchema("name", "status", "job", "kids", "city", "AC", "zip", "county")
 
 	// Value pools.
@@ -138,7 +186,7 @@ func Person(cfg PersonConfig) *Dataset {
 
 	ds := &Dataset{Name: "Person", Schema: sch, Sigma: sigma, Gamma: gamma}
 	for e := 0; e < cfg.Entities; e++ {
-		size := cfg.MinTuples + rng.Intn(cfg.MaxTuples-cfg.MinTuples+1)
+		size := sizeFor()
 		ent := genPerson(cfg, rng, sch, statusChains, jobChains, acs, cities, e, size)
 		ent.Spec = model.NewSpec(ent.Spec.TI, sigma, gamma)
 		ds.Entities = append(ds.Entities, ent)

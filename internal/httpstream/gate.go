@@ -1,0 +1,102 @@
+// Package httpstream works around HTTP/1.1's lack of full-duplex streaming
+// for NDJSON request/response pairs.
+//
+// Go's HTTP/1.x server closes an unread request body at the handler's first
+// response write (see the http.ResponseWriter.Write documentation): a
+// handler that streams result lines while still scanning request lines
+// works only as long as the unread remainder fits the connection's read
+// buffer, then fails mid-stream with "invalid Read on closed Body". The
+// GatedWriter makes the safe ordering structural: response bytes buffer in
+// memory until the request body has been fully consumed, and stream
+// directly from then on — so handlers keep their pipelined shape (dispatch
+// while reading, emit as results complete) without ever writing into a
+// half-read request.
+package httpstream
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// GatedWriter wraps a ResponseWriter, buffering writes and suppressing
+// flushes until Open is called. It is safe for concurrent use; writes are
+// serialized, so NDJSON emitters can share one without extra locking of the
+// underlying connection.
+type GatedWriter struct {
+	mu   sync.Mutex
+	w    http.ResponseWriter
+	fl   http.Flusher // nil if the ResponseWriter cannot flush
+	buf  bytes.Buffer
+	open bool
+}
+
+// NewGatedWriter gates w. The gate starts closed.
+func NewGatedWriter(w http.ResponseWriter) *GatedWriter {
+	fl, _ := w.(http.Flusher)
+	return &GatedWriter{w: w, fl: fl}
+}
+
+// Write buffers p while the gate is closed and writes through once open.
+// Post-open write errors are reported to the caller (the client went away);
+// buffered writes always report success, matching the deferred send.
+func (g *GatedWriter) Write(p []byte) (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.open {
+		return g.buf.Write(p)
+	}
+	return g.w.Write(p)
+}
+
+// Flush is a no-op while gated — an early flush would send the response
+// headers, which is exactly the write that kills the request body — and
+// flushes the underlying connection once open.
+func (g *GatedWriter) Flush() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.open && g.fl != nil {
+		g.fl.Flush()
+	}
+}
+
+// Open releases the gate: buffered bytes are written out and subsequent
+// writes stream directly. Idempotent; call it once the request body is fully
+// consumed (BodyEOF does this automatically) and again unconditionally
+// before the handler returns, to cover reads that stopped short of EOF.
+// Open never flushes: an empty open must not commit the response status —
+// error paths may still need to write their own — so the first write (or an
+// explicit Flush after a write) sends the headers.
+func (g *GatedWriter) Open() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.open {
+		return
+	}
+	g.open = true
+	if g.buf.Len() > 0 {
+		g.w.Write(g.buf.Bytes())
+		g.buf.Reset()
+	}
+}
+
+// BodyEOF wraps a request body so the gate opens as soon as the body is
+// read to completion (EOF or any terminal read error): from that point on,
+// streaming the response cannot truncate the request.
+func (g *GatedWriter) BodyEOF(r io.Reader) io.Reader {
+	return &eofOpener{r: r, g: g}
+}
+
+type eofOpener struct {
+	r io.Reader
+	g *GatedWriter
+}
+
+func (e *eofOpener) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err != nil {
+		e.g.Open()
+	}
+	return n, err
+}

@@ -1,0 +1,80 @@
+package httpstream
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// flushRecorder records write-through and flush activity on the underlying
+// ResponseWriter so the tests can see exactly when the gate lets bytes out.
+type flushRecorder struct {
+	wrote   strings.Builder
+	flushes int
+	status  int
+}
+
+func (r *flushRecorder) Header() http.Header         { return http.Header{} }
+func (r *flushRecorder) Write(p []byte) (int, error) { return r.wrote.Write(p) }
+func (r *flushRecorder) WriteHeader(code int)        { r.status = code }
+func (r *flushRecorder) Flush()                      { r.flushes++ }
+
+func TestGatedWriterBuffersUntilOpen(t *testing.T) {
+	rec := &flushRecorder{}
+	g := NewGatedWriter(rec)
+
+	io.WriteString(g, "early ")
+	g.Flush()
+	if rec.wrote.Len() != 0 || rec.flushes != 0 {
+		t.Fatalf("gated writer leaked to the connection: wrote %q, %d flushes",
+			rec.wrote.String(), rec.flushes)
+	}
+
+	g.Open()
+	if got := rec.wrote.String(); got != "early " {
+		t.Fatalf("buffered bytes after Open = %q, want %q", got, "early ")
+	}
+	io.WriteString(g, "late")
+	g.Flush()
+	if got := rec.wrote.String(); got != "early late" {
+		t.Fatalf("post-open write = %q, want %q", got, "early late")
+	}
+	if rec.flushes != 1 {
+		t.Fatalf("%d flushes after open, want 1", rec.flushes)
+	}
+	g.Open() // idempotent
+	if got := rec.wrote.String(); got != "early late" {
+		t.Fatalf("second Open re-sent bytes: %q", got)
+	}
+}
+
+// An Open with nothing buffered must not touch the ResponseWriter at all:
+// error paths may still need to set their own status.
+func TestGatedWriterEmptyOpenWritesNothing(t *testing.T) {
+	rec := &flushRecorder{}
+	g := NewGatedWriter(rec)
+	g.Open()
+	if rec.wrote.Len() != 0 || rec.flushes != 0 || rec.status != 0 {
+		t.Fatalf("empty Open committed the response: wrote %q, %d flushes, status %d",
+			rec.wrote.String(), rec.flushes, rec.status)
+	}
+}
+
+func TestBodyEOFOpensTheGate(t *testing.T) {
+	rec := &flushRecorder{}
+	g := NewGatedWriter(rec)
+	body := g.BodyEOF(strings.NewReader("request bytes"))
+
+	io.WriteString(g, "result")
+	if rec.wrote.Len() != 0 {
+		t.Fatal("gate opened before the body was consumed")
+	}
+	data, err := io.ReadAll(body)
+	if err != nil || string(data) != "request bytes" {
+		t.Fatalf("body read = %q, %v", data, err)
+	}
+	if got := rec.wrote.String(); got != "result" {
+		t.Fatalf("gate did not open at body EOF: connection has %q", got)
+	}
+}

@@ -58,8 +58,10 @@ type Solver struct {
 	model    []bool
 	haveModl bool
 
-	// Stats counts solver work; useful for benchmarks and tuning. Reset
-	// zeroes it along with the formula.
+	// Stats counts solver work; useful for benchmarks and tuning. The
+	// counters are cumulative across Reset — they describe the solver's
+	// whole lifetime, so pooled reuse never loses work accounting. Callers
+	// that want per-formula numbers subtract a snapshot taken at load time.
 	Stats Stats
 
 	// MaxConflicts bounds the total conflicts per Solve call; 0 means
@@ -88,8 +90,9 @@ func New() *Solver {
 
 // Reset returns the solver to the empty state of New while keeping every
 // allocation — clause arena, literal blocks, watch lists, trail, activity
-// and heap storage — for reuse by the next formula. Stats and MaxConflicts
-// are zeroed; snapshot them first if they matter.
+// and heap storage — for reuse by the next formula. MaxConflicts is zeroed
+// (it is per-formula configuration); Stats accumulates across resets so
+// pooled reuse keeps lifetime work accounting without snapshot workarounds.
 func (s *Solver) Reset() {
 	s.arena = s.arena[:0]
 	s.clauses = s.clauses[:0]
@@ -115,7 +118,6 @@ func (s *Solver) Reset() {
 	s.ok = true
 	s.haveModl = false
 	s.MaxConflicts = 0
-	s.Stats = Stats{}
 }
 
 // NewVar allocates a fresh variable and returns it.

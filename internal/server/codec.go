@@ -21,6 +21,9 @@
 //	                             incrementally, return the next suggestion
 //	DELETE /v1/session/{id}      drop the session
 //	GET  /healthz            liveness probe
+//	GET  /readyz             readiness probe: 503 while draining (after
+//	                         Close) or if the session janitor died; body
+//	                         reports rule-cache warmth and live sessions
 //	GET  /metrics            Prometheus-style counters
 //
 // Sessions are held in a concurrency-safe store with LRU eviction under

@@ -12,6 +12,7 @@ import (
 
 	"conflictres"
 	"conflictres/internal/dataset"
+	"conflictres/internal/httpstream"
 	"conflictres/internal/relation"
 )
 
@@ -221,7 +222,13 @@ type datasetSummaryJSON struct {
 // by a summary line.
 func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	s.met.datasetRequests.Add(1)
-	br := bufio.NewReaderSize(r.Body, 64<<10)
+	// Result lines are gated until the row stream is fully received: the
+	// engine resolves entities while rows are still arriving, and an early
+	// response write would close the half-read request body (HTTP/1.1
+	// cannot full-duplex; see httpstream).
+	gw := httpstream.NewGatedWriter(w)
+	defer gw.Open() // cover reads that stop short of body EOF
+	br := bufio.NewReaderSize(gw.BodyEOF(r.Body), 64<<10)
 	headerLine, err := readLineBounded(br, s.cfg.MaxBodyBytes)
 	if errors.Is(err, bufio.ErrTooLong) {
 		s.writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
@@ -267,9 +274,8 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	ww := &wireWriter{enc: enc, flusher: flusher, sch: sch, met: s.met}
+	enc := json.NewEncoder(gw)
+	ww := &wireWriter{enc: enc, flusher: gw, sch: sch, met: s.met}
 
 	sem := make(chan struct{}, s.cfg.Workers)
 	stats, runErr := dataset.Run(r.Context(), sch, reader,
@@ -298,7 +304,6 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 		WallUs:        int64(stats.Wall / time.Microsecond),
 		RowsPerSec:    stats.RowsPerSec(),
 	}})
-	if flusher != nil {
-		flusher.Flush()
-	}
+	gw.Open()
+	gw.Flush()
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"conflictres"
+	"conflictres/internal/httpstream"
 )
 
 // Error codes carried in the structured error envelope.
@@ -247,10 +248,14 @@ type batchHeader struct {
 // compiles the shared rule set; every following line is one entity. Results
 // stream back one JSON line each, in completion order, carrying the input's
 // id and zero-based entity index. Memory use is bounded by the worker-pool
-// width, not the stream length.
+// width, not the stream length. Result lines are gated until the request
+// stream is fully received (HTTP/1.1 cannot full-duplex; see httpstream),
+// then stream as they complete.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.met.batchRequests.Add(1)
-	sc := bufio.NewScanner(r.Body)
+	gw := httpstream.NewGatedWriter(w)
+	defer gw.Open() // cover reads that stop short of body EOF
+	sc := bufio.NewScanner(gw.BodyEOF(r.Body))
 	// Scanner's effective cap is max(cap(buf), max): keep the initial buffer
 	// at or below the configured limit so small limits actually bind.
 	bufSize := 64 << 10
@@ -280,16 +285,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
 	var wmu sync.Mutex // serializes result lines
-	enc := json.NewEncoder(w)
+	enc := json.NewEncoder(gw)
 	emit := func(out *resultJSON) {
 		wmu.Lock()
 		defer wmu.Unlock()
 		enc.Encode(out)
-		if flusher != nil {
-			flusher.Flush()
-		}
+		gw.Flush()
 	}
 
 	sem := make(chan struct{}, s.cfg.Workers)
@@ -334,9 +336,52 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealthz is GET /healthz.
+// handleHealthz is GET /healthz: liveness only — the process is up and
+// serving. It stays green through shutdown draining; readiness is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// readyzJSON is the GET /readyz body: readiness as distinct from liveness.
+type readyzJSON struct {
+	Ready bool `json:"ready"`
+	// RuleCacheEntries reports how many compiled rule sets are warm; a
+	// coordinator can prefer warmed backends but must not require warmth —
+	// a fresh backend is ready, just slower on its first request per rule
+	// set.
+	RuleCacheEntries int  `json:"ruleCacheEntries"`
+	RuleCacheWarm    bool `json:"ruleCacheWarm"`
+	// SessionJanitor reports the expiry janitor goroutine: "running" or
+	// "stopped". A stopped janitor means Close ran (shutdown draining) —
+	// session state would silently stop expiring, so the server reports
+	// itself unready.
+	SessionJanitor string `json:"sessionJanitor"`
+	LiveSessions   int    `json:"liveSessions"`
+}
+
+// handleReadyz is GET /readyz: 200 while the server should receive new
+// work, 503 once Close has run (shutdown draining) or the session janitor
+// has exited. External load balancers and the crshard health checker route
+// on this; /healthz remains a pure liveness probe.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	_, _, ruleEntries := s.rules.stats()
+	st := readyzJSON{
+		Ready:            !s.closed.Load() && s.janitorUp.Load(),
+		RuleCacheEntries: ruleEntries,
+		RuleCacheWarm:    ruleEntries > 0,
+		SessionJanitor:   "running",
+		LiveSessions:     s.sessions.Live(),
+	}
+	if !s.janitorUp.Load() {
+		st.SessionJanitor = "stopped"
+	}
+	if !st.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(&st)
+		return
+	}
+	writeJSON(w, &st)
 }
 
 // handleMetrics is GET /metrics.

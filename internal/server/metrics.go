@@ -59,7 +59,7 @@ func (m *metrics) observe(res *conflictres.Result) {
 }
 
 // write renders the counters in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, cache *lru, sessions *sessionStore) {
+func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore) {
 	hits, misses, size := cache.stats()
 	var hitRate float64
 	if hits+misses > 0 {
@@ -91,14 +91,15 @@ func (m *metrics) write(w io.Writer, cache *lru, sessions *sessionStore) {
 	fmt.Fprintf(w, "crserve_session_solves_total %d\n", m.sessionSolves.Load())
 	fmt.Fprintf(w, "# TYPE crserve_session_clauses_loaded_total counter\n")
 	fmt.Fprintf(w, "crserve_session_clauses_loaded_total %d\n", m.sessionClauses.Load())
+	sc := sessions.Counters()
 	fmt.Fprintf(w, "# TYPE crserve_session_store_live gauge\n")
-	fmt.Fprintf(w, "crserve_session_store_live %d\n", sessions.live())
+	fmt.Fprintf(w, "crserve_session_store_live %d\n", sessions.Live())
 	fmt.Fprintf(w, "# TYPE crserve_session_store_created_total counter\n")
-	fmt.Fprintf(w, "crserve_session_store_created_total %d\n", sessions.created.Load())
+	fmt.Fprintf(w, "crserve_session_store_created_total %d\n", sc.Created)
 	fmt.Fprintf(w, "# TYPE crserve_session_store_expired_total counter\n")
-	fmt.Fprintf(w, "crserve_session_store_expired_total %d\n", sessions.expired.Load())
+	fmt.Fprintf(w, "crserve_session_store_expired_total %d\n", sc.Expired)
 	fmt.Fprintf(w, "# TYPE crserve_session_store_evicted_total counter\n")
-	fmt.Fprintf(w, "crserve_session_store_evicted_total %d\n", sessions.evicted.Load())
+	fmt.Fprintf(w, "crserve_session_store_evicted_total %d\n", sc.Evicted)
 	pool := conflictres.PoolCounters()
 	fmt.Fprintf(w, "# TYPE crserve_pool_hits_total counter\n")
 	fmt.Fprintf(w, "crserve_pool_hits_total %d\n", pool.Hits)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +41,11 @@ type Config struct {
 	SessionTTL time.Duration
 	// SessionSweep is the janitor's sweep interval (default 1m).
 	SessionSweep time.Duration
+	// SessionStore overrides the session registry (default: the in-memory
+	// store under SessionCap/SessionTTL). A custom store is the seam for
+	// external or replicated session backends; see SnapshotSessions /
+	// RestoreSessions for the rolling-restart path of the built-in store.
+	SessionStore SessionStore
 }
 
 func (c Config) withDefaults() Config {
@@ -92,9 +99,17 @@ type Server struct {
 	cfg      Config
 	results  *lru // cacheKey(rules+instance) -> *cachedResult
 	rules    *lru // cacheKey(rules)          -> *conflictres.RuleSet
-	sessions *sessionStore
+	sessions SessionStore
 	met      *metrics
 	mux      *http.ServeMux
+
+	// Janitor lifecycle, surfaced by /readyz: a server whose janitor has
+	// stopped (Close was called) must stop receiving load-balanced traffic
+	// even though /healthz still answers.
+	janitorStop chan struct{}
+	janitorUp   atomic.Bool
+	closeOnce   sync.Once
+	closed      atomic.Bool
 }
 
 // New builds a server; zero Config fields take defaults. The server owns a
@@ -102,14 +117,19 @@ type Server struct {
 // (ListenAndServe does so on shutdown; tests must call it themselves).
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg: cfg.withDefaults(),
-		met: &metrics{},
-		mux: http.NewServeMux(),
+		cfg:         cfg.withDefaults(),
+		met:         &metrics{},
+		mux:         http.NewServeMux(),
+		janitorStop: make(chan struct{}),
 	}
 	s.results = newLRU(s.cfg.CacheSize)
 	s.rules = newLRU(s.cfg.RuleCacheSize)
-	s.sessions = newSessionStore(s.cfg.SessionCap, s.cfg.SessionTTL)
-	go s.sessions.janitor(s.cfg.SessionSweep)
+	s.sessions = s.cfg.SessionStore
+	if s.sessions == nil {
+		s.sessions = newMemSessionStore(s.cfg.SessionCap, s.cfg.SessionTTL)
+	}
+	s.janitorUp.Store(true)
+	go s.janitor(s.cfg.SessionSweep)
 	s.mux.HandleFunc("POST /v1/resolve", s.handleResolve)
 	s.mux.HandleFunc("POST /v1/resolve/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/resolve/dataset", s.handleDataset)
@@ -119,6 +139,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/session/{id}/answer", s.handleSessionAnswer)
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -126,10 +147,34 @@ func New(cfg Config) *Server {
 // Handler returns the root handler; it is what tests mount on httptest.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close releases the server's background resources (the session janitor).
-// It does not wait for in-flight requests; ListenAndServe's graceful
-// shutdown does that before calling Close.
-func (s *Server) Close() { s.sessions.close() }
+// janitor periodically sweeps expired sessions until Close. It runs on its
+// own goroutine; /readyz reports its liveness.
+func (s *Server) janitor(every time.Duration) {
+	defer s.janitorUp.Store(false)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.sessions.Sweep()
+		}
+	}
+}
+
+// Close releases the server's background resources (the session janitor and
+// the session store). It does not wait for in-flight requests;
+// ListenAndServe's graceful shutdown does that before calling Close. After
+// Close the server answers /readyz with 503 while /healthz stays green, so
+// fleet health checkers drain it instead of declaring it dead.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		close(s.janitorStop)
+		s.sessions.Close()
+	})
+}
 
 // ListenAndServe serves until ctx is cancelled, then shuts down gracefully,
 // waiting up to ShutdownGrace for in-flight requests.

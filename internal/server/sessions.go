@@ -150,7 +150,10 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return created{err: err}
 		}
-		e := &sessionEntry{sess: sess, rules: rules, entityID: req.Entity.ID}
+		e := &sessionEntry{
+			sess: sess, rules: rules, entityID: req.Entity.ID,
+			replay: sessionReplay{Rules: req.ruleSetJSON, Entity: req.Entity},
+		}
 		return created{e: e, state: encodeSessionState(e)}
 	})
 	if err != nil {
@@ -163,7 +166,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Register only after the state snapshot: the id is unknown to any
 	// other client until this response reveals it, so no lock is needed.
-	out.state.Session = s.sessions.add(out.e)
+	out.state.Session = s.sessions.Add(out.e)
 	writeJSON(w, out.state)
 }
 
@@ -171,7 +174,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 // 404 for unknown, expired, or evicted ids.
 func (s *Server) sessionByPath(w http.ResponseWriter, r *http.Request) (*sessionEntry, bool) {
 	id := r.PathValue("id")
-	e, ok := s.sessions.get(id)
+	e, ok := s.sessions.Get(id)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, codeSessionNotFound,
 			fmt.Sprintf("no live session %q: unknown id, expired, or evicted", id))
@@ -253,6 +256,9 @@ func (s *Server) handleSessionAnswer(w http.ResponseWriter, r *http.Request) {
 		if err := e.sess.Apply(answers); err != nil {
 			return applied{err: err}
 		}
+		// Record the applied round for SnapshotSessions (still under e.mu):
+		// only successful applies are replayable state.
+		e.replay.Answers = append(e.replay.Answers, req.Answers)
 		return applied{state: encodeSessionState(e)}
 	})
 	if err != nil {
@@ -272,7 +278,7 @@ func (s *Server) handleSessionAnswer(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	s.met.sessionRequests.Add(1)
 	id := r.PathValue("id")
-	if !s.sessions.remove(id) {
+	if !s.sessions.Remove(id) {
 		s.writeError(w, http.StatusNotFound, codeSessionNotFound,
 			fmt.Sprintf("no live session %q: unknown id, expired, or evicted", id))
 		return

@@ -317,10 +317,10 @@ func TestSessionTTLExpiry(t *testing.T) {
 	if _, resp := getSession(t, ts.URL, state.Session); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("expired session must answer 404")
 	}
-	if got := s.sessions.expired.Load(); got != 1 {
+	if got := s.sessions.Counters().Expired; got != 1 {
 		t.Fatalf("expired counter = %d, want 1", got)
 	}
-	if got := s.sessions.live(); got != 0 {
+	if got := s.sessions.Live(); got != 0 {
 		t.Fatalf("live = %d, want 0", got)
 	}
 }
@@ -331,13 +331,13 @@ func TestSessionJanitorSweeps(t *testing.T) {
 	s, ts := newTestServer(t, Config{SessionTTL: 20 * time.Millisecond, SessionSweep: 5 * time.Millisecond})
 	createSession(t, ts.URL, wireFromSpec(t, fixtures.EdithSpec(), "e"))
 	deadline := time.Now().Add(2 * time.Second)
-	for s.sessions.live() > 0 {
+	for s.sessions.Live() > 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("janitor never swept the expired session")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if got := s.sessions.expired.Load(); got != 1 {
+	if got := s.sessions.Counters().Expired; got != 1 {
 		t.Fatalf("expired counter = %d, want 1", got)
 	}
 }
@@ -361,10 +361,10 @@ func TestSessionLRUEviction(t *testing.T) {
 			t.Fatalf("session %s must survive", id)
 		}
 	}
-	if got := s.sessions.evicted.Load(); got != 1 {
+	if got := s.sessions.Counters().Evicted; got != 1 {
 		t.Fatalf("evicted counter = %d, want 1", got)
 	}
-	if got := s.sessions.created.Load(); got != 3 {
+	if got := s.sessions.Counters().Created; got != 3 {
 		t.Fatalf("created counter = %d, want 3", got)
 	}
 }
@@ -375,7 +375,7 @@ func TestSessionLRUEviction(t *testing.T) {
 func TestSessionAnswerConflict(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	state, _ := createSession(t, ts.URL, wireFromSpec(t, fixtures.GeorgeSpec(), "g"))
-	e, ok := s.sessions.get(state.Session)
+	e, ok := s.sessions.Get(state.Session)
 	if !ok {
 		t.Fatal("session must be live")
 	}
@@ -475,5 +475,106 @@ func TestSessionMetricsExposed(t *testing.T) {
 		if !bytes.Contains([]byte(body), []byte(want)) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestJanitorCloseRace closes the server while answers are in flight and
+// while the janitor is sweeping at a hot interval (run under -race in CI).
+// Close must not race the sweep loop or in-flight handler work, must be
+// idempotent, and must leave /readyz answering 503.
+func TestJanitorCloseRace(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		SessionTTL:   10 * time.Millisecond,
+		SessionSweep: time.Millisecond,
+	})
+	state, _ := createSession(t, ts.URL, wireFromSpec(t, fixtures.GeorgeSpec(), "g"))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				body, _ := json.Marshal(map[string]any{"answers": map[string]any{"status": "retired"}})
+				resp, err := http.Post(ts.URL+"/v1/session/"+state.Session+"/answer", "application/json", bytes.NewReader(body))
+				if err != nil {
+					return // server may be mid-teardown; transport errors are fine here
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Two concurrent Closes racing the sweeps and the answers above.
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 after Close")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestEvictionRacesHeldSession evicts a session whose entry lock is held by
+// a simulated in-flight apply (run under -race in CI). Eviction only
+// unlinks the entry from the store — it must not contend on the entry
+// lock — and the in-flight work completes against its private reference
+// while new requests for the id answer 404.
+func TestEvictionRacesHeldSession(t *testing.T) {
+	s, ts := newTestServer(t, Config{SessionCap: 1})
+	a, _ := createSession(t, ts.URL, wireFromSpec(t, fixtures.GeorgeSpec(), "a"))
+	e, ok := s.sessions.Get(a.Session)
+	if !ok {
+		t.Fatal("session must be live")
+	}
+	if !e.mu.TryLock() {
+		t.Fatal("fresh session lock must be free")
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		// The in-flight apply, working under the held lock while the
+		// store concurrently drops the entry.
+		defer wg.Done()
+		defer e.mu.Unlock()
+		if err := e.sess.Apply(map[string]conflictres.Value{
+			"status": conflictres.String("retired"),
+		}); err != nil {
+			t.Errorf("apply under eviction: %v", err)
+		}
+	}()
+	go func() {
+		// Cap 1: each create evicts the previous LRU entry, including the
+		// locked one.
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			createSession(t, ts.URL, wireFromSpec(t, fixtures.EdithSpec(), "filler"))
+		}
+	}()
+	wg.Wait()
+	if _, resp := getSession(t, ts.URL, a.Session); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted session must answer 404, got %d", resp.StatusCode)
+	}
+	if got := s.sessions.Counters().Evicted; got < 1 {
+		t.Fatalf("evicted counter = %d, want >= 1", got)
+	}
+	// The apply committed on the private reference even though the store
+	// dropped it: the entry's own state is consistent.
+	if !e.sess.Result().Valid {
+		t.Fatal("apply on the evicted entry must have left it valid")
 	}
 }

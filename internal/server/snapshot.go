@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"conflictres"
+	"conflictres/internal/relation"
+)
+
+// sessionReplay is the wire-level input that rebuilds one interactive
+// session from scratch: the create request plus every successfully applied
+// answer round, in order. Applying the same answers to the same entity under
+// the same rules is deterministic, so replay reconstructs the exact session
+// state without serializing any solver internals.
+type sessionReplay struct {
+	Rules   ruleSetJSON                  `json:"rules"`
+	Entity  entityJSON                   `json:"entity"`
+	Answers []map[string]json.RawMessage `json:"answers,omitempty"`
+}
+
+// sessionSnapshotJSON is one NDJSON line of a session-store snapshot.
+type sessionSnapshotJSON struct {
+	ID string `json:"id"`
+	sessionReplay
+}
+
+// SnapshotSessions serializes every live session as one NDJSON line of
+// replayable wire input (rules, entity, applied answers) — the rolling-
+// restart path: drain the server, snapshot, restart, RestoreSessions. Each
+// entry is written under its per-session lock, so a snapshot taken while
+// answers are in flight captures each session at an answer boundary.
+func (s *Server) SnapshotSessions(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	var err error
+	s.sessions.ForEach(func(e *sessionEntry) {
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		rec := sessionSnapshotJSON{ID: e.id, sessionReplay: e.replay}
+		werr := enc.Encode(&rec)
+		e.mu.Unlock()
+		if werr != nil {
+			err = werr
+		}
+	})
+	return err
+}
+
+// RestoreSessions rebuilds sessions from a SnapshotSessions stream,
+// registering each under its original id so clients keep their handles
+// across the restart. It returns how many sessions were restored; a session
+// whose replay no longer applies cleanly (e.g. the snapshot was truncated)
+// is skipped and counted in the returned error, not fatal to the rest. TTL
+// clocks restart at the restore.
+func (s *Server) RestoreSessions(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), int(s.cfg.MaxBodyBytes))
+	restored, skipped := 0, 0
+	var firstErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec sessionSnapshotJSON
+		if err := json.Unmarshal(line, &rec); err != nil {
+			skipped++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("bad snapshot line: %w", err)
+			}
+			continue
+		}
+		e, err := s.replaySession(&rec.sessionReplay)
+		if err != nil {
+			skipped++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("session %s: %w", rec.ID, err)
+			}
+			continue
+		}
+		s.sessions.Restore(rec.ID, e)
+		restored++
+	}
+	if err := sc.Err(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return restored, fmt.Errorf("server: restore: %d sessions skipped: %w", skipped, firstErr)
+	}
+	return restored, nil
+}
+
+// replaySession rebuilds one session from its replay record.
+func (s *Server) replaySession(rep *sessionReplay) (*sessionEntry, error) {
+	rules, err := s.compileRules(&rep.Rules)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := bindEntity(rules, &rep.Entity)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := conflictres.NewSession(spec)
+	if err != nil {
+		return nil, err
+	}
+	sch := rules.Schema()
+	for i, round := range rep.Answers {
+		answers := make(map[string]conflictres.Value, len(round))
+		for name, raw := range round {
+			v, err := relation.FromJSONScalar(raw)
+			if err != nil {
+				return nil, fmt.Errorf("answer round %d, attribute %s: %w", i, name, err)
+			}
+			if _, ok := sch.Attr(name); !ok {
+				return nil, fmt.Errorf("answer round %d: unknown attribute %q", i, name)
+			}
+			answers[name] = v
+		}
+		if err := sess.Apply(answers); err != nil {
+			return nil, fmt.Errorf("answer round %d: %w", i, err)
+		}
+	}
+	return &sessionEntry{
+		sess:     sess,
+		rules:    rules,
+		entityID: rep.Entity.ID,
+		replay:   *rep,
+	}, nil
+}

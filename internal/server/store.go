@@ -12,13 +12,21 @@ import (
 )
 
 // sessionEntry is one live interactive resolution session owned by the
-// store: the facade Session plus everything needed to serve and expire it.
+// store: the facade Session plus everything needed to serve, expire, and
+// snapshot it.
 type sessionEntry struct {
 	id    string
 	sess  *conflictres.Session
 	rules *conflictres.RuleSet
 	// entityID echoes the create request's entity id in every state response.
 	entityID string
+
+	// replay holds the wire-level inputs that rebuild this session from
+	// scratch (the create request plus every successfully applied answer
+	// round, in order). It is what Server.SnapshotSessions serializes, so a
+	// fleet can roll-restart a backend without dropping live conversations.
+	// Guarded by mu alongside the session itself.
+	replay sessionReplay
 
 	// mu serializes multi-call handler sequences on the session (the facade
 	// Session makes individual calls safe, but a state snapshot or an
@@ -31,33 +39,77 @@ type sessionEntry struct {
 	lastUse time.Time
 }
 
-// sessionStore is a concurrency-safe map of live interactive sessions with
-// LRU eviction under a capacity cap and TTL expiry. Expired entries are
-// collected lazily on access and by a janitor goroutine whose lifetime is
-// tied to the server's (Server.Close stops it).
-type sessionStore struct {
+// StoreCounters are a session store's monotonic lifecycle counters, surfaced
+// in /metrics.
+type StoreCounters struct {
+	Created int64
+	Expired int64
+	Evicted int64
+}
+
+// SessionStore is the registry of live interactive sessions behind the
+// /v1/session endpoints. The server ships an in-memory implementation
+// (LRU eviction under a capacity cap, TTL expiry enforced lazily and by the
+// server's janitor); the interface is the seam for external or replicated
+// stores — a fleet backend can be drained, snapshotted via
+// Server.SnapshotSessions, and restored on the next process without
+// clients losing their session ids.
+//
+// Implementations must be safe for concurrent use.
+type SessionStore interface {
+	// Add registers a new session under a fresh opaque id and returns it,
+	// evicting over capacity.
+	Add(e *sessionEntry) string
+	// Restore registers a session under a caller-supplied id (a snapshot
+	// restore keeps ids stable across restarts), replacing any entry
+	// already held under it.
+	Restore(id string, e *sessionEntry)
+	// Get returns the live entry for id, refreshing its TTL clock and LRU
+	// position; expired entries are collected and reported absent.
+	Get(id string) (*sessionEntry, bool)
+	// Remove deletes the session, reporting whether it was present and not
+	// already expired.
+	Remove(id string) bool
+	// ForEach calls f on every live entry (no TTL refresh). The iteration
+	// order is unspecified; f must not call back into the store.
+	ForEach(f func(*sessionEntry))
+	// Live returns the number of sessions currently held.
+	Live() int
+	// Counters reports the store's lifecycle counters.
+	Counters() StoreCounters
+	// Sweep removes every entry past its TTL (called by the janitor).
+	Sweep()
+	// Close releases any resources the store holds. The in-memory store
+	// has none; external stores flush here.
+	Close()
+}
+
+// memSessionStore is the built-in in-memory SessionStore: a concurrency-safe
+// map with LRU eviction under a capacity cap and TTL expiry. Expired entries
+// are collected lazily on access and by the server's janitor goroutine.
+type memSessionStore struct {
 	mu  sync.Mutex
 	cap int
 	ttl time.Duration
 	ll  *list.List               // front = most recently used; holds *sessionEntry
 	m   map[string]*list.Element // id -> element in ll
 
-	stop     chan struct{}
-	stopOnce sync.Once
-
-	// Monotonic counters surfaced in /metrics; live is ll.Len().
 	created atomic.Int64
 	expired atomic.Int64
 	evicted atomic.Int64
 }
 
-func newSessionStore(capacity int, ttl time.Duration) *sessionStore {
-	return &sessionStore{
-		cap:  capacity,
-		ttl:  ttl,
-		ll:   list.New(),
-		m:    make(map[string]*list.Element),
-		stop: make(chan struct{}),
+// NewMemSessionStore builds the in-memory session store used by default.
+func NewMemSessionStore(capacity int, ttl time.Duration) SessionStore {
+	return newMemSessionStore(capacity, ttl)
+}
+
+func newMemSessionStore(capacity int, ttl time.Duration) *memSessionStore {
+	return &memSessionStore{
+		cap: capacity,
+		ttl: ttl,
+		ll:  list.New(),
+		m:   make(map[string]*list.Element),
 	}
 }
 
@@ -72,12 +124,30 @@ func newSessionID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// add registers a new session and returns its id, evicting the least
+// Add registers a new session and returns its id, evicting the least
 // recently used entries if the store is over capacity.
-func (st *sessionStore) add(e *sessionEntry) string {
+func (st *memSessionStore) Add(e *sessionEntry) string {
 	e.id = newSessionID()
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.insertLocked(e)
+	return e.id
+}
+
+// Restore registers a session under the given id, replacing any current
+// holder — snapshot restores keep ids stable across a process restart.
+func (st *memSessionStore) Restore(id string, e *sessionEntry) {
+	e.id = id
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.m[id]; ok {
+		st.ll.Remove(el)
+		delete(st.m, id)
+	}
+	st.insertLocked(e)
+}
+
+func (st *memSessionStore) insertLocked(e *sessionEntry) {
 	e.lastUse = time.Now()
 	st.m[e.id] = st.ll.PushFront(e)
 	st.created.Add(1)
@@ -88,14 +158,13 @@ func (st *sessionStore) add(e *sessionEntry) string {
 		delete(st.m, old.id)
 		st.evicted.Add(1)
 	}
-	return e.id
 }
 
-// get returns the live entry for id, refreshing its TTL clock and LRU
+// Get returns the live entry for id, refreshing its TTL clock and LRU
 // position. An entry past its TTL is removed and reported as absent — the
 // caller answers 404 whether the id never existed, expired, or was evicted;
 // ids are opaque, so the distinction is not observable remotely anyway.
-func (st *sessionStore) get(id string) (*sessionEntry, bool) {
+func (st *memSessionStore) Get(id string) (*sessionEntry, bool) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	el, ok := st.m[id]
@@ -114,9 +183,9 @@ func (st *sessionStore) get(id string) (*sessionEntry, bool) {
 	return e, true
 }
 
-// remove deletes the session with the given id, reporting whether it was
+// Remove deletes the session with the given id, reporting whether it was
 // present (and not already expired).
-func (st *sessionStore) remove(id string) bool {
+func (st *memSessionStore) Remove(id string) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	el, ok := st.m[id]
@@ -133,16 +202,40 @@ func (st *sessionStore) remove(id string) bool {
 	return !expired
 }
 
-// live returns the number of sessions currently held.
-func (st *sessionStore) live() int {
+// ForEach calls f on every live entry. The entry list is snapshotted under
+// the store lock and f runs outside it, so f may lock entry mutexes without
+// risking lock-order inversions against handlers.
+func (st *memSessionStore) ForEach(f func(*sessionEntry)) {
+	st.mu.Lock()
+	entries := make([]*sessionEntry, 0, st.ll.Len())
+	for el := st.ll.Front(); el != nil; el = el.Next() {
+		entries = append(entries, el.Value.(*sessionEntry))
+	}
+	st.mu.Unlock()
+	for _, e := range entries {
+		f(e)
+	}
+}
+
+// Live returns the number of sessions currently held.
+func (st *memSessionStore) Live() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.ll.Len()
 }
 
-// sweep removes every entry past its TTL. It walks from the LRU tail, so it
+// Counters reports the store's lifecycle counters.
+func (st *memSessionStore) Counters() StoreCounters {
+	return StoreCounters{
+		Created: st.created.Load(),
+		Expired: st.expired.Load(),
+		Evicted: st.evicted.Load(),
+	}
+}
+
+// Sweep removes every entry past its TTL. It walks from the LRU tail, so it
 // stops at the first still-live entry.
-func (st *sessionStore) sweep() {
+func (st *memSessionStore) Sweep() {
 	if st.ttl <= 0 {
 		return
 	}
@@ -162,22 +255,5 @@ func (st *sessionStore) sweep() {
 	}
 }
 
-// janitor periodically sweeps expired sessions until close is called. Run it
-// on its own goroutine.
-func (st *sessionStore) janitor(every time.Duration) {
-	t := time.NewTicker(every)
-	defer t.Stop()
-	for {
-		select {
-		case <-st.stop:
-			return
-		case <-t.C:
-			st.sweep()
-		}
-	}
-}
-
-// close stops the janitor. Safe to call more than once.
-func (st *sessionStore) close() {
-	st.stopOnce.Do(func() { close(st.stop) })
-}
+// Close is a no-op: the in-memory store holds no external resources.
+func (st *memSessionStore) Close() {}

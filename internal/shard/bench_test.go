@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"conflictres/internal/server"
+)
+
+// newUncachedBackendURL starts a crserve backend with the result cache off,
+// so every benchmark iteration pays real resolution instead of a cache hit.
+func newUncachedBackendURL(b *testing.B) string {
+	b.Helper()
+	s := server.New(server.Config{CacheSize: -1})
+	b.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// BenchmarkShardedBatch measures batch resolution throughput through the
+// crshard coordinator over two local crserve backends, against the same
+// stream on one directly-addressed backend. The fleet pays an extra HTTP
+// hop, chunking, and merge per entity; the benchmark tracks how much of the
+// fan-out win that overhead eats at this (small, in-process) scale.
+func BenchmarkShardedBatch(b *testing.B) {
+	const entities = 64
+	body := edithBatchBody(b, entities)
+
+	run := func(b *testing.B, url string) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(body)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Post(url+"/v1/resolve/batch", "application/x-ndjson", bytes.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			got := 0
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 64<<10), 1<<20)
+			for sc.Scan() {
+				if len(sc.Bytes()) > 0 {
+					got++
+				}
+			}
+			resp.Body.Close()
+			if err := sc.Err(); err != nil {
+				b.Fatal(err)
+			}
+			if got != entities {
+				b.Fatalf("%d results, want %d", got, entities)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(entities)*float64(b.N)/b.Elapsed().Seconds(), "entities/s")
+	}
+
+	b.Run("single", func(b *testing.B) {
+		run(b, newUncachedBackendURL(b))
+	})
+	b.Run("fleet=2", func(b *testing.B) {
+		_, curl := newShard(b, []string{newUncachedBackendURL(b), newUncachedBackendURL(b)}, func(cfg *Config) {
+			cfg.ChunkEntities = 16
+		})
+		run(b, curl)
+	})
+}

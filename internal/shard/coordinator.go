@@ -1,0 +1,419 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"conflictres"
+)
+
+// Error codes the coordinator adds on top of the backend envelope.
+const (
+	codeBadRequest = "bad_request"
+	codeBadRules   = "invalid_rules"
+	codeTooLarge   = "body_too_large"
+	// codeNoBackend answers work that exhausted every live backend: the
+	// entity was routed, retried along its preference list, and no owner
+	// could take it.
+	codeNoBackend = "no_backend"
+	// codeBackendDown answers session traffic whose owning backend is
+	// unreachable — sessions are stateful, so there is no sibling to retry
+	// on; the client re-creates the session (or the fleet restores it from
+	// a snapshot, see server.RestoreSessions).
+	codeBackendDown = "backend_unavailable"
+	// codeBadSessionID answers session ids that do not carry a known
+	// backend tag — the id was not minted by this fleet.
+	codeBadSessionID = "session_not_found"
+)
+
+// backend is one crserve instance in the fleet.
+type backend struct {
+	url string // normalized base URL, no trailing slash
+	// tag prefixes every session id minted through this backend, giving
+	// session affinity without coordinator state: it survives coordinator
+	// restarts because it is derived from the backend URL alone.
+	tag string
+	// up is flipped down on transport errors (mark-down) and back up by
+	// the health checker; routing skips down backends.
+	up atomic.Bool
+
+	requests atomic.Int64 // HTTP requests sent to this backend
+	errors   atomic.Int64 // transport failures talking to this backend
+	retries  atomic.Int64 // jobs this backend received as retries after a sibling failed
+}
+
+// Config tunes the coordinator.
+type Config struct {
+	// Addr is the listen address (default ":8371").
+	Addr string
+	// Backends lists the crserve base URLs (required, e.g.
+	// "http://10.0.0.1:8372"). Order is irrelevant: placement depends only
+	// on the URL set, so every coordinator with the same set routes alike.
+	Backends []string
+	// VNodes is the virtual nodes per backend on the ring (default 64).
+	VNodes int
+	// Pipeline bounds the in-flight sub-batches per backend (default 4).
+	Pipeline int
+	// ChunkEntities is the batch sub-request size: how many entities ride
+	// in one POST to a backend (default 32).
+	ChunkEntities int
+	// Timeout bounds one backend request (default 2m — it covers a whole
+	// sub-batch or dataset partition, not a single entity).
+	Timeout time.Duration
+	// HealthInterval is the backend probe cadence (default 2s).
+	HealthInterval time.Duration
+	// MaxBodyBytes caps request bodies and NDJSON lines (default 8 MiB).
+	MaxBodyBytes int64
+	// ShutdownGrace bounds how long Serve waits for in-flight requests on
+	// shutdown (default 10s).
+	ShutdownGrace time.Duration
+	// Client overrides the HTTP client used to talk to backends (tests).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8371"
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 4
+	}
+	if c.ChunkEntities <= 0 {
+		c.ChunkEntities = 32
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Coordinator fronts a crserve fleet behind the single-server wire API.
+type Coordinator struct {
+	cfg      Config
+	ring     *Ring
+	backends []*backend
+	byTag    map[string]*backend
+	met      *metrics
+	mux      *http.ServeMux
+
+	healthStop chan struct{}
+	closeOnce  sync.Once
+}
+
+// New builds a coordinator over the configured backends. It starts a
+// background health checker; call Close when done.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("shard: no backends configured")
+	}
+	if len(cfg.Backends) > 64 {
+		// Retry bookkeeping packs tried backends into a uint64 bitmask.
+		return nil, fmt.Errorf("shard: at most 64 backends supported, got %d", len(cfg.Backends))
+	}
+	names := make([]string, len(cfg.Backends))
+	for i, u := range cfg.Backends {
+		names[i] = strings.TrimRight(u, "/")
+	}
+	ring, err := NewRing(names, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:        cfg,
+		ring:       ring,
+		met:        &metrics{},
+		mux:        http.NewServeMux(),
+		byTag:      make(map[string]*backend, len(names)),
+		healthStop: make(chan struct{}),
+	}
+	for _, u := range names {
+		b := &backend{url: u, tag: fmt.Sprintf("%08x", uint32(hash64(u)))}
+		if prev, dup := c.byTag[b.tag]; dup {
+			return nil, fmt.Errorf("shard: backend tag collision between %q and %q", prev.url, u)
+		}
+		b.up.Store(true) // optimistic: the first failed request marks down
+		c.byTag[b.tag] = b
+		c.backends = append(c.backends, b)
+	}
+	go c.healthLoop()
+	c.mux.HandleFunc("POST /v1/resolve", c.handleResolve)
+	c.mux.HandleFunc("POST /v1/validate", c.handleValidate)
+	c.mux.HandleFunc("POST /v1/resolve/batch", c.handleBatch)
+	c.mux.HandleFunc("POST /v1/resolve/dataset", c.handleDataset)
+	c.mux.HandleFunc("POST /v1/session", c.handleSessionCreate)
+	c.mux.HandleFunc("GET /v1/session/{id}", c.handleSessionProxy)
+	c.mux.HandleFunc("POST /v1/session/{id}/answer", c.handleSessionProxy)
+	c.mux.HandleFunc("DELETE /v1/session/{id}", c.handleSessionProxy)
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return c, nil
+}
+
+// Handler returns the root handler (what tests mount on httptest).
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the health checker. In-flight requests are unaffected.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() { close(c.healthStop) })
+}
+
+// ListenAndServe serves until ctx is cancelled, then shuts down gracefully.
+func (c *Coordinator) ListenAndServe(ctx context.Context) error {
+	srv := &http.Server{
+		Addr:              c.cfg.Addr,
+		Handler:           c.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	defer c.Close()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("shard: %w", err)
+	case <-ctx.Done():
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), c.cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shard: shutdown: %w", err)
+	}
+	return nil
+}
+
+// healthLoop probes every backend each HealthInterval: /readyz 200 means
+// ready; a backend without /readyz (older build) falls back to /healthz, so
+// the coordinator still drives mixed fleets. Probe failure marks down,
+// probe success revives a marked-down backend.
+func (c *Coordinator) healthLoop() {
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.healthStop:
+			return
+		case <-t.C:
+			for _, b := range c.backends {
+				b.up.Store(c.probe(b))
+			}
+		}
+	}
+}
+
+func (c *Coordinator) probe(b *backend) bool {
+	probeOne := func(path string) (int, bool) {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.HealthInterval)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+path, nil)
+		if err != nil {
+			return 0, false
+		}
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			return 0, false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, true
+	}
+	code, ok := probeOne("/readyz")
+	if ok && code == http.StatusNotFound {
+		code, ok = probeOne("/healthz")
+	}
+	return ok && code == http.StatusOK
+}
+
+// markDown flips a backend down after a transport error; the health checker
+// is the only path back up.
+func (c *Coordinator) markDown(b *backend) {
+	b.errors.Add(1)
+	b.up.Store(false)
+}
+
+// route picks the first live, untried backend along key's preference list.
+// tried is a bitmask of backend indices already attempted for this piece of
+// work (the fleet is capped at 64 backends by this representation).
+func (c *Coordinator) route(key string, tried uint64) (*backend, int) {
+	for _, idx := range c.ring.Owners(key, c.ring.Backends()) {
+		if tried&(1<<uint(idx)) != 0 {
+			continue
+		}
+		if c.backends[idx].up.Load() {
+			return c.backends[idx], idx
+		}
+	}
+	return nil, -1
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, status int, code, msg string) {
+	c.met.errorResponses.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]*errorJSON{"error": {Code: code, Message: msg}})
+}
+
+// readBody reads a size-limited request body.
+func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			c.writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit))
+			return nil, false
+		}
+		c.writeError(w, http.StatusBadRequest, codeBadRequest, err.Error())
+		return nil, false
+	}
+	return body, true
+}
+
+// post sends body to backend b and returns the full response. Transport
+// errors (request or body read) mark the backend down and report retryable.
+func (c *Coordinator) post(ctx context.Context, b *backend, path, contentType string, body []byte) (status int, respBody []byte, retryable bool, err error) {
+	b.requests.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, false, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		c.markDown(b)
+		return 0, nil, true, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.markDown(b)
+		return 0, nil, true, err
+	}
+	return resp.StatusCode, data, false, nil
+}
+
+// forwardKeyed relays one complete JSON request (resolve, validate) to the
+// entity's owner, retrying on siblings over transport errors. Resolution is
+// a pure computation, so replaying the request on another backend is safe.
+func (c *Coordinator) forwardKeyed(w http.ResponseWriter, r *http.Request, path string) {
+	body, ok := c.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req keyedRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		c.writeError(w, http.StatusBadRequest, codeBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	key := req.Entity.ID
+	if key == "" {
+		// No entity id: route on the body so identical requests still hit
+		// the same backend (and its result cache).
+		key = fmt.Sprintf("%016x", hash64(string(body)))
+	}
+	var tried uint64
+	for {
+		b, idx := c.route(key, tried)
+		if b == nil {
+			c.met.noBackend.Add(1)
+			c.writeError(w, http.StatusServiceUnavailable, codeNoBackend, "no live backend for entity")
+			return
+		}
+		if tried != 0 {
+			b.retries.Add(1)
+		}
+		tried |= 1 << uint(idx)
+		status, data, retryable, err := c.post(r.Context(), b, path, "application/json", body)
+		if err != nil {
+			if retryable {
+				continue
+			}
+			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(data)
+		return
+	}
+}
+
+func (c *Coordinator) handleResolve(w http.ResponseWriter, r *http.Request) {
+	c.met.resolveRequests.Add(1)
+	c.forwardKeyed(w, r, "/v1/resolve")
+}
+
+func (c *Coordinator) handleValidate(w http.ResponseWriter, r *http.Request) {
+	c.met.validateRequests.Add(1)
+	c.forwardKeyed(w, r, "/v1/validate")
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports the coordinator ready while at least one backend is
+// live: with an empty fleet every request would answer no_backend, so the
+// coordinator should not receive traffic.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	up := 0
+	for _, b := range c.backends {
+		if b.up.Load() {
+			up++
+		}
+	}
+	st := struct {
+		Ready         bool `json:"ready"`
+		BackendsUp    int  `json:"backendsUp"`
+		BackendsTotal int  `json:"backendsTotal"`
+	}{Ready: up > 0, BackendsUp: up, BackendsTotal: len(c.backends)}
+	w.Header().Set("Content-Type", "application/json")
+	if !st.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(&st)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c.met.write(w, c.ring, c.backends)
+}
+
+// compileHeaderRules validates a wire rule set locally so a bad header
+// answers a clean 400 before any backend traffic or streamed output. The
+// compiled set is discarded — backends compile (and cache) their own.
+func compileHeaderRules(rs *ruleSetJSON) error {
+	sch, err := conflictres.NewSchema(rs.Schema...)
+	if err != nil {
+		return err
+	}
+	_, err = conflictres.CompileRules(sch, rs.Currency, rs.CFDs)
+	return err
+}

@@ -1,0 +1,266 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestFleetMultiProcess drives the real binaries end to end: one crshard
+// coordinator in front of two crserve backends, all separate OS processes on
+// localhost. Phase 1 checks the distributed dataset output is byte-identical
+// to a single-node run (a third, out-of-fleet crserve). Phase 2 SIGKILLs one
+// backend between health probes — the coordinator still believes it is up,
+// so the death is discovered on in-flight requests — and requires batch and
+// dataset streams to complete via retry-on-sibling with reconciled stats.
+//
+// Skipped under -short (it builds both binaries). When CRSHARD_METRICS_OUT
+// is set, the coordinator's final /metrics scrape is written there so CI can
+// upload it on failure.
+func TestFleetMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fleet test: skipped in -short mode")
+	}
+
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./cmd/crserve", "./cmd/crshard")
+	build.Dir = "../.."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	backend1 := startProc(t, filepath.Join(bin, "crserve"), "-addr", freeAddr(t))
+	backend2 := startProc(t, filepath.Join(bin, "crserve"), "-addr", freeAddr(t))
+	baseline := startProc(t, filepath.Join(bin, "crserve"), "-addr", freeAddr(t))
+	waitReady(t, backend1.url)
+	waitReady(t, backend2.url)
+	waitReady(t, baseline.url)
+
+	// A long health interval keeps liveness discovery on the request path:
+	// phase 2 depends on the coordinator not noticing the kill via probes.
+	coord := startProc(t, filepath.Join(bin, "crshard"),
+		"-addr", freeAddr(t),
+		"-backends", backend1.url+","+backend2.url,
+		"-health-interval", "10m",
+		"-chunk", "8")
+	waitReady(t, coord.url)
+	if path := os.Getenv("CRSHARD_METRICS_OUT"); path != "" {
+		t.Cleanup(func() { dumpMetrics(coord.url, path) })
+	}
+
+	// Phase 1: distributed == single-node, byte for byte per entity.
+	const n = 40
+	body := edithDatasetBody(t, n)
+	resp, lines := postNDJSON(t, coord.url+"/v1/resolve/dataset", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator dataset status %d", resp.StatusCode)
+	}
+	sharded, shardedSum := collectDataset(t, lines)
+	resp, lines = postNDJSON(t, baseline.url+"/v1/resolve/dataset", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline dataset status %d", resp.StatusCode)
+	}
+	base, _ := collectDataset(t, lines)
+	if len(sharded) != n || len(base) != n {
+		t.Fatalf("got %d sharded / %d baseline results, want %d", len(sharded), len(base), n)
+	}
+	for key, want := range base {
+		if sharded[key] != want {
+			t.Fatalf("key %q differs:\n fleet    %s\n baseline %s", key, sharded[key], want)
+		}
+	}
+	if shardedSum.Entities != n || shardedSum.Dropped != 0 {
+		t.Fatalf("fleet summary does not reconcile: %+v", shardedSum)
+	}
+
+	// Phase 2: kill backend2 without warning. Fresh entity names keep the
+	// result caches out of the comparison.
+	if err := backend2.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill backend: %v", err)
+	}
+	backend2.cmd.Wait()
+
+	// Disjoint name ranges: phase 1 used 0..n, the batch and dataset below
+	// must not share entities with it or each other, or result-cache hits
+	// would flip "cached" flags and break the byte comparison.
+	bbody := batchBodyOffset(t, 1000, 32)
+	resp, blines := postNDJSON(t, coord.url+"/v1/resolve/batch", bbody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch after kill: status %d", resp.StatusCode)
+	}
+	results := collectBatch(t, blines)
+	if len(results) != 32 {
+		t.Fatalf("batch after kill: %d results, want 32", len(results))
+	}
+	for i, res := range results {
+		if res.Error != nil {
+			t.Fatalf("batch after kill: entity %d errored: %+v", i, res.Error)
+		}
+	}
+
+	dbody := datasetBodyOffset(t, 2000, n)
+	resp, lines = postNDJSON(t, coord.url+"/v1/resolve/dataset", dbody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dataset after kill: status %d", resp.StatusCode)
+	}
+	sharded, sum := collectDataset(t, lines)
+	resp, lines = postNDJSON(t, baseline.url+"/v1/resolve/dataset", dbody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline dataset status %d", resp.StatusCode)
+	}
+	base, _ = collectDataset(t, lines)
+	if len(sharded) != n {
+		t.Fatalf("dataset after kill: %d results, want %d", len(sharded), n)
+	}
+	for key, want := range base {
+		if sharded[key] != want {
+			t.Fatalf("key %q differs after kill:\n fleet    %s\n baseline %s", key, sharded[key], want)
+		}
+	}
+	if sum.Entities != n || sum.Dropped != 0 {
+		t.Fatalf("post-kill summary does not reconcile: %+v", sum)
+	}
+
+	// The coordinator observed the death (errors on the victim, retried work
+	// on the survivor) and stays ready on the surviving backend.
+	metrics := getBody(t, coord.url+"/metrics")
+	for _, want := range []string{
+		fmt.Sprintf("crshard_backend_up{backend=%q} 0", backend2.url),
+		fmt.Sprintf("crshard_backend_up{backend=%q} 1", backend1.url),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(metrics, fmt.Sprintf("crshard_backend_errors_total{backend=%q}", backend2.url)) ||
+		strings.Contains(metrics, fmt.Sprintf("crshard_backend_errors_total{backend=%q} 0", backend2.url)) {
+		t.Fatalf("victim recorded no transport errors:\n%s", metrics)
+	}
+	if strings.Contains(metrics, fmt.Sprintf("crshard_backend_retries_total{backend=%q} 0", backend1.url)) {
+		t.Fatalf("survivor recorded no retried work:\n%s", metrics)
+	}
+	rresp, err := http.Get(coord.url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator unready with a surviving backend: %d", rresp.StatusCode)
+	}
+}
+
+// batchBodyOffset is edithBatchBody with entity ids/names offset so repeated
+// phases never share result-cache keys.
+func batchBodyOffset(t *testing.T, off, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.Write(marshalLine(t, edithWireRules()))
+	buf.WriteByte('\n')
+	for i := off; i < off+n; i++ {
+		buf.Write(marshalLine(t, edithEntity(i)))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func datasetBodyOffset(t *testing.T, off, n int) []byte {
+	t.Helper()
+	full := edithDatasetBody(t, off+n)
+	lines := bytes.SplitAfter(full, []byte("\n"))
+	var buf bytes.Buffer
+	buf.Write(lines[0]) // header
+	for _, l := range lines[1+3*off:] {
+		buf.Write(l)
+	}
+	return buf.Bytes()
+}
+
+type proc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startProc launches a fleet binary on addr and arranges teardown.
+func startProc(t *testing.T, bin string, args ...string) *proc {
+	t.Helper()
+	addr := args[1] // "-addr" value by construction
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	return &proc{cmd: cmd, url: "http://" + addr}
+}
+
+// freeAddr reserves a localhost port and releases it for the process under
+// test to bind.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func waitReady(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became ready (last err %v)", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// dumpMetrics best-effort scrapes the coordinator for CI artifact upload.
+func dumpMetrics(coordURL, path string) {
+	resp, err := http.Get(coordURL + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return
+	}
+	os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the coordinator's monotonic counters; per-backend counters
+// live on the backend structs and are rendered alongside.
+type metrics struct {
+	resolveRequests  atomic.Int64
+	batchRequests    atomic.Int64
+	datasetRequests  atomic.Int64
+	validateRequests atomic.Int64
+	sessionRequests  atomic.Int64
+	errorResponses   atomic.Int64
+
+	// noBackend counts entities that exhausted every live backend and were
+	// answered with an in-band no_backend error.
+	noBackend atomic.Int64
+
+	// Merge-path time: nanoseconds spent decoding, restamping, and writing
+	// backend result lines into the merged client response.
+	batchMergeNs   atomic.Int64
+	datasetMergeNs atomic.Int64
+}
+
+// write renders the coordinator counters plus the per-backend counters and
+// ring occupancy in Prometheus text exposition format.
+func (m *metrics) write(w io.Writer, ring *Ring, backends []*backend) {
+	fmt.Fprintf(w, "# TYPE crshard_requests_total counter\n")
+	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"resolve\"} %d\n", m.resolveRequests.Load())
+	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
+	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"dataset\"} %d\n", m.datasetRequests.Load())
+	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"validate\"} %d\n", m.validateRequests.Load())
+	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"session\"} %d\n", m.sessionRequests.Load())
+	fmt.Fprintf(w, "# TYPE crshard_error_responses_total counter\n")
+	fmt.Fprintf(w, "crshard_error_responses_total %d\n", m.errorResponses.Load())
+	fmt.Fprintf(w, "# TYPE crshard_no_backend_total counter\n")
+	fmt.Fprintf(w, "crshard_no_backend_total %d\n", m.noBackend.Load())
+	fmt.Fprintf(w, "# TYPE crshard_merge_seconds_total counter\n")
+	fmt.Fprintf(w, "crshard_merge_seconds_total{endpoint=\"batch\"} %g\n", float64(m.batchMergeNs.Load())/1e9)
+	fmt.Fprintf(w, "crshard_merge_seconds_total{endpoint=\"dataset\"} %g\n", float64(m.datasetMergeNs.Load())/1e9)
+
+	fmt.Fprintf(w, "# TYPE crshard_ring_backends gauge\n")
+	fmt.Fprintf(w, "crshard_ring_backends %d\n", ring.Backends())
+	fmt.Fprintf(w, "# TYPE crshard_ring_vnodes gauge\n")
+	fmt.Fprintf(w, "crshard_ring_vnodes %d\n", ring.VNodes())
+	fmt.Fprintf(w, "# TYPE crshard_ring_share gauge\n")
+	for i, b := range backends {
+		fmt.Fprintf(w, "crshard_ring_share{backend=%q} %g\n", b.url, ring.Share(i))
+	}
+	fmt.Fprintf(w, "# TYPE crshard_backend_up gauge\n")
+	for _, b := range backends {
+		up := 0
+		if b.up.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "crshard_backend_up{backend=%q} %d\n", b.url, up)
+	}
+	fmt.Fprintf(w, "# TYPE crshard_backend_requests_total counter\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "crshard_backend_requests_total{backend=%q} %d\n", b.url, b.requests.Load())
+	}
+	fmt.Fprintf(w, "# TYPE crshard_backend_errors_total counter\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "crshard_backend_errors_total{backend=%q} %d\n", b.url, b.errors.Load())
+	}
+	fmt.Fprintf(w, "# TYPE crshard_backend_retries_total counter\n")
+	for _, b := range backends {
+		fmt.Fprintf(w, "crshard_backend_retries_total{backend=%q} %d\n", b.url, b.retries.Load())
+	}
+}

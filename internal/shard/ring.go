@@ -1,0 +1,139 @@
+// Package shard implements the crshard coordinator: a stateless front door
+// that consistent-hashes entity keys across a fleet of crserve backends and
+// speaks the same /v1 wire contracts as a single server.
+//
+// The coordinator owns routing concerns only — it never resolves an entity
+// itself. Batch streams are cut into per-backend sub-batches with bounded
+// pipelining; dataset streams are partitioned row-by-row on the entity key
+// so every entity's rows land on one backend; interactive sessions get
+// affinity by embedding the owning backend's tag in the session id. A
+// backend that fails mid-request is marked down and its in-flight work is
+// retried on the next live owner along the ring ("retry-on-sibling"); a
+// background health checker revives backends that come back.
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// hash64 is the ring's hash: FNV-1a over the key bytes, finished with an
+// avalanche mix. Entity keys and vnode labels share it, which is fine —
+// vnode labels contain a "#" joint that entity keys are free to contain
+// too; collisions just co-locate keys.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV-1a ends on a single multiply,
+// so keys differing only in their last byte ("e1" vs "e2", "person-07" vs
+// "person-08") land within a few multiples of the FNV prime of each other —
+// sequential key families cluster onto one arc and one backend owns them
+// all. The finalizer avalanches every input bit across the word, restoring
+// uniform placement for exactly the key shapes datasets actually have.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// vnode is one virtual node: a point on the ring owned by a backend.
+type vnode struct {
+	hash uint64
+	idx  int // backend index
+}
+
+// Ring is a consistent-hash ring over n backends with a fixed number of
+// virtual nodes each. It is immutable after construction: membership is
+// static for the coordinator's lifetime, and liveness is handled above the
+// ring (Owners returns the full preference list; the caller skips backends
+// it knows are down).
+type Ring struct {
+	n      int
+	vnodes []vnode
+}
+
+// NewRing places vnodesPer virtual nodes per backend name on the ring.
+// Vnode positions depend only on the name list, so every coordinator
+// configured with the same backends routes identically — there is no
+// shared state to agree on.
+func NewRing(names []string, vnodesPer int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("shard: ring needs at least one backend")
+	}
+	if vnodesPer <= 0 {
+		return nil, fmt.Errorf("shard: vnodes per backend must be positive, got %d", vnodesPer)
+	}
+	r := &Ring{n: len(names), vnodes: make([]vnode, 0, len(names)*vnodesPer)}
+	seen := make(map[uint64]string, len(names)*vnodesPer)
+	for i, name := range names {
+		for v := 0; v < vnodesPer; v++ {
+			h := hash64(fmt.Sprintf("%s#%d", name, v))
+			if prev, dup := seen[h]; dup {
+				// A 64-bit collision between vnode labels is effectively a
+				// config error (duplicate backend names produce them for
+				// every vnode); refuse rather than silently shadowing.
+				return nil, fmt.Errorf("shard: vnode hash collision between %q and %q (duplicate backend?)", prev, name)
+			}
+			seen[h] = name
+			r.vnodes = append(r.vnodes, vnode{hash: h, idx: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool { return r.vnodes[a].hash < r.vnodes[b].hash })
+	return r, nil
+}
+
+// Backends returns the number of backends on the ring.
+func (r *Ring) Backends() int { return r.n }
+
+// VNodes returns the total number of virtual nodes on the ring.
+func (r *Ring) VNodes() int { return len(r.vnodes) }
+
+// Owners returns the key's preference list: up to n distinct backend
+// indices, clockwise from the key's ring position. The first entry is the
+// key's primary; the rest are the retry-on-sibling order. n > Backends()
+// is clamped.
+func (r *Ring) Owners(key string, n int) []int {
+	if n > r.n {
+		n = r.n
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.vnodes) && len(out) < n; i++ {
+		vn := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[vn.idx] {
+			seen[vn.idx] = true
+			out = append(out, vn.idx)
+		}
+	}
+	return out
+}
+
+// Owner returns the key's primary backend index.
+func (r *Ring) Owner(key string) int { return r.Owners(key, 1)[0] }
+
+// Share returns the fraction of the hash space whose primary owner is
+// backend idx — the ring-occupancy gauge. Shares sum to 1 across backends;
+// with enough vnodes each backend's share approaches 1/n.
+func (r *Ring) Share(idx int) float64 {
+	var owned uint64
+	for i, vn := range r.vnodes {
+		if vn.idx != idx {
+			continue
+		}
+		// vn owns the arc from the previous vnode (exclusive) to itself:
+		// keys hash-search to the first vnode at or after them.
+		prev := r.vnodes[(i+len(r.vnodes)-1)%len(r.vnodes)].hash
+		owned += vn.hash - prev // wraps correctly for i == 0
+	}
+	return float64(owned) / math.Pow(2, 64)
+}

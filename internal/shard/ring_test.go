@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwnersDistinctAndStable(t *testing.T) {
+	names := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r, err := NewRing(names, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(names, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("entity-%d", i)
+		owners := r.Owners(key, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %s: %d owners, want 3", key, len(owners))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if o < 0 || o >= len(names) || seen[o] {
+				t.Fatalf("key %s: bad preference list %v", key, owners)
+			}
+			seen[o] = true
+		}
+		// Placement is a pure function of the backend set: a second ring
+		// (another coordinator) must agree on the full preference list.
+		if got := r2.Owners(key, 3); !reflect.DeepEqual(got, owners) {
+			t.Fatalf("key %s: rings disagree: %v vs %v", key, got, owners)
+		}
+	}
+	if got := r.Owners("k", 99); len(got) != 3 {
+		t.Fatalf("n over backend count must clamp, got %d owners", len(got))
+	}
+}
+
+func TestRingSharesSumToOne(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c", "d"}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := 0; i < 4; i++ {
+		share := r.Share(i)
+		if share <= 0 || share >= 1 {
+			t.Fatalf("backend %d share %g out of (0,1)", i, share)
+		}
+		sum += share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %g, want 1", sum)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const n = 4
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://backend-%d:8372", i)
+	}
+	r, err := NewRing(names, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("person-%d", i))]++
+	}
+	for i, got := range counts {
+		frac := float64(got) / keys
+		// 128 vnodes keeps primaries within a loose factor of fair share.
+		if frac < 0.5/n || frac > 2.0/n {
+			t.Fatalf("backend %d owns %.1f%% of keys (counts %v)", i, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingSequentialKeysSpread pins the regression the mix64 finalizer
+// fixes: raw FNV-1a places keys that differ only in a trailing digit within
+// a few multiples of the FNV prime of each other, so whole sequential key
+// families ("e0", "e1", …) collapse onto one backend.
+func TestRingSequentialKeysSpread(t *testing.T) {
+	r, err := NewRing([]string{"http://a:8372", "http://b:8372"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prefix := range []string{"e", "Edith ", "person-"} {
+		counts := [2]int{}
+		for i := 0; i < 16; i++ {
+			counts[r.Owner(fmt.Sprintf("%s%d", prefix, i))]++
+		}
+		if counts[0] == 0 || counts[1] == 0 {
+			t.Fatalf("sequential keys %q0..15 all landed on one backend: %v", prefix, counts)
+		}
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(nil, 8); err == nil {
+		t.Fatal("empty ring must be rejected")
+	}
+	if _, err := NewRing([]string{"a"}, 0); err == nil {
+		t.Fatal("zero vnodes must be rejected")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate backends must be rejected")
+	}
+}

@@ -1,0 +1,89 @@
+package shard
+
+import "encoding/json"
+
+// The coordinator speaks crserve's /v1 wire formats but never resolves
+// anything itself, so it mirrors only the envelope fields it must inspect
+// and keeps every value it merely relays as raw JSON — numeric fidelity
+// (int vs float) and field contents pass through byte-identical.
+
+// ruleSetJSON mirrors the shared rule-set header fields.
+type ruleSetJSON struct {
+	Schema   []string `json:"schema"`
+	Currency []string `json:"currency,omitempty"`
+	CFDs     []string `json:"cfds,omitempty"`
+}
+
+// batchHeader mirrors the first NDJSON line of a batch request.
+type batchHeader struct {
+	ruleSetJSON
+	MaxRounds int `json:"maxRounds,omitempty"`
+}
+
+// datasetHeader mirrors the first NDJSON line of a dataset request.
+type datasetHeader struct {
+	ruleSetJSON
+	Key        []string `json:"key"`
+	Columns    []string `json:"columns,omitempty"`
+	Sorted     bool     `json:"sorted,omitempty"`
+	WindowRows int      `json:"windowRows,omitempty"`
+	MaxRounds  int      `json:"maxRounds,omitempty"`
+}
+
+// entityKey pulls just the entity id out of an entity line or a
+// single-resolve request body — all the coordinator needs for routing.
+type entityKey struct {
+	ID string `json:"id"`
+}
+
+// keyedRequest matches any /v1/resolve-shaped body far enough to route it.
+type keyedRequest struct {
+	Entity entityKey `json:"entity"`
+}
+
+// errorJSON mirrors the structured error envelope.
+type errorJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// resultLine mirrors one batch result line closely enough to restamp its
+// index and id; everything else stays raw and re-encodes unchanged.
+type resultLine struct {
+	ID       string                     `json:"id,omitempty"`
+	Index    *int                       `json:"index,omitempty"`
+	Rows     int                        `json:"rows,omitempty"`
+	Valid    bool                       `json:"valid"`
+	Resolved map[string]json.RawMessage `json:"resolved,omitempty"`
+	Tuple    []json.RawMessage          `json:"tuple,omitempty"`
+	Rounds   int                        `json:"rounds,omitempty"`
+	Timing   json.RawMessage            `json:"timing,omitempty"`
+	Cached   bool                       `json:"cached,omitempty"`
+	Error    *errorJSON                 `json:"error,omitempty"`
+}
+
+// dsLine classifies one dataset response line: result lines carry an id and
+// outcome fields, the trailing summary line carries only "summary". The
+// raw line is relayed verbatim; these fields just drive merge accounting.
+type dsLine struct {
+	ID      string          `json:"id"`
+	Valid   bool            `json:"valid"`
+	Cached  bool            `json:"cached"`
+	Error   json.RawMessage `json:"error"`
+	Summary json.RawMessage `json:"summary"`
+}
+
+// datasetSummaryJSON mirrors the dataset summary line for merging.
+type datasetSummaryJSON struct {
+	Rows          int64   `json:"rows"`
+	Entities      int64   `json:"entities"`
+	Resolved      int64   `json:"resolved"`
+	Invalid       int64   `json:"invalid"`
+	Failed        int64   `json:"failed"`
+	Cached        int64   `json:"cached"`
+	Windows       int64   `json:"windows"`
+	SplitEntities int64   `json:"splitEntities,omitempty"`
+	Dropped       int64   `json:"dropped,omitempty"`
+	WallUs        int64   `json:"wallUs"`
+	RowsPerSec    float64 `json:"rowsPerSec"`
+}
