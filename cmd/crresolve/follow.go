@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"conflictres"
+	"conflictres/internal/dataset"
+	"conflictres/internal/live"
+)
+
+// followState is one output line of -follow mode: the entity's resolution
+// state after folding the input row in, emitted per input row and flushed,
+// so downstream consumers tail a continuously consistent view.
+type followState struct {
+	Key      string         `json:"key"`
+	Rows     int            `json:"rows"`
+	Valid    bool           `json:"valid"`
+	Complete bool           `json:"complete"`
+	Resolved map[string]any `json:"resolved,omitempty"`
+	Tuple    []any          `json:"tuple,omitempty"`
+	// Extended reports whether this row's delta was applied incrementally
+	// (absent on the entity's first row, which pays the initial build).
+	Extended *bool  `json:"extended,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// runFollow is crresolve -follow: a change-data-capture tail. Input must be
+// NDJSON, one row object per line, in arrival order; rows are routed to
+// per-entity live sessions by the key columns, each row re-resolves its
+// entity incrementally, and one state line per row streams out. Unlike the
+// batch path there is no grouping window: entity state persists for the
+// whole run, so late rows are never split into a partial re-resolve.
+func runFollow(rules *conflictres.RuleSet, in io.Reader, out io.Writer, keys []string, stats bool) int {
+	rd, err := dataset.NewNDJSONReader(in, rules.Schema(), keys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crresolve:", err)
+		return 1
+	}
+	reg := live.NewRegistry(0, 0) // unbounded: the tail owns its entities
+	defer reg.Close()
+	w := bufio.NewWriter(out)
+	enc := json.NewEncoder(w)
+	rowsIn, badRows := 0, 0
+	for {
+		row, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if _, ok := err.(*dataset.RowError); ok {
+				badRows++
+				enc.Encode(&followState{Error: err.Error()})
+				w.Flush()
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "crresolve:", err)
+			return 1
+		}
+		rowsIn++
+		key := dataset.DisplayKey(row.Key)
+		res, err := reg.Upsert(row.Key, rules, "follow", []conflictres.Tuple{row.Tuple}, nil)
+		if err != nil {
+			badRows++
+			enc.Encode(&followState{Key: key, Error: err.Error()})
+			w.Flush()
+			continue
+		}
+		st := res.State
+		line := &followState{Key: key, Rows: st.Rows, Valid: st.Valid}
+		if !res.Created {
+			extended := res.Extended
+			line.Extended = &extended
+		}
+		if st.Valid {
+			sch := rules.Schema()
+			line.Resolved = make(map[string]any, len(st.Resolved))
+			for a, v := range st.Resolved {
+				line.Resolved[sch.Name(a)] = v.AsJSON()
+			}
+			line.Tuple = make([]any, len(st.Tuple))
+			for i, v := range st.Tuple {
+				line.Tuple[i] = v.AsJSON()
+			}
+			line.Complete = len(st.Resolved) == sch.Len()
+		}
+		enc.Encode(line)
+		w.Flush()
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "crresolve:", err)
+		return 1
+	}
+	if stats {
+		c := reg.CountersSnapshot()
+		fmt.Fprintf(os.Stderr, "crresolve: follow: %d rows over %d entities (%d bad), %d incremental extends, %d rebuilds\n",
+			rowsIn, reg.Live(), badRows, c.Extends, c.Rebuilds)
+	}
+	return 0
+}

@@ -7,6 +7,7 @@
 //	crresolve -rules rules.cr -key name [-in data.csv] [-out resolved.csv]
 //	          [-format csv|ndjson] [-output-format csv|ndjson]
 //	          [-shards N] [-window N] [-sorted] [-max-rounds N] [-stats]
+//	          [-follow]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The rules file uses the textio format restricted to schema/sigma/gamma
@@ -17,6 +18,13 @@
 //	crgen -dataset person -entities 2000 -format csv -out ./data
 //	crresolve -rules ./data/rules.cr -key entity -sorted -stats \
 //	          -in ./data/data.csv -out resolved.csv
+//
+// Pass -follow for the change-data-capture tail: NDJSON rows in arrival
+// order (any interleaving of entities), one entity state line out per row
+// in, flushed immediately. Entity state persists for the whole run, so each
+// row re-resolves its entity incrementally instead of re-encoding it:
+//
+//	tail -f updates.ndjson | crresolve -rules rules.cr -key name -follow
 //
 // Pass -sorted when the input is clustered by key (crgen output is): the
 // engine then flushes each entity as soon as its last row has passed and
@@ -61,6 +69,7 @@ func run() int {
 		sorted      = fs.Bool("sorted", false, "input is clustered by key: flush each entity eagerly")
 		maxRounds   = fs.Int("max-rounds", 8, "maximum resolution rounds per entity")
 		maxRows     = fs.Int("max-entity-rows", 0, "per-entity row limit (0 = default 10000, negative disables)")
+		follow      = fs.Bool("follow", false, "change-data-capture tail: NDJSON rows in arrival order; each row re-resolves its entity incrementally and emits one state line")
 		stats       = fs.Bool("stats", false, "print run statistics to stderr")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile (taken after the run) to this file")
@@ -150,6 +159,29 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "crresolve:", err)
 			}
 		}()
+	}
+
+	if *follow {
+		// -follow is NDJSON-only; the -format default (csv) is overridden
+		// implicitly, but an explicit -format csv is a usage error.
+		formatSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "format" {
+				formatSet = true
+			}
+		})
+		if formatSet && *format != "ndjson" {
+			fmt.Fprintln(os.Stderr, "crresolve: -follow requires NDJSON input (-format ndjson)")
+			return 2
+		}
+		code := runFollow(rules, in, out, keys, *stats)
+		if outFile != nil {
+			if err := outFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "crresolve:", err)
+				return 1
+			}
+		}
+		return code
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

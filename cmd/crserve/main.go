@@ -6,6 +6,7 @@
 //	        [-timeout 30s] [-max-body 8388608]
 //	        [-session-cap N] [-session-ttl 15m] [-session-sweep 1m]
 //	        [-session-snapshot sessions.ndjson]
+//	        [-live-cap N] [-live-ttl 15m]
 //	        [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
@@ -26,6 +27,11 @@
 //	POST /v1/session/{id}/answer fold user answers in (Se ⊕ Ot) and return
 //	                             the next suggestion
 //	DELETE /v1/session/{id}      drop the session
+//	POST /v1/entity/{key}/rows   change-data-capture feed: fold new rows
+//	                             into the entity's persistent resolution
+//	                             state and return the re-resolved outcome
+//	GET  /v1/entity/{key}        the entity's current resolution state
+//	DELETE /v1/entity/{key}      drop the entity
 //	GET  /healthz            liveness probe (green even while draining)
 //	GET  /readyz             readiness probe (503 once shutdown starts)
 //	GET  /metrics            Prometheus-style counters
@@ -75,6 +81,8 @@ func main() {
 	flag.IntVar(&cfg.SessionCap, "session-cap", 0, "max live interactive sessions before LRU eviction (0 = default 1024)")
 	flag.DurationVar(&cfg.SessionTTL, "session-ttl", 0, "idle session expiry (0 = default 15m, negative disables)")
 	flag.DurationVar(&cfg.SessionSweep, "session-sweep", 0, "session janitor sweep interval (0 = default 1m)")
+	flag.IntVar(&cfg.LiveCap, "live-cap", 0, "max live entities before LRU eviction (0 = default 512)")
+	flag.DurationVar(&cfg.LiveTTL, "live-ttl", 0, "idle live-entity expiry (0 = default 15m, negative disables)")
 	snapshotPath := flag.String("session-snapshot", "", "restore sessions from this NDJSON file at startup and snapshot back on shutdown (empty = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this extra address (empty = disabled; keep it internal)")
 	flag.Parse()

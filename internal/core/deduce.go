@@ -75,6 +75,64 @@ func orderFromTrail(enc *encode.Encoding, lits []sat.Lit) *OrderSet {
 	return od
 }
 
+// propagationFixpoint computes the unit-propagation fixpoint of a formula
+// from scratch, independent of any solver state: the returned literals are
+// exactly what a fresh solver's level-0 trail holds after loading the
+// clauses — the one-literal clauses of Φ(Se) under reduction (Fig. 5). The
+// second result is false when propagation derives a contradiction (Φ is
+// propositionally inconsistent at the top level).
+//
+// Long-lived sessions need this because their own trail snapshot can carry
+// units *learned* during earlier searches: sound consequences of Φ, but a
+// superset of the Fig. 5 fixpoint — and the live upsert path pins its
+// outcomes byte-identical to from-scratch resolution, so it must deduce
+// from the canonical fixpoint, not the accumulated trail.
+func propagationFixpoint(c *sat.CNF) ([]sat.Lit, bool) {
+	// assign[v]: 0 undef, 1 true, -1 false.
+	assign := make([]int8, c.NVars)
+	litVal := func(l sat.Lit) int8 {
+		v := assign[l.Var()]
+		if l.Neg() {
+			return -v
+		}
+		return v
+	}
+	var out []sat.Lit
+	for changed := true; changed; {
+		changed = false
+		for _, cl := range c.Clauses {
+			var unit sat.Lit
+			undef, satisfied := 0, false
+			for _, l := range cl {
+				switch litVal(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					undef++
+					unit = l
+				}
+				if satisfied || undef > 1 {
+					break
+				}
+			}
+			if satisfied || undef > 1 {
+				continue
+			}
+			if undef == 0 {
+				return nil, false // every literal false: conflict
+			}
+			if unit.Neg() {
+				assign[unit.Var()] = -1
+			} else {
+				assign[unit.Var()] = 1
+			}
+			out = append(out, unit)
+			changed = true
+		}
+	}
+	return out, true
+}
+
 // NaiveDeduce implements the exact baseline of Section V-B: for every order
 // variable x it asks the SAT solver whether Φ(Se) ∧ ¬x is unsatisfiable
 // (x implied) or Φ(Se) ∧ x is unsatisfiable (¬x implied, contributing the

@@ -182,6 +182,26 @@ func (s *Session) DeduceOrder() (*OrderSet, bool) {
 	return orderFromTrail(s.enc, s.fixpoint), true
 }
 
+// DeduceOrderExact is DeduceOrder pinned to the canonical Fig. 5 fixpoint:
+// the derived order is recomputed by pure unit propagation over the
+// session's current formula instead of read off the solver's trail. The
+// trail snapshot is exact at round 0 but may carry learned units after
+// searches; the live upsert path byte-compares its outcomes against
+// from-scratch resolution after every delta, so it deduces from the
+// propagation fixpoint a fresh build would produce. Costs one pass-to-
+// fixpoint over Φ(Se) — no solver construction, no search.
+func (s *Session) DeduceOrderExact() (*OrderSet, bool) {
+	s.sync()
+	if !s.consistent {
+		return NewOrderSet(), false
+	}
+	lits, ok := propagationFixpoint(s.enc.CNF())
+	if !ok {
+		return NewOrderSet(), false
+	}
+	return orderFromTrail(s.enc, lits), true
+}
+
 // NaiveDeduce is the exact per-variable deduction of Section V-B served by
 // the shared solver: the cached validity model prunes half the coNP queries
 // (a literal can only be implied if it holds in the model), and every
@@ -257,6 +277,28 @@ func (s *Session) Extend(answers map[relation.Attr]relation.Value) bool {
 		return true
 	}
 	if s.enc.ExtendAnswers(answers) {
+		s.extends++
+		s.sync()
+		return true
+	}
+	// Non-monotone delta: e.Spec already carries the extension; rebuild.
+	s.install(s.buildEncoding(s.enc.Spec))
+	return false
+}
+
+// ExtendRows folds new data tuples (and optionally new order edges) into
+// the session — the change-data-capture step: incrementally via
+// encode.ExtendRows when the delta is monotone, falling back to a full
+// re-encode otherwise. It reports whether the step was incremental.
+//
+// Unlike Extend, contradictory rows are not rolled back: new observations
+// that make the specification invalid are a legitimate entity state
+// (IsValid turns false), to be surfaced rather than discarded.
+func (s *Session) ExtendRows(rows []relation.Tuple, edges []model.OrderEdge) bool {
+	if len(rows) == 0 && len(edges) == 0 {
+		return true
+	}
+	if s.enc.ExtendRows(rows, edges) {
 		s.extends++
 		s.sync()
 		return true

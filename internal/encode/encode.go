@@ -974,58 +974,86 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 		return true
 	}
 	e.Spec = e.Spec.Extend(answers)
+	return e.extendTuples(1)
+}
+
+// ExtendRows applies the change-data-capture step Se ⊕ rows to the encoding
+// in place: the specification gains the appended data tuples (and any new
+// order edges, which may reference them), and the corresponding instance
+// constraints, facts and axioms are appended to Ω and Φ without touching
+// any existing clause — the same monotone append path as ExtendAnswers,
+// generalized to whole tuples. The same fallback conditions apply (see
+// ExtendAnswers): on a false return e.Spec already carries the extension
+// but the formula is stale and the encoding must be rebuilt.
+func (e *Encoding) ExtendRows(rows []relation.Tuple, edges []model.OrderEdge) bool {
+	if len(rows) == 0 && len(edges) == 0 {
+		return true
+	}
+	e.Spec = e.Spec.ExtendRows(rows, edges)
+	return e.extendTuples(len(rows))
+}
+
+// extendTuples appends the formula delta for the last k tuples of the
+// (already extended) specification plus any not-yet-emitted order edges.
+// It returns false when the delta is not monotone (see ExtendAnswers).
+func (e *Encoding) extendTuples(k int) bool {
 	if e.Sparse {
 		return false
 	}
 	in := e.Spec.TI.Inst
 	nT := in.Len()
-	toID := relation.TupleID(nT - 1)
-	to := in.Tuple(toID)
+	first := nT - k
 	n := e.Schema.Len()
 
 	// Pre-check (pure): a non-null value joining adom(a) weakens a CFD's ωX
 	// when a ∈ X and the value differs from that CFD's pattern on a —
 	// already-emitted clauses would need an extra body conjunct, which
-	// clause addition cannot express. The user tuple's nulls on unanswered
-	// attributes join adom too, but the conjunct they add to ωX is
-	// null ≺ pattern, a null-lowest fact we emit as a unit below, so the
-	// stronger already-emitted clause stays equivalent in context.
-	for a := 0; a < n; a++ {
-		attr := relation.Attr(a)
-		v := to[a]
-		if v.IsNull() {
-			continue
-		}
-		idx, known := e.ValueIndex(attr, v)
-		if known && e.InADom(attr, idx) {
-			continue
-		}
-		for _, cfd := range e.Spec.Gamma {
-			for xi, xa := range cfd.X {
-				if xa == attr && !relation.Equal(v, cfd.PX[xi]) {
-					return false
+	// clause addition cannot express. New nulls join adom too, but the
+	// conjunct they add to ωX is null ≺ pattern, a null-lowest fact we emit
+	// as a unit below, so the stronger already-emitted clause stays
+	// equivalent in context.
+	for t := first; t < nT; t++ {
+		to := in.Tuple(relation.TupleID(t))
+		for a := 0; a < n; a++ {
+			attr := relation.Attr(a)
+			v := to[a]
+			if v.IsNull() {
+				continue
+			}
+			idx, known := e.ValueIndex(attr, v)
+			if known && e.InADom(attr, idx) {
+				continue
+			}
+			for _, cfd := range e.Spec.Gamma {
+				for xi, xa := range cfd.X {
+					if xa == attr && !relation.Equal(v, cfd.PX[xi]) {
+						return false
+					}
 				}
 			}
 		}
 	}
 
-	// Mutation phase: register t_o's values in the domains and give it a
-	// domain-index row.
+	// Mutation phase: register each appended tuple's values in the domains
+	// and give it a domain-index row.
 	newJoin := make([]map[int]bool, n)
-	rowStart := len(e.tixData)
-	for a := 0; a < n; a++ {
-		attr := relation.Attr(a)
-		idx := e.addDomValue(attr, to[a])
-		e.tixData = append(e.tixData, int32(idx))
-		if !e.InADom(attr, idx) {
-			e.joinADom(attr, idx)
-			if newJoin[a] == nil {
-				newJoin[a] = make(map[int]bool)
+	for t := first; t < nT; t++ {
+		to := in.Tuple(relation.TupleID(t))
+		rowStart := len(e.tixData)
+		for a := 0; a < n; a++ {
+			attr := relation.Attr(a)
+			idx := e.addDomValue(attr, to[a])
+			e.tixData = append(e.tixData, int32(idx))
+			if !e.InADom(attr, idx) {
+				e.joinADom(attr, idx)
+				if newJoin[a] == nil {
+					newJoin[a] = make(map[int]bool)
+				}
+				newJoin[a][idx] = true
 			}
-			newJoin[a][idx] = true
 		}
+		e.tix = append(e.tix, e.tixData[rowStart:len(e.tixData):len(e.tixData)])
 	}
-	e.tix = append(e.tix, e.tixData[rowStart:len(e.tixData):len(e.tixData)])
 
 	omegaMark := len(e.Omega)
 
@@ -1059,12 +1087,17 @@ func (e *Encoding) ExtendAnswers(answers map[relation.Attr]relation.Value) bool 
 	// Order facts from the new edges t ≼_A t_o.
 	e.emitEdgeFacts()
 
-	// Currency instances pairing each existing tuple with t_o. Self-pairs
-	// and pairs among existing tuples are already covered (or vacuous).
+	// Currency instances pairing each appended tuple with every tuple
+	// before it (both directions) — covering old×new and new×new pairs.
+	// Self-pairs and pairs among pre-existing tuples are already covered
+	// (or vacuous).
 	for ci, c := range e.Spec.Sigma {
-		for t := 0; t < nT-1; t++ {
-			e.instantiatePair(ci, c, relation.TupleID(t), toID)
-			e.instantiatePair(ci, c, toID, relation.TupleID(t))
+		for nt := first; nt < nT; nt++ {
+			ntID := relation.TupleID(nt)
+			for t := 0; t < nt; t++ {
+				e.instantiatePair(ci, c, relation.TupleID(t), ntID)
+				e.instantiatePair(ci, c, ntID, relation.TupleID(t))
+			}
 		}
 	}
 

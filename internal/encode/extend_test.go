@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"conflictres/internal/fixtures"
+	"conflictres/internal/model"
 	"conflictres/internal/relation"
 )
 
@@ -138,6 +139,144 @@ func TestExtendAnswersSparseFallback(t *testing.T) {
 	}
 	status, _ := sch.Attr("status")
 	if enc.ExtendAnswers(map[relation.Attr]relation.Value{status: relation.String("retired")}) {
+		t.Fatal("sparse encodings must signal a rebuild")
+	}
+}
+
+// TestExtendRowsIncremental: appending data rows with fresh values on a
+// CFD-free attribute is the canonical monotone delta — new tuples, facts,
+// instances and axioms appended, no rebuild signal. Two rows in one call
+// also exercises the new×new currency pairing. (A byte-for-byte duplicate
+// row would dedup to an empty delta — instances key on projected values.)
+func TestExtendRowsIncremental(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	kids, _ := sch.Attr("kids")
+	nClauses := len(enc.CNF().Clauses)
+	nOmega := len(enc.Omega)
+	nT := spec.TI.Inst.Len()
+
+	r1 := spec.TI.Inst.Tuple(0).Clone()
+	r1[kids] = relation.Int(1)
+	r2 := spec.TI.Inst.Tuple(1).Clone()
+	r2[kids] = relation.Int(3)
+	rows := []relation.Tuple{r1, r2}
+	if !enc.ExtendRows(rows, nil) {
+		t.Fatal("rows over existing values must extend incrementally")
+	}
+	if got := enc.Spec.TI.Inst.Len(); got != nT+2 {
+		t.Fatalf("rows not appended: %d tuples, want %d", got, nT+2)
+	}
+	if len(enc.CNF().Clauses) <= nClauses {
+		t.Fatal("extension did not append clauses")
+	}
+	if len(enc.Omega) <= nOmega {
+		t.Fatal("extension did not append instances")
+	}
+	// The instance-clause index must stay aligned over the delta.
+	idx := enc.InstanceClauseIndex()
+	if len(idx) != len(enc.Omega) {
+		t.Fatalf("instance index length %d != |Omega| %d", len(idx), len(enc.Omega))
+	}
+}
+
+// TestExtendRowsWithEdges: rows may arrive with order edges referencing the
+// appended tuples; the edge facts ride the same delta.
+func TestExtendRowsWithEdges(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	status, _ := sch.Attr("status")
+	nT := relation.TupleID(spec.TI.Inst.Len())
+
+	row := spec.TI.Inst.Tuple(0).Clone()
+	edges := []model.OrderEdge{{Attr: status, T1: 0, T2: nT}} // t0 ≼ new row
+	if !enc.ExtendRows([]relation.Tuple{row}, edges) {
+		t.Fatal("row plus edge must extend incrementally")
+	}
+	if got := len(enc.Spec.TI.Edges); got == 0 {
+		t.Fatal("edge not appended to the spec")
+	}
+}
+
+// TestExtendRowsEdgesOnly: pure order information (no rows) is always a
+// monotone delta — each edge is one unit fact.
+func TestExtendRowsEdgesOnly(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	status, _ := sch.Attr("status")
+	nClauses := len(enc.CNF().Clauses)
+
+	if !enc.ExtendRows(nil, []model.OrderEdge{{Attr: status, T1: 0, T2: 1}}) {
+		t.Fatal("edges-only delta must extend incrementally")
+	}
+	if len(enc.CNF().Clauses) <= nClauses {
+		t.Fatal("edge fact not appended")
+	}
+}
+
+// TestExtendRowsCFDLHSFallback: a row carrying a genuinely new non-null
+// value on a CFD left-hand-side attribute must signal a rebuild, leaving
+// the extended spec behind (same contract as ExtendAnswers).
+func TestExtendRowsCFDLHSFallback(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	ac, _ := sch.Attr("AC")
+	nT := spec.TI.Inst.Len()
+
+	row := spec.TI.Inst.Tuple(0).Clone()
+	row[ac] = relation.String("999")
+	if enc.ExtendRows([]relation.Tuple{row}, nil) {
+		t.Fatal("new value on the CFD LHS attribute must force a rebuild")
+	}
+	if got := enc.Spec.TI.Inst.Len(); got != nT+1 {
+		t.Fatalf("spec must already carry the extension for the rebuild: %d tuples", got)
+	}
+	enc2 := Build(enc.Spec, Options{})
+	idx, ok := enc2.ValueIndex(ac, relation.String("999"))
+	if !ok || !enc2.InADom(ac, idx) {
+		t.Fatal("rebuilt encoding missing the new value in adom")
+	}
+}
+
+// TestExtendRowsCapCrossingFallback: rows that push an attribute's active
+// values past the transitivity cap must signal a rebuild (the re-encode
+// then takes the sparse path).
+func TestExtendRowsCapCrossingFallback(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	sch := spec.Schema()
+	enc := Build(spec, Options{})
+	if enc.Sparse {
+		t.Skip("baseline build unexpectedly sparse")
+	}
+	kids, _ := sch.Attr("kids")
+	var rows []relation.Tuple
+	for i := 0; i < 60; i++ { // default cap is 50: crossing guaranteed
+		row := spec.TI.Inst.Tuple(0).Clone()
+		row[kids] = relation.Int(int64(100 + i))
+		rows = append(rows, row)
+	}
+	if enc.ExtendRows(rows, nil) {
+		t.Fatal("crossing the transitivity cap must force a rebuild")
+	}
+	enc2 := Build(enc.Spec, Options{})
+	if !enc2.Sparse {
+		t.Fatal("rebuilt encoding should be in the sparse regime")
+	}
+}
+
+// TestExtendRowsSparseFallback: sparse encodings refuse incremental row
+// extension just like answer extension.
+func TestExtendRowsSparseFallback(t *testing.T) {
+	spec := fixtures.GeorgeSpec()
+	enc := Build(spec, Options{TransitivityCap: 2})
+	if !enc.Sparse {
+		t.Skip("cap 2 did not trigger the sparse path")
+	}
+	if enc.ExtendRows([]relation.Tuple{spec.TI.Inst.Tuple(0).Clone()}, nil) {
 		t.Fatal("sparse encodings must signal a rebuild")
 	}
 }

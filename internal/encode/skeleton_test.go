@@ -119,3 +119,47 @@ func TestSkeletonForeignSpecFallsBack(t *testing.T) {
 		t.Fatal("skeleton poisoned by foreign-spec build")
 	}
 }
+
+// TestSkeletonRebuildInvalidatesPriorEncoding pins the CHANGES.md PR 5
+// caveat that live consumers depend on: a Skeleton keeps exactly one
+// encoding alive, so serving a new Build reuses — and thereby invalidates —
+// every slice previously obtained from the prior call's encoding (domains,
+// CNF clauses, Ω). Long-lived owners (the live entity registry) must
+// therefore copy results out of the encoding *before* yielding their
+// pipeline back to the pool; this test asserts the invalidation actually
+// happens, so any future change to the retention contract shows up here.
+func TestSkeletonRebuildInvalidatesPriorEncoding(t *testing.T) {
+	skel := NewSkeleton(fixtures.Sigma(), fixtures.Gamma(), Options{})
+
+	e1 := skel.Build(fixtures.EdithSpec())
+	status, _ := e1.Schema.Attr("status")
+	dom := e1.Dom(status) // aliases the retained encoding's storage
+	snapshot := append([]relation.Value(nil), dom...)
+	nClauses := len(e1.CNF().Clauses)
+
+	e2 := skel.Build(fixtures.GeorgeSpec())
+	if e1 != e2 {
+		t.Fatal("skeleton should retain a single encoding across builds")
+	}
+	if _, reuses := skel.Stats(); reuses == 0 {
+		t.Fatal("second build did not take the storage-reuse path")
+	}
+	// The previously obtained slices now describe George, not Edith.
+	same := len(dom) == len(snapshot)
+	if same {
+		for i := range dom {
+			if !relation.Equal(dom[i], snapshot[i]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(e1.CNF().Clauses) == nClauses {
+		t.Fatal("rebuild left the prior encoding's slices intact; the copy-out contract (and this test) is stale")
+	}
+	// A copied-out snapshot, by contrast, must be unaffected: that is the
+	// pattern live entries rely on before yielding the pipeline.
+	if len(snapshot) == 0 || snapshot[0].IsNull() {
+		t.Fatal("snapshot copy should still hold Edith's domain values")
+	}
+}

@@ -1,0 +1,361 @@
+// Package live keeps per-entity resolution state warm across row arrivals:
+// the change-data-capture counterpart of the batch and session layers. A
+// Registry maps client-chosen entity keys to live sessions (facade
+// LiveSession: a pooled pipeline held for the entry's lifetime); each upsert
+// folds new rows into the loaded formula — incrementally when the delta is
+// monotone, by automatic re-encode otherwise — and the freshly resolved
+// state is copied out before anything else can touch the encoding.
+//
+// Lifecycle mirrors the server's session store: LRU eviction under a
+// capacity cap, TTL expiry enforced lazily and by a periodic Sweep. Unlike
+// session entries, evicted live entries own a pooled pipeline, so eviction,
+// expiry, removal and shutdown all route through closeEntry, which
+// serializes with in-flight upserts on the entry mutex and returns the
+// pipeline to its rule-set pool exactly once.
+package live
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"conflictres"
+)
+
+var (
+	// ErrBusy reports a concurrent operation in flight on the same entity;
+	// upserts never queue silently (the server answers 409).
+	ErrBusy = errors.New("live: entity busy")
+	// ErrRulesChanged reports an upsert whose rule set differs from the one
+	// the entity was created under; delete the entity to change rules.
+	ErrRulesChanged = errors.New("live: rule set changed for existing entity")
+	// ErrShutdown reports an operation against a closed registry.
+	ErrShutdown = errors.New("live: registry closed")
+)
+
+// entry is one live entity. mu serializes every touch of ls — upserts,
+// state reads, and the close path (eviction/expiry/shutdown) — so a pooled
+// pipeline is never released while an extend is in flight. closed flips
+// exactly once, under mu, when the pipeline goes back to the pool.
+type entry struct {
+	key       string
+	rulesHash string
+	rules     *conflictres.RuleSet
+
+	mu     sync.Mutex
+	closed bool
+	ls     *conflictres.LiveSession
+
+	lastUse time.Time // TTL clock, guarded by the registry mutex
+}
+
+// Counters are a registry's monotonic lifecycle and delta counters,
+// surfaced in /metrics.
+type Counters struct {
+	Created  int64
+	Expired  int64
+	Evicted  int64
+	Extends  int64 // upsert deltas applied incrementally
+	Rebuilds int64 // non-monotone upsert deltas (full re-encode)
+}
+
+// Result is the copied-out outcome of a registry operation: the entity's
+// resolution state over every row seen so far.
+type Result struct {
+	Key string
+	// Schema is the schema of the rule set the entity is bound to, for
+	// encoding the state onto the wire.
+	Schema *conflictres.Schema
+	// State is an independent snapshot (see conflictres.LiveState).
+	State conflictres.LiveState
+	// Created reports that this operation opened the entity.
+	Created bool
+	// Extended reports whether the upsert delta was applied incrementally
+	// (true for creates: the initial build is neither).
+	Extended bool
+}
+
+// Registry is the keyed store of live entities. Safe for concurrent use.
+type Registry struct {
+	mu   sync.Mutex
+	cap  int // <= 0: unbounded
+	ttl  time.Duration
+	ll   *list.List               // front = most recently used; holds *entry
+	m    map[string]*list.Element // key -> element in ll
+	down bool
+
+	created  atomic.Int64
+	expired  atomic.Int64
+	evicted  atomic.Int64
+	extends  atomic.Int64
+	rebuilds atomic.Int64
+}
+
+// NewRegistry builds a registry with the given capacity cap (<= 0 means
+// unbounded) and TTL (<= 0 means no expiry).
+func NewRegistry(capacity int, ttl time.Duration) *Registry {
+	return &Registry{cap: capacity, ttl: ttl, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// Upsert folds rows (and optional currency edges) into the entity under
+// key, creating it when absent. rulesHash identifies the rule set the rows
+// are bound to; an existing entity refuses a different hash with
+// ErrRulesChanged. A concurrent operation on the same entity yields
+// ErrBusy. The returned state covers every row the entity has seen.
+func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash string, rows []conflictres.Tuple, orders []conflictres.LiveOrder) (Result, error) {
+	for {
+		e, victims, created, err := r.checkout(key, rulesHash, true)
+		closeAll(victims)
+		if err != nil {
+			return Result{}, err
+		}
+		if e.closed {
+			// Lost a race with eviction between lookup and lock; the entry
+			// is already out of the map, so the next round starts fresh.
+			e.mu.Unlock()
+			continue
+		}
+		res := Result{Key: key, Created: created}
+		if created {
+			ls, err := rules.NewLiveSession(rows, orders)
+			if err != nil {
+				e.mu.Unlock()
+				r.drop(key, e)
+				return Result{}, err
+			}
+			e.ls = ls
+			e.rules = rules
+		} else {
+			extended, err := e.ls.Upsert(rows, orders)
+			if err != nil {
+				e.mu.Unlock()
+				return Result{}, err
+			}
+			res.Extended = extended
+			if extended {
+				r.extends.Add(1)
+			} else {
+				r.rebuilds.Add(1)
+			}
+		}
+		res.Schema = e.rules.Schema()
+		res.State = e.ls.State()
+		e.mu.Unlock()
+		return res, nil
+	}
+}
+
+// Get returns the entity's current state without applying any delta. The
+// boolean reports presence; ErrBusy reports a concurrent operation.
+func (r *Registry) Get(key string) (Result, bool, error) {
+	for {
+		e, victims, _, err := r.checkout(key, "", false)
+		closeAll(victims)
+		if err != nil {
+			if errors.Is(err, errAbsent) {
+				return Result{}, false, nil
+			}
+			return Result{}, false, err
+		}
+		if e.closed {
+			e.mu.Unlock()
+			continue
+		}
+		res := Result{Key: key, Schema: e.rules.Schema(), State: e.ls.State()}
+		e.mu.Unlock()
+		return res, true, nil
+	}
+}
+
+// Spec returns an independent copy of the entity's accumulated
+// specification — the input a from-scratch resolution would see. The
+// differential layer resolves it and byte-compares against Get.
+func (r *Registry) Spec(key string) (*conflictres.Spec, bool, error) {
+	for {
+		e, victims, _, err := r.checkout(key, "", false)
+		closeAll(victims)
+		if err != nil {
+			if errors.Is(err, errAbsent) {
+				return nil, false, nil
+			}
+			return nil, false, err
+		}
+		if e.closed {
+			e.mu.Unlock()
+			continue
+		}
+		spec := e.ls.Spec()
+		e.mu.Unlock()
+		return spec, true, nil
+	}
+}
+
+// Remove deletes the entity, blocking until any in-flight operation on it
+// drains, and returns its pipeline to the pool. It reports whether the
+// entity was present and not already expired.
+func (r *Registry) Remove(key string) bool {
+	r.mu.Lock()
+	el, ok := r.m[key]
+	if !ok {
+		r.mu.Unlock()
+		return false
+	}
+	e := el.Value.(*entry)
+	expired := r.ttl > 0 && time.Since(e.lastUse) > r.ttl
+	r.ll.Remove(el)
+	delete(r.m, key)
+	if expired {
+		r.expired.Add(1)
+	}
+	r.mu.Unlock()
+	closeAll([]*entry{e})
+	return !expired
+}
+
+// errAbsent is internal: checkout(create=false) found no entry.
+var errAbsent = errors.New("live: no such entity")
+
+// checkout resolves key to a locked entry. Under the registry lock it
+// handles TTL expiry, LRU refresh, capacity eviction and (when create is
+// set) placeholder insertion; the locked entry plus any eviction victims
+// are returned for the caller to use and close outside the lock. A created
+// placeholder is returned already locked, so concurrent requests see
+// ErrBusy while the caller builds the live session.
+func (r *Registry) checkout(key, rulesHash string, create bool) (e *entry, victims []*entry, created bool, err error) {
+	r.mu.Lock()
+	if r.down {
+		r.mu.Unlock()
+		return nil, nil, false, ErrShutdown
+	}
+	if el, ok := r.m[key]; ok {
+		e := el.Value.(*entry)
+		if r.ttl > 0 && time.Since(e.lastUse) > r.ttl {
+			r.ll.Remove(el)
+			delete(r.m, key)
+			r.expired.Add(1)
+			victims = append(victims, e)
+		} else {
+			e.lastUse = time.Now()
+			r.ll.MoveToFront(el)
+			if create && e.rulesHash != rulesHash {
+				r.mu.Unlock()
+				return nil, victims, false, ErrRulesChanged
+			}
+			if !e.mu.TryLock() {
+				r.mu.Unlock()
+				return nil, victims, false, ErrBusy
+			}
+			r.mu.Unlock()
+			return e, victims, false, nil
+		}
+	}
+	if !create {
+		r.mu.Unlock()
+		return nil, victims, false, errAbsent
+	}
+	e = &entry{key: key, rulesHash: rulesHash, lastUse: time.Now()}
+	e.mu.Lock()
+	r.m[key] = r.ll.PushFront(e)
+	r.created.Add(1)
+	for r.cap > 0 && r.ll.Len() > r.cap {
+		el := r.ll.Back()
+		old := el.Value.(*entry)
+		r.ll.Remove(el)
+		delete(r.m, old.key)
+		r.evicted.Add(1)
+		victims = append(victims, old)
+	}
+	r.mu.Unlock()
+	return e, victims, true, nil
+}
+
+// drop removes a placeholder whose live session failed to build.
+func (r *Registry) drop(key string, e *entry) {
+	r.mu.Lock()
+	if el, ok := r.m[key]; ok && el.Value.(*entry) == e {
+		r.ll.Remove(el)
+		delete(r.m, key)
+	}
+	r.created.Add(-1)
+	r.mu.Unlock()
+}
+
+// closeAll closes entries collected under the registry lock. Each close
+// takes the entry mutex, so it blocks until any in-flight upsert drains,
+// then returns the pipeline to its pool exactly once.
+func closeAll(es []*entry) {
+	for _, e := range es {
+		e.mu.Lock()
+		if !e.closed {
+			e.closed = true
+			if e.ls != nil {
+				e.ls.Close()
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
+// Sweep closes every entry past its TTL (called by the server's janitor).
+// It walks from the LRU tail, so it stops at the first still-live entry.
+func (r *Registry) Sweep() {
+	if r.ttl <= 0 {
+		return
+	}
+	var victims []*entry
+	r.mu.Lock()
+	now := time.Now()
+	for el := r.ll.Back(); el != nil; {
+		e := el.Value.(*entry)
+		if now.Sub(e.lastUse) <= r.ttl {
+			break // everything further front is more recently used
+		}
+		prev := el.Prev()
+		r.ll.Remove(el)
+		delete(r.m, e.key)
+		r.expired.Add(1)
+		victims = append(victims, e)
+		el = prev
+	}
+	r.mu.Unlock()
+	closeAll(victims)
+}
+
+// Live returns the number of entities currently held.
+func (r *Registry) Live() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ll.Len()
+}
+
+// CountersSnapshot reports the registry's cumulative counters.
+func (r *Registry) CountersSnapshot() Counters {
+	return Counters{
+		Created:  r.created.Load(),
+		Expired:  r.expired.Load(),
+		Evicted:  r.evicted.Load(),
+		Extends:  r.extends.Load(),
+		Rebuilds: r.rebuilds.Load(),
+	}
+}
+
+// Close shuts the registry down: every entity is closed (blocking on
+// in-flight operations) and later calls fail with ErrShutdown. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.down {
+		r.mu.Unlock()
+		return
+	}
+	r.down = true
+	victims := make([]*entry, 0, r.ll.Len())
+	for el := r.ll.Front(); el != nil; el = el.Next() {
+		victims = append(victims, el.Value.(*entry))
+	}
+	r.ll.Init()
+	r.m = make(map[string]*list.Element)
+	r.mu.Unlock()
+	closeAll(victims)
+}

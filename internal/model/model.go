@@ -152,3 +152,20 @@ func (s *Spec) ExtendWithEdges(edges []OrderEdge) *Spec {
 	out.TI.Edges = append(out.TI.Edges, edges...)
 	return out
 }
+
+// ExtendRows is the change-data-capture extension: new data tuples (and
+// optionally new order edges, which may reference the appended tuples) are
+// added to the temporal instance. Unlike Extend, the rows carry no implied
+// currency edges — they are ordinary observations joining the instance on
+// equal footing with the existing tuples. Rows must match the schema arity
+// (Instance.Add copies and validates); edge indices are checked by
+// Spec.Validate, which callers on untrusted input should invoke on the
+// result. The receiver is not modified.
+func (s *Spec) ExtendRows(rows []relation.Tuple, edges []OrderEdge) *Spec {
+	out := s.Clone()
+	for _, r := range rows {
+		out.TI.Inst.MustAdd(r)
+	}
+	out.TI.Edges = append(out.TI.Edges, edges...)
+	return out
+}

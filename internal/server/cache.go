@@ -64,6 +64,19 @@ func specKey(rules *conflictres.RuleSet, spec *conflictres.Spec, orders []orderJ
 	return k
 }
 
+// liveEntityKey keys a live entity's cached state snapshot in the result
+// LRU: the entity key under a reserved prefix (client keys cannot collide
+// with specKey/rulesKey hashes — the prefix is length-tagged like every
+// field). Upserts and deletes remove the key; gets repopulate it.
+func liveEntityKey(key string) cacheKey {
+	h := sha256.New()
+	hashField(h, "#live-entity")
+	hashField(h, key)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
 // rulesKey hashes a wire rule set (schema names plus constraint texts); it
 // keys the compiled-rule-set cache so repeated requests with identical Σ/Γ
 // skip parsing.
@@ -161,6 +174,23 @@ func (c *lru) put(k cacheKey, v any) {
 		c.ll.Remove(el)
 		delete(c.m, el.Value.(*lruEntry).key)
 	}
+}
+
+// remove drops k from the cache, reporting whether it was present. Live
+// entities use it to invalidate their cached state on every upsert.
+func (c *lru) remove(k cacheKey) bool {
+	if !c.enabled() {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.m, k)
+	return true
 }
 
 // stats returns (hits, misses, current size).

@@ -20,6 +20,14 @@
 //	POST /v1/session/{id}/answer fold user answers in (Se ⊕ Ot), re-deduce
 //	                             incrementally, return the next suggestion
 //	DELETE /v1/session/{id}      drop the session
+//	POST /v1/entity/{key}/rows   change-data-capture feed: fold new rows
+//	                             (and optional currency edges) into the
+//	                             entity's persistent resolution state —
+//	                             incrementally when the delta is monotone,
+//	                             by automatic re-encode otherwise — and
+//	                             return the state over all rows seen
+//	GET  /v1/entity/{key}        the entity's current resolution state
+//	DELETE /v1/entity/{key}      drop the entity
 //	GET  /healthz            liveness probe
 //	GET  /readyz             readiness probe: 503 while draining (after
 //	                         Close) or if the session janitor died; body

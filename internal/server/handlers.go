@@ -357,6 +357,9 @@ type readyzJSON struct {
 	// itself unready.
 	SessionJanitor string `json:"sessionJanitor"`
 	LiveSessions   int    `json:"liveSessions"`
+	// LiveEntities counts the change-data-capture entities currently warm
+	// behind the /v1/entity endpoints.
+	LiveEntities int `json:"liveEntities"`
 }
 
 // handleReadyz is GET /readyz: 200 while the server should receive new
@@ -371,6 +374,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		RuleCacheWarm:    ruleEntries > 0,
 		SessionJanitor:   "running",
 		LiveSessions:     s.sessions.Live(),
+		LiveEntities:     s.liveReg.Live(),
 	}
 	if !s.janitorUp.Load() {
 		st.SessionJanitor = "stopped"
@@ -387,5 +391,5 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics is GET /metrics.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.results, s.sessions)
+	s.met.write(w, s.results, s.sessions, s.liveReg)
 }

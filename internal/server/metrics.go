@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"conflictres"
+	"conflictres/internal/live"
 )
 
 // metrics holds the server's monotonic counters. Everything is atomic so the
@@ -17,6 +18,7 @@ type metrics struct {
 	datasetRequests  atomic.Int64
 	validateRequests atomic.Int64
 	sessionRequests  atomic.Int64
+	entityRequests   atomic.Int64
 	errorResponses   atomic.Int64
 
 	// Dataset rows streamed through /v1/resolve/dataset.
@@ -59,7 +61,7 @@ func (m *metrics) observe(res *conflictres.Result) {
 }
 
 // write renders the counters in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore) {
+func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore, liveReg *live.Registry) {
 	hits, misses, size := cache.stats()
 	var hitRate float64
 	if hits+misses > 0 {
@@ -71,6 +73,7 @@ func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore) {
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"dataset\"} %d\n", m.datasetRequests.Load())
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"validate\"} %d\n", m.validateRequests.Load())
 	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"session\"} %d\n", m.sessionRequests.Load())
+	fmt.Fprintf(w, "crserve_requests_total{endpoint=\"entity\"} %d\n", m.entityRequests.Load())
 	fmt.Fprintf(w, "# TYPE crserve_dataset_rows_total counter\n")
 	fmt.Fprintf(w, "crserve_dataset_rows_total %d\n", m.datasetRows.Load())
 	fmt.Fprintf(w, "# TYPE crserve_error_responses_total counter\n")
@@ -100,6 +103,19 @@ func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore) {
 	fmt.Fprintf(w, "crserve_session_store_expired_total %d\n", sc.Expired)
 	fmt.Fprintf(w, "# TYPE crserve_session_store_evicted_total counter\n")
 	fmt.Fprintf(w, "crserve_session_store_evicted_total %d\n", sc.Evicted)
+	lc := liveReg.CountersSnapshot()
+	fmt.Fprintf(w, "# TYPE crserve_live_entities gauge\n")
+	fmt.Fprintf(w, "crserve_live_entities %d\n", liveReg.Live())
+	fmt.Fprintf(w, "# TYPE crserve_live_extends_total counter\n")
+	fmt.Fprintf(w, "crserve_live_extends_total %d\n", lc.Extends)
+	fmt.Fprintf(w, "# TYPE crserve_live_rebuilds_total counter\n")
+	fmt.Fprintf(w, "crserve_live_rebuilds_total %d\n", lc.Rebuilds)
+	fmt.Fprintf(w, "# TYPE crserve_live_created_total counter\n")
+	fmt.Fprintf(w, "crserve_live_created_total %d\n", lc.Created)
+	fmt.Fprintf(w, "# TYPE crserve_live_expired_total counter\n")
+	fmt.Fprintf(w, "crserve_live_expired_total %d\n", lc.Expired)
+	fmt.Fprintf(w, "# TYPE crserve_live_evicted_total counter\n")
+	fmt.Fprintf(w, "crserve_live_evicted_total %d\n", lc.Evicted)
 	pool := conflictres.PoolCounters()
 	fmt.Fprintf(w, "# TYPE crserve_pool_hits_total counter\n")
 	fmt.Fprintf(w, "crserve_pool_hits_total %d\n", pool.Hits)

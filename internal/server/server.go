@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"conflictres/internal/live"
 )
 
 // Config tunes the resolution server.
@@ -46,6 +48,15 @@ type Config struct {
 	// external or replicated session backends; see SnapshotSessions /
 	// RestoreSessions for the rolling-restart path of the built-in store.
 	SessionStore SessionStore
+	// LiveCap bounds the live entities held by the registry behind the
+	// /v1/entity endpoints (default 512). Over the cap, the least recently
+	// used entity is evicted (its pooled pipeline returns to the pool); its
+	// next upsert rebuilds from the rows it carries.
+	LiveCap int
+	// LiveTTL expires live entities idle for longer than this (default
+	// 15m; negative disables expiry). Enforced lazily on access and by the
+	// session janitor's sweep.
+	LiveTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +102,15 @@ func (c Config) withDefaults() Config {
 	if c.SessionSweep <= 0 {
 		c.SessionSweep = time.Minute
 	}
+	if c.LiveCap <= 0 {
+		c.LiveCap = 512
+	}
+	switch {
+	case c.LiveTTL < 0:
+		c.LiveTTL = 0 // disables expiry
+	case c.LiveTTL == 0:
+		c.LiveTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -100,6 +120,7 @@ type Server struct {
 	results  *lru // cacheKey(rules+instance) -> *cachedResult
 	rules    *lru // cacheKey(rules)          -> *conflictres.RuleSet
 	sessions SessionStore
+	liveReg  *live.Registry
 	met      *metrics
 	mux      *http.ServeMux
 
@@ -128,6 +149,7 @@ func New(cfg Config) *Server {
 	if s.sessions == nil {
 		s.sessions = newMemSessionStore(s.cfg.SessionCap, s.cfg.SessionTTL)
 	}
+	s.liveReg = live.NewRegistry(s.cfg.LiveCap, s.cfg.LiveTTL)
 	s.janitorUp.Store(true)
 	go s.janitor(s.cfg.SessionSweep)
 	s.mux.HandleFunc("POST /v1/resolve", s.handleResolve)
@@ -138,6 +160,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/session/{id}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /v1/session/{id}/answer", s.handleSessionAnswer)
 	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/entity/{key}/rows", s.handleEntityUpsert)
+	s.mux.HandleFunc("GET /v1/entity/{key}", s.handleEntityGet)
+	s.mux.HandleFunc("DELETE /v1/entity/{key}", s.handleEntityDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -159,6 +184,7 @@ func (s *Server) janitor(every time.Duration) {
 			return
 		case <-t.C:
 			s.sessions.Sweep()
+			s.liveReg.Sweep()
 		}
 	}
 }
@@ -173,6 +199,9 @@ func (s *Server) Close() {
 		s.closed.Store(true)
 		close(s.janitorStop)
 		s.sessions.Close()
+		// Blocks on in-flight upserts, then returns every live entity's
+		// pooled pipeline.
+		s.liveReg.Close()
 	})
 }
 

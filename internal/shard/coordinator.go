@@ -169,6 +169,9 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/session/{id}", c.handleSessionProxy)
 	c.mux.HandleFunc("POST /v1/session/{id}/answer", c.handleSessionProxy)
 	c.mux.HandleFunc("DELETE /v1/session/{id}", c.handleSessionProxy)
+	c.mux.HandleFunc("POST /v1/entity/{key}/rows", c.handleEntityProxy)
+	c.mux.HandleFunc("GET /v1/entity/{key}", c.handleEntityProxy)
+	c.mux.HandleFunc("DELETE /v1/entity/{key}", c.handleEntityProxy)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Live-entity affinity: entity keys are client-chosen, so plain ring
+// placement on the key IS the affinity — every coordinator routes the same
+// key to the same backend with no id tagging and no coordinator state. The
+// per-entity resolution state lives only on that owner: it is not
+// replicated, so upserts are never retried on a sibling (a replay could
+// double-apply rows if the first attempt actually landed), and a failed-
+// over key starts a fresh entity on the next backend in its preference
+// list from whatever rows arrive after the failover.
+
+// handleEntityProxy serves POST /v1/entity/{key}/rows and GET/DELETE
+// /v1/entity/{key}: forward to the key's ring owner verbatim. An
+// unreachable owner answers 502 — the change-data-capture feed decides
+// whether to replay its delta once the owner (or its successor) is back.
+func (c *Coordinator) handleEntityProxy(w http.ResponseWriter, r *http.Request) {
+	c.met.entityRequests.Add(1)
+	key := r.PathValue("key")
+	if key == "" {
+		c.writeError(w, http.StatusBadRequest, codeBadRequest, "empty entity key")
+		return
+	}
+	b, _ := c.route(key, 0)
+	if b == nil {
+		c.met.noBackend.Add(1)
+		c.writeError(w, http.StatusServiceUnavailable, codeNoBackend, "no live backend for entity")
+		return
+	}
+	path := "/v1/entity/" + key
+	if strings.HasSuffix(r.URL.Path, "/rows") {
+		path += "/rows"
+	}
+
+	var status int
+	var data []byte
+	switch r.Method {
+	case http.MethodPost:
+		body, ok := c.readBody(w, r)
+		if !ok {
+			return
+		}
+		var err error
+		status, data, _, err = c.post(r.Context(), b, path, "application/json", body)
+		if err != nil {
+			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
+			return
+		}
+	default: // GET, DELETE
+		b.requests.Add(1)
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+path, nil)
+		if err != nil {
+			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
+			return
+		}
+		resp, err := c.cfg.Client.Do(req)
+		if err != nil {
+			c.markDown(b)
+			c.writeError(w, http.StatusBadGateway, codeBackendDown,
+				fmt.Sprintf("entity owner unreachable: %v", err))
+			return
+		}
+		defer resp.Body.Close()
+		status = resp.StatusCode
+		if data, err = io.ReadAll(resp.Body); err != nil {
+			c.markDown(b)
+			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
+			return
+		}
+	}
+	if status == http.StatusNoContent {
+		w.WriteHeader(status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -82,6 +83,28 @@ func TestFleetMultiProcess(t *testing.T) {
 		t.Fatalf("fleet summary does not reconcile: %+v", shardedSum)
 	}
 
+	// Phase 1b: a live-entity upsert round rides the same ring. Both deltas
+	// for one key must land on the same backend (affinity is ring placement
+	// on the client-chosen key), so the second sees the first's row.
+	row := func(kids int) []any {
+		return []any{"Edith Live", "working", "nurse", kids, "NY", "212", "10036", "Manhattan"}
+	}
+	st, status := entityUpsert(t, coord.url, "edith-live", []any{row(0)})
+	if status != http.StatusOK || st["created"] != true || st["rows"] != float64(1) {
+		t.Fatalf("live create: status %d, state %v", status, st)
+	}
+	st, status = entityUpsert(t, coord.url, "edith-live", []any{row(1)})
+	if status != http.StatusOK || st["created"] == true || st["rows"] != float64(2) {
+		t.Fatalf("live extend: status %d, state %v", status, st)
+	}
+	if _, ok := st["extended"]; !ok {
+		t.Fatalf("live extend: no incremental-vs-rebuild verdict: %v", st)
+	}
+	st, status = entityGet(t, coord.url, "edith-live")
+	if status != http.StatusOK || st["rows"] != float64(2) || st["valid"] != true {
+		t.Fatalf("live get: status %d, state %v", status, st)
+	}
+
 	// Phase 2: kill backend2 without warning. Fresh entity names keep the
 	// result caches out of the comparison.
 	if err := backend2.cmd.Process.Signal(syscall.SIGKILL); err != nil {
@@ -130,6 +153,28 @@ func TestFleetMultiProcess(t *testing.T) {
 		t.Fatalf("post-kill summary does not reconcile: %+v", sum)
 	}
 
+	// Phase 2b: live-entity state is not replicated, so an upsert whose key
+	// is owned by the corpse answers 502 (never a silent sibling retry);
+	// once the transport error marks the owner down, the key fails over and
+	// starts a fresh entity on the survivor.
+	var recovered map[string]any
+	for attempt := 0; attempt < 5; attempt++ {
+		st, status := entityUpsert(t, coord.url, "edith-live-2", []any{row(0)})
+		if status == http.StatusOK {
+			recovered = st
+			break
+		}
+		if status != http.StatusBadGateway {
+			t.Fatalf("post-kill upsert attempt %d: status %d, state %v", attempt, status, st)
+		}
+	}
+	if recovered == nil {
+		t.Fatal("post-kill upsert never recovered onto the survivor")
+	}
+	if recovered["created"] != true || recovered["rows"] != float64(1) {
+		t.Fatalf("post-kill upsert did not start a fresh entity: %v", recovered)
+	}
+
 	// The coordinator observed the death (errors on the victim, retried work
 	// on the survivor) and stays ready on the surviving backend.
 	metrics := getBody(t, coord.url+"/metrics")
@@ -156,6 +201,39 @@ func TestFleetMultiProcess(t *testing.T) {
 	if rresp.StatusCode != http.StatusOK {
 		t.Fatalf("coordinator unready with a surviving backend: %d", rresp.StatusCode)
 	}
+}
+
+// entityUpsert posts rows (Edith rule set) to a live entity through the
+// given base URL and returns the decoded state plus the HTTP status.
+func entityUpsert(t testing.TB, baseURL, key string, rows []any) (map[string]any, int) {
+	t.Helper()
+	m := edithWireRules()
+	m["rows"] = rows
+	resp, err := http.Post(baseURL+"/v1/entity/"+key+"/rows", "application/json",
+		bytes.NewReader(marshalLine(t, m)))
+	if err != nil {
+		t.Fatalf("entity upsert %s: %v", key, err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("entity upsert %s: decode: %v", key, err)
+	}
+	return st, resp.StatusCode
+}
+
+func entityGet(t testing.TB, baseURL, key string) (map[string]any, int) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/entity/" + key)
+	if err != nil {
+		t.Fatalf("entity get %s: %v", key, err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("entity get %s: decode: %v", key, err)
+	}
+	return st, resp.StatusCode
 }
 
 // batchBodyOffset is edithBatchBody with entity ids/names offset so repeated

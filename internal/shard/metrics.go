@@ -14,6 +14,7 @@ type metrics struct {
 	datasetRequests  atomic.Int64
 	validateRequests atomic.Int64
 	sessionRequests  atomic.Int64
+	entityRequests   atomic.Int64
 	errorResponses   atomic.Int64
 
 	// noBackend counts entities that exhausted every live backend and were
@@ -35,6 +36,7 @@ func (m *metrics) write(w io.Writer, ring *Ring, backends []*backend) {
 	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"dataset\"} %d\n", m.datasetRequests.Load())
 	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"validate\"} %d\n", m.validateRequests.Load())
 	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"session\"} %d\n", m.sessionRequests.Load())
+	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"entity\"} %d\n", m.entityRequests.Load())
 	fmt.Fprintf(w, "# TYPE crshard_error_responses_total counter\n")
 	fmt.Fprintf(w, "crshard_error_responses_total %d\n", m.errorResponses.Load())
 	fmt.Fprintf(w, "# TYPE crshard_no_backend_total counter\n")
