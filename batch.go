@@ -22,6 +22,9 @@ type RuleSet struct {
 	schema *Schema
 	sigma  []constraint.Currency
 	gamma  []constraint.CFD
+	// trust is the compiled trust mapping of the rules file's trust: section;
+	// nil means uniform trust.
+	trust *constraint.TrustTable
 
 	// The original texts, kept for serialization and cache keys.
 	currencyTexts []string
@@ -114,11 +117,23 @@ func (rs *RuleSet) Resolve(spec *Spec, oracle Oracle, opts ...Options) (*Result,
 // CompileRules parses the currency constraints and constant CFDs against the
 // schema and returns a reusable rule set. The text syntax is that of NewSpec.
 func CompileRules(schema *Schema, currency []string, cfds []string) (*RuleSet, error) {
+	return CompileRulesTrust(schema, currency, cfds, nil)
+}
+
+// CompileRulesTrust is CompileRules plus a trust mapping: the statements (the
+// rules-file trust: syntax) are compiled into the rule set, so every entity
+// bound to it resolves under those source weights.
+func CompileRulesTrust(schema *Schema, currency []string, cfds []string, trust []string) (*RuleSet, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("conflictres: CompileRules needs a schema")
 	}
+	tt, err := constraint.CompileTrust(trust)
+	if err != nil {
+		return nil, err
+	}
 	rs := &RuleSet{
 		schema:        schema,
+		trust:         tt,
 		currencyTexts: append([]string(nil), currency...),
 		cfdTexts:      append([]string(nil), cfds...),
 	}
@@ -150,6 +165,10 @@ func (rs *RuleSet) CurrencyTexts() []string {
 
 // CFDTexts returns the CFD texts the set was compiled from, in input order.
 func (rs *RuleSet) CFDTexts() []string { return append([]string(nil), rs.cfdTexts...) }
+
+// TrustTexts returns the trust-mapping statement texts the set was compiled
+// from, in input order; nil when the set carries no trust mapping.
+func (rs *RuleSet) TrustTexts() []string { return rs.trust.Texts() }
 
 // compatible reports whether an instance's schema matches the compiled one.
 // Attributes are positional throughout the module, so the names must agree
@@ -183,6 +202,7 @@ func NewSpecFromRules(in *Instance, rules *RuleSet) (*Spec, error) {
 	// Constraints are immutable values; sharing the slices across specs is
 	// safe (model.Spec.Clone shares them the same way).
 	m := model.NewSpec(model.NewTemporal(in), rules.sigma, rules.gamma)
+	m.Trust = rules.trust
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

@@ -44,6 +44,46 @@ func BenchmarkResolveBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkResolveBatchWeighted prices provenance: the BenchmarkResolveBatch
+// workload with every tuple source-tagged and a non-uniform trust chain
+// active, so each entity pays the weighted picker (trust fill over the SAT
+// result) on top of ordinary resolution. Compare the workers=N series here
+// against the pooled series above to read the overhead.
+func BenchmarkResolveBatchWeighted(b *testing.B) {
+	currency, cfds := batchRuleTexts()
+	rs, err := CompileRulesTrust(batchSchema(), currency, cfds,
+		[]string{`"hq" > "mirror" > "scrape"`})
+	if err != nil {
+		b.Fatal(err)
+	}
+	instances := batchInstances(rs.Schema(), 64)
+	srcs := []string{"scrape", "mirror", "hq"}
+	for _, in := range instances {
+		for i, id := range in.TupleIDs() {
+			in.SetSource(id, srcs[i%len(srcs)])
+		}
+	}
+	widths := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if runtime.GOMAXPROCS(0) <= 2 {
+		widths = []int{1, 2}
+	}
+	for _, w := range widths {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				br, err := ResolveBatch(rs, instances, BatchOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if br.Resolved != len(instances) {
+					b.Fatalf("Resolved = %d", br.Resolved)
+				}
+			}
+			b.ReportMetric(float64(len(instances)*b.N)/b.Elapsed().Seconds(), "entities/s")
+		})
+	}
+}
+
 // BenchmarkSpecConstruction contrasts per-entity constraint re-parsing
 // (NewSpec) with binding against a compiled rule set (NewSpecFromRules).
 func BenchmarkSpecConstruction(b *testing.B) {

@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 
 	"conflictres/internal/datagen"
+	"conflictres/internal/relation"
 	"conflictres/internal/textio"
 	"conflictres/internal/version"
 )
@@ -37,6 +38,7 @@ func main() {
 		minT        = flag.Int("min-tuples", 2, "minimum tuples per entity (person)")
 		maxT        = flag.Int("max-tuples", 100, "maximum tuples per entity (person)")
 		skew        = flag.String("skew", "uniform", "entity-size distribution (person): uniform | zipf")
+		sources     = flag.Int("sources", 0, "simulate N data sources: tag every tuple with a source= column and emit a trust mapping (0 = no provenance)")
 		seed        = flag.Int64("seed", 1, "generator seed")
 		format      = flag.String("format", "spec", "output shape: spec | csv | ndjson")
 		out         = flag.String("out", "", "output directory (required)")
@@ -80,6 +82,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "crgen: unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
+	if *sources < 0 {
+		fmt.Fprintf(os.Stderr, "crgen: -sources must be >= 0, got %d\n", *sources)
+		os.Exit(2)
+	}
+	// A separate, seed-derived rng keeps the generated data byte-identical
+	// with and without provenance (AssignSources is a pure post-pass).
+	ds.AssignSources(*sources, *seed+1)
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -110,7 +119,7 @@ func main() {
 	case "csv", "ndjson":
 		rulesPath := filepath.Join(*out, "rules.cr")
 		if err := writeFile(rulesPath, func(w *bufio.Writer) error {
-			return textio.WriteRules(w, ds.Schema, ds.Sigma, ds.Gamma)
+			return textio.WriteRules(w, ds.Schema, ds.Sigma, ds.Gamma, ds.Trust)
 		}); err != nil {
 			fatal(err)
 		}
@@ -140,7 +149,11 @@ func main() {
 // attributes, one row per tuple, entities contiguous.
 func writeCSV(w *bufio.Writer, ds *datagen.Dataset) (int, error) {
 	cw := csv.NewWriter(w)
+	sourced := len(ds.Sources) > 0
 	header := append([]string{"entity"}, ds.Schema.Names()...)
+	if sourced {
+		header = append(header, relation.ReservedColumn)
+	}
 	if err := cw.Write(header); err != nil {
 		return 0, err
 	}
@@ -152,6 +165,9 @@ func writeCSV(w *bufio.Writer, ds *datagen.Dataset) (int, error) {
 			rec[0] = e.ID
 			for i, v := range in.Tuple(id) {
 				rec[1+i] = textio.EncodeCell(v)
+			}
+			if sourced {
+				rec[len(rec)-1] = textio.EncodeCell(relation.String(in.Source(id)))
 			}
 			if err := cw.Write(rec); err != nil {
 				return rows, err
@@ -167,14 +183,18 @@ func writeCSV(w *bufio.Writer, ds *datagen.Dataset) (int, error) {
 func writeNDJSON(w *bufio.Writer, ds *datagen.Dataset) (int, error) {
 	enc := json.NewEncoder(w)
 	names := ds.Schema.Names()
+	sourced := len(ds.Sources) > 0
 	rows := 0
 	for _, e := range ds.Entities {
 		in := e.Spec.TI.Inst
 		for _, id := range in.TupleIDs() {
-			obj := make(map[string]any, len(names)+1)
+			obj := make(map[string]any, len(names)+2)
 			obj["entity"] = e.ID
 			for i, v := range in.Tuple(id) {
 				obj[names[i]] = v.AsJSON()
+			}
+			if sourced {
+				obj[relation.ReservedColumn] = in.Source(id)
 			}
 			if err := enc.Encode(obj); err != nil {
 				return rows, err

@@ -34,7 +34,7 @@ type followState struct {
 // entity incrementally, and one state line per row streams out. Unlike the
 // batch path there is no grouping window: entity state persists for the
 // whole run, so late rows are never split into a partial re-resolve.
-func runFollow(rules *conflictres.RuleSet, in io.Reader, out io.Writer, keys []string, stats bool) int {
+func runFollow(rules *conflictres.RuleSet, in io.Reader, out io.Writer, keys []string, mode conflictres.ResolutionMode, stats bool) int {
 	rd, err := dataset.NewNDJSONReader(in, rules.Schema(), keys)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crresolve:", err)
@@ -62,7 +62,11 @@ func runFollow(rules *conflictres.RuleSet, in io.Reader, out io.Writer, keys []s
 		}
 		rowsIn++
 		key := dataset.DisplayKey(row.Key)
-		res, err := reg.Upsert(row.Key, rules, "follow", []conflictres.Tuple{row.Tuple}, nil)
+		var sources []string
+		if row.Source != "" {
+			sources = []string{row.Source}
+		}
+		res, err := reg.Upsert(row.Key, rules, "follow", []conflictres.Tuple{row.Tuple}, sources, nil, mode)
 		if err != nil {
 			badRows++
 			enc.Encode(&followState{Key: key, Error: err.Error()})

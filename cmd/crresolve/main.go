@@ -7,7 +7,7 @@
 //	crresolve -rules rules.cr -key name [-in data.csv] [-out resolved.csv]
 //	          [-format csv|ndjson] [-output-format csv|ndjson]
 //	          [-shards N] [-window N] [-sorted] [-max-rounds N] [-stats]
-//	          [-follow]
+//	          [-follow] [-mode sat|latest-writer-wins|highest-trust|consensus]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The rules file uses the textio format restricted to schema/sigma/gamma
@@ -70,6 +70,7 @@ func run() int {
 		maxRounds   = fs.Int("max-rounds", 8, "maximum resolution rounds per entity")
 		maxRows     = fs.Int("max-entity-rows", 0, "per-entity row limit (0 = default 10000, negative disables)")
 		follow      = fs.Bool("follow", false, "change-data-capture tail: NDJSON rows in arrival order; each row re-resolves its entity incrementally and emits one state line")
+		modeName    = fs.String("mode", "", "resolution strategy: sat (default) | latest-writer-wins | highest-trust | consensus")
 		stats       = fs.Bool("stats", false, "print run statistics to stderr")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile  = fs.String("memprofile", "", "write a heap profile (taken after the run) to this file")
@@ -93,6 +94,13 @@ func run() int {
 		fs.Usage()
 		return 2
 	}
+
+	strat, err := conflictres.ParseStrategy(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crresolve:", err)
+		return 2
+	}
+	mode := conflictres.ResolutionMode{Strategy: strat}
 
 	rules, err := conflictres.LoadRulesFile(*rulesPath)
 	if err != nil {
@@ -174,7 +182,7 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "crresolve: -follow requires NDJSON input (-format ndjson)")
 			return 2
 		}
-		code := runFollow(rules, in, out, keys, *stats)
+		code := runFollow(rules, in, out, keys, mode, *stats)
 		if outFile != nil {
 			if err := outFile.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "crresolve:", err)
@@ -196,6 +204,7 @@ func run() int {
 		Sorted:        *sorted,
 		MaxRounds:     *maxRounds,
 		MaxEntityRows: *maxRows,
+		Mode:          mode,
 	})
 	if *stats && st != nil {
 		fmt.Fprintln(os.Stderr, "crresolve:", st)

@@ -139,6 +139,9 @@ func (s *Spec) Save(w io.Writer) error { return textio.WriteSpec(w, s.m) }
 
 // Options tunes Resolve.
 type Options struct {
+	// Mode selects the resolution strategy and trust overlay; the zero value
+	// is the SAT framework with the specification's own trust mapping.
+	Mode ResolutionMode
 	// MaxRounds bounds interaction rounds (default 8).
 	MaxRounds int
 	// UseNaiveDeduce switches to the exact per-variable deduction baseline.
@@ -209,9 +212,20 @@ func Resolve(spec *Spec, oracle Oracle, opts ...Options) (*Result, error) {
 	return resolveWith(spec, oracle, o, nil)
 }
 
-// resolveWith runs the core framework, optionally on a pooled pipeline.
+// resolveWith runs the core framework, optionally on a pooled pipeline. The
+// resolution mode is applied here, so every path — single, batch, dataset,
+// pooled or not — shares one semantics: the trust overlay is merged into the
+// specification, and a non-SAT strategy takes its closed-form fast path when
+// the entity is constraint-free (falling back to the framework otherwise).
 func resolveWith(spec *Spec, oracle Oracle, o Options, pipe *core.Pipeline) (*Result, error) {
-	out, err := core.Resolve(spec.m, oracle, core.Options{
+	m, err := o.Mode.effectiveSpec(spec.m)
+	if err != nil {
+		return nil, err
+	}
+	if res, ok := fastResolve(m, o.Mode.Strategy); ok {
+		return res, nil
+	}
+	out, err := core.Resolve(m, oracle, core.Options{
 		MaxRounds:      o.MaxRounds,
 		UseNaiveDeduce: o.UseNaiveDeduce,
 		FromScratch:    o.FromScratch,

@@ -50,6 +50,9 @@ type DatasetOptions struct {
 	// solver reused across entities); for ablation benchmarks and
 	// differential testing. Identical results either way.
 	Unpooled bool
+	// Mode selects the resolution strategy and trust overlay applied to
+	// every entity (see ResolutionMode).
+	Mode ResolutionMode
 }
 
 func (o DatasetOptions) formats() (in, out string, err error) {
@@ -117,7 +120,7 @@ func ResolveDataset(ctx context.Context, rules *RuleSet, in io.Reader, out io.Wr
 		writer = dataset.NewNDJSONWriter(out, sch)
 	}
 
-	return dataset.Run(ctx, sch, reader, datasetResolver(rules, opts.MaxRounds, opts.Unpooled), writer, dataset.Options{
+	return dataset.Run(ctx, sch, reader, datasetResolver(rules, opts), writer, dataset.Options{
 		Shards:        opts.Shards,
 		WindowRows:    opts.WindowRows,
 		Sorted:        opts.Sorted,
@@ -131,8 +134,8 @@ func ResolveDataset(ctx context.Context, rules *RuleSet, in io.Reader, out io.Wr
 // effectively keeps one skeleton + solver warm across its entities. (The
 // HTTP server builds its own resolver so it can consult its result cache
 // around the same binding path.)
-func datasetResolver(rules *RuleSet, maxRounds int, unpooled bool) dataset.Resolver {
-	ropts := Options{MaxRounds: maxRounds, Unpooled: unpooled}
+func datasetResolver(rules *RuleSet, opts DatasetOptions) dataset.Resolver {
+	ropts := Options{MaxRounds: opts.MaxRounds, Unpooled: opts.Unpooled, Mode: opts.Mode}
 	return func(key string, in *relation.Instance) dataset.Outcome {
 		spec, err := NewSpecFromRules(in, rules)
 		if err != nil {
@@ -165,6 +168,7 @@ func LoadRules(r io.Reader) (*RuleSet, error) {
 		schema:        parsed.Schema,
 		sigma:         parsed.Sigma,
 		gamma:         parsed.Gamma,
+		trust:         parsed.TrustTable,
 		currencyTexts: parsed.Currency,
 		cfdTexts:      parsed.CFDs,
 	}, nil

@@ -39,9 +39,16 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	answers := fs.String("answers", "", "comma-separated attr=value answers instead of prompting")
 	maxRounds := fs.Int("max-rounds", 8, "maximum interaction rounds")
 	server := fs.String("server", "", "crserve base URL for the session command (e.g. http://localhost:8372)")
+	modeName := fs.String("mode", "", "resolution strategy: sat (default) | latest-writer-wins | highest-trust | consensus")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
+	strat, err := conflictres.ParseStrategy(*modeName)
+	if err != nil {
+		fmt.Fprintln(stderr, "crctl:", err)
+		return 2
+	}
+	mode := conflictres.ResolutionMode{Strategy: strat}
 	if fs.NArg() != 1 {
 		usage(stderr)
 		return 2
@@ -65,9 +72,9 @@ func Run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	case "suggest":
 		return runSuggest(spec, stdout, stderr)
 	case "resolve":
-		return runResolve(spec, *answers, *maxRounds, stdin, stdout, stderr)
+		return runResolve(spec, *answers, *maxRounds, mode, stdin, stdout, stderr)
 	case "session":
-		return runSession(spec, *server, *answers, *maxRounds, stdin, stdout, stderr)
+		return runSession(spec, *server, *answers, *maxRounds, *modeName, stdin, stdout, stderr)
 	default:
 		usage(stderr)
 		return 2
@@ -145,7 +152,7 @@ func printSuggestion(w io.Writer, spec *conflictres.Spec, sug conflictres.Sugges
 }
 
 func runResolve(spec *conflictres.Spec, answers string, maxRounds int,
-	stdin io.Reader, stdout, stderr io.Writer) int {
+	mode conflictres.ResolutionMode, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	var oracle conflictres.Oracle
 	var err error
@@ -158,7 +165,7 @@ func runResolve(spec *conflictres.Spec, answers string, maxRounds int,
 	} else {
 		oracle = PromptOracle(spec, stdin, stdout)
 	}
-	res, err := conflictres.Resolve(spec, oracle, conflictres.Options{MaxRounds: maxRounds})
+	res, err := conflictres.Resolve(spec, oracle, conflictres.Options{MaxRounds: maxRounds, Mode: mode})
 	if err != nil {
 		fmt.Fprintln(stderr, "crctl:", err)
 		return 1

@@ -101,8 +101,9 @@ func (c *sessionClient) do(method, path string, body any) (*wireState, error) {
 }
 
 // createBody renders the loaded specification as a session-create request:
-// schema and constraint texts plus the entity's tuples and explicit orders.
-func createBody(spec *conflictres.Spec) map[string]any {
+// schema and constraint texts (including the trust mapping) plus the entity's
+// tuples, source tags, explicit orders, and the requested resolution mode.
+func createBody(spec *conflictres.Spec, mode string) map[string]any {
 	m := spec.Model()
 	sch := m.Schema()
 	req := map[string]any{"schema": sch.Names()}
@@ -120,6 +121,12 @@ func createBody(spec *conflictres.Spec) map[string]any {
 	if gamma != nil {
 		req["cfds"] = gamma
 	}
+	if trust := m.Trust.Texts(); len(trust) > 0 {
+		req["trust"] = trust
+	}
+	if mode != "" {
+		req["mode"] = mode
+	}
 	var tuples [][]any
 	for _, id := range m.TI.Inst.TupleIDs() {
 		var row []any
@@ -129,6 +136,13 @@ func createBody(spec *conflictres.Spec) map[string]any {
 		tuples = append(tuples, row)
 	}
 	entity := map[string]any{"tuples": tuples}
+	if m.TI.Inst.Sourced() {
+		sources := make([]string, 0, m.TI.Inst.Len())
+		for _, id := range m.TI.Inst.TupleIDs() {
+			sources = append(sources, m.TI.Inst.Source(id))
+		}
+		entity["sources"] = sources
+	}
 	var orders []map[string]any
 	for _, e := range m.TI.Edges {
 		orders = append(orders, map[string]any{"attr": sch.Name(e.Attr), "t1": int(e.T1), "t2": int(e.T2)})
@@ -215,7 +229,7 @@ func promptAnswers(sug *wireSuggestion, stdin *bufio.Reader, stdout io.Writer) m
 // keeps the entity's incremental solver alive between rounds, so each
 // answer round costs one small HTTP exchange instead of a full re-encode.
 func runSession(spec *conflictres.Spec, server, answers string, maxRounds int,
-	stdin io.Reader, stdout, stderr io.Writer) int {
+	mode string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	client := &sessionClient{base: strings.TrimRight(server, "/"), hc: &http.Client{Timeout: 60 * time.Second}}
 
@@ -228,7 +242,7 @@ func runSession(spec *conflictres.Spec, server, answers string, maxRounds int,
 		}
 	}
 
-	state, err := client.do(http.MethodPost, "/v1/session", createBody(spec))
+	state, err := client.do(http.MethodPost, "/v1/session", createBody(spec, mode))
 	if err != nil {
 		fmt.Fprintln(stderr, "crctl:", err)
 		return 1

@@ -58,3 +58,58 @@ func FuzzParseConstraint(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseTrust feeds arbitrary text to the trust-statement parser. The
+// contract: never panic, anything that parses survives a Format → re-parse
+// round trip (the rules-file trust: section depends on that inverse), and
+// compiling a single parsed statement always terminates with positive
+// weights for its sources — even when the statement is a cycle.
+func FuzzParseTrust(f *testing.F) {
+	seeds := []string{
+		`"hospital" > "insurer" > "scrape"`,
+		`"hq" > "mirror"`,
+		`"scrape" = 0.2`,
+		`"a" > "b" > "a"`,
+		`"self" > "self"`,
+		`"a" >= "b"`,
+		`"a" = 0`,
+		`"a" = 1.5`,
+		`"quote \" inside" > "b"`,
+		`bare > names.dotted`,
+		`"unterminated > "b"`,
+		`> "nothing"`,
+		`"" = 0.5`,
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		st, err := ParseTrust(s)
+		if err != nil {
+			return
+		}
+		text := st.Format()
+		st2, err := ParseTrust(text)
+		if err != nil {
+			t.Fatalf("Format output does not re-parse: %v\n%q -> %q", err, s, text)
+		}
+		if st2.Format() != text {
+			t.Fatalf("Format not a fixpoint: %q -> %q", text, st2.Format())
+		}
+		// Compilation (SCC condensation + longest-path leveling) must
+		// terminate and rank every mentioned source above the unmentioned.
+		tt, err := CompileTrust([]string{text})
+		if err != nil {
+			t.Fatalf("parsed statement does not compile alone: %v\n%q", err, text)
+		}
+		for _, src := range append(st.Chain, st.Source) {
+			if src == "" {
+				continue
+			}
+			if w := tt.Weight(src); !(w > 0) {
+				t.Fatalf("weight for %q = %v, want > 0\n%q", src, w, text)
+			}
+		}
+	})
+}

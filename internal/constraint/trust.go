@@ -1,0 +1,350 @@
+package constraint
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Trust statements extend the rule language with per-source trust, the
+// tie-breaking layer of Gatterbauer & Suciu's trust mappings and Staworko &
+// Chomicki's priority-based conflict resolution. Two statement forms:
+//
+//	"hospital" > "insurer" > "scrape"   preference chain (left more trusted)
+//	"scrape" = 0.2                      absolute weight (must be > 0)
+//
+// Source names are double-quoted strings or bare identifiers. Preference
+// chains may form cycles; cycles are resolved the trust-mapping way — every
+// source on a cycle (more precisely, in one strongly connected component of
+// the preference graph) is equally trusted — and the condensed DAG is ranked
+// by its longest path from the least-trusted sinks. Derived weights are
+// (level+1)/(levels); absolute statements override derived weights for their
+// source. Sources never mentioned weigh 0 (least trusted).
+
+// TrustStmt is one parsed trust statement.
+type TrustStmt struct {
+	// Chain holds a preference chain, most trusted first (len >= 2), and is
+	// nil for an absolute statement.
+	Chain []string
+	// Source/Weight hold an absolute statement when Chain is nil.
+	Source string
+	Weight float64
+}
+
+// Format renders the statement in the parser's syntax.
+func (s TrustStmt) Format() string {
+	if len(s.Chain) > 0 {
+		parts := make([]string, len(s.Chain))
+		for i, src := range s.Chain {
+			parts[i] = strconv.Quote(src)
+		}
+		return strings.Join(parts, " > ")
+	}
+	return fmt.Sprintf("%s = %s", strconv.Quote(s.Source), strconv.FormatFloat(s.Weight, 'g', -1, 64))
+}
+
+// ParseTrust parses one trust statement.
+func ParseTrust(s string) (TrustStmt, error) {
+	parseCalls.Add(1)
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return TrustStmt{}, fmt.Errorf("constraint: empty trust statement")
+	}
+	if gt := indexOutsideQuotes(t, ">"); gt >= 0 && !strings.HasPrefix(t[gt:], ">=") {
+		// Preference chain: src > src > ...
+		var chain []string
+		rest := t
+		for {
+			i := indexOutsideQuotes(rest, ">")
+			if i < 0 {
+				src, err := parseSourceName(rest)
+				if err != nil {
+					return TrustStmt{}, err
+				}
+				chain = append(chain, src)
+				break
+			}
+			src, err := parseSourceName(rest[:i])
+			if err != nil {
+				return TrustStmt{}, err
+			}
+			chain = append(chain, src)
+			rest = rest[i+1:]
+		}
+		if len(chain) < 2 {
+			return TrustStmt{}, fmt.Errorf("constraint: trust chain needs at least two sources in %q", s)
+		}
+		return TrustStmt{Chain: chain}, nil
+	}
+	eq := indexOutsideQuotes(t, "=")
+	if eq < 0 {
+		return TrustStmt{}, fmt.Errorf("constraint: trust statement must be a chain (a > b) or a weight (a = 0.5), got %q", s)
+	}
+	src, err := parseSourceName(t[:eq])
+	if err != nil {
+		return TrustStmt{}, err
+	}
+	w, err := strconv.ParseFloat(strings.TrimSpace(t[eq+1:]), 64)
+	if err != nil {
+		return TrustStmt{}, fmt.Errorf("constraint: bad trust weight in %q: %w", s, err)
+	}
+	if !(w > 0) || math.IsInf(w, 0) {
+		return TrustStmt{}, fmt.Errorf("constraint: trust weight must be a positive finite number, got %v in %q", w, s)
+	}
+	return TrustStmt{Source: src, Weight: w}, nil
+}
+
+// parseSourceName parses a double-quoted string or a bare identifier.
+func parseSourceName(s string) (string, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return "", fmt.Errorf("constraint: empty source name")
+	}
+	if t[0] == '"' {
+		name, err := strconv.Unquote(t)
+		if err != nil {
+			return "", fmt.Errorf("constraint: bad source name %q: %w", t, err)
+		}
+		if name == "" {
+			return "", fmt.Errorf("constraint: empty source name")
+		}
+		return name, nil
+	}
+	for _, r := range t {
+		if !isIdentRune(r) && r != '.' {
+			return "", fmt.Errorf("constraint: bad source name %q (quote names with special characters)", t)
+		}
+	}
+	return t, nil
+}
+
+// TrustTable is a compiled trust mapping: source name → weight, higher more
+// trusted. A nil or empty table is uniform: every source is equally trusted
+// and trust plays no part in resolution.
+type TrustTable struct {
+	weights map[string]float64
+	texts   []string // original statement texts, for round-trips and cache keys
+}
+
+// CompileTrust parses and compiles trust statements into a table. An empty
+// statement list yields nil (the uniform table).
+func CompileTrust(stmts []string) (*TrustTable, error) {
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	parsed := make([]TrustStmt, len(stmts))
+	for i, s := range stmts {
+		st, err := ParseTrust(s)
+		if err != nil {
+			return nil, err
+		}
+		parsed[i] = st
+	}
+	t, err := buildTrust(parsed)
+	if err != nil {
+		return nil, err
+	}
+	t.texts = append([]string(nil), stmts...)
+	return t, nil
+}
+
+// buildTrust resolves parsed statements into weights: SCC-condense the
+// preference graph (cycle members equally trusted), rank the condensation by
+// longest path from the sinks, scale ranks into (0, 1], then apply absolute
+// overrides.
+func buildTrust(stmts []TrustStmt) (*TrustTable, error) {
+	abs := make(map[string]float64)
+	// adj[hi] lists sources strictly less trusted than hi.
+	adj := make(map[string][]string)
+	mentioned := make(map[string]bool)
+	for _, st := range stmts {
+		if len(st.Chain) > 0 {
+			for i, src := range st.Chain {
+				mentioned[src] = true
+				if i+1 < len(st.Chain) {
+					adj[src] = append(adj[src], st.Chain[i+1])
+				}
+			}
+			continue
+		}
+		if prev, dup := abs[st.Source]; dup && prev != st.Weight {
+			return nil, fmt.Errorf("constraint: conflicting trust weights for source %q: %v vs %v", st.Source, prev, st.Weight)
+		}
+		abs[st.Source] = st.Weight
+		mentioned[st.Source] = true
+	}
+
+	t := &TrustTable{weights: make(map[string]float64, len(mentioned))}
+	// Deterministic node order keeps derived weights stable across runs.
+	nodes := make([]string, 0, len(mentioned))
+	for src := range mentioned {
+		nodes = append(nodes, src)
+	}
+	sort.Strings(nodes)
+
+	comp := condense(nodes, adj)
+	// Rank each component by the longest preference path below it: sinks
+	// (least trusted) get level 0. Components tie when no path orders them.
+	levels := componentLevels(nodes, adj, comp)
+	maxLevel := 0
+	for _, l := range levels {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	for _, src := range nodes {
+		t.weights[src] = float64(levels[comp[src]]+1) / float64(maxLevel+1)
+	}
+	for src, w := range abs {
+		t.weights[src] = w
+	}
+	return t, nil
+}
+
+// condense assigns every node its strongly connected component id (iterative
+// Tarjan). Nodes on a preference cycle land in one component and end up
+// equally trusted.
+func condense(nodes []string, adj map[string][]string) map[string]int {
+	idx := make(map[string]int, len(nodes)) // visit index, -1 = unvisited
+	low := make(map[string]int, len(nodes)) // low-link
+	onStack := make(map[string]bool, len(nodes))
+	comp := make(map[string]int, len(nodes))
+	var stack []string
+	next, nComp := 0, 0
+
+	type frame struct {
+		node string
+		succ int
+	}
+	for _, root := range nodes {
+		if _, seen := idx[root]; seen {
+			continue
+		}
+		frames := []frame{{node: root}}
+		idx[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.succ < len(adj[f.node]) {
+				w := adj[f.node][f.succ]
+				f.succ++
+				if _, seen := idx[w]; !seen {
+					idx[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] && idx[w] < low[f.node] {
+					low[f.node] = idx[w]
+				}
+				continue
+			}
+			if low[f.node] == idx[f.node] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == f.node {
+						break
+					}
+				}
+				nComp++
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.node] < low[p.node] {
+					low[p.node] = low[f.node]
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// componentLevels computes, per component id, the longest path length (in
+// condensed edges) down to a sink. Tarjan emits components in reverse
+// topological order (successors first), so one pass suffices.
+func componentLevels(nodes []string, adj map[string][]string, comp map[string]int) map[int]int {
+	levels := make(map[int]int)
+	// Process nodes in ascending component id: Tarjan assigns ids to
+	// successor components first, so every edge target's level is final.
+	byComp := make(map[int][]string)
+	maxID := 0
+	for _, n := range nodes {
+		c := comp[n]
+		byComp[c] = append(byComp[c], n)
+		if c > maxID {
+			maxID = c
+		}
+	}
+	for c := 0; c <= maxID; c++ {
+		level := 0
+		for _, n := range byComp[c] {
+			for _, w := range adj[n] {
+				if comp[w] == c {
+					continue // intra-component (cycle) edge
+				}
+				if l := levels[comp[w]] + 1; l > level {
+					level = l
+				}
+			}
+		}
+		levels[c] = level
+	}
+	return levels
+}
+
+// Uniform reports whether the table expresses no trust distinctions; every
+// weighted code path dispatches to the exact unweighted algorithm then.
+func (t *TrustTable) Uniform() bool { return t == nil || len(t.weights) == 0 }
+
+// Weight returns a source's trust weight; unmentioned sources (and the empty
+// source of untagged tuples) weigh 0, the least trusted.
+func (t *TrustTable) Weight(src string) float64 {
+	if t == nil {
+		return 0
+	}
+	return t.weights[src]
+}
+
+// Texts returns the original statement texts (cache keys, round-trips).
+func (t *TrustTable) Texts() []string {
+	if t == nil {
+		return nil
+	}
+	return append([]string(nil), t.texts...)
+}
+
+// Len returns the number of sources with an assigned weight.
+func (t *TrustTable) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.weights)
+}
+
+// MergeTrust layers extra over base: extra's weights win per source and its
+// texts append. Either side may be nil; the result is nil when both are.
+func MergeTrust(base, extra *TrustTable) *TrustTable {
+	if extra.Uniform() {
+		return base
+	}
+	if base.Uniform() {
+		return extra
+	}
+	out := &TrustTable{weights: make(map[string]float64, base.Len()+extra.Len())}
+	for src, w := range base.weights {
+		out.weights[src] = w
+	}
+	for src, w := range extra.weights {
+		out.weights[src] = w
+	}
+	out.texts = append(append([]string(nil), base.texts...), extra.texts...)
+	return out
+}

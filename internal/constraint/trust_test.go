@@ -1,0 +1,229 @@
+package constraint
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseTrustChain(t *testing.T) {
+	st, err := ParseTrust(`"hospital" > "insurer" > "scrape"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"hospital", "insurer", "scrape"}; !reflect.DeepEqual(st.Chain, want) {
+		t.Fatalf("chain = %v, want %v", st.Chain, want)
+	}
+	// Bare identifiers (with dots) parse without quotes.
+	st, err = ParseTrust(`src.primary > src_backup`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"src.primary", "src_backup"}; !reflect.DeepEqual(st.Chain, want) {
+		t.Fatalf("chain = %v, want %v", st.Chain, want)
+	}
+	// Quoted names may contain the statement's own operators.
+	st, err = ParseTrust(`"a > b" > "c = d"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a > b", "c = d"}; !reflect.DeepEqual(st.Chain, want) {
+		t.Fatalf("chain = %v, want %v", st.Chain, want)
+	}
+}
+
+func TestParseTrustAbsolute(t *testing.T) {
+	st, err := ParseTrust(`"scrape" = 0.2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chain != nil || st.Source != "scrape" || st.Weight != 0.2 {
+		t.Fatalf("got %+v", st)
+	}
+}
+
+func TestParseTrustErrors(t *testing.T) {
+	for _, bad := range []string{
+		``,                  // empty
+		`   `,               // blank
+		`"solo"`,            // neither chain nor weight
+		`"a" >`,             // trailing chain element missing
+		`> "a"`,             // leading chain element missing
+		`"a" = 0`,           // weight must be positive
+		`"a" = -1`,          // negative weight
+		`"a" = +Inf`,        // non-finite weight
+		`"a" = nope`,        // unparsable weight
+		`"" = 0.5`,          // empty source name
+		`bad name = 0.5`,    // unquoted name with a space
+		`"a" >= "b"`,        // >= is not a preference chain
+		`"unterminated = 1`, // broken quoting
+	} {
+		if _, err := ParseTrust(bad); err == nil {
+			t.Errorf("ParseTrust(%q): expected error", bad)
+		}
+	}
+}
+
+func TestTrustStmtFormatRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		`"a" > "b" > "c"`,
+		`"scrape" = 0.25`,
+	} {
+		st, err := ParseTrust(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := ParseTrust(st.Format())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", st.Format(), err)
+		}
+		if !reflect.DeepEqual(st, again) {
+			t.Fatalf("round trip changed %+v to %+v", st, again)
+		}
+	}
+}
+
+func TestCompileTrustChainWeights(t *testing.T) {
+	tt, err := CompileTrust([]string{`"a" > "b" > "c"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest-path levels: c (sink) 0, b 1, a 2; weights (level+1)/(max+1).
+	for src, want := range map[string]float64{"a": 1, "b": 2.0 / 3, "c": 1.0 / 3} {
+		if got := tt.Weight(src); got != want {
+			t.Errorf("Weight(%s) = %v, want %v", src, got, want)
+		}
+	}
+	if w := tt.Weight("never-mentioned"); w != 0 {
+		t.Errorf("unmentioned source weighs %v, want 0", w)
+	}
+	if tt.Uniform() {
+		t.Error("a compiled chain must not be uniform")
+	}
+	if tt.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tt.Len())
+	}
+}
+
+func TestCompileTrustAbsoluteOverride(t *testing.T) {
+	tt, err := CompileTrust([]string{`"a" > "b" > "c"`, `"b" = 0.05`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.Weight("b"); got != 0.05 {
+		t.Errorf("absolute override lost: Weight(b) = %v", got)
+	}
+	if got := tt.Weight("a"); got != 1 {
+		t.Errorf("Weight(a) = %v, want 1", got)
+	}
+	// Conflicting absolutes are a compile error; a repeated identical one is not.
+	if _, err := CompileTrust([]string{`"x" = 0.1`, `"x" = 0.9`}); err == nil {
+		t.Error("conflicting absolute weights must not compile")
+	}
+	if _, err := CompileTrust([]string{`"x" = 0.1`, `"x" = 0.1`}); err != nil {
+		t.Errorf("repeated identical weight: %v", err)
+	}
+}
+
+// TestCompileTrustCycle pins the documented trust-mapping cycle semantics:
+// compilation always terminates, every source on a preference cycle (one SCC)
+// is equally trusted, and the condensed DAG still ranks SCCs above the
+// sources strictly below them.
+func TestCompileTrustCycle(t *testing.T) {
+	// Pure 3-cycle: all equally (and maximally) trusted.
+	tt, err := CompileTrust([]string{`"a" > "b"`, `"b" > "c"`, `"c" > "a"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"a", "b", "c"} {
+		if got := tt.Weight(src); got != 1 {
+			t.Errorf("cycle member %s weighs %v, want 1", src, got)
+		}
+	}
+
+	// 2-cycle above a sink: {a, b} tie strictly above c.
+	tt, err = CompileTrust([]string{`"a" > "b"`, `"b" > "a"`, `"a" > "c"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt.Weight("a") != tt.Weight("b") {
+		t.Errorf("cycle members differ: a=%v b=%v", tt.Weight("a"), tt.Weight("b"))
+	}
+	if !(tt.Weight("a") > tt.Weight("c")) {
+		t.Errorf("cycle must outrank its sink: a=%v c=%v", tt.Weight("a"), tt.Weight("c"))
+	}
+	if tt.Weight("a") != 1 || tt.Weight("c") != 0.5 {
+		t.Errorf("levels: a=%v c=%v, want 1 and 0.5", tt.Weight("a"), tt.Weight("c"))
+	}
+
+	// Self-loop is a 1-node SCC, not an infinite loop.
+	tt, err = CompileTrust([]string{`"a" > "a"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.Weight("a"); got != 1 {
+		t.Errorf("self-loop weight = %v, want 1", got)
+	}
+}
+
+func TestCompileTrustEmptyAndTexts(t *testing.T) {
+	tt, err := CompileTrust(nil)
+	if err != nil || tt != nil {
+		t.Fatalf("CompileTrust(nil) = %v, %v; want nil table", tt, err)
+	}
+	stmts := []string{`"a" > "b"`, `"z" = 0.5`}
+	tt, err = CompileTrust(stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tt.Texts(); !reflect.DeepEqual(got, stmts) {
+		t.Errorf("Texts = %v, want %v", got, stmts)
+	}
+	// Texts returns a copy, not the internal slice.
+	tt.Texts()[0] = "mutated"
+	if got := tt.Texts(); !reflect.DeepEqual(got, stmts) {
+		t.Errorf("Texts aliasing: %v", got)
+	}
+}
+
+func TestTrustTableNilSafety(t *testing.T) {
+	var tt *TrustTable
+	if !tt.Uniform() {
+		t.Error("nil table must be uniform")
+	}
+	if tt.Weight("x") != 0 || tt.Len() != 0 || tt.Texts() != nil {
+		t.Error("nil table accessors must be zero-valued")
+	}
+}
+
+func TestMergeTrust(t *testing.T) {
+	base, err := CompileTrust([]string{`"a" > "b"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := CompileTrust([]string{`"b" = 0.9`, `"c" = 0.4`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MergeTrust(base, nil); got != base {
+		t.Error("merging a nil overlay must return base unchanged")
+	}
+	if got := MergeTrust(nil, extra); got != extra {
+		t.Error("merging over a nil base must return the overlay")
+	}
+	if MergeTrust(nil, nil) != nil {
+		t.Error("merging two nil tables must stay nil")
+	}
+	m := MergeTrust(base, extra)
+	if got := m.Weight("b"); got != 0.9 {
+		t.Errorf("overlay must win: Weight(b) = %v", got)
+	}
+	if got := m.Weight("a"); got != base.Weight("a") {
+		t.Errorf("base weight lost: Weight(a) = %v", got)
+	}
+	if got := m.Weight("c"); got != 0.4 {
+		t.Errorf("overlay-only source lost: Weight(c) = %v", got)
+	}
+	if want := []string{`"a" > "b"`, `"b" = 0.9`, `"c" = 0.4`}; !reflect.DeepEqual(m.Texts(), want) {
+		t.Errorf("merged texts = %v, want %v", m.Texts(), want)
+	}
+}

@@ -222,6 +222,8 @@ func Resolve(spec *model.Spec, oracle Oracle, opts Options) (*Outcome, error) {
 func resolveLoop(eng resolveEngine, sch *relation.Schema, oracle Oracle, opts Options) (*Outcome, error) {
 	out := &Outcome{Valid: true}
 	answered := make(map[relation.Attr]bool)
+	var lastEnc *encode.Encoding
+	var lastOD *OrderSet
 
 	for round := 0; ; round++ {
 		enc := eng.beginRound()
@@ -249,6 +251,7 @@ func resolveLoop(eng resolveEngine, sch *relation.Schema, oracle Oracle, opts Op
 		od := eng.deduce(opts.UseNaiveDeduce)
 		resolved := TrueValues(enc, od)
 		out.Timing.Deduce += time.Since(start)
+		lastEnc, lastOD = enc, od
 
 		out.Resolved = resolved
 		out.Rounds = round + 1
@@ -296,6 +299,16 @@ func resolveLoop(eng resolveEngine, sch *relation.Schema, oracle Oracle, opts Op
 	out.Tuple = relation.NewTuple(sch)
 	for a, v := range out.Resolved {
 		out.Tuple[a] = v
+	}
+	// Trust tie-break: attributes the currency orders could not decide take
+	// the candidate a strictly most trusted source observed — into the
+	// current tuple only, never into Resolved (it is a preference, not a
+	// deduction). No-op under uniform trust, keeping the default pipeline
+	// byte-identical.
+	if lastEnc != nil {
+		for a, v := range TrustFill(lastEnc, lastOD, out.Resolved) {
+			out.Tuple[a] = v
+		}
 	}
 	return out, nil
 }

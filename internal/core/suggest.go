@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"conflictres/internal/constraint"
 	"conflictres/internal/encode"
 	"conflictres/internal/maxsat"
 	"conflictres/internal/relation"
@@ -44,11 +45,23 @@ func suggestWith(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]
 
 	// Repair the clique against the specification: hard clauses Φ(Se), one
 	// soft group of unit facts per rule node (Example 13's conflict check).
+	// Under a non-uniform trust mapping the groups carry weights — rules
+	// concluding values observed from higher-trust sources are preferred —
+	// and the probe runs the weighted objective; with uniform trust the
+	// weight vector is nil and the probe is byte-identical to the unweighted
+	// algorithm.
 	var kept []Rule
 	if len(cliqueIdx) > 0 {
 		groups := make([][]sat.Lit, 0, len(cliqueIdx))
 		for _, idx := range cliqueIdx {
 			groups = append(groups, ruleFacts(enc, rules[idx]))
+		}
+		var weights []float64
+		if trust := enc.Spec.Trust; !trust.Uniform() && enc.Spec.TI.Inst.Sourced() {
+			weights = make([]float64, 0, len(cliqueIdx))
+			for _, idx := range cliqueIdx {
+				weights = append(weights, ruleTrust(enc, rules[idx]))
+			}
 		}
 		var keptIdx []int
 		var hardOK bool
@@ -56,9 +69,12 @@ func suggestWith(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]
 			// ruleFacts may have allocated fresh pair variables (with their
 			// asymmetry clauses); attach the delta before probing.
 			sess.sync()
-			keptIdx, hardOK = maxsat.SolveWith(sess.solver, groups, maxsat.Options{})
+			keptIdx, hardOK = maxsat.SolveWithWeights(sess.solver, groups, weights, maxsat.Options{})
 		} else {
-			keptIdx, hardOK = maxsat.Solve(&maxsat.Problem{Hard: enc.CNF(), Groups: groups}, maxsat.Options{})
+			s := sat.New()
+			if enc.CNF().LoadInto(s) {
+				keptIdx, hardOK = maxsat.SolveWithWeights(s, groups, weights, maxsat.Options{})
+			}
 		}
 		if hardOK {
 			for _, k := range keptIdx {
@@ -150,6 +166,29 @@ func fireFixpoint(enc *encode.Encoding, rules []Rule,
 		}
 	}
 	return derivable
+}
+
+// ruleTrust scores a derivation rule under the specification's trust
+// mapping: the trust of its concluded value — the highest weight among the
+// sources that observed that value for that attribute. Values no tuple
+// carries (e.g. a CFD constant outside the active domain) score 0.
+func ruleTrust(enc *encode.Encoding, r Rule) float64 {
+	return ValueTrust(enc.Spec.TI.Inst, enc.Spec.Trust, r.B, r.Bv)
+}
+
+// ValueTrust is the trust weight of one (attribute, value) observation: the
+// maximum trust among the sources of the tuples carrying that value.
+func ValueTrust(in *relation.Instance, trust *constraint.TrustTable,
+	a relation.Attr, v relation.Value) float64 {
+	best := 0.0
+	for _, id := range in.TupleIDs() {
+		if relation.Equal(in.Value(id, a), v) {
+			if w := trust.Weight(in.Source(id)); w > best {
+				best = w
+			}
+		}
+	}
+	return best
 }
 
 // ruleFacts encodes the value assignments a rule asserts as unit literals:

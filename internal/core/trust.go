@@ -1,0 +1,52 @@
+package core
+
+import (
+	"conflictres/internal/encode"
+	"conflictres/internal/relation"
+)
+
+// TrustFill breaks the ties deduction left open with the specification's
+// trust mapping: for every attribute without a deduced true value, the
+// candidate values (the active-domain values not ruled out by the derived
+// currency orders) are scored by ValueTrust, and the candidate a strictly
+// most trusted source observed wins. Attributes whose candidates tie (or
+// where only untrusted sources report) stay open. Null candidates never win:
+// trust ranks observations, and null is the absence of one.
+//
+// The fill is a preference layer, not a deduction: callers put the returned
+// values into the outcome's current tuple but not into its Resolved map.
+// With a uniform trust mapping (or an unsourced instance) the fill is empty,
+// leaving the trust-free pipeline byte-identical to its historical outcomes.
+func TrustFill(enc *encode.Encoding, od *OrderSet, resolved map[relation.Attr]relation.Value) map[relation.Attr]relation.Value {
+	trust := enc.Spec.Trust
+	if trust.Uniform() || !enc.Spec.TI.Inst.Sourced() {
+		return nil
+	}
+	cand := Candidates(enc, od, resolved)
+	var out map[relation.Attr]relation.Value
+	for _, a := range enc.Schema.Attrs() {
+		if _, done := resolved[a]; done {
+			continue
+		}
+		var bestV relation.Value
+		best, unique := 0.0, false
+		for _, v := range cand[a] {
+			if v.IsNull() {
+				continue
+			}
+			w := ValueTrust(enc.Spec.TI.Inst, trust, a, v)
+			if w > best {
+				best, bestV, unique = w, v, true
+			} else if w == best {
+				unique = false
+			}
+		}
+		if unique && best > 0 {
+			if out == nil {
+				out = make(map[relation.Attr]relation.Value)
+			}
+			out[a] = bestV
+		}
+	}
+	return out
+}

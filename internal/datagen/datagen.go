@@ -34,6 +34,12 @@ type Dataset struct {
 	Sigma    []constraint.Currency
 	Gamma    []constraint.CFD
 	Entities []*Entity
+
+	// Sources and Trust are populated by AssignSources: the simulated source
+	// names (most trusted first) and the trust-mapping statements ranking
+	// them. Both are empty until sources are assigned.
+	Sources []string
+	Trust   []string
 }
 
 // Stats summarizes a dataset the way the paper reports its experimental

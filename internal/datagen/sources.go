@@ -1,0 +1,84 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"conflictres/internal/constraint"
+)
+
+// AssignSources simulates data provenance over an already generated dataset:
+// every tuple of every entity is tagged with one of n source names, and the
+// dataset gains a trust-mapping chain ranking the sources ("src_00" most
+// trusted). It is a post-pass with its own rng, so for a fixed generator seed
+// the generated data is byte-identical with and without sources — only the
+// tags and the trust block differ. That independence also makes it compose
+// with every generation knob (entity-size skew, constraint fractions, ...).
+//
+// Source prevalence follows a harmonic profile: source i is drawn with
+// probability proportional to 1/(i+1), so the most trusted source is also the
+// most prolific — a few authoritative feeds plus a long tail of scrapers,
+// the shape trust mappings were designed for. The exact per-source tuple
+// distribution for a fixed seed is pinned by TestAssignSourcesDistribution.
+func (d *Dataset) AssignSources(n int, seed int64) {
+	if n <= 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	names := make([]string, n)
+	cum := make([]float64, n)
+	total := 0.0
+	for i := range names {
+		names[i] = fmt.Sprintf("src_%02d", i)
+		total += 1 / float64(i+1)
+		cum[i] = total
+	}
+
+	pick := func() string {
+		x := rng.Float64() * total
+		for i, c := range cum {
+			if x < c {
+				return names[i]
+			}
+		}
+		return names[n-1]
+	}
+
+	for _, e := range d.Entities {
+		in := e.Spec.TI.Inst
+		for _, id := range in.TupleIDs() {
+			in.SetSource(id, pick())
+		}
+	}
+
+	d.Sources = names
+	d.Trust = sourceTrust(names)
+
+	// Entity specs carry the mapping too, so spec-format output resolves
+	// under it without a separate rules file.
+	if tt, err := constraint.CompileTrust(d.Trust); err == nil {
+		for _, e := range d.Entities {
+			e.Spec.Trust = tt
+		}
+	}
+}
+
+// sourceTrust renders the trust statements for ranked source names: one
+// preference chain, most trusted first (a single source gets an absolute
+// weight instead — a chain needs two members).
+func sourceTrust(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	if len(names) == 1 {
+		return []string{strconv.Quote(names[0]) + " = 1"}
+	}
+	quoted := make([]string, len(names))
+	for i, s := range names {
+		quoted[i] = strconv.Quote(s)
+	}
+	return []string{strings.Join(quoted, " > ")}
+}

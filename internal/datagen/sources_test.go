@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"conflictres/internal/constraint"
+)
+
+// TestAssignSourcesDistribution pins the exact per-source tuple counts for a
+// fixed seed (the doc contract of AssignSources): the harmonic profile makes
+// src_00 the most prolific and the tail thin out as 1/(i+1).
+func TestAssignSourcesDistribution(t *testing.T) {
+	ds := Person(PersonConfig{Entities: 20, MinTuples: 2, MaxTuples: 40, Seed: 7})
+	ds.AssignSources(3, 8)
+	counts := map[string]int{}
+	total := 0
+	for _, e := range ds.Entities {
+		in := e.Spec.TI.Inst
+		for _, id := range in.TupleIDs() {
+			src := in.Source(id)
+			if src == "" {
+				t.Fatal("AssignSources left a tuple untagged")
+			}
+			counts[src]++
+			total++
+		}
+	}
+	want := map[string]int{"src_00": 207, "src_01": 101, "src_02": 64}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("source distribution = %v, want %v (seed-pinned)", counts, want)
+	}
+	if total != 372 {
+		t.Errorf("total tuples = %d, want 372", total)
+	}
+}
+
+// TestAssignSourcesByteIdentity: assigning sources is a pure post-pass — the
+// generated data (values, entity sizes, constraints) is byte-identical with
+// and without it; only the tags and the trust block differ.
+func TestAssignSourcesByteIdentity(t *testing.T) {
+	cfg := PersonConfig{Entities: 10, MinTuples: 2, MaxTuples: 20, Seed: 11}
+	plain := Person(cfg)
+	tagged := Person(cfg)
+	tagged.AssignSources(4, 12)
+
+	if len(plain.Entities) != len(tagged.Entities) {
+		t.Fatalf("entity counts differ: %d vs %d", len(plain.Entities), len(tagged.Entities))
+	}
+	for i := range plain.Entities {
+		a := plain.Entities[i].Spec.TI.Inst
+		b := tagged.Entities[i].Spec.TI.Inst
+		if a.Len() != b.Len() {
+			t.Fatalf("entity %d: %d vs %d tuples", i, a.Len(), b.Len())
+		}
+		for _, id := range a.TupleIDs() {
+			if !reflect.DeepEqual(a.Tuple(id), b.Tuple(id)) {
+				t.Fatalf("entity %d tuple %d differs: %v vs %v", i, id, a.Tuple(id), b.Tuple(id))
+			}
+		}
+		if a.Sourced() {
+			t.Fatal("plain dataset must stay unsourced")
+		}
+		if !b.Sourced() {
+			t.Fatalf("entity %d: tagged dataset lost its sources", i)
+		}
+	}
+}
+
+// TestAssignSourcesTrust: the generated trust block ranks the sources as one
+// preference chain, compiles, and orders weights by source index.
+func TestAssignSourcesTrust(t *testing.T) {
+	ds := Person(PersonConfig{Entities: 5, MinTuples: 2, MaxTuples: 10, Seed: 3})
+	ds.AssignSources(3, 4)
+	if want := []string{"src_00", "src_01", "src_02"}; !reflect.DeepEqual(ds.Sources, want) {
+		t.Fatalf("Sources = %v, want %v", ds.Sources, want)
+	}
+	if want := []string{`"src_00" > "src_01" > "src_02"`}; !reflect.DeepEqual(ds.Trust, want) {
+		t.Fatalf("Trust = %v, want %v", ds.Trust, want)
+	}
+	tt, err := constraint.CompileTrust(ds.Trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tt.Weight("src_00") > tt.Weight("src_01") && tt.Weight("src_01") > tt.Weight("src_02")) {
+		t.Errorf("weights not descending: %v %v %v",
+			tt.Weight("src_00"), tt.Weight("src_01"), tt.Weight("src_02"))
+	}
+	// The entity specs carry the compiled mapping too.
+	for i, e := range ds.Entities {
+		if e.Spec.Trust.Uniform() {
+			t.Fatalf("entity %d spec lost the trust mapping", i)
+		}
+	}
+
+	// A single source cannot form a chain; it gets an absolute weight.
+	one := Person(PersonConfig{Entities: 2, MinTuples: 2, MaxTuples: 4, Seed: 3})
+	one.AssignSources(1, 4)
+	if want := []string{`"src_00" = 1`}; !reflect.DeepEqual(one.Trust, want) {
+		t.Fatalf("single-source trust = %v, want %v", one.Trust, want)
+	}
+
+	// n <= 0 is a no-op.
+	none := Person(PersonConfig{Entities: 2, MinTuples: 2, MaxTuples: 4, Seed: 3})
+	none.AssignSources(0, 4)
+	if none.Sources != nil || none.Trust != nil {
+		t.Error("AssignSources(0) must leave the dataset untouched")
+	}
+	for _, e := range none.Entities {
+		if e.Spec.TI.Inst.Sourced() {
+			t.Fatal("AssignSources(0) must not tag tuples")
+		}
+	}
+}

@@ -42,11 +42,13 @@ import (
 	"conflictres/internal/relation"
 )
 
-// Row is one input record: the entity key it belongs to plus its tuple over
-// the resolution schema.
+// Row is one input record: the entity key it belongs to, its tuple over the
+// resolution schema, and the source that reported it (empty when the input
+// carries no provenance column).
 type Row struct {
-	Key   string
-	Tuple relation.Tuple
+	Key    string
+	Tuple  relation.Tuple
+	Source string
 }
 
 // RowReader yields rows until io.EOF. Readers are consumed by a single
@@ -222,9 +224,24 @@ func (s *Stats) String() string {
 }
 
 // group is one pending entity: its key and the rows buffered so far.
+// sources parallels rows and is nil until a row arrives with provenance, so
+// unsourced inputs pay nothing.
 type group struct {
-	key  string
-	rows []relation.Tuple
+	key     string
+	rows    []relation.Tuple
+	sources []string
+}
+
+// addRow appends one row (and its source tag, if any) to the group.
+func (g *group) addRow(t relation.Tuple, source string) {
+	g.rows = append(g.rows, t)
+	if source == "" && g.sources == nil {
+		return
+	}
+	for len(g.sources) < len(g.rows)-1 {
+		g.sources = append(g.sources, "")
+	}
+	g.sources = append(g.sources, source)
 }
 
 // maxSplitTrackedKeys caps the split-detection key set (see Run): enough
@@ -383,7 +400,7 @@ func Run(ctx context.Context, sch *relation.Schema, r RowReader, res Resolver, w
 				windowSplit[row.Key] = true
 			}
 		}
-		g.rows = append(g.rows, row.Tuple)
+		g.addRow(row.Tuple, row.Source)
 		buffered++
 		if buffered >= opts.windowRows() {
 			// Flush every pending group except the one that received this
@@ -455,8 +472,12 @@ func resolveGroup(sch *relation.Schema, res Resolver, g *group, maxRows int) *Re
 		return out
 	}
 	in := relation.NewInstance(sch)
-	for _, t := range g.rows {
-		if _, err := in.Add(t); err != nil {
+	for i, t := range g.rows {
+		src := ""
+		if i < len(g.sources) {
+			src = g.sources[i]
+		}
+		if _, err := in.AddSourced(t, src); err != nil {
 			out.Err = err
 			return out
 		}

@@ -31,6 +31,7 @@ type columnPlan struct {
 	sch     *relation.Schema
 	keyIdx  []int // positions of the key columns in the input
 	attrIdx []int // position of each schema attribute in the input
+	srcIdx  int   // position of the reserved source= column, -1 when absent
 	need    int   // minimum row width: 1 + the highest referenced position
 }
 
@@ -46,7 +47,10 @@ func planColumns(sch *relation.Schema, columns, keyCols []string) (*columnPlan, 
 		}
 		pos[c] = i
 	}
-	p := &columnPlan{sch: sch}
+	p := &columnPlan{sch: sch, srcIdx: -1}
+	if i, ok := pos[relation.ReservedColumn]; ok {
+		p.srcIdx = i
+	}
 	for _, k := range keyCols {
 		i, ok := pos[k]
 		if !ok {
@@ -61,12 +65,36 @@ func planColumns(sch *relation.Schema, columns, keyCols []string) (*columnPlan, 
 		}
 		p.attrIdx = append(p.attrIdx, i)
 	}
-	for _, idx := range append(append([]int(nil), p.keyIdx...), p.attrIdx...) {
+	idxs := append(append([]int(nil), p.keyIdx...), p.attrIdx...)
+	if p.srcIdx >= 0 {
+		idxs = append(idxs, p.srcIdx)
+	}
+	for _, idx := range idxs {
 		if idx+1 > p.need {
 			p.need = idx + 1
 		}
 	}
 	return p, nil
+}
+
+// source extracts the provenance tag from a record; cells use the textio
+// cell syntax like every other column.
+func (p *columnPlan) source(record []string) (string, error) {
+	if p.srcIdx < 0 || p.srcIdx >= len(record) {
+		return "", nil
+	}
+	cell := strings.TrimSpace(record[p.srcIdx])
+	if cell == "" {
+		return "", nil
+	}
+	v, err := textio.ParseCell(cell)
+	if err != nil {
+		return "", fmt.Errorf("%s column: %w", relation.ReservedColumn, err)
+	}
+	if v.IsNull() {
+		return "", nil
+	}
+	return v.String(), nil
 }
 
 func (p *columnPlan) key(record []string) string {
@@ -130,7 +158,12 @@ func (r *CSVReader) Read() (Row, error) {
 		}
 		t[i] = v
 	}
-	return Row{Key: r.plan.key(rec), Tuple: t}, nil
+	src, err := r.plan.source(rec)
+	if err != nil {
+		line, _ := r.cr.FieldPos(0)
+		return Row{}, &RowError{Line: line, Err: err}
+	}
+	return Row{Key: r.plan.key(rec), Tuple: t, Source: src}, nil
 }
 
 // NDJSONReader reads dataset rows from newline-delimited JSON. Two line
@@ -239,7 +272,17 @@ func (r *NDJSONReader) readObject(line string) (Row, error) {
 		}
 		t[i] = v
 	}
-	return Row{Key: strings.Join(keyParts, keySep), Tuple: t}, nil
+	src := ""
+	if raw, ok := obj[relation.ReservedColumn]; ok {
+		v, err := relation.FromJSONScalar(raw)
+		if err != nil {
+			return Row{}, &RowError{Line: r.lineNo, Err: fmt.Errorf("field %q: %w", relation.ReservedColumn, err)}
+		}
+		if !v.IsNull() {
+			src = v.String()
+		}
+	}
+	return Row{Key: strings.Join(keyParts, keySep), Tuple: t, Source: src}, nil
 }
 
 func (r *NDJSONReader) readArray(line string) (Row, error) {
@@ -264,5 +307,9 @@ func (r *NDJSONReader) readArray(line string) (Row, error) {
 	for i, idx := range r.plan.attrIdx {
 		t[i] = vals[idx]
 	}
-	return Row{Key: r.plan.key(cells), Tuple: t}, nil
+	src := ""
+	if r.plan.srcIdx >= 0 && !vals[r.plan.srcIdx].IsNull() {
+		src = vals[r.plan.srcIdx].String()
+	}
+	return Row{Key: r.plan.key(cells), Tuple: t, Source: src}, nil
 }

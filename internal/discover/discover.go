@@ -151,7 +151,7 @@ func MonotoneCounters(sch *relation.Schema, ev []Evidence, opts Options) []const
 	}
 	var out []constraint.Currency
 	for a := 0; a < n; a++ {
-		if !numeric[a] || agree[a] < opts.MinSupport {
+		if !numeric[a] || agree[a] < opts.MinSupport || relation.IsReservedColumn(sch.Name(relation.Attr(a))) {
 			continue
 		}
 		if float64(violate[a]) > opts.MaxViolationRate*float64(agree[a]) {
@@ -177,8 +177,13 @@ func CFDs(sch *relation.Schema, tuples []relation.Tuple, opts Options) []constra
 	n := sch.Len()
 	var out []constraint.CFD
 	for x := 0; x < n; x++ {
+		// Provenance tags are metadata, not entity values: patterns on the
+		// reserved source column would be spurious CFDs.
+		if relation.IsReservedColumn(sch.Name(relation.Attr(x))) {
+			continue
+		}
 		for b := 0; b < n; b++ {
-			if x == b {
+			if x == b || relation.IsReservedColumn(sch.Name(relation.Attr(b))) {
 				continue
 			}
 			// histogram: X-value → (B-value → count)
@@ -252,6 +257,9 @@ func FromDataset(sch *relation.Schema, tis []*model.TemporalInstance, opts Optio
 	}
 	var sigma []constraint.Currency
 	for a := 0; a < sch.Len(); a++ {
+		if relation.IsReservedColumn(sch.Name(relation.Attr(a))) {
+			continue
+		}
 		sigma = append(sigma, Transitions(sch, relation.Attr(a), ev, opts)...)
 	}
 	sigma = append(sigma, MonotoneCounters(sch, ev, opts)...)

@@ -1,0 +1,54 @@
+package discover
+
+import (
+	"strings"
+	"testing"
+
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// TestReservedColumnExcluded: the provenance column ("source=") is metadata,
+// not an entity attribute — the miner must never emit a constraint that
+// mentions it, even when its values correlate perfectly with real attributes
+// (they often do: one feed per lifecycle stage is a common export shape).
+func TestReservedColumnExcluded(t *testing.T) {
+	sch := relation.MustSchema("status", relation.ReservedColumn)
+	s := relation.String
+	mk := func(status, src string) relation.Tuple {
+		return relation.Tuple{s(status), s(src)}
+	}
+	// Four entities, each transitioning working → retired while the source
+	// tag moves "a" → "b" in lockstep. Without the reserved-column guard
+	// this mines a source transition rule and both directions of a
+	// status ⇔ source CFD.
+	var tis []*model.TemporalInstance
+	for i := 0; i < 4; i++ {
+		tis = append(tis, historyInstance(sch, []relation.Tuple{
+			mk("working", "a"), mk("retired", "b"),
+		}))
+	}
+	sigma, gamma, err := FromDataset(sch, tis, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, c := range sigma {
+		texts = append(texts, c.Format(sch))
+	}
+	for _, c := range gamma {
+		texts = append(texts, c.Format(sch))
+	}
+	foundStatus := false
+	for _, txt := range texts {
+		if strings.Contains(txt, relation.ReservedColumn) {
+			t.Errorf("mined a constraint over the provenance column: %s", txt)
+		}
+		if strings.Contains(txt, `"working"`) {
+			foundStatus = true
+		}
+	}
+	if !foundStatus {
+		t.Errorf("the guard must not suppress real attributes; mined: %v", texts)
+	}
+}

@@ -100,11 +100,14 @@ func NewRegistry(capacity int, ttl time.Duration) *Registry {
 }
 
 // Upsert folds rows (and optional currency edges) into the entity under
-// key, creating it when absent. rulesHash identifies the rule set the rows
-// are bound to; an existing entity refuses a different hash with
-// ErrRulesChanged. A concurrent operation on the same entity yields
-// ErrBusy. The returned state covers every row the entity has seen.
-func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash string, rows []conflictres.Tuple, orders []conflictres.LiveOrder) (Result, error) {
+// key, creating it when absent. rulesHash identifies the rule set AND the
+// resolution mode the rows are bound to; an existing entity refuses a
+// different hash with ErrRulesChanged (mode is sticky per entity, like the
+// rules — delete the entity to change either). sources, when non-nil, must
+// parallel rows; mode only takes effect at creation. A concurrent operation
+// on the same entity yields ErrBusy. The returned state covers every row
+// the entity has seen.
+func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash string, rows []conflictres.Tuple, sources []string, orders []conflictres.LiveOrder, mode conflictres.ResolutionMode) (Result, error) {
 	for {
 		e, victims, created, err := r.checkout(key, rulesHash, true)
 		closeAll(victims)
@@ -119,7 +122,7 @@ func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash stri
 		}
 		res := Result{Key: key, Created: created}
 		if created {
-			ls, err := rules.NewLiveSession(rows, orders)
+			ls, err := rules.NewLiveSessionMode(rows, sources, orders, mode)
 			if err != nil {
 				e.mu.Unlock()
 				r.drop(key, e)
@@ -128,7 +131,7 @@ func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash stri
 			e.ls = ls
 			e.rules = rules
 		} else {
-			extended, err := e.ls.Upsert(rows, orders)
+			extended, err := e.ls.UpsertSourced(rows, sources, orders)
 			if err != nil {
 				e.mu.Unlock()
 				return Result{}, err

@@ -36,14 +36,14 @@ func TestRegistryUpsertGetRemove(t *testing.T) {
 	reg := live.NewRegistry(8, 0)
 	defer reg.Close()
 
-	res, err := reg.Upsert("edith", rs, "h1", []conflictres.Tuple{edithRow(t, rs, 0)}, nil)
+	res, err := reg.Upsert("edith", rs, "h1", []conflictres.Tuple{edithRow(t, rs, 0)}, nil, nil, conflictres.ResolutionMode{})
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
 	if !res.Created || res.State.Rows != 1 {
 		t.Fatalf("create: %+v", res)
 	}
-	res, err = reg.Upsert("edith", rs, "h1", []conflictres.Tuple{edithRow(t, rs, 1)}, nil)
+	res, err = reg.Upsert("edith", rs, "h1", []conflictres.Tuple{edithRow(t, rs, 1)}, nil, nil, conflictres.ResolutionMode{})
 	if err != nil {
 		t.Fatalf("upsert: %v", err)
 	}
@@ -61,7 +61,7 @@ func TestRegistryUpsertGetRemove(t *testing.T) {
 		t.Fatalf("get state diverged from upsert state:\nget:    %s\nupsert: %s", a, b)
 	}
 
-	if _, err := reg.Upsert("edith", rs, "h2", nil, nil); !errors.Is(err, live.ErrRulesChanged) {
+	if _, err := reg.Upsert("edith", rs, "h2", nil, nil, nil, conflictres.ResolutionMode{}); !errors.Is(err, live.ErrRulesChanged) {
 		t.Fatalf("rules change: got %v, want ErrRulesChanged", err)
 	}
 
@@ -96,7 +96,7 @@ func TestRegistryConcurrentUpsertsSerialize(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < attempts; i++ {
 				row := edithRow(t, rs, int64(g*attempts+i))
-				_, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{row}, nil)
+				_, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{row}, nil, nil, conflictres.ResolutionMode{})
 				switch {
 				case err == nil:
 					ok.Add(1)
@@ -134,7 +134,7 @@ func TestRegistryCloseVsInflightUpsert(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		for i := 0; ; i++ {
-			_, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{edithRow(t, rs, int64(i))}, nil)
+			_, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{edithRow(t, rs, int64(i))}, nil, nil, conflictres.ResolutionMode{})
 			if err != nil {
 				done <- err
 				return
@@ -161,13 +161,13 @@ func TestRegistryEvictionRebuildsCleanly(t *testing.T) {
 	reg := live.NewRegistry(1, 0)
 	defer reg.Close()
 
-	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 0)}, nil); err != nil {
+	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 0)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
 		t.Fatalf("create a: %v", err)
 	}
-	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 1)}, nil); err != nil {
+	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 1)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
 		t.Fatalf("grow a: %v", err)
 	}
-	if _, err := reg.Upsert("b", rs, "h", []conflictres.Tuple{edithRow(t, rs, 7)}, nil); err != nil {
+	if _, err := reg.Upsert("b", rs, "h", []conflictres.Tuple{edithRow(t, rs, 7)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
 		t.Fatalf("create b: %v", err)
 	}
 	if c := reg.CountersSnapshot(); c.Evicted != 1 {
@@ -180,7 +180,7 @@ func TestRegistryEvictionRebuildsCleanly(t *testing.T) {
 		t.Fatal("evicted entity still answers Get")
 	}
 
-	res, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 2)}, nil)
+	res, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 2)}, nil, nil, conflictres.ResolutionMode{})
 	if err != nil {
 		t.Fatalf("recreate a: %v", err)
 	}
@@ -214,11 +214,11 @@ func TestRegistryTTL(t *testing.T) {
 	reg := live.NewRegistry(0, 10*time.Millisecond)
 	defer reg.Close()
 
-	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 0)}, nil); err != nil {
+	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 0)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
 		t.Fatalf("create: %v", err)
 	}
 	time.Sleep(25 * time.Millisecond)
-	res, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 1)}, nil)
+	res, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 1)}, nil, nil, conflictres.ResolutionMode{})
 	if err != nil {
 		t.Fatalf("upsert after ttl: %v", err)
 	}
@@ -264,7 +264,7 @@ func TestRegistrySweepRace(t *testing.T) {
 		go func(key string) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				_, err := reg.Upsert(key, rs, "h", []conflictres.Tuple{edithRow(t, rs, int64(i))}, nil)
+				_, err := reg.Upsert(key, rs, "h", []conflictres.Tuple{edithRow(t, rs, int64(i))}, nil, nil, conflictres.ResolutionMode{})
 				if err != nil && !errors.Is(err, live.ErrBusy) {
 					t.Errorf("key %s: unexpected error: %v", key, err)
 					return
@@ -290,7 +290,7 @@ func TestRegistryStateSnapshotSurvivesRebuild(t *testing.T) {
 
 	rows := fixtures.EdithInstance()
 	res, err := reg.Upsert("edith", rs, "h",
-		[]conflictres.Tuple{rows.Tuple(0).Clone(), rows.Tuple(1).Clone()}, nil)
+		[]conflictres.Tuple{rows.Tuple(0).Clone(), rows.Tuple(1).Clone()}, nil, nil, conflictres.ResolutionMode{})
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
@@ -302,7 +302,7 @@ func TestRegistryStateSnapshotSurvivesRebuild(t *testing.T) {
 	fresh := rows.Tuple(2).Clone()
 	ac, _ := sch.Attr("AC")
 	fresh[ac] = relation.String("999")
-	res2, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{fresh}, nil)
+	res2, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{fresh}, nil, nil, conflictres.ResolutionMode{})
 	if err != nil {
 		t.Fatalf("rebuild upsert: %v", err)
 	}

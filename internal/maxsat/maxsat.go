@@ -78,6 +78,64 @@ func SolveWith(s *sat.Solver, groups [][]sat.Lit, opts Options) (kept []int, har
 	return c.solveGreedy(), true
 }
 
+// SolveWithWeights is SolveWith with a per-group weight objective: instead of
+// maximizing the kept-group count, higher-weight groups are preferred. With a
+// nil or uniform weight vector it dispatches to SolveWith — byte-identical to
+// the unweighted algorithm, which keeps the default (uniform-trust) pipeline
+// pinned to its historical outcomes. Non-uniform weights select groups by
+// weight-lexicographic greedy: groups are visited in descending weight
+// (original index breaks ties, so equal-weight prefixes behave exactly like
+// the unweighted greedy pass) and each group consistent with the hard clauses
+// and the groups kept so far is kept.
+func SolveWithWeights(s *sat.Solver, groups [][]sat.Lit, weights []float64, opts Options) (kept []int, hardOK bool) {
+	if uniformWeights(weights, len(groups)) {
+		return SolveWith(s, groups, opts)
+	}
+	saved := s.MaxConflicts
+	s.MaxConflicts = opts.MaxConflictsPerCheck
+	defer func() { s.MaxConflicts = saved }()
+	if s.Solve() != sat.StatusSat {
+		return nil, false
+	}
+	if len(groups) == 0 {
+		return nil, true
+	}
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	c := &checker{s: s, p: &Problem{Groups: groups}}
+	var chosen []int
+	for _, i := range order {
+		cand := append(append([]int(nil), chosen...), i)
+		if c.ok(cand) {
+			chosen = cand
+		}
+	}
+	sort.Ints(chosen)
+	return chosen, true
+}
+
+// uniformWeights reports whether the weight vector expresses no preference
+// (nil, short, or all-equal) — the cases that must match SolveWith exactly.
+func uniformWeights(weights []float64, n int) bool {
+	if len(weights) < n {
+		return true
+	}
+	for i := 1; i < n; i++ {
+		if weights[i] != weights[0] {
+			return false
+		}
+	}
+	return true
+}
+
 // checker probes group subsets against one incremental solver.
 type checker struct {
 	s *sat.Solver

@@ -64,11 +64,15 @@ func (ti *TemporalInstance) Clone() *TemporalInstance {
 	}
 }
 
-// Spec is a specification Se = (It, Σ, Γ) of one entity.
+// Spec is a specification Se = (It, Σ, Γ) of one entity, optionally extended
+// with a trust mapping T over the instance's tuple sources.
 type Spec struct {
 	TI    *TemporalInstance
 	Sigma []constraint.Currency
 	Gamma []constraint.CFD
+	// Trust weights tuple sources for tie-breaking; nil means uniform trust
+	// and leaves every algorithm byte-identical to the trust-free framework.
+	Trust *constraint.TrustTable
 }
 
 // NewSpec bundles a temporal instance with constraint sets. The slices are
@@ -108,13 +112,14 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// Clone deep-copies the specification (constraints are immutable values and
-// are shared structurally).
+// Clone deep-copies the specification (constraints and the trust table are
+// immutable values and are shared structurally).
 func (s *Spec) Clone() *Spec {
 	return &Spec{
 		TI:    s.TI.Clone(),
 		Sigma: append([]constraint.Currency(nil), s.Sigma...),
 		Gamma: append([]constraint.CFD(nil), s.Gamma...),
+		Trust: s.Trust,
 	}
 }
 

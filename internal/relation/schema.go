@@ -117,6 +117,10 @@ func (t Tuple) String() string {
 type Instance struct {
 	schema *Schema
 	tuples []Tuple
+	// sources carries optional per-tuple provenance tags, index-aligned with
+	// tuples; nil until the first tag is set (the common unsourced case pays
+	// nothing).
+	sources []string
 }
 
 // TupleID identifies a tuple inside an Instance.
@@ -153,6 +157,72 @@ func (in *Instance) MustAdd(t Tuple) TupleID {
 	return id
 }
 
+// ReservedColumn is the dataset column carrying tuple provenance. The
+// trailing '=' keeps it out of the legal attribute-name space, so a sourced
+// dataset can never collide with a real attribute.
+const ReservedColumn = "source="
+
+// IsReservedColumn reports whether a dataset column name is reserved for
+// metadata rather than attribute values.
+func IsReservedColumn(name string) bool { return name == ReservedColumn }
+
+// AddSourced is Add with a provenance tag: the tuple is recorded as coming
+// from the named source (e.g. a feed, replica or contributor id). An empty
+// source is equivalent to plain Add.
+func (in *Instance) AddSourced(t Tuple, source string) (TupleID, error) {
+	id, err := in.Add(t)
+	if err != nil {
+		return id, err
+	}
+	if source != "" {
+		in.SetSource(id, source)
+	}
+	return id, nil
+}
+
+// SetSource records tuple id's provenance after the fact.
+func (in *Instance) SetSource(id TupleID, source string) {
+	if in.sources == nil {
+		if source == "" {
+			return
+		}
+		in.sources = make([]string, len(in.tuples))
+	}
+	for len(in.sources) < len(in.tuples) {
+		in.sources = append(in.sources, "")
+	}
+	in.sources[id] = source
+}
+
+// Source returns tuple id's provenance tag, or "" when untagged.
+func (in *Instance) Source(id TupleID) string {
+	if int(id) < len(in.sources) {
+		return in.sources[id]
+	}
+	return ""
+}
+
+// Sourced reports whether any tuple carries a non-empty provenance tag.
+func (in *Instance) Sourced() bool {
+	for _, s := range in.sources {
+		if s != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Sources returns per-tuple provenance tags aligned with TupleIDs ("" where
+// untagged), or nil when no tuple is tagged.
+func (in *Instance) Sources() []string {
+	if !in.Sourced() {
+		return nil
+	}
+	out := make([]string, len(in.tuples))
+	copy(out, in.sources)
+	return out
+}
+
 // Tuple returns the tuple with the given id. The returned slice aliases the
 // stored tuple; callers must not mutate it.
 func (in *Instance) Tuple(id TupleID) Tuple { return in.tuples[id] }
@@ -169,11 +239,14 @@ func (in *Instance) TupleIDs() []TupleID {
 	return out
 }
 
-// Clone returns a deep copy of the instance.
+// Clone returns a deep copy of the instance, provenance tags included.
 func (in *Instance) Clone() *Instance {
 	cp := NewInstance(in.schema)
 	for _, t := range in.tuples {
 		cp.tuples = append(cp.tuples, t.Clone())
+	}
+	if in.sources != nil {
+		cp.sources = append([]string(nil), in.sources...)
 	}
 	return cp
 }

@@ -30,7 +30,7 @@ func hashField(h hash.Hash, s string) {
 // canonical Quote form of each decoded value (not the raw bytes, which could
 // differ in float spelling for equal values only after decoding — rather than
 // risk that, we hash the bound spec's own tuples).
-func specKey(rules *conflictres.RuleSet, spec *conflictres.Spec, orders []orderJSON) cacheKey {
+func specKey(rules *conflictres.RuleSet, spec *conflictres.Spec, orders []orderJSON, mode conflictres.ResolutionMode) cacheKey {
 	h := sha256.New()
 	for _, n := range rules.Schema().Names() {
 		hashField(h, n)
@@ -43,6 +43,10 @@ func specKey(rules *conflictres.RuleSet, spec *conflictres.Spec, orders []orderJ
 	for _, s := range rules.CFDTexts() {
 		hashField(h, s)
 	}
+	hashField(h, "#trust")
+	for _, s := range rules.TrustTexts() {
+		hashField(h, s)
+	}
 	hashField(h, "#data")
 	in := spec.Instance()
 	for _, id := range in.TupleIDs() {
@@ -51,6 +55,15 @@ func specKey(rules *conflictres.RuleSet, spec *conflictres.Spec, orders []orderJ
 		}
 		hashField(h, "#row")
 	}
+	// Source tags and the strategy both steer the picked values, so they are
+	// part of the problem identity (untagged instances hash empty sources and
+	// the default mode name — stable across requests).
+	hashField(h, "#sources")
+	for _, id := range in.TupleIDs() {
+		hashField(h, in.Source(id))
+	}
+	hashField(h, "#mode")
+	hashField(h, mode.Strategy.String())
 	hashField(h, "#orders")
 	for _, o := range orders {
 		hashField(h, o.Attr)
@@ -91,6 +104,10 @@ func rulesKey(rs *ruleSetJSON) cacheKey {
 	}
 	hashField(h, "#gamma")
 	for _, s := range rs.CFDs {
+		hashField(h, s)
+	}
+	hashField(h, "#trust")
+	for _, s := range rs.Trust {
 		hashField(h, s)
 	}
 	var k cacheKey

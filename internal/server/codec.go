@@ -53,6 +53,9 @@ type ruleSetJSON struct {
 	Schema   []string `json:"schema"`
 	Currency []string `json:"currency,omitempty"`
 	CFDs     []string `json:"cfds,omitempty"`
+	// Trust holds trust-mapping statements ranking data sources (the rules
+	// file's trust: section, e.g. `"hq" > "mirror"`).
+	Trust []string `json:"trust,omitempty"`
 }
 
 // entityJSON is one entity instance on the wire. Tuples hold raw JSON values
@@ -60,7 +63,11 @@ type ruleSetJSON struct {
 type entityJSON struct {
 	ID     string              `json:"id,omitempty"`
 	Tuples [][]json.RawMessage `json:"tuples"`
-	Orders []orderJSON         `json:"orders,omitempty"`
+	// Sources, when present, parallels Tuples: the provenance tag of each
+	// tuple, scored by the rule set's trust mapping. Empty strings leave a
+	// tuple untagged.
+	Sources []string    `json:"sources,omitempty"`
+	Orders  []orderJSON `json:"orders,omitempty"`
 }
 
 // orderJSON is an explicit currency edge: tuple t1 ≼_attr tuple t2.
@@ -75,6 +82,9 @@ type resolveRequest struct {
 	ruleSetJSON
 	Entity    entityJSON `json:"entity"`
 	MaxRounds int        `json:"maxRounds,omitempty"`
+	// Mode selects the resolution strategy ("sat" when absent); unknown
+	// names answer 400 with code "unknown_mode".
+	Mode string `json:"mode,omitempty"`
 }
 
 // timingJSON reports per-phase latency in microseconds.
@@ -124,6 +134,9 @@ func bindEntity(rules *conflictres.RuleSet, e *entityJSON) (*conflictres.Spec, e
 	if len(e.Tuples) == 0 {
 		return nil, fmt.Errorf("entity has no tuples")
 	}
+	if len(e.Sources) > 0 && len(e.Sources) != len(e.Tuples) {
+		return nil, fmt.Errorf("entity has %d sources for %d tuples", len(e.Sources), len(e.Tuples))
+	}
 	sch := rules.Schema()
 	in := conflictres.NewInstance(sch)
 	for ti, row := range e.Tuples {
@@ -138,7 +151,11 @@ func bindEntity(rules *conflictres.RuleSet, e *entityJSON) (*conflictres.Spec, e
 			}
 			t[ai] = v
 		}
-		if _, err := in.Add(t); err != nil {
+		src := ""
+		if len(e.Sources) > 0 {
+			src = e.Sources[ti]
+		}
+		if _, err := in.AddSourced(t, src); err != nil {
 			return nil, err
 		}
 	}

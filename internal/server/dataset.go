@@ -32,6 +32,8 @@ type datasetHeader struct {
 	// WindowRows overrides the grouping window (bounded server-side).
 	WindowRows int `json:"windowRows,omitempty"`
 	MaxRounds  int `json:"maxRounds,omitempty"`
+	// Mode selects the resolution strategy for every entity in the stream.
+	Mode string `json:"mode,omitempty"`
 }
 
 // maxWindowRows caps client-requested grouping windows so one request
@@ -122,13 +124,14 @@ func (c *cachedResult) toOutcome(sch *conflictres.Schema) dataset.Outcome {
 // its slot to the solver actually finishing (like the batch path's
 // release), so cfg.Workers bounds true solver concurrency even when shards
 // move on after timeouts.
-func (s *Server) datasetResolver(ctx context.Context, rules *conflictres.RuleSet, maxRounds int, sem chan struct{}) dataset.Resolver {
+func (s *Server) datasetResolver(ctx context.Context, rules *conflictres.RuleSet, maxRounds int, mode conflictres.ResolutionMode, sem chan struct{}) dataset.Resolver {
 	return func(key string, in *relation.Instance) dataset.Outcome {
 		spec, err := conflictres.NewSpecFromRules(in, rules)
 		if err != nil {
 			return dataset.Outcome{Err: &codedErr{codeBadEntity, err}}
 		}
-		ckey := specKey(rules, spec, nil)
+		s.met.observeMode(mode.Strategy)
+		ckey := specKey(rules, spec, nil, mode)
 		if v, ok := s.results.get(ckey); ok {
 			return v.(*cachedResult).toOutcome(rules.Schema())
 		}
@@ -138,7 +141,7 @@ func (s *Server) datasetResolver(ctx context.Context, rules *conflictres.RuleSet
 		}
 		sem <- struct{}{}
 		o, err := runTimed(ctx, s.cfg.Timeout, func() { <-sem }, func() outcome {
-			res, err := rules.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds})
+			res, err := rules.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds, Mode: mode})
 			return outcome{res, err}
 		})
 		if err != nil {
@@ -253,6 +256,10 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
 		return
 	}
+	mode, ok := s.parseMode(w, hdr.Mode)
+	if !ok {
+		return
+	}
 	sch := rules.Schema()
 
 	var reader *dataset.NDJSONReader
@@ -279,7 +286,7 @@ func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
 
 	sem := make(chan struct{}, s.cfg.Workers)
 	stats, runErr := dataset.Run(r.Context(), sch, reader,
-		s.datasetResolver(r.Context(), rules, hdr.MaxRounds, sem), ww,
+		s.datasetResolver(r.Context(), rules, hdr.MaxRounds, mode, sem), ww,
 		dataset.Options{
 			Shards:     s.cfg.Workers,
 			WindowRows: windowRows,

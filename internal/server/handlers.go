@@ -19,6 +19,7 @@ const (
 	codeBadRequest  = "bad_request"
 	codeBadRules    = "invalid_rules"
 	codeBadEntity   = "invalid_entity"
+	codeUnknownMode = "unknown_mode"
 	codeTooLarge    = "body_too_large"
 	codeTimeout     = "timeout"
 	codeResolveFail = "resolve_failed"
@@ -62,7 +63,19 @@ func compileWireRules(rs *ruleSetJSON) (*conflictres.RuleSet, error) {
 	if err != nil {
 		return nil, err
 	}
-	return conflictres.CompileRules(sch, rs.Currency, rs.CFDs)
+	return conflictres.CompileRulesTrust(sch, rs.Currency, rs.CFDs, rs.Trust)
+}
+
+// parseMode maps a wire mode name onto a resolution mode, answering 400 with
+// the structured "unknown_mode" code on names no strategy claims. The empty
+// name is the default SAT strategy.
+func (s *Server) parseMode(w http.ResponseWriter, name string) (conflictres.ResolutionMode, bool) {
+	strat, err := conflictres.ParseStrategy(name)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, codeUnknownMode, err.Error())
+		return conflictres.ResolutionMode{}, false
+	}
+	return conflictres.ResolutionMode{Strategy: strat}, true
 }
 
 // compileRules returns the compiled rule set for a wire rule set, consulting
@@ -113,7 +126,7 @@ func runTimed[T any](ctx context.Context, timeout time.Duration, done func(), f 
 // exactly once when the entity's heavy work is over — immediately for bind
 // errors and cache hits, or when the solver goroutine finishes otherwise
 // (which on timeout is later than this function's return).
-func (s *Server) resolveEntity(ctx context.Context, rules *conflictres.RuleSet, e *entityJSON, maxRounds int, release func()) (*resultJSON, string, error) {
+func (s *Server) resolveEntity(ctx context.Context, rules *conflictres.RuleSet, e *entityJSON, maxRounds int, mode conflictres.ResolutionMode, release func()) (*resultJSON, string, error) {
 	if release == nil {
 		release = func() {}
 	}
@@ -123,7 +136,8 @@ func (s *Server) resolveEntity(ctx context.Context, rules *conflictres.RuleSet, 
 		release()
 		return nil, codeBadEntity, err
 	}
-	key := specKey(rules, spec, e.Orders)
+	s.met.observeMode(mode.Strategy)
+	key := specKey(rules, spec, e.Orders, mode)
 	if v, ok := s.results.get(key); ok {
 		release()
 		return v.(*cachedResult).toResult(), "", nil
@@ -135,7 +149,7 @@ func (s *Server) resolveEntity(ctx context.Context, rules *conflictres.RuleSet, 
 	o, err := runTimed(ctx, s.cfg.Timeout, release, func() outcome {
 		// rules.Resolve serves the entity from a pooled pipeline (skeleton +
 		// solver reused across requests under this rule set).
-		res, err := rules.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds})
+		res, err := rules.Resolve(spec, nil, conflictres.Options{MaxRounds: maxRounds, Mode: mode})
 		return outcome{res, err}
 	})
 	if err != nil {
@@ -182,7 +196,11 @@ func (s *Server) handleResolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
 		return
 	}
-	out, code, err := s.resolveEntity(r.Context(), rules, &req.Entity, req.MaxRounds, nil)
+	mode, ok := s.parseMode(w, req.Mode)
+	if !ok {
+		return
+	}
+	out, code, err := s.resolveEntity(r.Context(), rules, &req.Entity, req.MaxRounds, mode, nil)
 	if err != nil {
 		s.writeError(w, errStatus(code), code, err.Error())
 		return
@@ -206,6 +224,11 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 	rules, err := s.compileRules(&req.ruleSetJSON)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
+		return
+	}
+	// Validity is strategy-independent, but an unknown mode is still the
+	// client's error — reject it the same way the resolve endpoints do.
+	if _, ok := s.parseMode(w, req.Mode); !ok {
 		return
 	}
 	spec, err := bindEntity(rules, &req.Entity)
@@ -242,6 +265,8 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 type batchHeader struct {
 	ruleSetJSON
 	MaxRounds int `json:"maxRounds,omitempty"`
+	// Mode selects the resolution strategy for every entity in the stream.
+	Mode string `json:"mode,omitempty"`
 }
 
 // handleBatch is POST /v1/resolve/batch: NDJSON streaming. The first line
@@ -283,6 +308,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
 		return
 	}
+	mode, ok := s.parseMode(w, hdr.Mode)
+	if !ok {
+		return
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	var wmu sync.Mutex // serializes result lines
@@ -317,7 +346,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// The slot is released by resolveEntity when the solver actually
 			// finishes — on timeout that is later than the error response, so
 			// Workers bounds true solver concurrency, not just wrapper count.
-			out, code, err := s.resolveEntity(r.Context(), rules, &e, hdr.MaxRounds, func() { <-sem })
+			out, code, err := s.resolveEntity(r.Context(), rules, &e, hdr.MaxRounds, mode, func() { <-sem })
 			if err != nil {
 				s.met.entitiesFailed.Add(1)
 				out = &resultJSON{Error: &errorJSON{Code: code, Message: err.Error()}}

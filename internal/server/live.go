@@ -29,8 +29,15 @@ const (
 // accumulated row log (they may reference rows in this request).
 type entityUpsertRequest struct {
 	ruleSetJSON
-	Rows   [][]json.RawMessage `json:"rows"`
-	Orders []orderJSON         `json:"orders,omitempty"`
+	Rows [][]json.RawMessage `json:"rows"`
+	// Sources, when present, parallels Rows: the provenance tag of each row,
+	// scored by the rule set's trust mapping.
+	Sources []string    `json:"sources,omitempty"`
+	Orders  []orderJSON `json:"orders,omitempty"`
+	// Mode selects the resolution strategy. It is sticky per entity like the
+	// rule set: an upsert whose mode differs from the entity's answers 409
+	// entity_rules_changed; delete the entity to change it.
+	Mode string `json:"mode,omitempty"`
 }
 
 // entityStateJSON is the live entity's resolution state over every row it
@@ -132,22 +139,35 @@ func (s *Server) handleEntityUpsert(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
 		return
 	}
+	mode, ok := s.parseMode(w, req.Mode)
+	if !ok {
+		return
+	}
 	rows, err := decodeRows(rules, req.Rows)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, codeBadEntity, err.Error())
+		return
+	}
+	if len(req.Sources) > 0 && len(req.Sources) != len(rows) {
+		s.writeError(w, http.StatusBadRequest, codeBadEntity,
+			fmt.Sprintf("%d sources for %d rows", len(req.Sources), len(rows)))
 		return
 	}
 	orders := make([]conflictres.LiveOrder, 0, len(req.Orders))
 	for _, o := range req.Orders {
 		orders = append(orders, conflictres.LiveOrder{Attr: o.Attr, T1: o.T1, T2: o.T2})
 	}
+	// The identity hash covers the rules AND the canonical mode name, so a
+	// mode flip on an existing entity surfaces as entity_rules_changed
+	// rather than silently resolving under the creation-time strategy.
 	rk := rulesKey(&req.ruleSetJSON)
+	rulesHash := string(rk[:]) + "\x00" + mode.Strategy.String()
 	type outcome struct {
 		res live.Result
 		err error
 	}
 	o, err := runTimed(r.Context(), s.cfg.Timeout, nil, func() outcome {
-		res, err := s.liveReg.Upsert(key, rules, string(rk[:]), rows, orders)
+		res, err := s.liveReg.Upsert(key, rules, rulesHash, rows, req.Sources, orders, mode)
 		return outcome{res, err}
 	})
 	if err != nil {
@@ -158,6 +178,9 @@ func (s *Server) handleEntityUpsert(w http.ResponseWriter, r *http.Request) {
 		status, code := liveErrStatus(o.err)
 		s.writeError(w, status, code, o.err.Error())
 		return
+	}
+	if o.res.Created {
+		s.met.observeMode(mode.Strategy)
 	}
 	out := encodeEntityState(key, rules.Schema(), o.res.State)
 	out.Created = o.res.Created

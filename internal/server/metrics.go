@@ -29,6 +29,10 @@ type metrics struct {
 	entitiesInvalid  atomic.Int64
 	entitiesFailed   atomic.Int64
 
+	// Entities routed per resolution strategy, indexed by conflictres.Strategy
+	// (sessions and live entities count at creation, resolves per entity).
+	modeCounts [4]atomic.Int64
+
 	// Cumulative per-phase solver time, nanoseconds (from core.Timing).
 	validityNs atomic.Int64
 	deduceNs   atomic.Int64
@@ -60,6 +64,14 @@ func (m *metrics) observe(res *conflictres.Result) {
 	m.sessionClauses.Add(int64(res.Session.ClausesLoaded))
 }
 
+// observeMode accounts one entity (or session/live-entity creation) routed
+// under a resolution strategy.
+func (m *metrics) observeMode(s conflictres.Strategy) {
+	if i := int(s); i >= 0 && i < len(m.modeCounts) {
+		m.modeCounts[i].Add(1)
+	}
+}
+
 // write renders the counters in Prometheus text exposition format.
 func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore, liveReg *live.Registry) {
 	hits, misses, size := cache.stats()
@@ -82,6 +94,10 @@ func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore, liveReg 
 	fmt.Fprintf(w, "crserve_entities_total{outcome=\"resolved\"} %d\n", m.entitiesResolved.Load())
 	fmt.Fprintf(w, "crserve_entities_total{outcome=\"invalid\"} %d\n", m.entitiesInvalid.Load())
 	fmt.Fprintf(w, "crserve_entities_total{outcome=\"failed\"} %d\n", m.entitiesFailed.Load())
+	fmt.Fprintf(w, "# TYPE crserve_resolve_mode_total counter\n")
+	for i, name := range conflictres.StrategyNames() {
+		fmt.Fprintf(w, "crserve_resolve_mode_total{mode=%q} %d\n", name, m.modeCounts[i].Load())
+	}
 	fmt.Fprintf(w, "# TYPE crserve_phase_seconds_total counter\n")
 	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"validity\"} %g\n", float64(m.validityNs.Load())/1e9)
 	fmt.Fprintf(w, "crserve_phase_seconds_total{phase=\"deduce\"} %g\n", float64(m.deduceNs.Load())/1e9)

@@ -1,0 +1,358 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// freeResolveBody renders a constraint-free two-column resolve request with
+// two conflicting city observations; mode and trust are optional.
+func freeResolveBody(mode string, trust []string, sources []string) []byte {
+	req := map[string]any{
+		"schema": []string{"name", "city"},
+		"entity": map[string]any{
+			"id":     "e0",
+			"tuples": [][]any{{"e", "LA"}, {"e", "NY"}},
+		},
+	}
+	if mode != "" {
+		req["mode"] = mode
+	}
+	if trust != nil {
+		req["trust"] = trust
+	}
+	if sources != nil {
+		req["entity"].(map[string]any)["sources"] = sources
+	}
+	b, _ := json.Marshal(req)
+	return b
+}
+
+func decodeError(t *testing.T, data []byte) errorJSON {
+	t.Helper()
+	var env struct {
+		Error errorJSON `json:"error"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("bad error envelope %s: %v", data, err)
+	}
+	return env.Error
+}
+
+// TestResolveModeEndToEnd: the mode field switches /v1/resolve between the
+// framework (tie stays open) and a degenerate strategy (tie picked), and an
+// unknown name answers the structured unknown_mode error.
+func TestResolveModeEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, data := postJSON(t, ts.URL+"/v1/resolve", freeResolveBody("", nil, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out resultJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Valid || out.Tuple[1] != nil {
+		t.Fatalf("default mode must leave the tie open: %+v", out)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/resolve", freeResolveBody("latest-writer-wins", nil, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuple[1] != "NY" || out.Resolved["city"] != "NY" {
+		t.Fatalf("latest-writer-wins: %+v", out)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/resolve", freeResolveBody("most-recent", nil, nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d", resp.StatusCode)
+	}
+	if e := decodeError(t, data); e.Code != "unknown_mode" {
+		t.Fatalf("unknown mode error = %+v", e)
+	}
+
+	// /v1/validate rejects unknown modes too (the client is wrong even
+	// though validity itself is strategy-independent).
+	resp, data = postJSON(t, ts.URL+"/v1/validate", freeResolveBody("most-recent", nil, nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("validate unknown mode: status %d: %s", resp.StatusCode, data)
+	}
+	if e := decodeError(t, data); e.Code != "unknown_mode" {
+		t.Fatalf("validate unknown mode error = %+v", e)
+	}
+}
+
+// TestResolveTrustAndSources: a rule set's trust mapping plus per-tuple
+// sources fill the current tuple from the most trusted source under the
+// default SAT strategy, without claiming a deduction.
+func TestResolveTrustAndSources(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := freeResolveBody("", []string{`"hq" > "mirror"`}, []string{"mirror", "hq"})
+	resp, data := postJSON(t, ts.URL+"/v1/resolve", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out resultJSON
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tuple[1] != "NY" {
+		t.Fatalf("trusted value must fill the tuple: %+v", out)
+	}
+	if _, ok := out.Resolved["city"]; ok {
+		t.Fatalf("trust fill must not appear in resolved: %+v", out.Resolved)
+	}
+
+	// A source count that does not match the tuples is the client's error.
+	resp, data = postJSON(t, ts.URL+"/v1/resolve", freeResolveBody("", nil, []string{"hq"}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched sources: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestResolveModeCacheSeparation: the result cache keys on the mode (and the
+// trust mapping), so switching strategies can never serve a stale result.
+func TestResolveModeCacheSeparation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	post := func(mode string) resultJSON {
+		t.Helper()
+		resp, data := postJSON(t, ts.URL+"/v1/resolve", freeResolveBody(mode, nil, nil))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var out resultJSON
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	first := post("")
+	lww := post("latest-writer-wins")
+	if lww.Cached {
+		t.Fatal("a different mode must miss the cache")
+	}
+	if fmt.Sprint(first.Tuple) == fmt.Sprint(lww.Tuple) {
+		t.Fatalf("modes produced one tuple: %v", lww.Tuple)
+	}
+	if again := post("latest-writer-wins"); !again.Cached || fmt.Sprint(again.Tuple) != fmt.Sprint(lww.Tuple) {
+		t.Fatalf("same mode must hit the cache with the same result: %+v", again)
+	}
+	if again := post(""); !again.Cached || fmt.Sprint(again.Tuple) != fmt.Sprint(first.Tuple) {
+		t.Fatalf("default mode cache entry lost: %+v", again)
+	}
+}
+
+// TestBatchAndDatasetMode: the stream headers carry the mode for every
+// entity; unknown names fail the whole stream up front.
+func TestBatchAndDatasetMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	header := `{"schema":["name","city"],"mode":"latest-writer-wins"}`
+	entity := `{"id":"a","tuples":[["e","LA"],["e","NY"]]}`
+	resp, err := http.Post(ts.URL+"/v1/resolve/batch", "application/x-ndjson",
+		strings.NewReader(header+"\n"+entity+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line resultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&line); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || line.Tuple[1] != "NY" {
+		t.Fatalf("batch mode: status %d, line %+v", resp.StatusCode, line)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/resolve/batch", "application/x-ndjson",
+		strings.NewReader(`{"schema":["name","city"],"mode":"nope"}`+"\n"+entity+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("batch unknown mode: status %d", resp.StatusCode)
+	}
+
+	dsHeader := `{"schema":["name","city"],"key":["k"],"mode":"latest-writer-wins"}`
+	rows := `{"k":"a","name":"e","city":"LA"}` + "\n" + `{"k":"a","name":"e","city":"NY"}` + "\n"
+	resp, err = http.Post(ts.URL+"/v1/resolve/dataset", "application/x-ndjson",
+		strings.NewReader(dsHeader+"\n"+rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEntity := false
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var l datasetLine
+		if err := dec.Decode(&l); err != nil {
+			t.Fatal(err)
+		}
+		if l.Summary != nil {
+			continue
+		}
+		sawEntity = true
+		if l.Tuple[1] != "NY" {
+			t.Fatalf("dataset mode line: %+v", l.resultJSON)
+		}
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !sawEntity {
+		t.Fatalf("dataset mode: status %d, sawEntity %v", resp.StatusCode, sawEntity)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/resolve/dataset", "application/x-ndjson",
+		strings.NewReader(`{"schema":["name","city"],"key":["k"],"mode":"nope"}`+"\n"+rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dataset unknown mode: status %d", resp.StatusCode)
+	}
+}
+
+// TestSessionMode: sessions pin their mode at creation; unknown modes answer
+// the structured error.
+func TestSessionMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := freeResolveBody("latest-writer-wins", nil, nil)
+	resp, data := postJSON(t, ts.URL+"/v1/session", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d: %s", resp.StatusCode, data)
+	}
+	var st sessionStateJSON
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Valid || !st.Complete || st.Tuple[1] != "NY" {
+		t.Fatalf("session with latest-writer-wins: %+v", st)
+	}
+
+	// The stored session keeps the strategy on later reads.
+	resp2, err := http.Get(ts.URL + "/v1/session/" + st.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sessionStateJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got.Tuple[1] != "NY" {
+		t.Fatalf("session state drifted: %+v", got)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/session", freeResolveBody("nope", nil, nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d", resp.StatusCode)
+	}
+	if e := decodeError(t, data); e.Code != "unknown_mode" {
+		t.Fatalf("unknown mode error = %+v", e)
+	}
+}
+
+// liveModeBody renders an entity upsert for the constraint-free two-column
+// rule set with a trust mapping.
+func liveModeBody(t *testing.T, mode string, rows [][]any, sources []string) []byte {
+	t.Helper()
+	req := map[string]any{
+		"schema": []string{"name", "city"},
+		"trust":  []string{`"hq" > "mirror"`},
+		"rows":   rows,
+	}
+	if mode != "" {
+		req["mode"] = mode
+	}
+	if sources != nil {
+		req["sources"] = sources
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEntityModeSticky: a live entity pins its mode at creation; a later
+// upsert under a different mode answers 409 entity_rules_changed, exactly
+// like a rule change.
+func TestEntityModeSticky(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	st, resp := entityUpsert(t, ts, "k1",
+		liveModeBody(t, "highest-trust", [][]any{{"e", "NY"}}, []string{"hq"}))
+	if resp.StatusCode != http.StatusOK || !st.Created {
+		t.Fatalf("create: status %d, %+v", resp.StatusCode, st)
+	}
+
+	// A less trusted later writer does not displace hq's value.
+	st, resp = entityUpsert(t, ts, "k1",
+		liveModeBody(t, "highest-trust", [][]any{{"e", "LA"}}, []string{"mirror"}))
+	if resp.StatusCode != http.StatusOK || st.Rows != 2 {
+		t.Fatalf("extend: status %d, %+v", resp.StatusCode, st)
+	}
+	if st.Tuple[1] != "NY" {
+		t.Fatalf("highest-trust entity picked %v, want hq's NY", st.Tuple[1])
+	}
+
+	// Flipping the mode mid-stream is a rules change.
+	_, resp = entityUpsert(t, ts, "k1",
+		liveModeBody(t, "consensus", [][]any{{"e", "LA"}}, []string{"mirror"}))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mode flip: status %d, want 409", resp.StatusCode)
+	}
+
+	// Unknown modes and mismatched source counts are 400s.
+	_, resp = entityUpsert(t, ts, "k2", liveModeBody(t, "nope", [][]any{{"e", "LA"}}, nil))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode: status %d", resp.StatusCode)
+	}
+	_, resp = entityUpsert(t, ts, "k2",
+		liveModeBody(t, "", [][]any{{"e", "LA"}, {"e", "NY"}}, []string{"hq"}))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched sources: status %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsModeTotals: every resolve path accounts its strategy in the
+// per-mode counter family.
+func TestMetricsModeTotals(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, data := postJSON(t, ts.URL+"/v1/resolve", freeResolveBody("consensus", nil, nil)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resolve: status %d: %s", resp.StatusCode, data)
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/resolve", freeResolveBody("", nil, nil)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("resolve: status %d: %s", resp.StatusCode, data)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		`crserve_resolve_mode_total{mode="sat"} 1`,
+		`crserve_resolve_mode_total{mode="consensus"} 1`,
+		`crserve_resolve_mode_total{mode="latest-writer-wins"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

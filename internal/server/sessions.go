@@ -30,6 +30,9 @@ const (
 type sessionCreateRequest struct {
 	ruleSetJSON
 	Entity entityJSON `json:"entity"`
+	// Mode selects the resolution strategy, sticky for the session's whole
+	// lifetime (like the rule set); unknown names answer 400 "unknown_mode".
+	Mode string `json:"mode,omitempty"`
 }
 
 // sessionAnswerRequest is the body of POST /v1/session/{id}/answer: the
@@ -132,11 +135,16 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
 		return
 	}
+	mode, ok := s.parseMode(w, req.Mode)
+	if !ok {
+		return
+	}
 	spec, err := bindEntity(rules, &req.Entity)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, codeBadEntity, err.Error())
 		return
 	}
+	s.met.observeMode(mode.Strategy)
 	type created struct {
 		e     *sessionEntry
 		state *sessionStateJSON
@@ -146,13 +154,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// runs under the per-entity deadline; a timed-out build is abandoned
 	// before the session is ever registered.
 	out, err := runTimed(r.Context(), s.cfg.Timeout, nil, func() created {
-		sess, err := conflictres.NewSession(spec)
+		sess, err := conflictres.NewSessionMode(spec, mode)
 		if err != nil {
 			return created{err: err}
 		}
 		e := &sessionEntry{
 			sess: sess, rules: rules, entityID: req.Entity.ID,
-			replay: sessionReplay{Rules: req.ruleSetJSON, Entity: req.Entity},
+			replay: sessionReplay{Rules: req.ruleSetJSON, Entity: req.Entity, Mode: req.Mode},
 		}
 		return created{e: e, state: encodeSessionState(e)}
 	})

@@ -18,6 +18,7 @@ import (
 type sessionReplay struct {
 	Rules   ruleSetJSON                  `json:"rules"`
 	Entity  entityJSON                   `json:"entity"`
+	Mode    string                       `json:"mode,omitempty"`
 	Answers []map[string]json.RawMessage `json:"answers,omitempty"`
 }
 
@@ -104,7 +105,11 @@ func (s *Server) replaySession(rep *sessionReplay) (*sessionEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess, err := conflictres.NewSession(spec)
+	strat, err := conflictres.ParseStrategy(rep.Mode)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := conflictres.NewSessionMode(spec, conflictres.ResolutionMode{Strategy: strat})
 	if err != nil {
 		return nil, err
 	}

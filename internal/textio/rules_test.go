@@ -95,7 +95,7 @@ func TestReadWriteRulesRoundTrip(t *testing.T) {
 		constraint.MustCFD(sch, `AC = "213" => city = "LA"`),
 	}
 	var sb strings.Builder
-	if err := WriteRules(&sb, sch, sigma, gamma); err != nil {
+	if err := WriteRules(&sb, sch, sigma, gamma, nil); err != nil {
 		t.Fatal(err)
 	}
 	rules, err := ReadRules(strings.NewReader(sb.String()))

@@ -47,14 +47,25 @@ func WriteSpec(w io.Writer, spec *model.Spec) error {
 
 	fmt.Fprintln(bw, "data:")
 	cw := csv.NewWriter(bw)
+	sourced := spec.TI.Inst.Sourced()
 	for _, id := range spec.TI.Inst.TupleIDs() {
 		t := spec.TI.Inst.Tuple(id)
-		rec := make([]string, len(t))
+		rec := make([]string, len(t), len(t)+1)
 		for i, v := range t {
 			if v.Kind() == relation.KindString && strings.ContainsAny(v.Str(), "\n\r") {
 				return fmt.Errorf("textio: tuple %d: the line-oriented format cannot hold values with newlines", id)
 			}
 			rec[i] = EncodeCell(v)
+		}
+		if sourced {
+			// A sourced instance writes a trailing provenance cell on every
+			// row; the reader recognises it by the extra cell count plus the
+			// reserved "source=" prefix.
+			cell := relation.ReservedColumn
+			if src := spec.TI.Inst.Source(id); src != "" {
+				cell += EncodeCell(relation.String(src))
+			}
+			rec = append(rec, cell)
 		}
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("textio: %w", err)
@@ -81,6 +92,12 @@ func WriteSpec(w io.Writer, spec *model.Spec) error {
 		fmt.Fprintln(bw, "\ngamma:")
 		for _, c := range spec.Gamma {
 			fmt.Fprintln(bw, c.Format(sch))
+		}
+	}
+	if texts := spec.Trust.Texts(); len(texts) > 0 {
+		fmt.Fprintln(bw, "\ntrust:")
+		for _, s := range texts {
+			fmt.Fprintln(bw, s)
 		}
 	}
 	return bw.Flush()
@@ -141,7 +158,7 @@ func looksSectionHeader(s string) bool {
 		return true
 	}
 	switch s {
-	case "data:", "orders:", "sigma:", "gamma:":
+	case "data:", "orders:", "sigma:", "gamma:", "trust:":
 		return true
 	}
 	return false
@@ -157,6 +174,7 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 	var ti *model.TemporalInstance
 	var sigma []constraint.Currency
 	var gamma []constraint.CFD
+	var trust []string
 	section := ""
 	lineNo := 0
 
@@ -181,7 +199,7 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 			inst = relation.NewInstance(sch)
 			ti = model.NewTemporal(inst)
 			continue
-		case line == "data:" || line == "orders:" || line == "sigma:" || line == "gamma:":
+		case line == "data:" || line == "orders:" || line == "sigma:" || line == "gamma:" || line == "trust:":
 			if sch == nil {
 				return nil, fmt.Errorf("textio: line %d: section %q before schema", lineNo, line)
 			}
@@ -196,6 +214,16 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 			if err != nil {
 				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
 			}
+			source, hasSource := "", false
+			if len(rec) == sch.Len()+1 && strings.HasPrefix(rec[len(rec)-1], relation.ReservedColumn) {
+				// Trailing provenance cell: "source=" plus an encoded name.
+				src, err := ParseSourceCell(rec[len(rec)-1])
+				if err != nil {
+					return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+				}
+				source, hasSource = src, true
+				rec = rec[:len(rec)-1]
+			}
 			if len(rec) != sch.Len() {
 				return nil, fmt.Errorf("textio: line %d: %d cells for %d attributes", lineNo, len(rec), sch.Len())
 			}
@@ -207,7 +235,11 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 				}
 				t[i] = v
 			}
-			if _, err := inst.Add(t); err != nil {
+			if hasSource {
+				if _, err := inst.AddSourced(t, source); err != nil {
+					return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+				}
+			} else if _, err := inst.Add(t); err != nil {
 				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
 			}
 		case "orders":
@@ -243,6 +275,11 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
 			}
 			gamma = append(gamma, c)
+		case "trust":
+			if _, err := constraint.ParseTrust(line); err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			trust = append(trust, line)
 		default:
 			return nil, fmt.Errorf("textio: line %d: content outside any section", lineNo)
 		}
@@ -254,10 +291,31 @@ func ReadSpec(r io.Reader) (*model.Spec, error) {
 		return nil, fmt.Errorf("textio: missing schema")
 	}
 	spec := model.NewSpec(ti, sigma, gamma)
+	if len(trust) > 0 {
+		table, err := constraint.CompileTrust(trust)
+		if err != nil {
+			return nil, fmt.Errorf("textio: %w", err)
+		}
+		spec.Trust = table
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	return spec, nil
+}
+
+// ParseSourceCell parses a trailing provenance cell: the reserved "source="
+// prefix followed by an optionally quoted source name ("" when absent).
+func ParseSourceCell(cell string) (string, error) {
+	rest := strings.TrimPrefix(cell, relation.ReservedColumn)
+	if rest == "" {
+		return "", nil
+	}
+	v, err := ParseCell(rest)
+	if err != nil {
+		return "", err
+	}
+	return v.String(), nil
 }
 
 // ParseCell parses one CSV cell into a value: the keyword "null" is the
@@ -299,6 +357,10 @@ type Rules struct {
 	CFDs     []string
 	Sigma    []constraint.Currency
 	Gamma    []constraint.CFD
+	// Trust carries the trust-mapping statement texts and their compiled
+	// table (nil when the file has no trust section).
+	Trust      []string
+	TrustTable *constraint.TrustTable
 }
 
 // ReadRules parses a rules file: the textio format restricted to the
@@ -332,7 +394,7 @@ func ReadRules(r io.Reader) (*Rules, error) {
 			}
 			out.Schema = sch
 			continue
-		case line == "data:" || line == "orders:" || line == "sigma:" || line == "gamma:":
+		case line == "data:" || line == "orders:" || line == "sigma:" || line == "gamma:" || line == "trust:":
 			if out.Schema == nil {
 				return nil, fmt.Errorf("textio: line %d: section %q before schema", lineNo, line)
 			}
@@ -354,6 +416,11 @@ func ReadRules(r io.Reader) (*Rules, error) {
 			}
 			out.CFDs = append(out.CFDs, line)
 			out.Gamma = append(out.Gamma, c)
+		case "trust":
+			if _, err := constraint.ParseTrust(line); err != nil {
+				return nil, fmt.Errorf("textio: line %d: %w", lineNo, err)
+			}
+			out.Trust = append(out.Trust, line)
 		case "data", "orders":
 			// A rules reader over a full spec file: tuples and explicit
 			// orders belong to one entity, not to the rule set.
@@ -367,11 +434,19 @@ func ReadRules(r io.Reader) (*Rules, error) {
 	if out.Schema == nil {
 		return nil, fmt.Errorf("textio: missing schema")
 	}
+	if len(out.Trust) > 0 {
+		table, err := constraint.CompileTrust(out.Trust)
+		if err != nil {
+			return nil, fmt.Errorf("textio: %w", err)
+		}
+		out.TrustTable = table
+	}
 	return out, nil
 }
 
-// WriteRules serializes a rules file readable by ReadRules.
-func WriteRules(w io.Writer, sch *relation.Schema, sigma []constraint.Currency, gamma []constraint.CFD) error {
+// WriteRules serializes a rules file readable by ReadRules. The trust slice
+// carries trust-mapping statement texts (may be nil).
+func WriteRules(w io.Writer, sch *relation.Schema, sigma []constraint.Currency, gamma []constraint.CFD, trust []string) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "schema: %s\n", strings.Join(sch.Names(), ", "))
 	if len(sigma) > 0 {
@@ -384,6 +459,12 @@ func WriteRules(w io.Writer, sch *relation.Schema, sigma []constraint.Currency, 
 		fmt.Fprintln(bw, "\ngamma:")
 		for _, c := range gamma {
 			fmt.Fprintln(bw, c.Format(sch))
+		}
+	}
+	if len(trust) > 0 {
+		fmt.Fprintln(bw, "\ntrust:")
+		for _, s := range trust {
+			fmt.Fprintln(bw, s)
 		}
 	}
 	return bw.Flush()

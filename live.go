@@ -67,17 +67,36 @@ type LiveSession struct {
 	pl    *pipeline
 	sess  *core.Session
 	state LiveState
+	// mode is the sticky resolution mode fixed at creation; its trust
+	// overlay is merged into the session's specification and refresh applies
+	// its strategy.
+	mode ResolutionMode
 }
 
 // NewLiveSession opens a live session seeded with the entity's initial rows
 // (at least one) and optional currency edges.
 func (rs *RuleSet) NewLiveSession(rows []Tuple, orders []LiveOrder) (*LiveSession, error) {
+	return rs.NewLiveSessionMode(rows, nil, orders, ResolutionMode{})
+}
+
+// NewLiveSessionMode is NewLiveSession with per-row source tags and an
+// explicit resolution mode. sources, when non-nil, must parallel rows; empty
+// entries leave the row untagged (weight 0 under any trust mapping). The mode
+// is sticky for the session's lifetime, like the rule set itself.
+func (rs *RuleSet) NewLiveSessionMode(rows []Tuple, sources []string, orders []LiveOrder, mode ResolutionMode) (*LiveSession, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("conflictres: live session needs at least one row")
 	}
+	if sources != nil && len(sources) != len(rows) {
+		return nil, fmt.Errorf("conflictres: %d sources for %d rows", len(sources), len(rows))
+	}
 	in := relation.NewInstance(rs.schema)
 	for i, r := range rows {
-		if _, err := in.Add(r); err != nil {
+		src := ""
+		if sources != nil {
+			src = sources[i]
+		}
+		if _, err := in.AddSourced(r, src); err != nil {
 			return nil, fmt.Errorf("conflictres: row %d: %w", i, err)
 		}
 	}
@@ -86,12 +105,16 @@ func (rs *RuleSet) NewLiveSession(rows []Tuple, orders []LiveOrder) (*LiveSessio
 		return nil, err
 	}
 	m := model.NewSpec(model.NewTemporal(in), rs.sigma, rs.gamma)
+	m.Trust = rs.trust
 	m.TI.Edges = edges
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
+	if m, err = mode.effectiveSpec(m); err != nil {
+		return nil, err
+	}
 	pl := rs.acquirePipeline()
-	ls := &LiveSession{rs: rs, pl: pl, sess: pl.p.NewSession(m)}
+	ls := &LiveSession{rs: rs, pl: pl, sess: pl.p.NewSession(m), mode: mode}
 	ls.refresh()
 	return ls, nil
 }
@@ -105,8 +128,19 @@ func (rs *RuleSet) NewLiveSession(rows []Tuple, orders []LiveOrder) (*LiveSessio
 // contradicting the constraints is a legitimate entity state, surfaced as
 // State().Valid == false and repaired by later rows or orders.
 func (ls *LiveSession) Upsert(rows []Tuple, orders []LiveOrder) (bool, error) {
+	return ls.UpsertSourced(rows, nil, orders)
+}
+
+// UpsertSourced is Upsert with per-row source tags; sources, when non-nil,
+// must parallel rows. Source tags only influence trust scoring — they are
+// not encoded into the solver's formula — so tagging composes with both the
+// incremental and the rebuild extension path.
+func (ls *LiveSession) UpsertSourced(rows []Tuple, sources []string, orders []LiveOrder) (bool, error) {
 	if ls.sess == nil {
 		return false, fmt.Errorf("conflictres: live session is closed")
+	}
+	if sources != nil && len(sources) != len(rows) {
+		return false, fmt.Errorf("conflictres: %d sources for %d rows", len(sources), len(rows))
 	}
 	want := ls.rs.schema.Len()
 	for i, r := range rows {
@@ -114,7 +148,8 @@ func (ls *LiveSession) Upsert(rows []Tuple, orders []LiveOrder) (bool, error) {
 			return false, fmt.Errorf("conflictres: row %d has %d values, schema has %d", i, len(r), want)
 		}
 	}
-	total := ls.sess.Spec().TI.Inst.Len() + len(rows)
+	before := ls.sess.Spec().TI.Inst.Len()
+	total := before + len(rows)
 	edges, err := ls.rs.liveEdges(orders, total)
 	if err != nil {
 		return false, err
@@ -123,6 +158,14 @@ func (ls *LiveSession) Upsert(rows []Tuple, orders []LiveOrder) (bool, error) {
 		return true, nil
 	}
 	extended := ls.sess.ExtendRows(rows, edges)
+	if sources != nil {
+		in := ls.sess.Spec().TI.Inst
+		for i, src := range sources {
+			if src != "" {
+				in.SetSource(relation.TupleID(before+i), src)
+			}
+		}
+	}
 	ls.refresh()
 	return extended, nil
 }
@@ -180,12 +223,24 @@ func (ls *LiveSession) refresh() {
 	st.Extends = stats.Extends
 	st.Rebuilds = stats.Rebuilds - 1 // the initial build is not a fallback
 	if ok, _ := ls.sess.IsValid(); ok {
-		if od, ok := ls.sess.DeduceOrderExact(); ok {
+		if fr, ok := fastResolve(ls.sess.Spec(), ls.mode.Strategy); ok {
+			// Degenerate strategy on a constraint-free entity: closed-form
+			// pick, no deduction. fastResolve builds fresh maps and tuples,
+			// so the snapshot cannot alias encoding storage.
+			st.Valid = true
+			st.Resolved = fr.Resolved
+			st.Tuple = fr.Tuple
+		} else if od, ok := ls.sess.DeduceOrderExact(); ok {
 			st.Valid = true
 			enc := ls.sess.Encoding()
 			st.Resolved = core.TrueValues(enc, od)
 			st.Tuple = relation.NewTuple(ls.rs.schema)
 			for a, v := range st.Resolved {
+				st.Tuple[a] = v
+			}
+			// Trust preference layer: fill still-open attributes of the
+			// current tuple from the most trusted surviving candidates.
+			for a, v := range core.TrustFill(enc, od, st.Resolved) {
 				st.Tuple[a] = v
 			}
 		}

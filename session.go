@@ -40,6 +40,10 @@ type Session struct {
 	// loop (Complete → Suggest → Apply → Result) then deduces once, not
 	// three times.
 	view *sessionView
+	// mode is the sticky resolution mode the session was created with; its
+	// trust overlay is already merged into the core session's specification,
+	// and Result applies its strategy.
+	mode ResolutionMode
 }
 
 type sessionView struct {
@@ -66,15 +70,28 @@ func (s *Session) current() *sessionView {
 
 // NewSession starts an incremental resolution session on the specification.
 func NewSession(spec *Spec) (*Session, error) {
+	return NewSessionMode(spec, ResolutionMode{})
+}
+
+// NewSessionMode is NewSession with an explicit resolution mode. The mode is
+// sticky: it is fixed at creation, its trust overlay merges into the
+// specification for every deduction and suggestion, and Result applies its
+// strategy — mirroring how the HTTP session endpoints pin a mode per session.
+func NewSessionMode(spec *Spec, mode ResolutionMode) (*Session, error) {
 	if spec == nil {
 		return nil, fmt.Errorf("conflictres: NewSession needs a specification")
 	}
 	if err := spec.m.Validate(); err != nil {
 		return nil, err
 	}
+	m, err := mode.effectiveSpec(spec.m)
+	if err != nil {
+		return nil, err
+	}
 	return &Session{
-		sess: core.NewSession(spec.m, encode.Options{}),
+		sess: core.NewSession(m, encode.Options{}),
 		sch:  spec.Schema(),
+		mode: mode,
 	}, nil
 }
 
@@ -200,6 +217,12 @@ func (s *Session) Result() *Result {
 	if !v.valid {
 		return res
 	}
+	if fr, ok := fastResolve(s.sess.Spec(), s.mode.Strategy); ok {
+		fr.Rounds = res.Rounds
+		fr.Interactions = res.Interactions
+		fr.Session = res.Session
+		return fr
+	}
 	for a, val := range v.resolved {
 		res.Resolved[a] = val
 	}
@@ -207,5 +230,6 @@ func (s *Session) Result() *Result {
 	for a, val := range res.Resolved {
 		res.Tuple[a] = val
 	}
+	trustFillTuple(s.sess, v.od, res)
 	return res
 }

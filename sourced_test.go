@@ -1,0 +1,155 @@
+package conflictres
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"conflictres/internal/constraint"
+	"conflictres/internal/model"
+	"conflictres/internal/relation"
+)
+
+// TestResolveDatasetSourcedCSV is the sourced round-trip regression: a CSV
+// stream carrying the reserved "source=" column flows provenance from the
+// reader into trust-weighted resolution, and the provenance column never
+// leaks into the output relation.
+func TestResolveDatasetSourcedCSV(t *testing.T) {
+	rules, err := CompileRulesTrust(MustSchema("name", "city"), nil, nil,
+		[]string{`"hq" > "mirror"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvIn := strings.Join([]string{
+		"entity,name,city,source=",
+		"a,e,LA,mirror",
+		"a,e,NY,hq",
+		"",
+	}, "\n")
+	var out bytes.Buffer
+	stats, err := ResolveDataset(context.Background(), rules,
+		strings.NewReader(csvIn), &out, DatasetOptions{
+			KeyColumns: []string{"entity"},
+			Sorted:     true,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowsRead != 2 || stats.Entities != 1 || stats.Resolved != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("output = %q", out.String())
+	}
+	if strings.Contains(lines[0], relation.ReservedColumn) {
+		t.Fatalf("provenance column leaked into the output header: %q", lines[0])
+	}
+	// hq's city fills the otherwise-open tie.
+	if !strings.Contains(lines[1], ",NY,") {
+		t.Fatalf("trusted value missing from %q", lines[1])
+	}
+
+	// The same stream under a degenerate mode: latest-writer-wins ignores
+	// trust and takes the last row.
+	out.Reset()
+	if _, err := ResolveDataset(context.Background(), rules,
+		strings.NewReader(csvIn), &out, DatasetOptions{
+			KeyColumns: []string{"entity"},
+			Sorted:     true,
+			Mode:       ResolutionMode{Strategy: StrategyLatestWriterWins},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), ",NY,") {
+		t.Fatalf("latest-writer-wins output = %q", out.String())
+	}
+}
+
+// TestResolveDatasetSourcedNDJSON: the NDJSON object form carries provenance
+// under the reserved key.
+func TestResolveDatasetSourcedNDJSON(t *testing.T) {
+	rules, err := CompileRulesTrust(MustSchema("name", "city"), nil, nil,
+		[]string{`"hq" > "mirror"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndjson := `{"entity":"a","name":"e","city":"LA","source=":"mirror"}` + "\n" +
+		`{"entity":"a","name":"e","city":"NY","source=":"hq"}` + "\n"
+	var out bytes.Buffer
+	if _, err := ResolveDataset(context.Background(), rules,
+		strings.NewReader(ndjson), &out, DatasetOptions{
+			KeyColumns:  []string{"entity"},
+			InputFormat: "ndjson",
+			Sorted:      true,
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"NY"`) {
+		t.Fatalf("trusted value missing from %q", out.String())
+	}
+}
+
+// TestSpecRoundTripTrustAndSources: the textio spec format round-trips
+// source tags (the trailing "source=" cell) and the trust: section, and the
+// reloaded spec resolves identically.
+func TestSpecRoundTripTrustAndSources(t *testing.T) {
+	sch := relation.MustSchema("name", "city")
+	in := relation.NewInstance(sch)
+	if _, err := in.AddSourced(Tuple{String("e"), String("LA")}, "mirror"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AddSourced(Tuple{String("e"), String("NY")}, "hq"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.AddSourced(Tuple{String("e"), Null}, ""); err != nil {
+		t.Fatal(err) // one deliberately untagged row
+	}
+	m := model.NewSpec(model.NewTemporal(in), nil, nil)
+	trust, err := constraint.CompileTrust([]string{`"hq" > "mirror"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Trust = trust
+	spec := &Spec{m: m}
+
+	var buf bytes.Buffer
+	if err := spec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadSpec(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reload %q: %v", buf.String(), err)
+	}
+
+	li := loaded.Instance()
+	if !li.Sourced() {
+		t.Fatal("sources lost in the round trip")
+	}
+	for i, want := range []string{"mirror", "hq", ""} {
+		if got := li.Source(TupleID(i)); got != want {
+			t.Errorf("tuple %d source = %q, want %q", i, got, want)
+		}
+	}
+	if got := loaded.Model().Trust.Texts(); !reflect.DeepEqual(got, []string{`"hq" > "mirror"`}) {
+		t.Errorf("trust texts = %v", got)
+	}
+
+	orig, err := Resolve(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Resolve(loaded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Tuple, again.Tuple) || !reflect.DeepEqual(orig.Resolved, again.Resolved) {
+		t.Errorf("round-tripped spec resolves differently: %v/%v vs %v/%v",
+			orig.Tuple, orig.Resolved, again.Tuple, again.Resolved)
+	}
+	if got := orig.Tuple[Attr(1)]; got.String() != "NY" {
+		t.Errorf("trust fill = %v, want NY", got)
+	}
+}
