@@ -1,0 +1,63 @@
+// Command crlint runs the project's static-analysis suite (see
+// internal/analysis): lockbalance, poolpair, wireerr, encodingalias and
+// metricname. It exits non-zero when any finding survives waiver filtering,
+// so CI can run it as a blocking step:
+//
+//	go run ./cmd/crlint ./...
+//
+// Waive a by-contract site with a reasoned directive on the offending line
+// or the line above:
+//
+//	//crlint:ignore <analyzer>[,<analyzer>...] <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"conflictres/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: crlint [packages]\n\nAnalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(prog, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		pos := d.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "crlint: %d finding(s) in %d package(s)\n", len(diags), len(prog.Packages))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "crlint: %d package(s) clean\n", len(prog.Packages))
+}

@@ -1,0 +1,229 @@
+// Package analysis is the project's static-analysis suite: five analyzers
+// that mechanically enforce invariants which previously lived only in prose
+// (CHANGES.md caveats, DESIGN.md contracts). The cmd/crlint multichecker
+// runs them as a blocking CI step; docs/DESIGN.md maps each analyzer to the
+// caveat it mechanizes.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis API
+// shape (Analyzer, Pass, Diagnostic) but is self-contained: the build
+// environment has no module proxy access, so the framework is implemented
+// on the standard library alone. Packages are loaded via `go list -export`
+// and type-checked against compiler export data (see load.go), which keeps
+// a whole-tree run to roughly compile speed. Should x/tools become
+// available, the analyzers port by swapping the import path.
+//
+// # Waivers
+//
+// The analyzers are strict on purpose; the handful of in-tree sites that
+// hold an invariant by a documented contract (e.g. live.Registry.checkout
+// returns a locked entry) carry an explicit waiver comment:
+//
+//	//crlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the offending line or the line above it. A waiver without a
+// reason is itself a finding, as is a waiver that no longer suppresses
+// anything — fixed code must shed its waiver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. The Run function inspects a single package
+// and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and waiver comments.
+	Name string
+	// Doc is a one-paragraph description: the invariant enforced and the
+	// caveat it mechanizes.
+	Doc string
+	// Run inspects one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources.
+	Files []*ast.File
+	// Pkg and TypesInfo are the package's type-check results.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path.
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// ignoreDirective is one parsed //crlint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers []string // empty: malformed
+	reason    string
+	used      bool
+}
+
+var ignoreRE = regexp.MustCompile(`^//crlint:ignore\s+([A-Za-z0-9_,]+)(\s+(.*))?$`)
+
+// collectIgnores parses the waiver comments of a file into a per-line index.
+func collectIgnores(fset *token.FileSet, f *ast.File) map[int]*ignoreDirective {
+	out := make(map[int]*ignoreDirective)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimRight(c.Text, " \t")
+			if !strings.HasPrefix(text, "//crlint:") {
+				continue
+			}
+			d := &ignoreDirective{pos: fset.Position(c.Pos())}
+			if m := ignoreRE.FindStringSubmatch(text); m != nil {
+				d.analyzers = strings.Split(m[1], ",")
+				d.reason = strings.TrimSpace(m[3])
+			}
+			out[d.pos.Line] = d
+		}
+	}
+	return out
+}
+
+func (d *ignoreDirective) covers(analyzer string) bool {
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every listed package and returns
+// the surviving findings sorted by position: waived diagnostics are dropped,
+// malformed or unused waivers are added. Packages are expected to come from
+// Load (module packages only; standard-library dependencies are consulted
+// for types but never analyzed).
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Path:      pkg.Path,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	// Index waiver directives by file and line, then filter.
+	type fileLine struct {
+		file string
+		line int
+	}
+	directives := make(map[fileLine]*ignoreDirective)
+	var badDirectives []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for line, d := range collectIgnores(prog.Fset, f) {
+				file := d.pos.Filename
+				if len(d.analyzers) == 0 {
+					badDirectives = append(badDirectives, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "crlint",
+						Message:  "malformed //crlint: directive: want //crlint:ignore <analyzer>[,<analyzer>...] <reason>",
+					})
+					continue
+				}
+				if d.reason == "" {
+					badDirectives = append(badDirectives, Diagnostic{
+						Pos:      d.pos,
+						Analyzer: "crlint",
+						Message:  "//crlint:ignore needs a reason: the waiver documents why the invariant holds here",
+					})
+					continue
+				}
+				directives[fileLine{file, line}] = d
+			}
+		}
+	}
+
+	kept := badDirectives
+	for _, d := range diags {
+		waived := false
+		// A waiver covers findings on its own line and on the line below
+		// (directive-above-statement style).
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if dir, ok := directives[fileLine{d.Pos.Filename, line}]; ok && dir.covers(d.Analyzer) {
+				dir.used = true
+				waived = true
+				break
+			}
+		}
+		if !waived {
+			kept = append(kept, d)
+		}
+	}
+	for _, dir := range directives {
+		if !dir.used {
+			kept = append(kept, Diagnostic{
+				Pos:      dir.pos,
+				Analyzer: "crlint",
+				Message: fmt.Sprintf("unused //crlint:ignore %s directive: nothing on this or the next line trips it; delete the waiver",
+					strings.Join(dir.analyzers, ",")),
+			})
+		}
+	}
+
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockBalance,
+		PoolPair,
+		WireErr,
+		EncodingAlias,
+		MetricName,
+	}
+}

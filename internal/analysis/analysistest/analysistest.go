@@ -1,0 +1,107 @@
+// Package analysistest runs one analyzer over a fixture module and checks
+// its findings against `// want` comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	x.mu.Lock()
+//	return nil // want `x\.mu .* is still held at this return`
+//
+// Each quoted string is a regexp that must match the message of exactly one
+// finding on that line; findings without a matching want, and wants without
+// a matching finding, fail the test. Both "..." and `...` quoting work.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"conflictres/internal/analysis"
+)
+
+// wantRE pulls the quoted expectation strings out of a // want comment.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads patterns relative to dir (a fixture module root) and applies
+// the analyzer, comparing findings to // want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	prog, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(prog.Packages) == 0 {
+		t.Fatalf("no packages matched %v under %s", patterns, dir)
+	}
+	diags, err := analysis.RunAnalyzers(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, prog.Fset, prog)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected finding: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, prog *analysis.Program) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					ms := wantRE.FindAllStringSubmatch(text[len("want "):], -1)
+					if len(ms) == 0 {
+						t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+					}
+					for _, m := range ms {
+						raw := m[1]
+						if raw == "" {
+							raw = m[2]
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

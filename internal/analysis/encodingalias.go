@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EncodingAlias mechanizes the PR 5 skeleton caveat: a Skeleton serves one
+// live *encode.Encoding at a time — Build hands back storage that the next
+// Build on the same Skeleton reuses. Retaining that pointer in a struct
+// field, package variable, or composite literal outlives the next Build and
+// silently reads another entity's clauses. Locals are fine (they die before
+// the next checkout); the blessed long-lived holders (core.Session's
+// install, the standalone-Build entity path) carry documented waivers.
+//
+// The encode package itself is exempt: it owns the storage and its
+// internals necessarily store it.
+var EncodingAlias = &Analyzer{
+	Name: "encodingalias",
+	Doc:  "*encode.Encoding from Skeleton.Build must not be retained across Builds",
+	Run:  runEncodingAlias,
+}
+
+func runEncodingAlias(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "encode" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkEncodingStore(pass, lhs)
+				}
+			case *ast.CompositeLit:
+				// Only struct literals retain; map/slice literals of
+				// encodings would too, but do not occur and would be caught
+				// as stores when assigned anywhere durable.
+				if _, ok := structUnder(pass.TypesInfo, n); !ok {
+					return true
+				}
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isEncodingExpr(pass.TypesInfo, v) {
+						pass.Reportf(v.Pos(), "*encode.Encoding stored in a composite literal outlives the next Skeleton.Build; hold it in a local instead (one live Encoding per Skeleton)")
+					}
+				}
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						obj := pass.TypesInfo.Defs[name]
+						if obj == nil || obj.Parent() != pass.Pkg.Scope() {
+							continue
+						}
+						if isEncodingType(obj.Type()) {
+							pass.Reportf(name.Pos(), "package-level *encode.Encoding outlives every Skeleton.Build; one live Encoding per Skeleton")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkEncodingStore flags durable destinations: struct fields, map/slice
+// elements, and package-level variables. Plain locals are not durable.
+func checkEncodingStore(pass *Pass, lhs ast.Expr) {
+	if !isEncodingExpr(pass.TypesInfo, lhs) {
+		return
+	}
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		pass.Reportf(lhs.Pos(), "*encode.Encoding stored in field %s outlives the next Skeleton.Build; rebuild instead of retaining (one live Encoding per Skeleton)", lhs.Sel.Name)
+	case *ast.IndexExpr:
+		pass.Reportf(lhs.Pos(), "*encode.Encoding stored in a container outlives the next Skeleton.Build (one live Encoding per Skeleton)")
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj != nil && pass.Pkg != nil && obj.Parent() == pass.Pkg.Scope() {
+			pass.Reportf(lhs.Pos(), "*encode.Encoding stored in package variable %s outlives the next Skeleton.Build (one live Encoding per Skeleton)", lhs.Name)
+		}
+	}
+}
+
+func isEncodingExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && isEncodingType(tv.Type)
+}
+
+func isEncodingType(t types.Type) bool {
+	return typeIsNamed(t, "encode", "Encoding")
+}
+
+func structUnder(info *types.Info, cl *ast.CompositeLit) (*types.Struct, bool) {
+	tv, ok := info.Types[cl]
+	if !ok {
+		return nil, false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}

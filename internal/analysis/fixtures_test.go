@@ -1,0 +1,71 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"conflictres/internal/analysis"
+	"conflictres/internal/analysis/analysistest"
+)
+
+func TestLockBalanceFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockBalance, "./lockbalance/...")
+}
+
+func TestPoolPairFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.PoolPair, "./poolpair/...")
+}
+
+func TestWireErrFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WireErr, "./wireerr/...")
+}
+
+func TestEncodingAliasFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.EncodingAlias, "./encodingalias/...")
+}
+
+func TestMetricNameFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MetricName, "./metricname/...")
+}
+
+// TestWaiverDirectives pins the //crlint:ignore machinery: a reasoned
+// waiver suppresses its finding and nothing else; unused, reasonless, and
+// malformed directives surface as crlint findings alongside the findings
+// they failed to waive.
+func TestWaiverDirectives(t *testing.T) {
+	prog, err := analysis.Load("testdata", "./waiver")
+	if err != nil {
+		t.Fatalf("loading waiver fixtures: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(prog, analysis.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	type expect struct {
+		analyzer string
+		substr   string
+	}
+	expects := []expect{
+		{"crlint", "unused //crlint:ignore lockbalance directive"},
+		{"crlint", "needs a reason"},
+		{"crlint", "malformed //crlint: directive"},
+		{"lockbalance", "is still held at this return"}, // reasonless waiver does not suppress
+		{"lockbalance", "is still held at this return"}, // malformed waiver does not suppress
+	}
+	for _, e := range expects {
+		found := false
+		for i, d := range diags {
+			if d.Analyzer == e.analyzer && strings.Contains(d.Message, e.substr) {
+				diags = append(diags[:i], diags[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected %s finding containing %q", e.analyzer, e.substr)
+		}
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,531 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// flow.go is the shared path engine under lockbalance and poolpair: given
+// one acquire site inside a function (a Lock call, a pipeline checkout), it
+// walks the function's statement structure tracking whether the resource is
+// still held, released, or has escaped the function's view, and reports
+// returns (and function ends) reached while the resource is definitely or
+// partially held.
+//
+// The engine is deliberately conservative in what it REPORTS, not in what
+// it assumes: any construct it cannot model (ownership escaping into a
+// closure, the resource stored in a struct, goto) stops tracking instead of
+// guessing. A silent exit is a missed finding at worst; a wrong finding
+// would train people to sprinkle waivers.
+
+// flowState is a bitmask of the resource's possible states along the paths
+// reaching a program point.
+type flowState uint8
+
+const (
+	// stInactive: the acquire site has not executed on this path.
+	stInactive flowState = 1 << iota
+	// stHeld: the resource is held.
+	stHeld
+	// stReleased: the resource was released.
+	stReleased
+	// stEscaped: ownership left the function's view (returned, stored,
+	// captured); tracking stops reporting.
+	stEscaped
+)
+
+func (s flowState) held() bool    { return s&stHeld != 0 }
+func (s flowState) escaped() bool { return s&stEscaped != 0 }
+
+// partial reports whether the state is held on some paths but not all —
+// the "released on some paths only" shape.
+func (s flowState) partial() bool {
+	return s.held() && s&(stReleased|stInactive) != 0
+}
+
+// acquireKind distinguishes how a site takes the resource.
+type acquireKind int
+
+const (
+	// acqStmt: the resource is held after the acquire statement itself.
+	acqStmt acquireKind = iota
+	// acqTryThen: `if x.TryLock() { ... }` — held inside the then-branch.
+	acqTryThen
+	// acqTryElse: `if !x.TryLock() { <terminating body> }` — held after
+	// the if statement.
+	acqTryElse
+)
+
+// acquireSite is one place a tracked resource is taken.
+type acquireSite struct {
+	kind acquireKind
+	// stmt is the acquire statement (acqStmt) or the IfStmt (acqTry*).
+	stmt ast.Stmt
+	pos  token.Pos
+}
+
+// flowSpec configures one tracking run.
+type flowSpec struct {
+	site acquireSite
+
+	// isRelease reports whether the call releases the resource.
+	isRelease func(call *ast.CallExpr) bool
+	// isAcquire reports a re-acquire of the same resource; tracking stops
+	// there (the re-acquire is its own site).
+	isAcquire func(call *ast.CallExpr) bool
+	// escapes reports whether a statement (already known not to be a plain
+	// release) transfers ownership out of the function's view. It must NOT
+	// fire on the acquire statement itself.
+	escapes func(stmt ast.Stmt) bool
+	// onHeld, when set, is invoked for every statement walked while the
+	// state includes held (and not escaped) — lockbalance's held-region
+	// hook for the close-outside-lock rule.
+	onHeld func(stmt ast.Stmt, st flowState)
+	// reportReturn and reportEnd emit the findings.
+	reportReturn func(pos token.Pos, partial bool)
+	reportEnd    func(pos token.Pos, partial bool)
+}
+
+// flowResult is the outcome of walking a statement list.
+type flowResult struct {
+	out flowState
+	// terminated: every path through the list returns, panics, or jumps
+	// out; out is meaningless for fall-through.
+	terminated bool
+}
+
+// runFlow walks body (a function body) for one acquire site.
+func runFlow(spec *flowSpec, body *ast.BlockStmt) {
+	w := &flowWalker{spec: spec}
+	res := w.block(body.List, stInactive)
+	if !res.terminated && res.out.held() && !res.out.escaped() {
+		spec.reportEnd(body.Rbrace, res.out.partial())
+	}
+}
+
+type flowWalker struct {
+	spec *flowSpec
+	// activated: the walk has passed the acquire site; release and
+	// re-acquire calls before it belong to earlier sites and are ignored.
+	activated bool
+	// done: the walker saw a construct that ends tracking everywhere
+	// (escape into closure, goto); all further states include stEscaped.
+	done bool
+}
+
+func (w *flowWalker) block(stmts []ast.Stmt, st flowState) flowResult {
+	for _, s := range stmts {
+		res := w.stmt(s, st)
+		if res.terminated {
+			return res
+		}
+		st = res.out
+	}
+	return flowResult{out: st}
+}
+
+// merge unions the fall-through states of branch results; terminated
+// branches contribute nothing to fall-through.
+func merge(results ...flowResult) flowResult {
+	var out flowState
+	allTerm := true
+	for _, r := range results {
+		if r.terminated {
+			continue
+		}
+		allTerm = false
+		out |= r.out
+	}
+	return flowResult{out: out, terminated: allTerm}
+}
+
+func (w *flowWalker) stmt(s ast.Stmt, st flowState) flowResult {
+	if w.done {
+		st |= stEscaped
+	}
+	if w.spec.onHeld != nil && st.held() && !st.escaped() {
+		// Only simple statements: compound statements are visited child by
+		// child with the per-branch state, so hooking them here would
+		// double-report (and mis-report branches where the lock is freed).
+		switch s.(type) {
+		case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt,
+			*ast.DeferStmt: // deferred calls run at return, not here
+		default:
+			w.spec.onHeld(s, st)
+		}
+	}
+
+	// Activation: the acquire site itself.
+	if s == w.spec.site.stmt {
+		w.activated = true
+		switch w.spec.site.kind {
+		case acqStmt:
+			// Walk the statement normally first (an if-init acquire is
+			// handled by the assign case below), then mark held.
+			return flowResult{out: (st &^ stInactive) | stHeld}
+		case acqTryThen:
+			ifs := s.(*ast.IfStmt)
+			then := w.block(ifs.Body.List, (st&^stInactive)|stHeld)
+			var els flowResult
+			if ifs.Else != nil {
+				els = w.stmtAsBlock(ifs.Else, st)
+			} else {
+				els = flowResult{out: st}
+			}
+			return merge(then, els)
+		case acqTryElse:
+			ifs := s.(*ast.IfStmt)
+			then := w.block(ifs.Body.List, st) // TryLock failed: not held
+			if !then.terminated {
+				// The failure branch falls through; the post-if state is
+				// ambiguous. Stop tracking rather than guess.
+				w.done = true
+				return flowResult{out: st | stEscaped}
+			}
+			return flowResult{out: (st &^ stInactive) | stHeld}
+		}
+	}
+
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if w.activated && w.spec.isRelease(call) {
+				return flowResult{out: (st &^ stHeld) | stReleased}
+			}
+			if w.activated && !st.held() && w.spec.isAcquire != nil && w.spec.isAcquire(call) {
+				// A later acquire of the same resource: its own site tracks
+				// it; stop this one.
+				w.done = true
+				return flowResult{out: st | stEscaped}
+			}
+			if isTerminatorCall(call) {
+				return flowResult{terminated: true}
+			}
+		}
+		if st.held() && w.spec.escapes(s) {
+			w.done = true
+			return flowResult{out: st | stEscaped}
+		}
+		return flowResult{out: st}
+
+	case *ast.DeferStmt:
+		if w.activated && w.spec.isRelease(s.Call) {
+			return flowResult{out: (st &^ stHeld) | stReleased}
+		}
+		// defer func() { ...; release(); ... }()
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok && w.activated && w.containsRelease(fl.Body) {
+			return flowResult{out: (st &^ stHeld) | stReleased}
+		}
+		if st.held() && w.spec.escapes(s) {
+			w.done = true
+			return flowResult{out: st | stEscaped}
+		}
+		return flowResult{out: st}
+
+	case *ast.ReturnStmt:
+		if st.held() && !st.escaped() {
+			if w.spec.escapes(s) {
+				// Ownership rides out with the return value.
+				return flowResult{terminated: true}
+			}
+			w.spec.reportReturn(s.Return, st.partial())
+		}
+		return flowResult{terminated: true}
+
+	case *ast.BranchStmt:
+		// break/continue leave the list without releasing; the state is
+		// reconciled by the loop's conservative union. goto defeats the
+		// walker entirely.
+		if s.Tok == token.GOTO {
+			w.done = true
+		}
+		return flowResult{terminated: true}
+
+	case *ast.AssignStmt:
+		if st.held() && w.spec.escapes(s) {
+			w.done = true
+			return flowResult{out: st | stEscaped}
+		}
+		return flowResult{out: st}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st).out
+		}
+		if st.held() && exprEscapes(w.spec, s.Cond) {
+			w.done = true
+			return flowResult{out: st | stEscaped}
+		}
+		then := w.block(s.Body.List, st)
+		var els flowResult
+		if s.Else != nil {
+			els = w.stmtAsBlock(s.Else, st)
+		} else {
+			els = flowResult{out: st}
+		}
+		return merge(then, els)
+
+	case *ast.BlockStmt:
+		return w.block(s.List, st)
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st).out
+		}
+		body := w.block(s.Body.List, st)
+		// One-iteration approximation: after the loop the resource may be
+		// in the entry state (zero iterations) or the body's fall-through
+		// state. Breaks while held fold into the entry state.
+		return merge(flowResult{out: st}, body)
+
+	case *ast.RangeStmt:
+		body := w.block(s.Body.List, st)
+		return merge(flowResult{out: st}, body)
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.switchLike(s, st)
+
+	case *ast.GoStmt:
+		if st.held() && w.spec.escapes(s) {
+			w.done = true
+			return flowResult{out: st | stEscaped}
+		}
+		return flowResult{out: st}
+
+	default:
+		// Declarations, sends, incdec: no effect on tracking unless the
+		// resource escapes through them.
+		if st.held() && w.spec.escapes(s) {
+			w.done = true
+			return flowResult{out: st | stEscaped}
+		}
+		return flowResult{out: st}
+	}
+}
+
+func (w *flowWalker) stmtAsBlock(s ast.Stmt, st flowState) flowResult {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		return w.block(b.List, st)
+	}
+	return w.stmt(s, st)
+}
+
+// switchLike handles switch, type switch and select: the fall-through state
+// is the union over all clause bodies, plus the entry state when no default
+// clause guarantees a body runs.
+func (w *flowWalker) switchLike(s ast.Stmt, st flowState) flowResult {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st).out
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st).out
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	results := []flowResult{}
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			if cl.List == nil {
+				hasDefault = true
+			}
+			results = append(results, w.block(cl.Body, st))
+		case *ast.CommClause:
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+			results = append(results, w.block(cl.Body, st))
+		}
+	}
+	if !hasDefault {
+		results = append(results, flowResult{out: st})
+	}
+	return merge(results...)
+}
+
+// containsRelease reports whether any call in the subtree releases the
+// resource (used for defer func(){...}() bodies).
+func (w *flowWalker) containsRelease(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && w.spec.isRelease(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// exprEscapes applies the spec's escape test to a bare expression by
+// wrapping it in a statement.
+func exprEscapes(spec *flowSpec, e ast.Expr) bool {
+	return spec.escapes(&ast.ExprStmt{X: e})
+}
+
+// parentsOf builds a child-to-parent map for the subtree at n.
+func parentsOf(n ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(n, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// insideFuncLit reports whether n has a *ast.FuncLit ancestor in parents.
+func insideFuncLit(parents map[ast.Node]ast.Node, n ast.Node) bool {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if _, ok := p.(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// bareUses reports whether obj is used in the subtree in an
+// ownership-transferring position: captured by a function literal, or used
+// as a value anywhere other than the base of a selector read
+// (obj.field / obj.method(...)). Reads through the object do not transfer
+// ownership; passing, returning, storing, or aliasing it does.
+func bareUses(info *types.Info, n ast.Node, obj types.Object) bool {
+	parents := parentsOf(n)
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return !found
+		}
+		if insideFuncLit(parents, id) {
+			found = true
+			return false
+		}
+		if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.X == id {
+			return true // read through the object
+		}
+		// Anything else — argument, return value, composite-literal element,
+		// comparison (a nil-check implies the checkout may hold nothing) —
+		// ends tracking.
+		found = true
+		return false
+	})
+	return found
+}
+
+// isTerminatorCall recognizes calls that never return: panic and os.Exit
+// (and the log.Fatal family, which wraps it).
+func isTerminatorCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			if x.Name == "os" && fun.Sel.Name == "Exit" {
+				return true
+			}
+			if x.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- shared syntactic/type helpers -----------------------------------------
+
+// chainString renders a selector chain for identity comparison; non-chain
+// expressions render as "" and never match.
+func chainString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := chainString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return chainString(x.X)
+	default:
+		return ""
+	}
+}
+
+// usesObject reports whether the subtree references the given object.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// methodCall unpacks a call of the form <recv>.<name>(...) and resolves the
+// method object, looking through embedded fields via the type-checker's
+// selection info.
+func methodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, obj types.Object) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", nil
+	}
+	if s := info.Selections[sel]; s != nil {
+		return sel.X, sel.Sel.Name, s.Obj()
+	}
+	// Package-qualified call (http.Error): Uses carries the object.
+	return sel.X, sel.Sel.Name, info.Uses[sel.Sel]
+}
+
+// namedOrPointee unwraps pointers to the named type underneath, if any.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeIsNamed reports whether t (or its pointee) is a named type with the
+// given name whose package base name matches pkgName ("" matches any).
+func typeIsNamed(t types.Type, pkgName, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	if pkgName == "" {
+		return true
+	}
+	return n.Obj().Pkg() != nil && n.Obj().Pkg().Name() == pkgName
+}

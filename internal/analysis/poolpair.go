@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair enforces checkout/return pairing for pooled pipelines: a value
+// obtained from the facade pool (rs.acquirePipeline()) or straight from a
+// sync.Pool (p.Get()) must be returned — releasePipeline / Put — on every
+// path out of the function, including error and early-return paths. A
+// pipeline that escapes the function (stored in a struct such as
+// LiveSession, passed to another function, returned to the caller) carries
+// its return duty with it and ends tracking; the classic bug this catches
+// is the early `return err` between checkout and the deferred return.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "pooled pipelines checked out are returned on every path",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		forEachFuncBody(f, func(name string, body *ast.BlockStmt) {
+			poolPairFunc(pass, name, body)
+		})
+	}
+	return nil
+}
+
+// isPoolCheckout matches rs.acquirePipeline() and <sync.Pool>.Get().
+func isPoolCheckout(info *types.Info, call *ast.CallExpr) bool {
+	recv, name, obj := methodCall(info, call)
+	if recv == nil {
+		return false
+	}
+	switch name {
+	case "acquirePipeline":
+		return true
+	case "Get":
+		return isSyncPoolMethod(obj)
+	}
+	return false
+}
+
+// isPoolReturn matches rs.releasePipeline(x) and <sync.Pool>.Put(x) where x
+// references the tracked object.
+func isPoolReturn(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	_, name, mobj := methodCall(info, call)
+	switch name {
+	case "releasePipeline":
+	case "Put":
+		if !isSyncPoolMethod(mobj) {
+			return false
+		}
+	default:
+		return false
+	}
+	for _, arg := range call.Args {
+		if usesObject(info, arg, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncPoolMethod(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	n := namedOrPointee(sig.Recv().Type())
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "Pool"
+}
+
+func poolPairFunc(pass *Pass, fname string, body *ast.BlockStmt) {
+	type checkoutSite struct {
+		stmt ast.Stmt
+		pos  token.Pos
+		obj  types.Object
+	}
+	var sites []checkoutSite
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// A checkout whose result is discarded leaks immediately.
+			if call, ok := n.X.(*ast.CallExpr); ok && isPoolCheckout(pass.TypesInfo, call) {
+				pass.Reportf(call.Pos(), "pooled pipeline checked out and immediately dropped; the pool entry is lost")
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isPoolCheckout(pass.TypesInfo, call) {
+				return true
+			}
+			if len(n.Lhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				// Checked out straight into a field or element: the owner
+				// escapes immediately; not trackable.
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "pooled pipeline checked out into the blank identifier; the pool entry is lost")
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				return true
+			}
+			sites = append(sites, checkoutSite{stmt: n, pos: call.Pos(), obj: obj})
+		}
+		return true
+	})
+
+	for _, cs := range sites {
+		cs := cs
+		acqPos := pass.Fset.Position(cs.pos)
+		spec := &flowSpec{
+			site: acquireSite{kind: acqStmt, stmt: cs.stmt, pos: cs.pos},
+			isRelease: func(call *ast.CallExpr) bool {
+				return isPoolReturn(pass.TypesInfo, call, cs.obj)
+			},
+			escapes: func(stmt ast.Stmt) bool {
+				if stmt == cs.stmt {
+					return false
+				}
+				return bareUses(pass.TypesInfo, stmt, cs.obj)
+			},
+			reportReturn: func(pos token.Pos, partial bool) {
+				if partial {
+					pass.Reportf(pos, "pooled pipeline %s (checked out at %s:%d) is returned to the pool on some paths to this return but not all", cs.obj.Name(), acqPos.Filename, acqPos.Line)
+				} else {
+					pass.Reportf(pos, "pooled pipeline %s (checked out at %s:%d) is not returned to the pool on this return path", cs.obj.Name(), acqPos.Filename, acqPos.Line)
+				}
+			},
+			reportEnd: func(pos token.Pos, partial bool) {
+				pass.Reportf(pos, "pooled pipeline %s (checked out at %s:%d) is never returned to the pool before %s ends", cs.obj.Name(), acqPos.Filename, acqPos.Line, fname)
+			},
+		}
+		runFlow(spec, body)
+	}
+}

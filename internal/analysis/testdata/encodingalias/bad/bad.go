@@ -1,0 +1,29 @@
+// Package bad retains *encode.Encoding values in ways that outlive the
+// next Skeleton.Build.
+package bad
+
+import "fixtures/encodingalias/encode"
+
+var global *encode.Encoding // want `package-level \*encode\.Encoding outlives every Skeleton\.Build`
+
+type holder struct {
+	enc *encode.Encoding
+}
+
+func retainField(h *holder, s *encode.Skeleton) {
+	h.enc = s.Build() // want `\*encode\.Encoding stored in field enc outlives the next Skeleton\.Build`
+}
+
+func retainLiteral(s *encode.Skeleton) *holder {
+	return &holder{enc: s.Build()} // want `\*encode\.Encoding stored in a composite literal outlives the next Skeleton\.Build`
+}
+
+var cache = map[string]*encode.Encoding{}
+
+func retainMap(s *encode.Skeleton, key string) {
+	cache[key] = s.Build() // want `\*encode\.Encoding stored in a container outlives the next Skeleton\.Build`
+}
+
+func retainGlobal(s *encode.Skeleton) {
+	global = s.Build() // want `\*encode\.Encoding stored in package variable global outlives the next Skeleton\.Build`
+}

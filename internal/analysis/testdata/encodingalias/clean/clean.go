@@ -1,0 +1,23 @@
+// Package clean uses Skeleton.Build results as locals only — the sanctioned
+// pattern: consume the encoding before the next Build.
+package clean
+
+import "fixtures/encodingalias/encode"
+
+func consume(s *encode.Skeleton) int {
+	enc := s.Build()
+	return len(enc.Clauses)
+}
+
+func consumeTwice(s *encode.Skeleton) int {
+	a := s.Build()
+	n := len(a.Clauses)
+	b := s.Build()
+	return n + len(b.Clauses)
+}
+
+func standalone() *encode.Encoding {
+	// The standalone Build allocates fresh storage; returning it to the
+	// caller is a plain value flow, not a durable store.
+	return encode.Build()
+}

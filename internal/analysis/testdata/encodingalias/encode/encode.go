@@ -1,0 +1,27 @@
+// Package encode mirrors the real encode package's shape for the
+// encodingalias fixtures: a Skeleton whose Build reuses one Encoding's
+// storage. As the defining package it is exempt from the analyzer.
+package encode
+
+// Encoding is the per-entity compile result; a Skeleton hands out the same
+// storage on every Build.
+type Encoding struct {
+	Clauses []int
+}
+
+// Skeleton pre-compiles the entity-independent parts and owns the one live
+// Encoding.
+type Skeleton struct {
+	enc Encoding // the defining package may retain: it owns the storage
+}
+
+// Build returns the skeleton's encoding, reusing storage.
+func (s *Skeleton) Build() *Encoding {
+	s.enc.Clauses = s.enc.Clauses[:0]
+	return &s.enc
+}
+
+// Build (standalone) allocates fresh storage.
+func Build() *Encoding {
+	return &Encoding{}
+}

@@ -1,0 +1,83 @@
+// Package bad seeds lockbalance violations: leaks on early returns,
+// partial releases, TryLock misuse, and teardown under a container lock.
+package bad
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func leakOnError(c *counter, fail bool) error {
+	c.mu.Lock()
+	if fail {
+		return errFail // want `c\.mu \(acquired at .*\) is still held at this return`
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func partialRelease(c *counter, fast bool) int {
+	c.mu.Lock()
+	if fast {
+		c.mu.Unlock()
+	}
+	return c.n // want `c\.mu \(acquired at .*\) is released on some paths to this return but not all`
+}
+
+func leakAtEnd(c *counter) {
+	c.mu.Lock()
+	c.n++
+} // want `c\.mu \(acquired at .*\) is still held when leakAtEnd ends`
+
+func ignoredTryLock(c *counter) {
+	c.mu.TryLock() // want `result of c\.mu\.TryLock ignored: the lock may not be held`
+	c.n++
+	c.mu.Unlock()
+}
+
+func tryLockLeak(c *counter, fail bool) error {
+	if !c.mu.TryLock() {
+		return errFail
+	}
+	if fail {
+		return errFail // want `c\.mu \(acquired at .*\) is still held at this return`
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func rlockLeak(m *sync.RWMutex, fail bool) error {
+	m.RLock()
+	if fail {
+		return errFail // want `m \(acquired at .*\) is still held at this return`
+	}
+	m.RUnlock()
+	return nil
+}
+
+type entry struct {
+	mu sync.Mutex
+}
+
+func (e *entry) Close() {}
+
+type registry struct {
+	mu sync.Mutex
+	ll *list.List
+	m  map[string]*entry
+}
+
+func (r *registry) closeUnderLock(key string) {
+	r.mu.Lock()
+	e := r.m[key]
+	e.Close() // want `Close called while container lock r\.mu is held`
+	r.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+// Package clean holds correct locking patterns lockbalance must not flag:
+// defer, explicit balanced release, TryLock guards, unlock escaping into a
+// closure, and the locked-owner return handoff.
+package clean
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+var errBusy = errors.New("busy")
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func deferred(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func balanced(c *counter, fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errBusy
+	}
+	c.n++
+	c.mu.Unlock()
+	return nil
+}
+
+func tryGuarded(c *counter) bool {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// unlockInClosure mirrors the server's runTimed pattern: the release duty
+// escapes into a function literal executed elsewhere.
+func unlockInClosure(c *counter, run func(func())) {
+	c.mu.Lock()
+	run(func() { c.mu.Unlock() })
+}
+
+type entry struct {
+	mu sync.Mutex
+}
+
+func (e *entry) Close() {}
+
+type registry struct {
+	mu sync.Mutex
+	ll *list.List
+	m  map[string]*entry
+}
+
+// checkout mirrors live.Registry.checkout: the entry is returned locked by
+// contract, so the lock leaves with its owner.
+func (r *registry) checkout(key string) (*entry, error) {
+	r.mu.Lock()
+	e, ok := r.m[key]
+	if !ok {
+		r.mu.Unlock()
+		return nil, errBusy
+	}
+	e.mu.Lock()
+	r.mu.Unlock()
+	return e, nil
+}
+
+// closeOutsideLock collects under the lock and tears down after releasing
+// it — the discipline the container rule enforces.
+func (r *registry) closeOutsideLock() {
+	r.mu.Lock()
+	victims := make([]*entry, 0, len(r.m))
+	for _, e := range r.m {
+		victims = append(victims, e)
+	}
+	r.mu.Unlock()
+	for _, e := range victims {
+		e.Close()
+	}
+}
+
+func loopLocked(c *counter, rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+}

@@ -1,0 +1,22 @@
+// Package clean writes metrics that follow every convention: crserve_/
+// crshard_ prefixes, snake_case, _total counters, plain gauges, and
+// histogram suffixes resolving to their base declaration.
+package clean
+
+import (
+	"fmt"
+	"io"
+)
+
+func write(w io.Writer, requests, live int, bounds []float64, counts []int) {
+	fmt.Fprintf(w, "# TYPE crserve_requests_total counter\n")
+	fmt.Fprintf(w, "crserve_requests_total %d\n", requests)
+	fmt.Fprintf(w, "# TYPE crshard_live_sessions gauge\n")
+	fmt.Fprintf(w, "crshard_live_sessions %d\n", live)
+	fmt.Fprintf(w, "# TYPE crserve_resolve_seconds histogram\n")
+	for i, b := range bounds {
+		fmt.Fprintf(w, "crserve_resolve_seconds_bucket{le=%q} %d\n", fmt.Sprint(b), counts[i])
+	}
+	fmt.Fprintf(w, "crserve_resolve_seconds_sum %d\n", requests)
+	fmt.Fprintf(w, "crserve_resolve_seconds_count %d\n", requests)
+}

@@ -1,0 +1,70 @@
+// Package bad seeds poolpair violations: checkouts that never reach the
+// pool return on an error path, at function end, or at all.
+package bad
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type pipeline struct {
+	n int
+}
+
+type facade struct {
+	pool sync.Pool
+}
+
+func (f *facade) acquirePipeline() *pipeline {
+	v := f.pool.Get()
+	if v == nil {
+		return &pipeline{}
+	}
+	return v.(*pipeline)
+}
+
+func (f *facade) releasePipeline(p *pipeline) {
+	f.pool.Put(p)
+}
+
+func leakOnError(f *facade, fail bool) error {
+	pl := f.acquirePipeline()
+	if fail {
+		return errFail // want `pooled pipeline pl \(checked out at .*\) is not returned to the pool on this return path`
+	}
+	f.releasePipeline(pl)
+	return nil
+}
+
+func partialReturn(f *facade, fast bool) int {
+	pl := f.acquirePipeline()
+	pl.n++
+	if fast {
+		f.releasePipeline(pl)
+	}
+	return 0 // want `pooled pipeline pl \(checked out at .*\) is returned to the pool on some paths to this return but not all`
+}
+
+func leakAtEnd(f *facade) {
+	pl := f.acquirePipeline()
+	pl.n++
+} // want `pooled pipeline pl \(checked out at .*\) is never returned to the pool before leakAtEnd ends`
+
+func dropped(f *facade) {
+	f.acquirePipeline() // want `pooled pipeline checked out and immediately dropped; the pool entry is lost`
+}
+
+func droppedBlank(f *facade) {
+	_ = f.acquirePipeline() // want `pooled pipeline checked out into the blank identifier; the pool entry is lost`
+}
+
+func rawPoolLeak(f *facade, fail bool) error {
+	v := f.pool.Get()
+	if fail {
+		return errFail // want `pooled pipeline v \(checked out at .*\) is not returned to the pool on this return path`
+	}
+	f.pool.Put(v)
+	return nil
+}

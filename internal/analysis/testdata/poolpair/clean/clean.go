@@ -1,0 +1,93 @@
+// Package clean holds correct pooled-pipeline patterns poolpair must not
+// flag: deferred returns, explicit returns on every path, and ownership
+// escapes (struct storage, return to caller, worker closures).
+package clean
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type pipeline struct {
+	n int
+}
+
+type facade struct {
+	pool sync.Pool
+}
+
+func (f *facade) acquirePipeline() *pipeline {
+	v := f.pool.Get()
+	if v == nil {
+		return &pipeline{}
+	}
+	return v.(*pipeline)
+}
+
+func (f *facade) releasePipeline(p *pipeline) {
+	f.pool.Put(p)
+}
+
+func deferred(f *facade, fail bool) error {
+	pl := f.acquirePipeline()
+	defer f.releasePipeline(pl)
+	if fail {
+		return errFail
+	}
+	pl.n++
+	return nil
+}
+
+func explicit(f *facade, fail bool) error {
+	pl := f.acquirePipeline()
+	if fail {
+		f.releasePipeline(pl)
+		return errFail
+	}
+	pl.n++
+	f.releasePipeline(pl)
+	return nil
+}
+
+type session struct {
+	f  *facade
+	pl *pipeline
+}
+
+// newSession mirrors NewLiveSessionMode: the pipeline's return duty moves
+// into the session, whose Close returns it.
+func newSession(f *facade) *session {
+	pl := f.acquirePipeline()
+	return &session{f: f, pl: pl}
+}
+
+func (s *session) Close() {
+	s.f.releasePipeline(s.pl)
+}
+
+// worker mirrors the batch worker goroutines: each checkout is released by
+// a defer inside the same function literal.
+func worker(f *facade, jobs <-chan int, done chan<- int) {
+	go func() {
+		pl := f.acquirePipeline()
+		defer f.releasePipeline(pl)
+		for j := range jobs {
+			pl.n += j
+		}
+		done <- pl.n
+	}()
+}
+
+// deferredClosure releases through a deferred function literal.
+func deferredClosure(f *facade, fail bool) error {
+	pl := f.acquirePipeline()
+	defer func() {
+		f.releasePipeline(pl)
+	}()
+	if fail {
+		return errFail
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package waiver exercises the //crlint:ignore directive machinery: a
+// reasoned waiver suppresses its finding, an unused waiver and a
+// reasonless one are findings themselves, and a malformed directive is
+// reported rather than silently ignored.
+package waiver
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func waivedLeak(b *box, fail bool) int {
+	b.mu.Lock()
+	if fail {
+		//crlint:ignore lockbalance fixture: intentionally held across this return
+		return 0
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+//crlint:ignore lockbalance this waiver sits on a clean function and must be reported unused
+func balanced(b *box) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func reasonless(b *box, fail bool) int {
+	b.mu.Lock()
+	if fail {
+		//crlint:ignore lockbalance
+		return 0
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func malformed(b *box, fail bool) int {
+	b.mu.Lock()
+	if fail {
+		//crlint:ignore-lockbalance oops
+		return 0
+	}
+	b.mu.Unlock()
+	return b.n
+}

@@ -1,0 +1,13 @@
+// Package other is out of wireerr's scope (no server/shard path segment):
+// the same calls that are findings in package server are clean here.
+package other
+
+import "net/http"
+
+func handle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.WriteHeader(http.StatusInternalServerError)
+}

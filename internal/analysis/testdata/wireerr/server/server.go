@@ -1,0 +1,49 @@
+// Package server seeds wireerr violations; its import path carries the
+// "server" segment that puts it in scope.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type errResponse struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// writeError is the structured helper; its own WriteHeader is exempt.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(&errResponse{Code: code, Error: msg})
+}
+
+func handleBare(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed) // want `bare http\.Error bypasses the structured error envelope`
+		return
+	}
+	w.WriteHeader(http.StatusInternalServerError) // want `naked WriteHeader\(500\) on an error path`
+}
+
+func handleLiteral(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest) // want `naked WriteHeader\(400\) on an error path`
+	})
+}
+
+// handleRelay mirrors the shard proxy: forwarding a backend's variable
+// status is not an error-path finding.
+func handleRelay(w http.ResponseWriter, status int, body []byte) {
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func handleStructured(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad_method", "use POST")
+		return
+	}
+	w.WriteHeader(http.StatusAccepted) // success status: not a finding
+}

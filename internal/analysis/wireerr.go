@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// WireErr keeps the wire error contract uniform: HTTP handlers in the
+// server and shard packages must emit errors through the structured
+// writeError helper (JSON envelope with a stable machine-readable code —
+// bad_request, unknown_mode, session_busy, ...), never via bare http.Error
+// or a naked WriteHeader with a constant error status. Relaying a
+// *variable* status (the shard proxy forwarding a backend's reply) is fine:
+// the backend already shaped the envelope.
+//
+// Scope: packages with a "server" or "shard" path segment, inside functions
+// that take an http.ResponseWriter. The writeError helper itself is exempt.
+var WireErr = &Analyzer{
+	Name: "wireerr",
+	Doc:  "handler error paths go through the structured writeError helper",
+	Run:  runWireErr,
+}
+
+func runWireErr(pass *Pass) error {
+	if !wireErrInScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Name.Name == "writeError" || n.Body == nil {
+					return false
+				}
+				if !hasResponseWriterParam(pass.TypesInfo, n.Type) {
+					return true // a literal handler may still be declared inside
+				}
+				wireErrCheckBody(pass, n.Body)
+				return false
+			case *ast.FuncLit:
+				// A handler registered as a literal (mux.HandleFunc("/x",
+				// func(w http.ResponseWriter, ...) { ... })).
+				if !hasResponseWriterParam(pass.TypesInfo, n.Type) {
+					return true
+				}
+				wireErrCheckBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func wireErrInScope(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "server" || seg == "shard" {
+			return true
+		}
+	}
+	return false
+}
+
+func hasResponseWriterParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && typeIsNamed(tv.Type, "http", "ResponseWriter") {
+			return true
+		}
+	}
+	return false
+}
+
+// wireErrCheckBody flags http.Error calls and constant-error-status
+// WriteHeader calls anywhere in the handler body, including closures (they
+// capture the handler's ResponseWriter).
+func wireErrCheckBody(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, obj := methodCall(pass.TypesInfo, call)
+		switch {
+		case name == "Error" && isPkgFunc(obj, "net/http", "Error"):
+			pass.Reportf(call.Pos(), "bare http.Error bypasses the structured error envelope; use the writeError helper so codes stay uniform")
+		case name == "WriteHeader" && recv != nil && isResponseWriterExpr(pass.TypesInfo, recv):
+			if code, ok := constStatus(pass.TypesInfo, call); ok && code >= 400 {
+				pass.Reportf(call.Pos(), "naked WriteHeader(%d) on an error path; use the writeError helper so the JSON envelope and code are emitted", code)
+			}
+		}
+		return true
+	})
+}
+
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+func isResponseWriterExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && typeIsNamed(tv.Type, "http", "ResponseWriter")
+}
+
+// constStatus extracts a constant integer status from WriteHeader's
+// argument; variable statuses (proxy relays) return !ok.
+func constStatus(info *types.Info, call *ast.CallExpr) (int64, bool) {
+	if len(call.Args) != 1 {
+		return 0, false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

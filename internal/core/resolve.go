@@ -159,7 +159,7 @@ type scratchEngine struct {
 }
 
 func (e *scratchEngine) beginRound() *encode.Encoding {
-	e.enc = encode.Build(e.cur, e.opts)
+	e.enc = encode.Build(e.cur, e.opts) //crlint:ignore encodingalias standalone Build allocates fresh storage; no Skeleton is reused
 	e.solver = sat.New()
 	e.consistent = e.enc.CNF().LoadInto(e.solver)
 	if e.consistent {

@@ -87,7 +87,7 @@ func NewSessionFromEncoding(enc *encode.Encoding, opts encode.Options) *Session 
 // one — and kept across rebuilds; solver Stats accumulate across Reset, so
 // no snapshot is needed when the formula is replaced.
 func (s *Session) install(enc *encode.Encoding) {
-	s.enc = enc
+	s.enc = enc //crlint:ignore encodingalias the session is its skeleton's single live consumer; install replaces enc on every rebuild
 	if s.solver == nil {
 		if s.pipe != nil {
 			s.solver = s.pipe.solver

@@ -399,7 +399,7 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}{Ready: up > 0, BackendsUp: up, BackendsTotal: len(c.backends)}
 	w.Header().Set("Content-Type", "application/json")
 	if !st.Ready {
-		w.WriteHeader(http.StatusServiceUnavailable)
+		w.WriteHeader(http.StatusServiceUnavailable) //crlint:ignore wireerr readiness 503 carries the status JSON probes parse, not an error envelope
 	}
 	json.NewEncoder(w).Encode(&st)
 }
