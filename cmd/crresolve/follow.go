@@ -66,7 +66,9 @@ func runFollow(rules *conflictres.RuleSet, in io.Reader, out io.Writer, keys []s
 		if row.Source != "" {
 			sources = []string{row.Source}
 		}
-		res, err := reg.Upsert(row.Key, rules, "follow", []conflictres.Tuple{row.Tuple}, sources, nil, mode)
+		res, err := reg.Upsert(row.Key, rules, "follow", live.Op{
+			Rows: []conflictres.Tuple{row.Tuple}, Sources: sources, Mode: mode,
+		})
 		if err != nil {
 			badRows++
 			enc.Encode(&followState{Key: key, Error: err.Error()})

@@ -6,7 +6,7 @@
 //	        [-timeout 30s] [-max-body 8388608]
 //	        [-session-cap N] [-session-ttl 15m] [-session-sweep 1m]
 //	        [-session-snapshot sessions.ndjson]
-//	        [-live-cap N] [-live-ttl 15m]
+//	        [-live-cap N] [-live-ttl 15m] [-live-snapshot entities.ndjson]
 //	        [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
@@ -41,6 +41,15 @@
 // live sessions back to it on graceful shutdown — the rolling-restart path
 // for a fleet backend: clients keep their session ids across the restart.
 //
+// With -live-snapshot the server does the same for live entities (the
+// /v1/entity change-data-capture feed): each entity's row-log — every
+// acknowledged upsert, in order — is written out on graceful shutdown and
+// replayed at startup, so accumulated resolution state survives restarts.
+//
+// The CRFAULT_* environment variables (CRFAULT_SEED, CRFAULT_WRITE_FAIL,
+// ...) arm deterministic fault injection on the live upsert path and the
+// snapshot writer; they exist for chaos testing and stay inert when unset.
+//
 // With -pprof-addr a net/http/pprof mux is served on a second, separate
 // listener (opt-in, keep it on loopback or an internal interface — the
 // profiling endpoints are not meant for untrusted clients):
@@ -65,6 +74,7 @@ import (
 	"syscall"
 	"time"
 
+	"conflictres/internal/fault"
 	"conflictres/internal/server"
 	"conflictres/internal/version"
 )
@@ -84,6 +94,7 @@ func main() {
 	flag.IntVar(&cfg.LiveCap, "live-cap", 0, "max live entities before LRU eviction (0 = default 512)")
 	flag.DurationVar(&cfg.LiveTTL, "live-ttl", 0, "idle live-entity expiry (0 = default 15m, negative disables)")
 	snapshotPath := flag.String("session-snapshot", "", "restore sessions from this NDJSON file at startup and snapshot back on shutdown (empty = disabled)")
+	liveSnapshotPath := flag.String("live-snapshot", "", "restore live entities from this NDJSON file at startup and snapshot back on shutdown (empty = disabled)")
 	pprofAddr := flag.String("pprof-addr", "", "serve /debug/pprof on this extra address (empty = disabled; keep it internal)")
 	flag.Parse()
 	if *showVersion {
@@ -116,9 +127,24 @@ func main() {
 		}()
 	}
 
+	inj := fault.FromEnv()
+	if inj != nil {
+		log.Printf("crserve: fault injection armed from CRFAULT_* environment")
+		cfg.LiveFault = inj.LiveUpsert
+	}
+	if *liveSnapshotPath != "" {
+		// Live entities must snapshot before Close tears the registry down,
+		// so this runs on the server's drain seam rather than after
+		// ListenAndServe returns like the session snapshot below.
+		cfg.OnDrain = func(s *server.Server) { snapshotLiveEntities(s, *liveSnapshotPath, inj) }
+	}
+
 	srv := server.New(cfg)
 	if *snapshotPath != "" {
 		restoreSessions(srv, *snapshotPath)
+	}
+	if *liveSnapshotPath != "" {
+		restoreLiveEntities(srv, *liveSnapshotPath)
 	}
 	log.Printf("crserve: listening on %s", cfg.Addr)
 	start := time.Now()
@@ -172,4 +198,48 @@ func snapshotSessions(srv *server.Server, path string) {
 		return
 	}
 	log.Printf("crserve: snapshotted sessions to %s", path)
+}
+
+// restoreLiveEntities replays live entities from a snapshot file. A missing
+// file is a fresh start; a partly bad file restores what it can.
+func restoreLiveEntities(srv *server.Server, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("crserve: live snapshot: %v", err)
+		}
+		return
+	}
+	defer f.Close()
+	n, err := srv.RestoreLiveEntities(f)
+	if err != nil {
+		log.Printf("crserve: live restore: %v", err)
+	}
+	log.Printf("crserve: restored %d live entities from %s", n, path)
+}
+
+// snapshotLiveEntities writes the live entities' row-logs out on the drain
+// seam (before the registry closes), atomically via a temp file so a crash
+// or injected partial write mid-snapshot cannot corrupt the last good
+// snapshot — the rename only happens after a complete write.
+func snapshotLiveEntities(srv *server.Server, path string, inj *fault.Injector) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("crserve: live snapshot: %v", err)
+		return
+	}
+	err = srv.SnapshotLiveEntities(inj.Writer(f))
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		log.Printf("crserve: live snapshot: %v", err)
+		return
+	}
+	log.Printf("crserve: snapshotted live entities to %s", path)
 }

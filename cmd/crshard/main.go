@@ -9,6 +9,7 @@
 //	crshard -backends http://host1:8372,http://host2:8372
 //	        [-addr :8371] [-vnodes 64] [-pipeline 4] [-chunk 32]
 //	        [-timeout 2m] [-health-interval 2s] [-max-body 8388608]
+//	        [-retry-base 25ms] [-retry-cap 1s] [-retry-budget 15s]
 //
 // Endpoints (same contracts as crserve):
 //
@@ -28,6 +29,17 @@
 //	GET  /metrics            per-backend request/error/retry counters, ring
 //	                         occupancy, merge latency
 //
+// Every failover path — keyed forwards, the entity proxy, batch reroutes,
+// replication forwards — retries under one policy: capped exponential
+// backoff from -retry-base to -retry-cap with ±50% jitter, all charged
+// against the -retry-budget deadline, after which the request is shed with
+// 503 retry_budget_exhausted.
+//
+// The CRFAULT_* environment variables (CRFAULT_SEED, CRFAULT_TRANSPORT,
+// CRFAULT_LATENCY, CRFAULT_TRUNCATE, ...) arm deterministic fault injection
+// on the coordinator's backend transport; they exist for chaos testing and
+// stay inert when unset.
+//
 // See docs/OPERATIONS.md ("Fleet deployment") for topology and failover
 // semantics. The coordinator shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -37,12 +49,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"conflictres/internal/fault"
 	"conflictres/internal/shard"
 	"conflictres/internal/version"
 )
@@ -58,6 +72,9 @@ func main() {
 	flag.DurationVar(&cfg.Timeout, "timeout", 0, "per backend-request deadline (0 = default 2m)")
 	flag.DurationVar(&cfg.HealthInterval, "health-interval", 0, "backend probe cadence (0 = default 2s)")
 	flag.Int64Var(&cfg.MaxBodyBytes, "max-body", 0, "max request body / NDJSON line bytes (0 = default 8 MiB)")
+	flag.DurationVar(&cfg.RetryBase, "retry-base", 0, "first failover backoff delay (0 = default 25ms)")
+	flag.DurationVar(&cfg.RetryCap, "retry-cap", 0, "max single failover backoff delay (0 = default 1s)")
+	flag.DurationVar(&cfg.RetryBudget, "retry-budget", 0, "total failover time per request before shedding it (0 = default 15s)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version.String("crshard"))
@@ -81,6 +98,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if inj := fault.FromEnv(); inj != nil {
+		log.Printf("crshard: fault injection armed from CRFAULT_* environment")
+		cfg.Client = &http.Client{Transport: inj.RoundTripper(http.DefaultTransport)}
+	}
 
 	coord, err := shard.New(cfg)
 	if err != nil {

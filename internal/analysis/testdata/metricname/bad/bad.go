@@ -13,6 +13,8 @@ func write(w io.Writer, requests, depth int) {
 	fmt.Fprintf(w, "# TYPE resolve_errors_total counter\n")    // want `metric "resolve_errors_total" violates the naming convention`
 	fmt.Fprintf(w, "# TYPE crshard_queue_depth_total gauge\n") // want `gauge "crshard_queue_depth_total" must not end in _total`
 	fmt.Fprintf(w, "crshard_queue_depth_total %d\n", depth)
-	fmt.Fprintf(w, "# TYPE crserve_Sessions_total counter\n") // want `metric "crserve_Sessions_total" violates the naming convention`
-	fmt.Fprintf(w, "crserve_orphan_total %d\n", requests)     // want `sample emitted for metric "crserve_orphan_total" with no # TYPE declaration in this package`
+	fmt.Fprintf(w, "# TYPE crserve_Sessions_total counter\n")   // want `metric "crserve_Sessions_total" violates the naming convention`
+	fmt.Fprintf(w, "crserve_orphan_total %d\n", requests)       // want `sample emitted for metric "crserve_orphan_total" with no # TYPE declaration in this package`
+	fmt.Fprintf(w, "# TYPE crshard_replica_forwards counter\n") // want `counter "crshard_replica_forwards" must end in _total`
+	fmt.Fprintf(w, "crshard_replica_forwards %d\n", requests)
 }

@@ -13,6 +13,15 @@ func write(w io.Writer, requests, live int, bounds []float64, counts []int) {
 	fmt.Fprintf(w, "crserve_requests_total %d\n", requests)
 	fmt.Fprintf(w, "# TYPE crshard_live_sessions gauge\n")
 	fmt.Fprintf(w, "crshard_live_sessions %d\n", live)
+	fmt.Fprintf(w, "# TYPE crshard_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "crshard_retry_budget_exhausted_total %d\n", requests)
+	fmt.Fprintf(w, "# TYPE crshard_replica_failover_total counter\n")
+	fmt.Fprintf(w, "crshard_replica_failover_total{op=\"get\"} %d\n", requests)
+	fmt.Fprintf(w, "crshard_replica_failover_total{op=\"upsert\"} %d\n", requests)
+	fmt.Fprintf(w, "# TYPE crshard_replica_pending gauge\n")
+	fmt.Fprintf(w, "crshard_replica_pending %d\n", live)
+	fmt.Fprintf(w, "# TYPE crserve_live_snapshot_restored_total counter\n")
+	fmt.Fprintf(w, "crserve_live_snapshot_restored_total %d\n", requests)
 	fmt.Fprintf(w, "# TYPE crserve_resolve_seconds histogram\n")
 	for i, b := range bounds {
 		fmt.Fprintf(w, "crserve_resolve_seconds_bucket{le=%q} %d\n", fmt.Sprint(b), counts[i])

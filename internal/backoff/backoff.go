@@ -1,0 +1,86 @@
+// Package backoff is the fleet's single retry-pacing policy: capped,
+// jittered exponential delays shared by the coordinator's sibling retries,
+// its replication forwarder, and the health loop's down-backend probing.
+// Keeping one implementation means every retry path degrades the same way
+// under a storm — and none of them retries in lockstep, because every delay
+// carries multiplicative jitter.
+//
+// The randomness source is injected (a func() float64 in [0,1)), so tests
+// drive the policy deterministically and production callers hand in their
+// own seeded generator.
+package backoff
+
+import (
+	"context"
+	"time"
+)
+
+// Policy describes one capped jittered exponential backoff schedule.
+// The zero value is unusable; use New or fill every field.
+type Policy struct {
+	// Base is the first retry delay (attempt 1).
+	Base time.Duration
+	// Cap bounds the grown delay before jitter is applied.
+	Cap time.Duration
+	// Factor is the per-attempt growth multiplier (2 when <= 1).
+	Factor float64
+	// Jitter is the multiplicative jitter fraction in [0, 1): the delay is
+	// scaled by a random factor in [1-Jitter, 1+Jitter). Zero disables
+	// jitter (tests); production callers want something like 0.5 so
+	// coordinators that fail together do not retry together.
+	Jitter float64
+}
+
+// New returns the fleet's default policy over the given base and cap:
+// doubling growth with ±50% jitter.
+func New(base, cap time.Duration) Policy {
+	return Policy{Base: base, Cap: cap, Factor: 2, Jitter: 0.5}
+}
+
+// Delay returns the pause before the given retry attempt (1-based; attempt
+// 0 and negatives return 0, "try immediately"). rnd supplies jitter in
+// [0, 1) and may be nil when Jitter is 0.
+func (p Policy) Delay(attempt int, rnd func() float64) time.Duration {
+	if attempt <= 0 || p.Base <= 0 {
+		return 0
+	}
+	factor := p.Factor
+	if factor <= 1 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	for i := 1; i < attempt; i++ {
+		d *= factor
+		if p.Cap > 0 && d >= float64(p.Cap) {
+			d = float64(p.Cap)
+			break
+		}
+	}
+	if p.Cap > 0 && d > float64(p.Cap) {
+		d = float64(p.Cap)
+	}
+	if p.Jitter > 0 && rnd != nil {
+		// Multiplicative jitter in [1-J, 1+J): spreads retries without ever
+		// collapsing the delay to zero.
+		d *= 1 - p.Jitter + 2*p.Jitter*rnd()
+	}
+	return time.Duration(d)
+}
+
+// Sleep pauses for the attempt's delay, returning early with ctx.Err() when
+// the context dies first. A zero delay returns immediately without checking
+// the context (attempt 0 must never fail spuriously).
+func (p Policy) Sleep(ctx context.Context, attempt int, rnd func() float64) error {
+	d := p.Delay(attempt, rnd)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

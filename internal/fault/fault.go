@@ -1,0 +1,252 @@
+// Package fault is the fleet's deterministic fault-injection layer: a
+// seed-driven Injector that perturbs the coordinator's HTTP transport
+// (refused requests, latency spikes, truncated response bodies), the live
+// registry's upsert path (storage failures that must never be acked), and
+// snapshot writers (partial log writes). Everything is build-tag-free: the
+// hooks are plain interfaces/wrappers that production code carries all the
+// time and that stay inert until an Injector is wired in — by a test
+// directly, or by the CRFAULT_* environment variables read in the fleet
+// binaries' mains (the multi-process chaos path).
+//
+// Decisions come from a splitmix64 stream under a mutex, so a given seed
+// yields the same fault schedule for the same sequence of probes; the chaos
+// suites log the seed so failures replay.
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config sets the per-probe fault probabilities (each in [0, 1]).
+type Config struct {
+	// Seed drives the decision stream; the same seed and probe sequence
+	// produce the same faults.
+	Seed uint64
+	// TransportErrorRate is the chance an outgoing HTTP request fails
+	// before reaching the wire (connection refused / reset analogue).
+	TransportErrorRate float64
+	// LatencyRate is the chance a request is delayed by Latency first.
+	LatencyRate float64
+	// Latency is the injected delay (default 20ms when a rate is set).
+	Latency time.Duration
+	// TruncateRate is the chance a response body is cut off mid-stream,
+	// surfacing as an unexpected-EOF read error on the client.
+	TruncateRate float64
+	// WriteFailRate is the chance a wrapped writer performs a partial
+	// write and fails (snapshot/log corruption analogue), and the chance
+	// the live registry's upsert hook rejects an upsert before it is
+	// applied (storage failure: the delta must not be acked).
+	WriteFailRate float64
+}
+
+// Counters reports how many faults of each kind an Injector has delivered.
+type Counters struct {
+	TransportErrors int64
+	Latencies       int64
+	Truncations     int64
+	WriteFailures   int64
+}
+
+// Injector delivers faults according to a Config. Safe for concurrent use;
+// the zero value and the nil Injector are inert.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	state uint64
+	n     Counters
+}
+
+// New builds an injector over cfg, defaulting Latency to 20ms when a
+// latency rate is configured without a duration.
+func New(cfg Config) *Injector {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 20 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, state: cfg.Seed}
+}
+
+// FromEnv builds an injector from the CRFAULT_* environment variables, or
+// returns nil (inject nothing) when CRFAULT_SEED is unset. Rates default to
+// zero, so a seed alone arms the machinery without changing behavior:
+//
+//	CRFAULT_SEED=1 CRFAULT_TRANSPORT=0.05 CRFAULT_LATENCY=0.1
+//	CRFAULT_LATENCY_MS=50 CRFAULT_TRUNCATE=0.02 CRFAULT_WRITE_FAIL=0.05
+func FromEnv() *Injector {
+	seedStr := os.Getenv("CRFAULT_SEED")
+	if seedStr == "" {
+		return nil
+	}
+	seed, err := strconv.ParseUint(seedStr, 10, 64)
+	if err != nil {
+		return nil
+	}
+	rate := func(name string) float64 {
+		v, _ := strconv.ParseFloat(os.Getenv(name), 64)
+		return v
+	}
+	ms, _ := strconv.Atoi(os.Getenv("CRFAULT_LATENCY_MS"))
+	return New(Config{
+		Seed:               seed,
+		TransportErrorRate: rate("CRFAULT_TRANSPORT"),
+		LatencyRate:        rate("CRFAULT_LATENCY"),
+		Latency:            time.Duration(ms) * time.Millisecond,
+		TruncateRate:       rate("CRFAULT_TRUNCATE"),
+		WriteFailRate:      rate("CRFAULT_WRITE_FAIL"),
+	})
+}
+
+// CountersSnapshot reports the faults delivered so far.
+func (f *Injector) CountersSnapshot() Counters {
+	if f == nil {
+		return Counters{}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// roll draws one uniform float64 in [0, 1) from the seeded stream.
+// splitmix64: the same finalizer the shard ring uses for avalanche.
+func (f *Injector) roll() float64 {
+	f.state += 0x9e3779b97f4a7c15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// hit draws a decision at the given rate, bumping counter on a hit.
+func (f *Injector) hit(rate float64, counter *int64) bool {
+	if rate <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	ok := f.roll() < rate
+	if ok {
+		*counter++
+	}
+	f.mu.Unlock()
+	return ok
+}
+
+// LiveUpsert is the live registry's storage hook: a non-nil error rejects
+// the upsert before any state changes, so the delta is never acknowledged.
+func (f *Injector) LiveUpsert() error {
+	if f == nil {
+		return nil
+	}
+	if f.hit(f.cfg.WriteFailRate, &f.n.WriteFailures) {
+		return fmt.Errorf("fault: injected storage failure")
+	}
+	return nil
+}
+
+// errTransport is the injected wire-level failure.
+type errTransport struct{}
+
+func (errTransport) Error() string   { return "fault: injected transport error" }
+func (errTransport) Timeout() bool   { return false }
+func (errTransport) Temporary() bool { return true }
+
+// RoundTripper wraps an HTTP transport with the injector's wire faults.
+// inner nil means http.DefaultTransport.
+func (f *Injector) RoundTripper(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	if f == nil {
+		return inner
+	}
+	return &faultTransport{f: f, inner: inner}
+}
+
+type faultTransport struct {
+	f     *Injector
+	inner http.RoundTripper
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.f
+	if f.hit(f.cfg.LatencyRate, &f.n.Latencies) {
+		select {
+		case <-time.After(f.cfg.Latency):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if f.hit(f.cfg.TransportErrorRate, &f.n.TransportErrors) {
+		// The request never reaches the wire: the server must not have
+		// applied it, so retrying cannot double-apply. (Truncation below is
+		// the applied-but-unacked case.)
+		return nil, errTransport{}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if f.hit(f.cfg.TruncateRate, &f.n.Truncations) {
+		resp.Body = &truncatedBody{inner: resp.Body, remain: 1}
+	}
+	return resp, nil
+}
+
+// truncatedBody yields at most remain bytes, then fails the read the way a
+// connection cut mid-body does.
+type truncatedBody struct {
+	inner  io.ReadCloser
+	remain int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.inner.Read(p)
+	b.remain -= n
+	if err == io.EOF {
+		// The body really ended before the cut: pass EOF through.
+		return n, err
+	}
+	if b.remain <= 0 {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.inner.Close() }
+
+// Writer wraps a snapshot/log writer with partial-write faults: a hit
+// writes roughly half the buffer, then fails. Callers that write through a
+// temp file + rename keep their last good snapshot, which is exactly the
+// invariant the chaos suite asserts.
+func (f *Injector) Writer(w io.Writer) io.Writer {
+	if f == nil {
+		return w
+	}
+	return &faultWriter{f: f, inner: w}
+}
+
+type faultWriter struct {
+	f     *Injector
+	inner io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	f := fw.f
+	if f.hit(f.cfg.WriteFailRate, &f.n.WriteFailures) {
+		n, _ := fw.inner.Write(p[:len(p)/2])
+		return n, fmt.Errorf("fault: injected partial write (%d of %d bytes)", n, len(p))
+	}
+	return fw.inner.Write(p)
+}

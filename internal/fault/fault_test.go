@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 42, WriteFailRate: 0.3}
+	record := func() []bool {
+		f := New(cfg)
+		var hits []bool
+		for i := 0; i < 64; i++ {
+			hits = append(hits, f.LiveUpsert() != nil)
+		}
+		return hits
+	}
+	a, b := record(), record()
+	var n int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("probe %d: schedules diverge under the same seed", i)
+		}
+		if a[i] {
+			n++
+		}
+	}
+	if n == 0 || n == len(a) {
+		t.Fatalf("degenerate schedule: %d/%d hits at rate 0.3", n, len(a))
+	}
+	if got := New(cfg).CountersSnapshot().WriteFailures; got != 0 {
+		t.Fatalf("fresh injector counted %d write failures", got)
+	}
+}
+
+func TestNilAndZeroAreInert(t *testing.T) {
+	var f *Injector
+	if err := f.LiveUpsert(); err != nil {
+		t.Fatalf("nil injector faulted: %v", err)
+	}
+	if got := f.CountersSnapshot(); got != (Counters{}) {
+		t.Fatalf("nil injector counters = %+v", got)
+	}
+	z := New(Config{Seed: 7})
+	for i := 0; i < 32; i++ {
+		if err := z.LiveUpsert(); err != nil {
+			t.Fatalf("zero-rate injector faulted: %v", err)
+		}
+	}
+}
+
+func TestRoundTripperTransportError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello from the backend")
+	}))
+	defer srv.Close()
+
+	f := New(Config{Seed: 1, TransportErrorRate: 1})
+	client := &http.Client{Transport: f.RoundTripper(nil)}
+	_, err := client.Get(srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "injected transport error") {
+		t.Fatalf("want injected transport error, got %v", err)
+	}
+	if got := f.CountersSnapshot().TransportErrors; got != 1 {
+		t.Fatalf("transport error counter = %d, want 1", got)
+	}
+}
+
+func TestRoundTripperTruncation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello from the backend")
+	}))
+	defer srv.Close()
+
+	f := New(Config{Seed: 1, TruncateRate: 1})
+	client := &http.Client{Transport: f.RoundTripper(nil)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF reading truncated body, got %v (body %q)", err, body)
+	}
+	if len(body) >= len("hello from the backend") {
+		t.Fatalf("body not truncated: %q", body)
+	}
+	if got := f.CountersSnapshot().Truncations; got != 1 {
+		t.Fatalf("truncation counter = %d, want 1", got)
+	}
+}
+
+func TestRoundTripperLatency(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer srv.Close()
+
+	f := New(Config{Seed: 1, LatencyRate: 1, Latency: 30 * time.Millisecond})
+	client := &http.Client{Transport: f.RoundTripper(nil)}
+	start := time.Now()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 30ms of injected latency", d)
+	}
+}
+
+func TestWriterPartialWrite(t *testing.T) {
+	f := New(Config{Seed: 1, WriteFailRate: 1})
+	var buf bytes.Buffer
+	w := f.Writer(&buf)
+	payload := []byte("0123456789abcdef")
+	n, err := w.Write(payload)
+	if err == nil {
+		t.Fatal("faulted write returned nil error")
+	}
+	if n >= len(payload) {
+		t.Fatalf("faulted write claimed %d of %d bytes", n, len(payload))
+	}
+	if buf.Len() != n {
+		t.Fatalf("reported %d bytes but sink holds %d", n, buf.Len())
+	}
+
+	// Inert wrapping passes through untouched.
+	var clean bytes.Buffer
+	var nilInj *Injector
+	if w := nilInj.Writer(&clean); w != &clean {
+		t.Fatal("nil injector should return the writer unwrapped")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	if got := FromEnv(); got != nil {
+		t.Fatalf("FromEnv without CRFAULT_SEED = %v, want nil", got)
+	}
+	t.Setenv("CRFAULT_SEED", "99")
+	t.Setenv("CRFAULT_TRANSPORT", "0.25")
+	t.Setenv("CRFAULT_LATENCY_MS", "5")
+	f := FromEnv()
+	if f == nil {
+		t.Fatal("FromEnv with CRFAULT_SEED returned nil")
+	}
+	if f.cfg.Seed != 99 || f.cfg.TransportErrorRate != 0.25 || f.cfg.Latency != 5*time.Millisecond {
+		t.Fatalf("FromEnv parsed %+v", f.cfg)
+	}
+}

@@ -33,7 +33,44 @@ var (
 	ErrRulesChanged = errors.New("live: rule set changed for existing entity")
 	// ErrShutdown reports an operation against a closed registry.
 	ErrShutdown = errors.New("live: registry closed")
+	// ErrFaulted reports an upsert rejected by the registry's storage fault
+	// hook before any state changed: the delta was NOT applied and must not
+	// be acknowledged (the server answers 503 so clients retry).
+	ErrFaulted = errors.New("live: storage fault")
 )
+
+// Delta is one accepted upsert, recorded in the entity's row-log in arrival
+// order. Replaying a log against a fresh entity reproduces its state
+// exactly, which is what snapshot/restore and replica warm-up rely on.
+type Delta struct {
+	Rows    []conflictres.Tuple
+	Sources []string
+	Orders  []conflictres.LiveOrder
+}
+
+// Op is one upsert operation: the delta plus the binding metadata the
+// registry records for replay. Mode and RulesWire only take effect at
+// creation (both are sticky per entity, like the rules).
+type Op struct {
+	Rows    []conflictres.Tuple
+	Sources []string
+	Orders  []conflictres.LiveOrder
+	Mode    conflictres.ResolutionMode
+	// RulesWire is the rule set's wire encoding, retained at creation so a
+	// snapshot re-ships the exact blob the entity was created under rather
+	// than re-deriving one from the compiled form.
+	RulesWire []byte
+}
+
+// EntityLog is the replayable record of one live entity, handed to a
+// Snapshot callback under the entity's lock (no delta can land mid-read).
+// The slices alias registry state: serialize before returning, don't retain.
+type EntityLog struct {
+	Key       string
+	RulesWire []byte
+	Mode      conflictres.ResolutionMode
+	Deltas    []Delta
+}
 
 // entry is one live entity. mu serializes every touch of ls — upserts,
 // state reads, and the close path (eviction/expiry/shutdown) — so a pooled
@@ -44,9 +81,12 @@ type entry struct {
 	rulesHash string
 	rules     *conflictres.RuleSet
 
-	mu     sync.Mutex
-	closed bool
-	ls     *conflictres.LiveSession
+	mu        sync.Mutex
+	closed    bool
+	ls        *conflictres.LiveSession
+	rulesWire []byte                     // creation-time rules blob, for snapshots
+	mode      conflictres.ResolutionMode // creation-time mode, for snapshots
+	log       []Delta                    // row-log: every accepted upsert in order
 
 	lastUse time.Time // TTL clock, guarded by the registry mutex
 }
@@ -79,12 +119,13 @@ type Result struct {
 
 // Registry is the keyed store of live entities. Safe for concurrent use.
 type Registry struct {
-	mu   sync.Mutex
-	cap  int // <= 0: unbounded
-	ttl  time.Duration
-	ll   *list.List               // front = most recently used; holds *entry
-	m    map[string]*list.Element // key -> element in ll
-	down bool
+	mu    sync.Mutex
+	cap   int // <= 0: unbounded
+	ttl   time.Duration
+	ll    *list.List               // front = most recently used; holds *entry
+	m     map[string]*list.Element // key -> element in ll
+	down  bool
+	fault func() error // storage fault hook; nil in production without chaos
 
 	created  atomic.Int64
 	expired  atomic.Int64
@@ -99,15 +140,23 @@ func NewRegistry(capacity int, ttl time.Duration) *Registry {
 	return &Registry{cap: capacity, ttl: ttl, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// Upsert folds rows (and optional currency edges) into the entity under
-// key, creating it when absent. rulesHash identifies the rule set AND the
-// resolution mode the rows are bound to; an existing entity refuses a
+// SetFault installs a storage fault hook, consulted once per Upsert before
+// any state changes: a non-nil error rejects the delta with ErrFaulted.
+// Chaos suites wire an injector here; nil removes the hook. Call before
+// serving traffic — the hook pointer is read without the registry lock.
+func (r *Registry) SetFault(f func() error) { r.fault = f }
+
+// Upsert folds op's rows (and optional currency edges) into the entity
+// under key, creating it when absent. rulesHash identifies the rule set AND
+// the resolution mode the rows are bound to; an existing entity refuses a
 // different hash with ErrRulesChanged (mode is sticky per entity, like the
-// rules — delete the entity to change either). sources, when non-nil, must
-// parallel rows; mode only takes effect at creation. A concurrent operation
-// on the same entity yields ErrBusy. The returned state covers every row
-// the entity has seen.
-func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash string, rows []conflictres.Tuple, sources []string, orders []conflictres.LiveOrder, mode conflictres.ResolutionMode) (Result, error) {
+// rules — delete the entity to change either). op.Sources, when non-nil,
+// must parallel op.Rows; op.Mode and op.RulesWire only take effect at
+// creation. A concurrent operation on the same entity yields ErrBusy. Every
+// accepted delta is appended to the entity's row-log before the call
+// returns, so an acknowledged upsert is always replayable. The returned
+// state covers every row the entity has seen.
+func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash string, op Op) (Result, error) {
 	for {
 		e, victims, created, err := r.checkout(key, rulesHash, true)
 		closeAll(victims)
@@ -120,9 +169,18 @@ func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash stri
 			e.mu.Unlock()
 			continue
 		}
+		if f := r.fault; f != nil {
+			if ferr := f(); ferr != nil {
+				e.mu.Unlock()
+				if created {
+					r.drop(key, e)
+				}
+				return Result{}, errors.Join(ErrFaulted, ferr)
+			}
+		}
 		res := Result{Key: key, Created: created}
 		if created {
-			ls, err := rules.NewLiveSessionMode(rows, sources, orders, mode)
+			ls, err := rules.NewLiveSessionMode(op.Rows, op.Sources, op.Orders, op.Mode)
 			if err != nil {
 				e.mu.Unlock()
 				r.drop(key, e)
@@ -130,8 +188,10 @@ func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash stri
 			}
 			e.ls = ls
 			e.rules = rules
+			e.mode = op.Mode
+			e.rulesWire = append([]byte(nil), op.RulesWire...)
 		} else {
-			extended, err := e.ls.UpsertSourced(rows, sources, orders)
+			extended, err := e.ls.UpsertSourced(op.Rows, op.Sources, op.Orders)
 			if err != nil {
 				e.mu.Unlock()
 				return Result{}, err
@@ -143,11 +203,54 @@ func (r *Registry) Upsert(key string, rules *conflictres.RuleSet, rulesHash stri
 				r.rebuilds.Add(1)
 			}
 		}
+		// Row-log append: copies, not aliases — the caller's decode buffers
+		// are theirs to reuse, and Snapshot hands these slices out later.
+		e.log = append(e.log, Delta{
+			Rows:    append([]conflictres.Tuple(nil), op.Rows...),
+			Sources: append([]string(nil), op.Sources...),
+			Orders:  append([]conflictres.LiveOrder(nil), op.Orders...),
+		})
 		res.Schema = e.rules.Schema()
 		res.State = e.ls.State()
 		e.mu.Unlock()
 		return res, nil
 	}
+}
+
+// Snapshot walks every live entity, handing each one's replayable log to
+// fn. Each callback runs under that entity's lock, so the log is a
+// consistent point-in-time view; an fn error aborts the walk. Entities
+// whose creation predates the row-log (none in practice: every accepted
+// upsert logs) or that race a concurrent close are skipped, and the skip
+// count is returned alongside the number snapshotted.
+func (r *Registry) Snapshot(fn func(EntityLog) error) (written, skipped int, err error) {
+	r.mu.Lock()
+	if r.down {
+		r.mu.Unlock()
+		return 0, 0, ErrShutdown
+	}
+	es := make([]*entry, 0, r.ll.Len())
+	for el := r.ll.Back(); el != nil; el = el.Prev() {
+		// Tail-first: oldest entries serialize first, so a capped restore
+		// replays in roughly the original arrival order.
+		es = append(es, el.Value.(*entry))
+	}
+	r.mu.Unlock()
+	for _, e := range es {
+		e.mu.Lock()
+		if e.closed || len(e.log) == 0 {
+			skipped++
+			e.mu.Unlock()
+			continue
+		}
+		ferr := fn(EntityLog{Key: e.key, RulesWire: e.rulesWire, Mode: e.mode, Deltas: e.log})
+		e.mu.Unlock()
+		if ferr != nil {
+			return written, skipped, ferr
+		}
+		written++
+	}
+	return written, skipped, nil
 }
 
 // Get returns the entity's current state without applying any delta. The

@@ -36,14 +36,14 @@ func TestRegistryUpsertGetRemove(t *testing.T) {
 	reg := live.NewRegistry(8, 0)
 	defer reg.Close()
 
-	res, err := reg.Upsert("edith", rs, "h1", []conflictres.Tuple{edithRow(t, rs, 0)}, nil, nil, conflictres.ResolutionMode{})
+	res, err := reg.Upsert("edith", rs, "h1", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 0)}})
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
 	if !res.Created || res.State.Rows != 1 {
 		t.Fatalf("create: %+v", res)
 	}
-	res, err = reg.Upsert("edith", rs, "h1", []conflictres.Tuple{edithRow(t, rs, 1)}, nil, nil, conflictres.ResolutionMode{})
+	res, err = reg.Upsert("edith", rs, "h1", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 1)}})
 	if err != nil {
 		t.Fatalf("upsert: %v", err)
 	}
@@ -61,7 +61,7 @@ func TestRegistryUpsertGetRemove(t *testing.T) {
 		t.Fatalf("get state diverged from upsert state:\nget:    %s\nupsert: %s", a, b)
 	}
 
-	if _, err := reg.Upsert("edith", rs, "h2", nil, nil, nil, conflictres.ResolutionMode{}); !errors.Is(err, live.ErrRulesChanged) {
+	if _, err := reg.Upsert("edith", rs, "h2", live.Op{}); !errors.Is(err, live.ErrRulesChanged) {
 		t.Fatalf("rules change: got %v, want ErrRulesChanged", err)
 	}
 
@@ -96,7 +96,7 @@ func TestRegistryConcurrentUpsertsSerialize(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < attempts; i++ {
 				row := edithRow(t, rs, int64(g*attempts+i))
-				_, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{row}, nil, nil, conflictres.ResolutionMode{})
+				_, err := reg.Upsert("edith", rs, "h", live.Op{Rows: []conflictres.Tuple{row}})
 				switch {
 				case err == nil:
 					ok.Add(1)
@@ -134,7 +134,7 @@ func TestRegistryCloseVsInflightUpsert(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		for i := 0; ; i++ {
-			_, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{edithRow(t, rs, int64(i))}, nil, nil, conflictres.ResolutionMode{})
+			_, err := reg.Upsert("edith", rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, int64(i))}})
 			if err != nil {
 				done <- err
 				return
@@ -161,13 +161,13 @@ func TestRegistryEvictionRebuildsCleanly(t *testing.T) {
 	reg := live.NewRegistry(1, 0)
 	defer reg.Close()
 
-	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 0)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
+	if _, err := reg.Upsert("a", rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 0)}}); err != nil {
 		t.Fatalf("create a: %v", err)
 	}
-	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 1)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
+	if _, err := reg.Upsert("a", rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 1)}}); err != nil {
 		t.Fatalf("grow a: %v", err)
 	}
-	if _, err := reg.Upsert("b", rs, "h", []conflictres.Tuple{edithRow(t, rs, 7)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
+	if _, err := reg.Upsert("b", rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 7)}}); err != nil {
 		t.Fatalf("create b: %v", err)
 	}
 	if c := reg.CountersSnapshot(); c.Evicted != 1 {
@@ -180,7 +180,7 @@ func TestRegistryEvictionRebuildsCleanly(t *testing.T) {
 		t.Fatal("evicted entity still answers Get")
 	}
 
-	res, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 2)}, nil, nil, conflictres.ResolutionMode{})
+	res, err := reg.Upsert("a", rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 2)}})
 	if err != nil {
 		t.Fatalf("recreate a: %v", err)
 	}
@@ -214,11 +214,11 @@ func TestRegistryTTL(t *testing.T) {
 	reg := live.NewRegistry(0, 10*time.Millisecond)
 	defer reg.Close()
 
-	if _, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 0)}, nil, nil, conflictres.ResolutionMode{}); err != nil {
+	if _, err := reg.Upsert("a", rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 0)}}); err != nil {
 		t.Fatalf("create: %v", err)
 	}
 	time.Sleep(25 * time.Millisecond)
-	res, err := reg.Upsert("a", rs, "h", []conflictres.Tuple{edithRow(t, rs, 1)}, nil, nil, conflictres.ResolutionMode{})
+	res, err := reg.Upsert("a", rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, 1)}})
 	if err != nil {
 		t.Fatalf("upsert after ttl: %v", err)
 	}
@@ -264,7 +264,7 @@ func TestRegistrySweepRace(t *testing.T) {
 		go func(key string) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
-				_, err := reg.Upsert(key, rs, "h", []conflictres.Tuple{edithRow(t, rs, int64(i))}, nil, nil, conflictres.ResolutionMode{})
+				_, err := reg.Upsert(key, rs, "h", live.Op{Rows: []conflictres.Tuple{edithRow(t, rs, int64(i))}})
 				if err != nil && !errors.Is(err, live.ErrBusy) {
 					t.Errorf("key %s: unexpected error: %v", key, err)
 					return
@@ -290,7 +290,7 @@ func TestRegistryStateSnapshotSurvivesRebuild(t *testing.T) {
 
 	rows := fixtures.EdithInstance()
 	res, err := reg.Upsert("edith", rs, "h",
-		[]conflictres.Tuple{rows.Tuple(0).Clone(), rows.Tuple(1).Clone()}, nil, nil, conflictres.ResolutionMode{})
+		live.Op{Rows: []conflictres.Tuple{rows.Tuple(0).Clone(), rows.Tuple(1).Clone()}})
 	if err != nil {
 		t.Fatalf("create: %v", err)
 	}
@@ -302,7 +302,7 @@ func TestRegistryStateSnapshotSurvivesRebuild(t *testing.T) {
 	fresh := rows.Tuple(2).Clone()
 	ac, _ := sch.Attr("AC")
 	fresh[ac] = relation.String("999")
-	res2, err := reg.Upsert("edith", rs, "h", []conflictres.Tuple{fresh}, nil, nil, conflictres.ResolutionMode{})
+	res2, err := reg.Upsert("edith", rs, "h", live.Op{Rows: []conflictres.Tuple{fresh}})
 	if err != nil {
 		t.Fatalf("rebuild upsert: %v", err)
 	}
@@ -315,5 +315,85 @@ func TestRegistryStateSnapshotSurvivesRebuild(t *testing.T) {
 
 	if after := fingerprint(sch, snap.Valid, snap.Resolved, snap.Tuple); after != before {
 		t.Fatalf("pre-rebuild snapshot mutated by the rebuild:\nbefore: %s\nafter:  %s", before, after)
+	}
+}
+
+// TestRegistryRowLogAndSnapshot pins the row-log contract: every accepted
+// upsert lands in the entity's log in arrival order, Snapshot hands out a
+// replayable EntityLog per entity, and a rejected (faulted) delta never
+// reaches the log.
+func TestRegistryRowLogAndSnapshot(t *testing.T) {
+	rs := personRules(t)
+	reg := live.NewRegistry(0, 0)
+	defer reg.Close()
+
+	wire := []byte(`{"schema":["person"]}`)
+	mode := conflictres.ResolutionMode{Strategy: conflictres.StrategyLatestWriterWins}
+	if _, err := reg.Upsert("edith", rs, "h", live.Op{
+		Rows: []conflictres.Tuple{edithRow(t, rs, 0)}, Sources: []string{"hq"},
+		Mode: mode, RulesWire: wire,
+	}); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := reg.Upsert("edith", rs, "h", live.Op{
+		Rows: []conflictres.Tuple{edithRow(t, rs, 1)},
+		// RulesWire and Mode on an extend are ignored: creation-time wins.
+		Mode: conflictres.ResolutionMode{}, RulesWire: []byte("ignored"),
+	}); err != nil {
+		t.Fatalf("extend: %v", err)
+	}
+
+	var logs []live.EntityLog
+	written, skipped, err := reg.Snapshot(func(el live.EntityLog) error {
+		logs = append(logs, el)
+		return nil
+	})
+	if err != nil || written != 1 || skipped != 0 {
+		t.Fatalf("snapshot: written=%d skipped=%d err=%v", written, skipped, err)
+	}
+	el := logs[0]
+	if el.Key != "edith" || string(el.RulesWire) != string(wire) || el.Mode.Strategy != mode.Strategy {
+		t.Fatalf("snapshot metadata: %+v", el)
+	}
+	if len(el.Deltas) != 2 {
+		t.Fatalf("log has %d deltas, want 2", len(el.Deltas))
+	}
+	if len(el.Deltas[0].Rows) != 1 || el.Deltas[0].Sources[0] != "hq" {
+		t.Fatalf("first delta: %+v", el.Deltas[0])
+	}
+	a, _ := rs.Schema().Attr("kids")
+	if got := el.Deltas[1].Rows[0][a]; got.String() != relation.Int(1).String() {
+		t.Fatalf("second delta kids = %v, want 1", got)
+	}
+
+	// A faulted upsert is rejected un-acked: no new delta, no state change.
+	reg.SetFault(func() error { return errors.New("disk on fire") })
+	if _, err := reg.Upsert("edith", rs, "h", live.Op{
+		Rows: []conflictres.Tuple{edithRow(t, rs, 2)},
+	}); !errors.Is(err, live.ErrFaulted) {
+		t.Fatalf("faulted upsert: got %v, want ErrFaulted", err)
+	}
+	// A faulted create must not leave a placeholder behind.
+	if _, err := reg.Upsert("ghost", rs, "h", live.Op{
+		Rows: []conflictres.Tuple{edithRow(t, rs, 0)},
+	}); !errors.Is(err, live.ErrFaulted) {
+		t.Fatalf("faulted create: got %v, want ErrFaulted", err)
+	}
+	if _, ok, _ := reg.Get("ghost"); ok {
+		t.Fatal("faulted create left an entity behind")
+	}
+	reg.SetFault(nil)
+	res, _, err := reg.Get("edith")
+	if err != nil || res.State.Rows != 2 {
+		t.Fatalf("state after faulted delta: rows=%d err=%v, want the pre-fault 2", res.State.Rows, err)
+	}
+	written, _, err = reg.Snapshot(func(el live.EntityLog) error {
+		if len(el.Deltas) != 2 {
+			t.Fatalf("faulted delta reached the log: %d deltas", len(el.Deltas))
+		}
+		return nil
+	})
+	if err != nil || written != 1 {
+		t.Fatalf("re-snapshot: written=%d err=%v", written, err)
 	}
 }

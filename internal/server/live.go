@@ -21,6 +21,11 @@ const (
 	// codeEntityRules answers an upsert whose rule set differs from the one
 	// the entity was created under; delete the entity to change rules.
 	codeEntityRules = "entity_rules_changed"
+	// codeEntityFault answers an upsert rejected by an injected storage
+	// fault before any state changed (chaos runs only): the delta was not
+	// applied, so 503 tells clients to retry rather than treat the rows as
+	// acknowledged.
+	codeEntityFault = "entity_fault"
 )
 
 // entityUpsertRequest is the body of POST /v1/entity/{key}/rows: the rule
@@ -116,6 +121,8 @@ func liveErrStatus(err error) (int, string) {
 		return http.StatusConflict, codeEntityRules
 	case errors.Is(err, live.ErrShutdown):
 		return http.StatusServiceUnavailable, codeResolveFail
+	case errors.Is(err, live.ErrFaulted):
+		return http.StatusServiceUnavailable, codeEntityFault
 	default:
 		return http.StatusBadRequest, codeBadEntity
 	}
@@ -162,12 +169,22 @@ func (s *Server) handleEntityUpsert(w http.ResponseWriter, r *http.Request) {
 	// rather than silently resolving under the creation-time strategy.
 	rk := rulesKey(&req.ruleSetJSON)
 	rulesHash := string(rk[:]) + "\x00" + mode.Strategy.String()
+	// Re-marshal the decoded rule set rather than retaining request bytes:
+	// the snapshot then carries a canonical blob regardless of how the
+	// client formatted the original.
+	rulesWire, err := json.Marshal(&req.ruleSetJSON)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, codeBadRules, err.Error())
+		return
+	}
 	type outcome struct {
 		res live.Result
 		err error
 	}
 	o, err := runTimed(r.Context(), s.cfg.Timeout, nil, func() outcome {
-		res, err := s.liveReg.Upsert(key, rules, rulesHash, rows, req.Sources, orders, mode)
+		res, err := s.liveReg.Upsert(key, rules, rulesHash, live.Op{
+			Rows: rows, Sources: req.Sources, Orders: orders, Mode: mode, RulesWire: rulesWire,
+		})
 		return outcome{res, err}
 	})
 	if err != nil {

@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"conflictres"
+	"conflictres/internal/live"
+)
+
+// liveDeltaJSON is one accepted upsert in a live entity's row-log, in the
+// same cell forms the /v1/entity wire uses.
+type liveDeltaJSON struct {
+	Rows    [][]json.RawMessage `json:"rows"`
+	Sources []string            `json:"sources,omitempty"`
+	Orders  []orderJSON         `json:"orders,omitempty"`
+}
+
+// liveSnapshotJSON is one NDJSON line of a live-entity snapshot: the
+// creation-time rule set and mode, then every accepted delta in arrival
+// order. Replaying the deltas against a fresh entity under the same rules is
+// deterministic, so restore reconstructs the exact state without
+// serializing solver internals — the same replay contract sessions use.
+type liveSnapshotJSON struct {
+	Key    string          `json:"key"`
+	Rules  json.RawMessage `json:"rules"`
+	Mode   string          `json:"mode,omitempty"`
+	Deltas []liveDeltaJSON `json:"deltas"`
+}
+
+// SnapshotLiveEntities serializes every live entity as one NDJSON line of
+// replayable deltas — the rolling-restart path for the change-data-capture
+// feed: drain, snapshot, restart, RestoreLiveEntities. Each line is written
+// under its entity's lock, so a snapshot taken while upserts are in flight
+// captures every entity at a delta boundary.
+func (s *Server) SnapshotLiveEntities(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	_, _, err := s.liveReg.Snapshot(func(el live.EntityLog) error {
+		rec := liveSnapshotJSON{
+			Key:    el.Key,
+			Rules:  json.RawMessage(el.RulesWire),
+			Mode:   el.Mode.Strategy.String(),
+			Deltas: make([]liveDeltaJSON, 0, len(el.Deltas)),
+		}
+		for _, d := range el.Deltas {
+			dj := liveDeltaJSON{Sources: d.Sources}
+			dj.Rows = make([][]json.RawMessage, 0, len(d.Rows))
+			for _, row := range d.Rows {
+				cells := make([]json.RawMessage, len(row))
+				for i, v := range row {
+					raw, err := json.Marshal(encodeValue(v))
+					if err != nil {
+						return fmt.Errorf("entity %s: encode cell: %w", el.Key, err)
+					}
+					cells[i] = raw
+				}
+				dj.Rows = append(dj.Rows, cells)
+			}
+			for _, o := range d.Orders {
+				dj.Orders = append(dj.Orders, orderJSON{Attr: o.Attr, T1: o.T1, T2: o.T2})
+			}
+			rec.Deltas = append(rec.Deltas, dj)
+		}
+		return enc.Encode(&rec)
+	})
+	return err
+}
+
+// RestoreLiveEntities rebuilds live entities from a SnapshotLiveEntities
+// stream, replaying each entity's deltas under its original key. It returns
+// how many entities were restored; an entity whose replay no longer applies
+// cleanly (e.g. a truncated snapshot line) is dropped and counted in the
+// returned error, not fatal to the rest. TTL clocks restart at the restore.
+func (s *Server) RestoreLiveEntities(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), int(s.cfg.MaxBodyBytes))
+	restored, skipped := 0, 0
+	var firstErr error
+	fail := func(key string, err error) {
+		skipped++
+		s.met.liveRestoreSkipped.Add(1)
+		if firstErr == nil {
+			if key == "" {
+				firstErr = err
+			} else {
+				firstErr = fmt.Errorf("entity %s: %w", key, err)
+			}
+		}
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec liveSnapshotJSON
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fail("", fmt.Errorf("bad snapshot line: %w", err))
+			continue
+		}
+		if err := s.replayLiveEntity(&rec); err != nil {
+			// Drop any partially replayed state: a half-restored entity
+			// would serve answers missing acknowledged rows.
+			s.liveReg.Remove(rec.Key)
+			fail(rec.Key, err)
+			continue
+		}
+		restored++
+		s.met.liveRestored.Add(1)
+	}
+	if err := sc.Err(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return restored, fmt.Errorf("server: live restore: %d entities skipped: %w", skipped, firstErr)
+	}
+	return restored, nil
+}
+
+// replayLiveEntity feeds one snapshot record's deltas through the registry
+// in order, exactly as the original upserts arrived.
+func (s *Server) replayLiveEntity(rec *liveSnapshotJSON) error {
+	var rsj ruleSetJSON
+	if err := json.Unmarshal(rec.Rules, &rsj); err != nil {
+		return fmt.Errorf("rules: %w", err)
+	}
+	rules, err := s.compileRules(&rsj)
+	if err != nil {
+		return err
+	}
+	strat, err := conflictres.ParseStrategy(rec.Mode)
+	if err != nil {
+		return err
+	}
+	mode := conflictres.ResolutionMode{Strategy: strat}
+	rk := rulesKey(&rsj)
+	rulesHash := string(rk[:]) + "\x00" + mode.Strategy.String()
+	for i, d := range rec.Deltas {
+		rows, err := decodeRows(rules, d.Rows)
+		if err != nil {
+			return fmt.Errorf("delta %d: %w", i, err)
+		}
+		orders := make([]conflictres.LiveOrder, 0, len(d.Orders))
+		for _, o := range d.Orders {
+			orders = append(orders, conflictres.LiveOrder{Attr: o.Attr, T1: o.T1, T2: o.T2})
+		}
+		if _, err := s.liveReg.Upsert(rec.Key, rules, rulesHash, live.Op{
+			Rows: rows, Sources: d.Sources, Orders: orders, Mode: mode, RulesWire: rec.Rules,
+		}); err != nil {
+			return fmt.Errorf("delta %d: %w", i, err)
+		}
+	}
+	return nil
+}

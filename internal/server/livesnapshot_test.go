@@ -1,0 +1,211 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"conflictres/internal/fault"
+	"conflictres/internal/fixtures"
+)
+
+// liveWireState renders an entity's registry state in its wire form, for
+// byte-level comparison across snapshot/restore.
+func liveWireState(t *testing.T, s *Server, key string) string {
+	t.Helper()
+	res, ok, err := s.liveReg.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("live %q: ok=%v err=%v", key, ok, err)
+	}
+	b, err := json.Marshal(encodeEntityState(key, res.Schema, res.State))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestLiveSnapshotRoundTrip is the restart path, differential-pinned: feed
+// an entity through creates, an incremental extend, an edge-only delta and
+// a non-monotone rebuild; snapshot; restore into a fresh server; the
+// restored wire state must be byte-identical, and the spec differential
+// (restored replay vs from-scratch resolve) must agree too.
+func TestLiveSnapshotRoundTrip(t *testing.T) {
+	srvA, ts := newTestServer(t, Config{})
+	defer ts.Close()
+	spec := fixtures.EdithSpec()
+
+	if _, resp := entityUpsert(t, ts, "edith", entityWire(t, spec, []int{0}, nil)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	if st, _ := entityUpsert(t, ts, "edith", entityWire(t, spec, []int{1}, nil)); st.Rows != 2 {
+		t.Fatalf("extend: %+v", st)
+	}
+	// Edge-only delta: order indices against the accumulated log.
+	if _, resp := entityUpsert(t, ts, "edith", entityWire(t, spec, nil,
+		[]map[string]any{{"attr": "status", "t1": 0, "t2": 1}})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("edge-only: status %d", resp.StatusCode)
+	}
+	// Non-monotone delta (fresh AC value) so replay must also walk the
+	// rebuild path, not just incremental extends.
+	var req map[string]any
+	if err := json.Unmarshal(entityWire(t, spec, []int{2}, nil), &req); err != nil {
+		t.Fatal(err)
+	}
+	req["rows"].([]any)[0].([]any)[5] = "999" // AC
+	body, _ := json.Marshal(req)
+	if st, resp := entityUpsert(t, ts, "edith", body); resp.StatusCode != http.StatusOK || st.Rows != 3 {
+		t.Fatalf("rebuild delta: status %d, %+v", resp.StatusCode, st)
+	}
+	// A second, independent entity rides along.
+	if _, resp := entityUpsert(t, ts, "george", entityWire(t, spec, []int{0, 1}, nil)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("george: status %d", resp.StatusCode)
+	}
+
+	before := map[string]string{
+		"edith":  liveWireState(t, srvA, "edith"),
+		"george": liveWireState(t, srvA, "george"),
+	}
+	var snap bytes.Buffer
+	if err := srvA.SnapshotLiveEntities(&snap); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if n := bytes.Count(snap.Bytes(), []byte("\n")); n != 2 {
+		t.Fatalf("snapshot has %d lines, want 2:\n%s", n, snap.String())
+	}
+
+	srvB, tsB := newTestServer(t, Config{})
+	defer tsB.Close()
+	n, err := srvB.RestoreLiveEntities(bytes.NewReader(snap.Bytes()))
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("restored %d entities, want 2", n)
+	}
+	for key, want := range before {
+		if got := liveWireState(t, srvB, key); got != want {
+			t.Fatalf("entity %q diverged across restart:\nbefore: %s\nafter:  %s", key, want, got)
+		}
+	}
+	// The restored entity keeps accepting deltas with full context: an
+	// order edge touching pre-restart rows must still bind.
+	if _, resp := entityUpsert(t, tsB, "george", entityWire(t, spec, nil,
+		[]map[string]any{{"attr": "status", "t1": 0, "t2": 1}})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restore edge delta: status %d", resp.StatusCode)
+	}
+	if got := srvB.met.liveRestored.Load(); got != 2 {
+		t.Fatalf("crserve_live_snapshot_restored_total = %d, want 2", got)
+	}
+}
+
+// TestLiveSnapshotSticksToCreationMode pins that restore replays under the
+// entity's creation-time mode, not the default: a latest-writer-wins entity
+// must come back latest-writer-wins (a later upsert under the old mode
+// string still matches the sticky rules hash).
+func TestLiveSnapshotSticksToCreationMode(t *testing.T) {
+	srvA, ts := newTestServer(t, Config{})
+	defer ts.Close()
+	spec := fixtures.EdithSpec()
+
+	var req map[string]any
+	if err := json.Unmarshal(entityWire(t, spec, []int{0, 1}, nil), &req); err != nil {
+		t.Fatal(err)
+	}
+	req["mode"] = "latest-writer-wins"
+	body, _ := json.Marshal(req)
+	if _, resp := entityUpsert(t, ts, "lww", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	want := liveWireState(t, srvA, "lww")
+
+	var snap bytes.Buffer
+	if err := srvA.SnapshotLiveEntities(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snap.String(), `"mode":"latest-writer-wins"`) {
+		t.Fatalf("snapshot lost the mode:\n%s", snap.String())
+	}
+
+	srvB, tsB := newTestServer(t, Config{})
+	defer tsB.Close()
+	if _, err := srvB.RestoreLiveEntities(&snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if got := liveWireState(t, srvB, "lww"); got != want {
+		t.Fatalf("mode-bearing entity diverged:\nbefore: %s\nafter:  %s", want, got)
+	}
+	// Same mode on the restored entity: accepted. Different mode: 409.
+	var extend map[string]any
+	if err := json.Unmarshal(entityWire(t, spec, []int{2}, nil), &extend); err != nil {
+		t.Fatal(err)
+	}
+	extend["mode"] = "latest-writer-wins"
+	eb, _ := json.Marshal(extend)
+	if _, resp := entityUpsert(t, tsB, "lww", eb); resp.StatusCode != http.StatusOK {
+		t.Fatalf("same-mode extend after restore: status %d", resp.StatusCode)
+	}
+	if _, resp := entityUpsert(t, tsB, "lww", entityWire(t, spec, []int{2}, nil)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mode flip after restore: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestLiveRestoreSkipsBadLines feeds a snapshot with a corrupt line in the
+// middle: the good entities restore, the bad one is dropped (no partial
+// state), and the skip is reported in both the error and the metric.
+func TestLiveRestoreSkipsBadLines(t *testing.T) {
+	srvA, ts := newTestServer(t, Config{})
+	defer ts.Close()
+	spec := fixtures.EdithSpec()
+	for _, key := range []string{"a", "b"} {
+		if _, resp := entityUpsert(t, ts, key, entityWire(t, spec, []int{0, 1}, nil)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", key, resp.StatusCode)
+		}
+	}
+	var snap bytes.Buffer
+	if err := srvA.SnapshotLiveEntities(&snap); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(snap.String(), "\n")
+	// Truncate the first entity's line mid-JSON — the partial-write shape a
+	// crashed non-atomic writer would leave.
+	corrupt := lines[0][:len(lines[0])/2] + "\n" + lines[1]
+
+	srvB, _ := newTestServer(t, Config{})
+	n, err := srvB.RestoreLiveEntities(strings.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("restore of a corrupt snapshot reported no error")
+	}
+	if n != 1 {
+		t.Fatalf("restored %d entities, want the 1 intact line", n)
+	}
+	if got := srvB.met.liveRestoreSkipped.Load(); got != 1 {
+		t.Fatalf("crserve_live_snapshot_skipped_total = %d, want 1", got)
+	}
+	if srvB.liveReg.Live() != 1 {
+		t.Fatalf("live=%d after corrupt restore, want 1 (no partial entities)", srvB.liveReg.Live())
+	}
+}
+
+// TestLiveUpsertFaultInjection wires a fault.Injector through Config
+// exactly as crserve does from CRFAULT_*: a faulted upsert answers 503
+// entity_fault and leaves no state behind — the delta was never
+// acknowledged, so a retrying client cannot lose rows.
+func TestLiveUpsertFaultInjection(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 7, WriteFailRate: 1})
+	_, ts := newTestServer(t, Config{LiveFault: inj.LiveUpsert})
+	defer ts.Close()
+	spec := fixtures.EdithSpec()
+
+	_, resp := entityUpsert(t, ts, "edith", entityWire(t, spec, []int{0}, nil))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("faulted create: status %d, want 503", resp.StatusCode)
+	}
+	if _, resp := entityGet(t, ts, "edith"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("entity exists after rejected create: status %d, want 404", resp.StatusCode)
+	}
+	if n := inj.CountersSnapshot().WriteFailures; n == 0 {
+		t.Fatal("injector delivered no faults")
+	}
+}

@@ -46,6 +46,10 @@ type metrics struct {
 	sessionExtends  atomic.Int64
 	sessionSolves   atomic.Int64
 	sessionClauses  atomic.Int64
+
+	// Live-entity snapshot restore outcomes (RestoreLiveEntities).
+	liveRestored       atomic.Int64
+	liveRestoreSkipped atomic.Int64
 }
 
 // observe accounts one resolved entity's outcome, phase timings and session
@@ -132,6 +136,10 @@ func (m *metrics) write(w io.Writer, cache *lru, sessions SessionStore, liveReg 
 	fmt.Fprintf(w, "crserve_live_expired_total %d\n", lc.Expired)
 	fmt.Fprintf(w, "# TYPE crserve_live_evicted_total counter\n")
 	fmt.Fprintf(w, "crserve_live_evicted_total %d\n", lc.Evicted)
+	fmt.Fprintf(w, "# TYPE crserve_live_snapshot_restored_total counter\n")
+	fmt.Fprintf(w, "crserve_live_snapshot_restored_total %d\n", m.liveRestored.Load())
+	fmt.Fprintf(w, "# TYPE crserve_live_snapshot_skipped_total counter\n")
+	fmt.Fprintf(w, "crserve_live_snapshot_skipped_total %d\n", m.liveRestoreSkipped.Load())
 	pool := conflictres.PoolCounters()
 	fmt.Fprintf(w, "# TYPE crserve_pool_hits_total counter\n")
 	fmt.Fprintf(w, "crserve_pool_hits_total %d\n", pool.Hits)

@@ -57,6 +57,17 @@ type Config struct {
 	// 15m; negative disables expiry). Enforced lazily on access and by the
 	// session janitor's sweep.
 	LiveTTL time.Duration
+	// LiveFault, when set, is consulted before every live-entity upsert is
+	// applied: a non-nil error rejects the delta un-acknowledged with 503.
+	// Chaos runs wire a fault.Injector hook here; nil in production.
+	LiveFault func() error
+	// OnDrain, when set, runs after graceful shutdown has drained in-flight
+	// requests and before the server's stores close — the seam where
+	// crserve writes its live-entity snapshot. It must run there: after
+	// Close the live registry answers ErrShutdown and its entities are
+	// gone, whereas the session store outlives Close (SnapshotSessions is
+	// callable from main after ListenAndServe returns).
+	OnDrain func(*Server)
 }
 
 func (c Config) withDefaults() Config {
@@ -150,6 +161,9 @@ func New(cfg Config) *Server {
 		s.sessions = newMemSessionStore(s.cfg.SessionCap, s.cfg.SessionTTL)
 	}
 	s.liveReg = live.NewRegistry(s.cfg.LiveCap, s.cfg.LiveTTL)
+	if s.cfg.LiveFault != nil {
+		s.liveReg.SetFault(s.cfg.LiveFault)
+	}
 	s.janitorUp.Store(true)
 	go s.janitor(s.cfg.SessionSweep)
 	s.mux.HandleFunc("POST /v1/resolve", s.handleResolve)
@@ -225,6 +239,9 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
 		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	if s.cfg.OnDrain != nil {
+		s.cfg.OnDrain(s)
 	}
 	return nil
 }

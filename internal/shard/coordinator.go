@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"conflictres"
+	"conflictres/internal/backoff"
 )
 
 // Error codes the coordinator adds on top of the backend envelope.
@@ -33,6 +35,10 @@ const (
 	// codeBadSessionID answers session ids that do not carry a known
 	// backend tag — the id was not minted by this fleet.
 	codeBadSessionID = "session_not_found"
+	// codeRetryBudget answers work that was still failing over when its
+	// per-request retry budget ran out: the fleet is degraded but the
+	// coordinator stops hammering survivors and sheds the request instead.
+	codeRetryBudget = "retry_budget_exhausted"
 )
 
 // backend is one crserve instance in the fleet.
@@ -76,6 +82,19 @@ type Config struct {
 	// ShutdownGrace bounds how long Serve waits for in-flight requests on
 	// shutdown (default 10s).
 	ShutdownGrace time.Duration
+	// RetryBase is the first backoff delay when a keyed request, an entity
+	// proxy hop or a replication forward retries after a transport failure
+	// (default 25ms). Delays double per attempt with ±50% jitter.
+	RetryBase time.Duration
+	// RetryCap bounds one backoff delay (default 1s).
+	RetryCap time.Duration
+	// RetryBudget bounds the total time one client request may spend
+	// failing over before the coordinator sheds it with 503
+	// retry_budget_exhausted (default 15s). The clock starts at the first
+	// transport failure — a slow-but-healthy first attempt still gets the
+	// full Timeout — and is a context deadline threaded through
+	// Coordinator.post, so it also cuts a retry attempt that outlives it.
+	RetryBudget time.Duration
 	// Client overrides the HTTP client used to talk to backends (tests).
 	Client *http.Client
 }
@@ -105,6 +124,15 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownGrace <= 0 {
 		c.ShutdownGrace = 10 * time.Second
 	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 15 * time.Second
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
@@ -119,9 +147,23 @@ type Coordinator struct {
 	byTag    map[string]*backend
 	met      *metrics
 	mux      *http.ServeMux
+	retry    backoff.Policy
+	repl     *replTracker
+
+	// rndMu guards rnd: jitter draws come from request goroutines, the
+	// health loop and replication drains concurrently.
+	rndMu sync.Mutex
+	rnd   *rand.Rand
 
 	healthStop chan struct{}
 	closeOnce  sync.Once
+}
+
+// jitter draws one uniform float64 in [0, 1) for backoff jitter.
+func (c *Coordinator) jitter() float64 {
+	c.rndMu.Lock()
+	defer c.rndMu.Unlock()
+	return c.rnd.Float64()
 }
 
 // New builds a coordinator over the configured backends. It starts a
@@ -144,11 +186,16 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	c := &Coordinator{
-		cfg:        cfg,
-		ring:       ring,
-		met:        &metrics{},
-		mux:        http.NewServeMux(),
-		byTag:      make(map[string]*backend, len(names)),
+		cfg:   cfg,
+		ring:  ring,
+		met:   &metrics{},
+		mux:   http.NewServeMux(),
+		byTag: make(map[string]*backend, len(names)),
+		retry: backoff.New(cfg.RetryBase, cfg.RetryCap),
+		repl:  newReplTracker(),
+		// Seeded per coordinator so a fleet of coordinators restarted
+		// together does not retry or probe in lockstep.
+		rnd:        rand.New(rand.NewSource(time.Now().UnixNano())),
 		healthStop: make(chan struct{}),
 	}
 	for _, u := range names {
@@ -209,20 +256,47 @@ func (c *Coordinator) ListenAndServe(ctx context.Context) error {
 	return nil
 }
 
-// healthLoop probes every backend each HealthInterval: /readyz 200 means
-// ready; a backend without /readyz (older build) falls back to /healthz, so
-// the coordinator still drives mixed fleets. Probe failure marks down,
-// probe success revives a marked-down backend.
+// healthLoop probes every backend around each HealthInterval: /readyz 200
+// means ready; a backend without /readyz (older build) falls back to
+// /healthz, so the coordinator still drives mixed fleets. Probe failure
+// marks down, probe success revives a marked-down backend.
+//
+// Cadence is per backend, jittered, and backs off exponentially (capped at
+// 8× the interval) while a backend stays down: a fleet restart would
+// otherwise have every coordinator hammering every dead backend in
+// lockstep at a fixed beat. The ticker runs at a quarter of the interval
+// only to check which backends are due.
 func (c *Coordinator) healthLoop() {
-	t := time.NewTicker(c.cfg.HealthInterval)
+	downPolicy := backoff.New(c.cfg.HealthInterval, 8*c.cfg.HealthInterval)
+	quantum := c.cfg.HealthInterval / 4
+	if quantum <= 0 {
+		quantum = c.cfg.HealthInterval
+	}
+	failures := make([]int, len(c.backends))
+	next := make([]time.Time, len(c.backends)) // zero: due immediately
+	t := time.NewTicker(quantum)
 	defer t.Stop()
 	for {
 		select {
 		case <-c.healthStop:
 			return
 		case <-t.C:
-			for _, b := range c.backends {
-				b.up.Store(c.probe(b))
+			now := time.Now()
+			for i, b := range c.backends {
+				if now.Before(next[i]) {
+					continue
+				}
+				if c.probe(b) {
+					b.up.Store(true)
+					failures[i] = 0
+					// Jitter the healthy cadence too (attempt 1 of the down
+					// policy is one jittered HealthInterval).
+					next[i] = now.Add(downPolicy.Delay(1, c.jitter))
+				} else {
+					b.up.Store(false)
+					failures[i]++
+					next[i] = now.Add(downPolicy.Delay(failures[i], c.jitter))
+				}
 			}
 		}
 	}
@@ -299,14 +373,26 @@ func (c *Coordinator) readBody(w http.ResponseWriter, r *http.Request) ([]byte, 
 // post sends body to backend b and returns the full response. Transport
 // errors (request or body read) mark the backend down and report retryable.
 func (c *Coordinator) post(ctx context.Context, b *backend, path, contentType string, body []byte) (status int, respBody []byte, retryable bool, err error) {
+	return c.do(ctx, b, http.MethodPost, path, contentType, body)
+}
+
+// do is post generalized over the method (the entity proxy relays GET and
+// DELETE through the same retry machinery). A nil body sends no payload.
+func (c *Coordinator) do(ctx context.Context, b *backend, method, path, contentType string, body []byte) (status int, respBody []byte, retryable bool, err error) {
 	b.requests.Add(1)
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+path, bytes.NewReader(body))
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
 	if err != nil {
 		return 0, nil, false, err
 	}
-	req.Header.Set("Content-Type", contentType)
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		c.markDown(b)
@@ -321,9 +407,25 @@ func (c *Coordinator) post(ctx context.Context, b *backend, path, contentType st
 	return resp.StatusCode, data, false, nil
 }
 
+// retryBudgetCtx derives the per-request failover budget: attempts and
+// their backoff pauses all charge against one deadline, so a degraded
+// fleet sheds work instead of stacking unbounded retries.
+func (c *Coordinator) retryBudgetCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, c.cfg.RetryBudget)
+}
+
+// budgetExhausted answers a request whose retry budget ran out mid-failover.
+func (c *Coordinator) budgetExhausted(w http.ResponseWriter, err error) {
+	c.met.retryBudgetExhausted.Add(1)
+	c.writeError(w, http.StatusServiceUnavailable, codeRetryBudget,
+		fmt.Sprintf("retry budget exhausted after %s: %v", c.cfg.RetryBudget, err))
+}
+
 // forwardKeyed relays one complete JSON request (resolve, validate) to the
-// entity's owner, retrying on siblings over transport errors. Resolution is
-// a pure computation, so replaying the request on another backend is safe.
+// entity's owner, failing over to siblings on transport errors under the
+// unified retry policy: capped jittered backoff between attempts, all
+// charged against the per-request retry budget. Resolution is a pure
+// computation, so replaying the request on another backend is safe.
 func (c *Coordinator) forwardKeyed(w http.ResponseWriter, r *http.Request, path string) {
 	body, ok := c.readBody(w, r)
 	if !ok {
@@ -340,7 +442,15 @@ func (c *Coordinator) forwardKeyed(w http.ResponseWriter, r *http.Request, path 
 		// the same backend (and its result cache).
 		key = fmt.Sprintf("%016x", hash64(string(body)))
 	}
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	defer func() {
+		if cancel != nil {
+			cancel()
+		}
+	}()
 	var tried uint64
+	attempt := 0
 	for {
 		b, idx := c.route(key, tried)
 		if b == nil {
@@ -352,13 +462,23 @@ func (c *Coordinator) forwardKeyed(w http.ResponseWriter, r *http.Request, path 
 			b.retries.Add(1)
 		}
 		tried |= 1 << uint(idx)
-		status, data, retryable, err := c.post(r.Context(), b, path, "application/json", body)
+		status, data, retryable, err := c.post(ctx, b, path, "application/json", body)
 		if err != nil {
-			if retryable {
-				continue
+			if !retryable {
+				c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
+				return
 			}
-			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
-			return
+			attempt++
+			if cancel == nil {
+				// The budget clock starts at the first failure, covering
+				// every backoff pause and retry attempt from here on.
+				ctx, cancel = c.retryBudgetCtx(r.Context())
+			}
+			if serr := c.retry.Sleep(ctx, attempt, c.jitter); serr != nil {
+				c.budgetExhausted(w, err)
+				return
+			}
+			continue
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
@@ -406,7 +526,7 @@ func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	c.met.write(w, c.ring, c.backends)
+	c.met.write(w, c.ring, c.backends, c.repl.pending())
 }
 
 // compileHeaderRules validates a wire rule set locally so a bad header

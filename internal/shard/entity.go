@@ -1,25 +1,35 @@
 package shard
 
 import (
-	"fmt"
-	"io"
+	"encoding/json"
 	"net/http"
+	"strconv"
 	"strings"
 )
 
-// Live-entity affinity: entity keys are client-chosen, so plain ring
-// placement on the key IS the affinity — every coordinator routes the same
-// key to the same backend with no id tagging and no coordinator state. The
-// per-entity resolution state lives only on that owner: it is not
-// replicated, so upserts are never retried on a sibling (a replay could
-// double-apply rows if the first attempt actually landed), and a failed-
-// over key starts a fresh entity on the next backend in its preference
-// list from whatever rows arrive after the failover.
+// Live-entity affinity and replication: entity keys are client-chosen, so
+// plain ring placement on the key IS the affinity — every coordinator routes
+// the same key to the same primary owner with no id tagging. The per-entity
+// resolution state is kept warm on one sibling too: every acknowledged
+// upsert is forwarded asynchronously, in acknowledgment order, to the ring's
+// next live owner as an ordinary log-replay POST (see replica.go). When the
+// primary dies mid-stream, GETs and upserts fail over along the key's
+// preference list and land on that replica.
+//
+// Semantics under failover are at-least-once, never silent loss: a delta
+// whose first attempt died on the wire may be replayed on the replica even
+// though the primary had applied it (the acknowledgment was lost, so the
+// client-visible contract holds), and a replica that missed forwards serves
+// with an explicit replica_lag count in the body plus an
+// X-Crshard-Replica-Lag header rather than passing stale state off as
+// current. A fully replicated entity answers byte-identically on either
+// backend. GET 404s are relayed verbatim — retrying a 404 on a sibling
+// would resurrect deleted entities — and DELETE invalidates the replica
+// through the same ordered queue as the upserts it may trail.
 
 // handleEntityProxy serves POST /v1/entity/{key}/rows and GET/DELETE
-// /v1/entity/{key}: forward to the key's ring owner verbatim. An
-// unreachable owner answers 502 — the change-data-capture feed decides
-// whether to replay its delta once the owner (or its successor) is back.
+// /v1/entity/{key} with replica failover on transport errors, under the
+// unified retry policy and budget.
 func (c *Coordinator) handleEntityProxy(w http.ResponseWriter, r *http.Request) {
 	c.met.entityRequests.Add(1)
 	key := r.PathValue("key")
@@ -27,51 +37,104 @@ func (c *Coordinator) handleEntityProxy(w http.ResponseWriter, r *http.Request) 
 		c.writeError(w, http.StatusBadRequest, codeBadRequest, "empty entity key")
 		return
 	}
-	b, _ := c.route(key, 0)
-	if b == nil {
-		c.met.noBackend.Add(1)
-		c.writeError(w, http.StatusServiceUnavailable, codeNoBackend, "no live backend for entity")
-		return
-	}
 	path := "/v1/entity/" + key
 	if strings.HasSuffix(r.URL.Path, "/rows") {
 		path += "/rows"
 	}
+	var body []byte
+	contentType := ""
+	if r.Method == http.MethodPost {
+		var ok bool
+		if body, ok = c.readBody(w, r); !ok {
+			return
+		}
+		contentType = "application/json"
+	}
 
-	var status int
-	var data []byte
-	switch r.Method {
-	case http.MethodPost:
-		body, ok := c.readBody(w, r)
-		if !ok {
+	primary := c.ring.Owners(key, 1)[0]
+	ctx := r.Context()
+	var cancel func()
+	defer func() {
+		if cancel != nil {
+			cancel()
+		}
+	}()
+	var tried uint64
+	attempt := 0
+	for {
+		b, idx := c.route(key, tried)
+		if b == nil {
+			c.met.noBackend.Add(1)
+			c.writeError(w, http.StatusServiceUnavailable, codeNoBackend, "no live backend for entity")
 			return
 		}
-		var err error
-		status, data, _, err = c.post(r.Context(), b, path, "application/json", body)
+		if tried != 0 {
+			b.retries.Add(1)
+		}
+		tried |= 1 << uint(idx)
+		status, data, retryable, err := c.do(ctx, b, r.Method, path, contentType, body)
 		if err != nil {
-			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
-			return
+			if !retryable {
+				c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
+				return
+			}
+			// Transport failure: the next backend on the preference list is
+			// the warm replica. Back off first — the owner may only have
+			// blipped, and its replica needs a moment to absorb in-flight
+			// forwards.
+			attempt++
+			if cancel == nil {
+				ctx, cancel = c.retryBudgetCtx(r.Context())
+			}
+			if serr := c.retry.Sleep(ctx, attempt, c.jitter); serr != nil {
+				c.budgetExhausted(w, err)
+				return
+			}
+			continue
 		}
-	default: // GET, DELETE
-		b.requests.Add(1)
-		req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+path, nil)
-		if err != nil {
-			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
-			return
+		c.finishEntity(w, r.Method, key, path, idx, primary, status, data, body)
+		return
+	}
+}
+
+// finishEntity relays a backend's answer to the client and runs the
+// replication bookkeeping it implies: acknowledged upserts enqueue their
+// replica forward, deletes enqueue the replica invalidation, and a serving
+// backend that is behind the acknowledged delta count gets the gap stamped
+// onto the response.
+func (c *Coordinator) finishEntity(w http.ResponseWriter, method, key, path string, idx, primary, status int, data, body []byte) {
+	if idx != primary {
+		switch method {
+		case http.MethodGet:
+			c.met.replicaFailoverGet.Add(1)
+		case http.MethodPost:
+			c.met.replicaFailoverUpsert.Add(1)
+		case http.MethodDelete:
+			c.met.replicaFailoverDelete.Add(1)
 		}
-		resp, err := c.cfg.Client.Do(req)
-		if err != nil {
-			c.markDown(b)
-			c.writeError(w, http.StatusBadGateway, codeBackendDown,
-				fmt.Sprintf("entity owner unreachable: %v", err))
-			return
+	}
+	if len(c.backends) > 1 {
+		switch {
+		case method == http.MethodPost && status < 300:
+			if c.repl.onAck(key, idx, replJob{method: http.MethodPost, path: path, body: body, servedIdx: idx}) {
+				go c.drainRepl(key)
+			}
+		case method == http.MethodDelete && (status < 300 || status == http.StatusNotFound):
+			// Even a 404 invalidates the replica: the serving backend may
+			// have lost the entity (restart) while the replica still holds
+			// it — without the forward, the next failover would resurrect a
+			// deleted entity.
+			if c.repl.onDelete(key, replJob{method: http.MethodDelete, path: path, servedIdx: idx}) {
+				go c.drainRepl(key)
+			}
 		}
-		defer resp.Body.Close()
-		status = resp.StatusCode
-		if data, err = io.ReadAll(resp.Body); err != nil {
-			c.markDown(b)
-			c.writeError(w, http.StatusBadGateway, codeBackendDown, err.Error())
-			return
+	}
+	if lag := c.repl.lag(key, idx); lag > 0 {
+		w.Header().Set("X-Crshard-Replica-Lag", strconv.FormatInt(lag, 10))
+		if method != http.MethodDelete && status < 300 {
+			if stamped, ok := injectReplicaLag(data, lag); ok {
+				data = stamped
+			}
 		}
 	}
 	if status == http.StatusNoContent {
@@ -81,4 +144,20 @@ func (c *Coordinator) handleEntityProxy(w http.ResponseWriter, r *http.Request) 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	w.Write(data)
+}
+
+// injectReplicaLag stamps the serving backend's replication gap into a JSON
+// object body. Only called when lag > 0, so a current backend's response
+// passes through byte-identical.
+func injectReplicaLag(data []byte, lag int64) ([]byte, bool) {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil || m == nil {
+		return nil, false
+	}
+	m["replica_lag"] = json.RawMessage(strconv.FormatInt(lag, 10))
+	out, err := json.Marshal(m)
+	if err != nil {
+		return nil, false
+	}
+	return out, true
 }

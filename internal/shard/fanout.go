@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/bits"
 	"net/http"
 	"sync"
 	"time"
@@ -281,6 +282,19 @@ func (c *Coordinator) rerouteJobs(ctx context.Context, headerLine []byte, failed
 		}
 		nb.retries.Add(1)
 		regroup[nIdx] = append(regroup[nIdx], j)
+	}
+	if len(regroup) == 0 {
+		return
+	}
+	// Pace the retry wave under the unified backoff policy: replaying the
+	// sub-batch instantly just marches the same burst one ring step per
+	// failure. Attempt depth is how many backends this wave has burned.
+	attempt := bits.OnesCount64(jobs[0].tried | 1<<uint(failedIdx))
+	if err := c.retry.Sleep(ctx, attempt, c.jitter); err != nil {
+		for _, g := range regroup {
+			em.emitJobErrors(g, codeBackendDown, "retry abandoned: "+err.Error())
+		}
+		return
 	}
 	for nIdx, g := range regroup {
 		// Take the target's pipeline slot like any first-try sub-batch; the

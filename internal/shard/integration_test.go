@@ -22,7 +22,10 @@ import (
 // to a single-node run (a third, out-of-fleet crserve). Phase 2 SIGKILLs one
 // backend between health probes — the coordinator still believes it is up,
 // so the death is discovered on in-flight requests — and requires batch and
-// dataset streams to complete via retry-on-sibling with reconciled stats.
+// dataset streams to complete via retry-on-sibling with reconciled stats,
+// and the live entity fed before the kill to survive on its warm replica.
+// Phase 3 restarts a -live-snapshot crserve over SIGTERM and requires its
+// entity state back byte-identical.
 //
 // Skipped under -short (it builds both binaries). When CRSHARD_METRICS_OUT
 // is set, the coordinator's final /metrics scrape is written there so CI can
@@ -104,6 +107,9 @@ func TestFleetMultiProcess(t *testing.T) {
 	if status != http.StatusOK || st["rows"] != float64(2) || st["valid"] != true {
 		t.Fatalf("live get: status %d, state %v", status, st)
 	}
+	// Both deltas must reach the warm replica before the kill below, or
+	// phase 2b would race the async forwards.
+	waitMetricAtLeast(t, coord.url, "crshard_replica_forwards_total", 2)
 
 	// Phase 2: kill backend2 without warning. Fresh entity names keep the
 	// result caches out of the comparison.
@@ -153,26 +159,28 @@ func TestFleetMultiProcess(t *testing.T) {
 		t.Fatalf("post-kill summary does not reconcile: %+v", sum)
 	}
 
-	// Phase 2b: live-entity state is not replicated, so an upsert whose key
-	// is owned by the corpse answers 502 (never a silent sibling retry);
-	// once the transport error marks the owner down, the key fails over and
-	// starts a fresh entity on the survivor.
-	var recovered map[string]any
-	for attempt := 0; attempt < 5; attempt++ {
-		st, status := entityUpsert(t, coord.url, "edith-live-2", []any{row(0)})
-		if status == http.StatusOK {
-			recovered = st
-			break
-		}
-		if status != http.StatusBadGateway {
-			t.Fatalf("post-kill upsert attempt %d: status %d, state %v", attempt, status, st)
-		}
+	// Phase 2b: the entity fed before the kill survives on its warm
+	// replica. Whichever backend owned edith-live, one client call comes
+	// back with the full pre-kill state — the coordinator absorbs the
+	// owner's death internally (mark-down, backoff, next preference).
+	st, status = entityGet(t, coord.url, "edith-live")
+	if status != http.StatusOK || st["rows"] != float64(2) || st["valid"] != true {
+		t.Fatalf("post-kill live get: status %d, state %v", status, st)
 	}
-	if recovered == nil {
-		t.Fatal("post-kill upsert never recovered onto the survivor")
+	if lag, ok := st["replica_lag"]; ok {
+		t.Fatalf("flushed replica served with lag %v: %v", lag, st)
 	}
-	if recovered["created"] != true || recovered["rows"] != float64(1) {
-		t.Fatalf("post-kill upsert did not start a fresh entity: %v", recovered)
+	// And the upsert stream continues on the same accumulated state: the
+	// third delta extends to three rows instead of starting a fresh entity.
+	st, status = entityUpsert(t, coord.url, "edith-live", []any{row(2)})
+	if status != http.StatusOK || st["created"] == true || st["rows"] != float64(3) {
+		t.Fatalf("post-kill upsert on replicated entity: status %d, state %v", status, st)
+	}
+	// A key never seen before the kill still lands first try, wherever the
+	// ring points: internal failover replaces the old 502-to-the-client.
+	st, status = entityUpsert(t, coord.url, "edith-live-2", []any{row(0)})
+	if status != http.StatusOK || st["created"] != true || st["rows"] != float64(1) {
+		t.Fatalf("post-kill upsert on fresh key: status %d, state %v", status, st)
 	}
 
 	// The coordinator observed the death (errors on the victim, retried work
@@ -200,6 +208,56 @@ func TestFleetMultiProcess(t *testing.T) {
 	rresp.Body.Close()
 	if rresp.StatusCode != http.StatusOK {
 		t.Fatalf("coordinator unready with a surviving backend: %d", rresp.StatusCode)
+	}
+
+	// Phase 3: -live-snapshot across a graceful restart. A dedicated crserve
+	// accumulates an entity, takes SIGTERM (the drain seam writes the
+	// row-log snapshot), and a fresh process on the same file must serve the
+	// state back byte-identical.
+	snapPath := filepath.Join(t.TempDir(), "live.ndjson")
+	snapSrv := startProc(t, filepath.Join(bin, "crserve"), "-addr", freeAddr(t), "-live-snapshot", snapPath)
+	waitReady(t, snapSrv.url)
+	if _, status := entityUpsert(t, snapSrv.url, "edith-snap", []any{row(0)}); status != http.StatusOK {
+		t.Fatalf("snapshot phase create: status %d", status)
+	}
+	if st, status := entityUpsert(t, snapSrv.url, "edith-snap", []any{row(1)}); status != http.StatusOK || st["rows"] != float64(2) {
+		t.Fatalf("snapshot phase extend: status %d, state %v", status, st)
+	}
+	before := getBody(t, snapSrv.url+"/v1/entity/edith-snap")
+	if err := snapSrv.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("terminate snapshot server: %v", err)
+	}
+	if err := snapSrv.cmd.Wait(); err != nil {
+		t.Fatalf("snapshot server did not exit cleanly: %v", err)
+	}
+	snapSrv2 := startProc(t, filepath.Join(bin, "crserve"), "-addr", freeAddr(t), "-live-snapshot", snapPath)
+	waitReady(t, snapSrv2.url)
+	// Two reads: both before and after are then cache-hit renderings, so
+	// the comparison is byte-for-byte on identical code paths.
+	getBody(t, snapSrv2.url+"/v1/entity/edith-snap")
+	after := getBody(t, snapSrv2.url+"/v1/entity/edith-snap")
+	if before != after {
+		t.Fatalf("live entity diverged across -live-snapshot restart:\nbefore %s\nafter  %s", before, after)
+	}
+}
+
+// waitMetricAtLeast polls a Prometheus-style counter until it reaches want.
+func waitMetricAtLeast(t *testing.T, baseURL, name string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		for _, line := range strings.Split(getBody(t, baseURL+"/metrics"), "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				var got int
+				if _, err := fmt.Sscanf(rest, "%d", &got); err == nil && got >= want {
+					return
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %d", name, want)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -21,6 +21,20 @@ type metrics struct {
 	// answered with an in-band no_backend error.
 	noBackend atomic.Int64
 
+	// retryBudgetExhausted counts requests shed because their failover
+	// budget ran out while backends kept failing — load the coordinator
+	// refused to keep hammering a degraded fleet with.
+	retryBudgetExhausted atomic.Int64
+
+	// Live-entity replication: forwards that reached a replica, forwards
+	// dropped after exhausting their budget (the replica's lag persists),
+	// and requests served by a non-primary backend after failover.
+	replicaForwards        atomic.Int64
+	replicaForwardFailures atomic.Int64
+	replicaFailoverGet     atomic.Int64
+	replicaFailoverUpsert  atomic.Int64
+	replicaFailoverDelete  atomic.Int64
+
 	// Merge-path time: nanoseconds spent decoding, restamping, and writing
 	// backend result lines into the merged client response.
 	batchMergeNs   atomic.Int64
@@ -29,7 +43,7 @@ type metrics struct {
 
 // write renders the coordinator counters plus the per-backend counters and
 // ring occupancy in Prometheus text exposition format.
-func (m *metrics) write(w io.Writer, ring *Ring, backends []*backend) {
+func (m *metrics) write(w io.Writer, ring *Ring, backends []*backend, replicaPending int) {
 	fmt.Fprintf(w, "# TYPE crshard_requests_total counter\n")
 	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"resolve\"} %d\n", m.resolveRequests.Load())
 	fmt.Fprintf(w, "crshard_requests_total{endpoint=\"batch\"} %d\n", m.batchRequests.Load())
@@ -41,6 +55,18 @@ func (m *metrics) write(w io.Writer, ring *Ring, backends []*backend) {
 	fmt.Fprintf(w, "crshard_error_responses_total %d\n", m.errorResponses.Load())
 	fmt.Fprintf(w, "# TYPE crshard_no_backend_total counter\n")
 	fmt.Fprintf(w, "crshard_no_backend_total %d\n", m.noBackend.Load())
+	fmt.Fprintf(w, "# TYPE crshard_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "crshard_retry_budget_exhausted_total %d\n", m.retryBudgetExhausted.Load())
+	fmt.Fprintf(w, "# TYPE crshard_replica_forwards_total counter\n")
+	fmt.Fprintf(w, "crshard_replica_forwards_total %d\n", m.replicaForwards.Load())
+	fmt.Fprintf(w, "# TYPE crshard_replica_forward_failures_total counter\n")
+	fmt.Fprintf(w, "crshard_replica_forward_failures_total %d\n", m.replicaForwardFailures.Load())
+	fmt.Fprintf(w, "# TYPE crshard_replica_failover_total counter\n")
+	fmt.Fprintf(w, "crshard_replica_failover_total{op=\"get\"} %d\n", m.replicaFailoverGet.Load())
+	fmt.Fprintf(w, "crshard_replica_failover_total{op=\"upsert\"} %d\n", m.replicaFailoverUpsert.Load())
+	fmt.Fprintf(w, "crshard_replica_failover_total{op=\"delete\"} %d\n", m.replicaFailoverDelete.Load())
+	fmt.Fprintf(w, "# TYPE crshard_replica_pending gauge\n")
+	fmt.Fprintf(w, "crshard_replica_pending %d\n", replicaPending)
 	fmt.Fprintf(w, "# TYPE crshard_merge_seconds_total counter\n")
 	fmt.Fprintf(w, "crshard_merge_seconds_total{endpoint=\"batch\"} %g\n", float64(m.batchMergeNs.Load())/1e9)
 	fmt.Fprintf(w, "crshard_merge_seconds_total{endpoint=\"dataset\"} %g\n", float64(m.datasetMergeNs.Load())/1e9)
